@@ -1,0 +1,58 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared helpers for the benchmark harness: the representative workload
+/// (single Mach-10 jet, §6.2), table formatting, and local grind-time
+/// measurement.
+
+#include <cstdio>
+#include <string>
+
+#include "app/jet_config.hpp"
+#include "app/simulation.hpp"
+
+namespace igr::bench {
+
+/// The paper's performance workload: "a representative three-dimensional
+/// simulation of the exhaust plume of a single Mach 10 jet" (§6.2), at a
+/// laptop-scale resolution.
+template <class Policy>
+app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32) {
+  const auto jet = app::single_engine();
+  typename app::Simulation<Policy>::Params params;
+  params.grid = mesh::Grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0},
+                           {0.0, 1.5});
+  params.cfg = jet.solver_config();
+  params.bc = jet.make_bc();
+  params.scheme = scheme;
+  app::Simulation<Policy> sim(params);
+  sim.init(jet.initial_condition(0.005));
+  return sim;
+}
+
+/// Measure ns/cell/step over `steps` steps after `warmup` untimed ones.
+template <class Policy>
+double measure_grind_ns(app::SchemeKind scheme, int n, int warmup,
+                        int steps) {
+  auto sim = make_jet_sim<Policy>(scheme, n);
+  sim.run_steps(warmup);
+  common::WallTimer t;
+  t.start();
+  sim.run_steps(steps);
+  t.stop();
+  const double cells = static_cast<double>(sim.grid().cells());
+  return t.seconds() * 1.0e9 / (cells * steps);
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace igr::bench

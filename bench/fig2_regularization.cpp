@@ -1,0 +1,202 @@
+/// \file fig2_regularization.cpp
+/// Reproduces paper Fig. 2: how the two regularizations treat
+///   (a) a shock problem       — LAD spreads it over a user-defined width
+///                               with a profile that is not high-order
+///                               smooth; IGR replaces it with a smooth
+///                               profile at the grid scale;
+///   (b) an oscillatory problem — widening LAD (as coarse grids demand)
+///                               dissipates genuine oscillations; IGR
+///                               preserves them.
+///
+/// Ground truth: the exact Riemann solution for (a); a fine-grid reference
+/// for (b) (Shu–Osher shock/entropy-wave interaction).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/lad_solver1d.hpp"
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "core/igr_solver1d.hpp"
+#include "fv/exact_riemann.hpp"
+
+namespace {
+
+using namespace igr;
+using core::Bc1D;
+using core::IgrSolver1D;
+using core::Prim1;
+
+// ---------------- (a) shock problem ----------------
+
+void shock_problem() {
+  bench::print_header("Fig. 2(a): shock problem — LAD vs IGR vs exact (Sod)");
+  const int n = 200;  // deliberately coarse, as in the figure
+  auto ic = [](double x) {
+    Prim1 w;
+    if (x < 0.5) {
+      w.rho = 1.0;
+      w.p = 1.0;
+    } else {
+      w.rho = 0.125;
+      w.p = 0.1;
+    }
+    return w;
+  };
+
+  // Width-matched comparison: alpha_factor = 3 and c_lad = 10 both capture
+  // the Sod shock over ~5 cells on this grid, so the schemes are compared
+  // at equal shock resolution.
+  baseline::LadSolver1D::Options lopt;
+  lopt.c_lad = 10.0;
+  baseline::LadSolver1D lad(n, 0.0, 1.0, lopt);
+  lad.init(ic);
+  lad.advance_to(0.2);
+
+  IgrSolver1D::Options iopt;
+  iopt.alpha_factor = 3.0;
+  IgrSolver1D igr(n, 0.0, 1.0, iopt);
+  igr.init(ic);
+  igr.advance_to(0.2);
+
+  fv::ExactRiemann exact(fv::sod_left(), fv::sod_right(), 1.4);
+  const auto ref = exact.sample_profile(n, 0.0, 1.0, 0.5, 0.2);
+
+  const auto rl = lad.rho();
+  const auto ri = igr.rho();
+  std::printf("%8s %10s %10s %10s   (shock region)\n", "x", "exact", "LAD",
+              "IGR");
+  for (int i = 150; i < 190; i += 2) {
+    std::printf("%8.4f %10.5f %10.5f %10.5f\n", igr.x(i),
+                ref[static_cast<std::size_t>(i)].rho,
+                rl[static_cast<std::size_t>(i)],
+                ri[static_cast<std::size_t>(i)]);
+  }
+
+  auto l1 = [&](const std::vector<double>& v) {
+    double e = 0;
+    for (int i = 0; i < n; ++i)
+      e += std::abs(v[static_cast<std::size_t>(i)] -
+                    ref[static_cast<std::size_t>(i)].rho) /
+           n;
+    return e;
+  };
+  // Captured shock width: transition cells between the plateaus.
+  auto width = [&](const std::vector<double>& v) {
+    int cells = 0;
+    for (int i = 145; i < n; ++i) {
+      const double r = v[static_cast<std::size_t>(i)];
+      if (r > 0.139 && r < 0.252) ++cells;
+    }
+    return cells;
+  };
+  std::printf("\nL1 density error      : LAD %.4e | IGR %.4e\n", l1(rl),
+              l1(ri));
+  std::printf("captured shock width  : LAD %d cells | IGR %d cells "
+              "(width-matched setup)\n",
+              width(rl), width(ri));
+}
+
+// ---------------- (b) oscillatory problem ----------------
+
+/// Shu–Osher: Mach-3 shock running into an entropy wave.
+auto shu_osher_ic() {
+  return [](double x) {
+    Prim1 w;
+    if (x < -4.0) {
+      w.rho = 3.857143;
+      w.u = 2.629369;
+      w.p = 10.33333;
+    } else {
+      w.rho = 1.0 + 0.2 * std::sin(5.0 * x);
+      w.u = 0.0;
+      w.p = 1.0;
+    }
+    return w;
+  };
+}
+
+/// Total variation of the density in the post-shock oscillatory region —
+/// the feature LAD dissipates and IGR preserves.
+double oscillation_tv(const std::vector<double>& rho, int n) {
+  // Post-shock oscillations live in roughly x in [-3, 0.5] at t = 1.8.
+  const int i0 = static_cast<int>((-3.0 + 5.0) / 10.0 * n);
+  const int i1 = static_cast<int>((0.5 + 5.0) / 10.0 * n);
+  std::vector<double> seg(rho.begin() + i0, rho.begin() + i1);
+  return common::total_variation(seg);
+}
+
+void oscillatory_problem() {
+  bench::print_header(
+      "Fig. 2(b): oscillatory problem — Shu-Osher shock/entropy-wave");
+  const int n = 400;
+  const double t_end = 1.8;
+
+  // Fine-grid IGR reference ("exact" curve of the figure).
+  IgrSolver1D::Options ref_opt;
+  ref_opt.alpha_factor = 2.0;
+  ref_opt.gamma = 1.4;
+  IgrSolver1D ref(3200, -5.0, 5.0, ref_opt);
+  ref.init(shu_osher_ic());
+  ref.advance_to(t_end);
+  const double tv_ref = oscillation_tv(ref.rho(), 3200) ;
+
+  IgrSolver1D::Options iopt;
+  iopt.alpha_factor = 3.0;  // same width-matched setting as part (a)
+  IgrSolver1D igr(n, -5.0, 5.0, iopt);
+  igr.init(shu_osher_ic());
+  igr.advance_to(t_end);
+
+  auto run_lad = [&](double c_lad) {
+    baseline::LadSolver1D::Options lopt;
+    lopt.c_lad = c_lad;
+    baseline::LadSolver1D lad(n, -5.0, 5.0, lopt);
+    lad.init(shu_osher_ic());
+    lad.advance_to(t_end);
+    return lad.rho();
+  };
+  const auto lad_weak = run_lad(10.0);  // width-matched to IGR (part a)
+  const auto lad_wide = run_lad(40.0);  // the width coarse grids demand
+
+  const double tv_igr = oscillation_tv(igr.rho(), n);
+  const double tv_lad_weak = oscillation_tv(lad_weak, n);
+  const double tv_lad_wide = oscillation_tv(lad_wide, n);
+
+  std::printf("Post-shock oscillation total variation (reference = fine-grid "
+              "run):\n");
+  std::printf("  %-34s %8.4f (%.0f%% of reference)\n", "fine-grid reference",
+              tv_ref, 100.0);
+  std::printf("  %-34s %8.4f (%.0f%% preserved)\n", "IGR, 400 cells", tv_igr,
+              100.0 * tv_igr / tv_ref);
+  std::printf("  %-34s %8.4f (%.0f%% preserved)\n",
+              "LAD width-matched, 400 cells", tv_lad_weak,
+              100.0 * tv_lad_weak / tv_ref);
+  std::printf("  %-34s %8.4f (%.0f%% preserved)\n", "LAD wide, 400 cells",
+              tv_lad_wide, 100.0 * tv_lad_wide / tv_ref);
+  std::printf(
+      "\nShape check (paper Fig. 2): IGR preserves the oscillatory features; "
+      "the\nwide LAD needed for coarse grids dissipates them "
+      "(IGR/LAD-wide = %.2fx).\n",
+      tv_igr / tv_lad_wide);
+
+  std::printf("\n%8s %10s %10s %10s (post-shock sample)\n", "x", "IGR",
+              "LAD-match", "LAD-wide");
+  const auto ri = igr.rho();
+  for (int i = 110; i < 200; i += 6) {
+    std::printf("%8.3f %10.5f %10.5f %10.5f\n", igr.x(i),
+                ri[static_cast<std::size_t>(i)],
+                lad_weak[static_cast<std::size_t>(i)],
+                lad_wide[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("igrflow :: Fig. 2 reproduction (inviscid regularization)\n");
+  shock_problem();
+  oscillatory_problem();
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// \file fig3_flowmap.cpp
+/// Reproduces paper Fig. 3: information geometric regularization modifies
+/// the geometry by which the flow map evolves so that two tracer
+/// trajectories t -> phi_t(x1), phi_t(x2) *converge* instead of crossing.
+/// The regularization strength alpha sets the rate of convergence; the
+/// vanishing-viscosity solution is recovered as alpha -> 0.
+///
+/// Setting: 1-D pressureless Euler (the system in which IGR was first
+/// derived), converging initial velocity, tracers seeded either side of the
+/// would-be collision point.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/igr_solver1d.hpp"
+
+int main() {
+  using namespace igr;
+  using core::Bc1D;
+  using core::IgrSolver1D;
+  using core::Prim1;
+
+  std::printf("igrflow :: Fig. 3 reproduction (flow-map trajectories)\n");
+
+  // The paper's Fig. 3 sweeps alpha over {1e-5, 1e-4, 1e-3} with a
+  // semi-analytic solver; our explicit FV realization is stable down to
+  // ~1e-4 on affordable grids (the regularized density spike amplitude
+  // grows as alpha shrinks), so we sweep the same two-decade range shifted
+  // one decade up.  See EXPERIMENTS.md.
+  const std::vector<double> alphas{1e-2, 1e-3, 1e-4};
+  const double t_end = 0.6;
+  const double x1 = 0.85, x2 = 1.15;
+
+  bench::print_header(
+      "Tracer trajectories phi_t(x1), phi_t(x2) under the alpha sweep");
+  std::printf("Initial positions: x1 = %.2f, x2 = %.2f; colliding velocity "
+              "u = -tanh((x-1)/0.05)\n\n",
+              x1, x2);
+  std::printf("%6s", "t");
+  for (double a : alphas) std::printf("      gap(a=%7.0e)", a);
+  std::printf("\n");
+
+  struct Run {
+    std::unique_ptr<IgrSolver1D> s;
+    int t1, t2;
+  };
+  std::vector<Run> runs;
+  for (double a : alphas) {
+    IgrSolver1D::Options opt;
+    opt.pressureless = true;
+    opt.alpha = a;
+    opt.bc = Bc1D::kOutflow;
+    opt.cfl = 0.3;
+    // Resolution tracks sqrt(alpha): the regularized profile must be
+    // resolved for the smallest alpha.
+    const int n = (a >= 1e-2) ? 512 : (a >= 1e-3) ? 1024 : 2048;
+    auto s = std::make_unique<IgrSolver1D>(n, 0.0, 2.0, opt);
+    s->init([](double x) {
+      Prim1 w;
+      w.rho = 1.0;
+      w.u = -std::tanh((x - 1.0) / 0.05);
+      w.p = 0.0;
+      return w;
+    });
+    Run r;
+    r.t1 = s->add_tracer(x1);
+    r.t2 = s->add_tracer(x2);
+    r.s = std::move(s);
+    runs.push_back(std::move(r));
+  }
+
+  bool crossed = false;
+  std::vector<double> mid_gap(alphas.size(), 0.0);
+  for (double t = 0.0; t <= t_end + 1e-9; t += 0.1) {
+    std::printf("%6.2f", t);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      runs[i].s->advance_to(t);
+      const double gap = runs[i].s->tracer_position(runs[i].t2) -
+                         runs[i].s->tracer_position(runs[i].t1);
+      if (gap <= 0.0) crossed = true;
+      if (std::abs(t - 0.3) < 1e-9) mid_gap[i] = gap;
+      std::printf("      %13.6f", gap);
+    }
+    std::printf("\n");
+  }
+
+  bench::print_header("Shape checks against the paper's Fig. 3");
+  std::printf("  trajectories never cross (gap > 0 throughout) : %s\n",
+              crossed ? "FAIL" : "ok");
+  bool monotone = true;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const double g_prev = runs[i - 1].s->tracer_position(runs[i - 1].t2) -
+                          runs[i - 1].s->tracer_position(runs[i - 1].t1);
+    const double g_cur = runs[i].s->tracer_position(runs[i].t2) -
+                         runs[i].s->tracer_position(runs[i].t1);
+    if (g_cur > g_prev) monotone = false;
+  }
+  std::printf("  smaller alpha -> faster convergence (t=%.1f)   : %s\n",
+              t_end, monotone ? "ok" : "FAIL");
+  std::printf("  alpha -> 0 approaches the colliding (vanishing-viscosity)\n"
+              "  solution: final gaps ");
+  for (const auto& r : runs)
+    std::printf("%.5f ", r.s->tracer_position(r.t2) -
+                             r.s->tracer_position(r.t1));
+  std::printf("\n");
+
+  // Density stays bounded through the would-be collision.
+  double rho_max = 0.0;
+  for (double v : runs.back().s->rho()) rho_max = std::max(rho_max, v);
+  std::printf("  density bounded through collision (alpha=%g): max rho = "
+              "%.1f (finite)\n",
+              alphas.back(), rho_max);
+  return crossed ? 1 : 0;
+}

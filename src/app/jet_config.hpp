@@ -1,0 +1,60 @@
+#pragma once
+/// \file jet_config.hpp
+/// Rocket-engine array configurations.  The paper's demonstration problems
+/// inject Mach-10 jets through circular inflow patches on the domain floor
+/// ("We model them through inflow boundary conditions", Fig. 1): a single
+/// engine (the performance workload, §6.2), a three-engine row (the Fig. 5
+/// precision study), and a 33-engine array inspired by the SpaceX Super
+/// Heavy (Fig. 1): 3 inner, 10 middle-ring, and 20 outer-ring engines.
+
+#include <array>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/state.hpp"
+#include "core/igr_solver3d.hpp"
+#include "fv/bc.hpp"
+
+namespace igr::app {
+
+struct JetConfig {
+  double gamma = 1.4;
+  double mach = 10.0;          ///< Jet exit Mach number.
+  double ambient_rho = 1.0;
+  double ambient_p = 1.0;
+  double jet_rho = 1.0;        ///< Exit density (pressure-matched exit).
+  double jet_p = 1.0;
+  double nozzle_radius = 0.05; ///< In domain units.
+  /// Engine centers in the (x, y) cross-section of the z-low face.
+  std::vector<std::array<double, 2>> centers;
+
+  /// Primitive state at the nozzle exit (jet directed along +z).
+  [[nodiscard]] common::Prim<double> jet_state() const;
+
+  /// Quiescent-ambient primitive state.
+  [[nodiscard]] common::Prim<double> ambient_state() const;
+
+  /// Boundary spec: inflow patches + reflective base plate on z-low,
+  /// outflow everywhere else.
+  [[nodiscard]] fv::BcSpec make_bc() const;
+
+  /// Initial condition: ambient everywhere, optionally seeded with smooth
+  /// deterministic "noise" of relative amplitude `noise` (the Fig. 5 runs
+  /// seed instabilities with smooth random noise).
+  [[nodiscard]] core::PrimFn initial_condition(double noise = 0.0) const;
+
+  /// Solver configuration tuned for high-Mach jet start-up.
+  [[nodiscard]] common::SolverConfig solver_config() const;
+};
+
+/// One engine centered in a unit cross-section.
+JetConfig single_engine();
+
+/// Three engines in a row across the cross-section (Fig. 5 configuration).
+JetConfig three_engine_row();
+
+/// 33-engine Super-Heavy-inspired array: 3 inner + 10 middle ring + 20
+/// outer ring (Fig. 1 configuration).
+JetConfig super_heavy_33();
+
+}  // namespace igr::app

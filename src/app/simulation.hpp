@@ -1,0 +1,78 @@
+#pragma once
+/// \file simulation.hpp
+/// High-level driver tying grid + boundary conditions + scheme choice +
+/// diagnostics + output together — the entry point example applications use.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "baseline/weno_hllc_solver3d.hpp"
+#include "core/igr_solver3d.hpp"
+#include "io/vtk_writer.hpp"
+
+namespace igr::app {
+
+enum class SchemeKind { kIgr, kBaselineWeno };
+
+/// Point diagnostics over the flow field.
+struct FlowDiagnostics {
+  double max_mach = 0.0;  ///< Over cells with positive pressure.
+  double min_density = 0.0;
+  double max_density = 0.0;
+  double min_pressure = 0.0;
+  double kinetic_energy = 0.0;  ///< Integrated 1/2 rho |u|^2.
+  /// Cells whose pressure is non-positive (start-up transients at an
+  /// impulsively started high-Mach inflow); excluded from max_mach.
+  std::size_t nonpositive_pressure_cells = 0;
+};
+
+template <class Policy>
+class Simulation {
+ public:
+  using S = typename Policy::storage_t;
+
+  struct Params {
+    mesh::Grid grid = mesh::Grid::cube(32);
+    common::SolverConfig cfg{};
+    fv::BcSpec bc{};
+    SchemeKind scheme = SchemeKind::kIgr;
+    fv::ReconScheme recon = fv::ReconScheme::kFifth;
+  };
+
+  explicit Simulation(Params params);
+
+  void init(const core::PrimFn& prim);
+
+  /// One CFL step; returns dt.
+  double step();
+  /// Run `n` steps; returns simulated time advanced.
+  double run_steps(int n);
+  /// Run until simulated time `t_end`.
+  void run_until(double t_end);
+
+  [[nodiscard]] double time() const;
+  [[nodiscard]] double grind_ns() const;
+  [[nodiscard]] std::size_t memory_bytes() const;
+  [[nodiscard]] FlowDiagnostics diagnostics() const;
+  [[nodiscard]] const common::StateField3<S>& state() const;
+  [[nodiscard]] const mesh::Grid& grid() const { return params_.grid; }
+  [[nodiscard]] SchemeKind scheme() const { return params_.scheme; }
+
+  /// Write density/pressure/velocity-magnitude to a legacy VTK file.
+  void write_vtk(const std::string& path) const;
+
+ private:
+  Params params_;
+  eos::IdealGas eos_;
+  std::unique_ptr<core::IgrSolver3D<Policy>> igr_;
+  std::unique_ptr<baseline::WenoHllcSolver3D<Policy>> weno_;
+};
+
+/// FP16/32 storage is only supported by the IGR scheme (the baseline is
+/// numerically unstable below FP64, §4.3); requesting it throws.
+extern template class Simulation<common::Fp64>;
+extern template class Simulation<common::Fp32>;
+extern template class Simulation<common::Fp16x32>;
+
+}  // namespace igr::app

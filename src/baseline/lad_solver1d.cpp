@@ -1,0 +1,243 @@
+#include "baseline/lad_solver1d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "fv/rk3.hpp"
+
+namespace igr::baseline {
+
+namespace {
+constexpr double kTiny = 1e-300;
+}
+
+LadSolver1D::LadSolver1D(int n, double x0, double x1, Options opt)
+    : n_(n), x0_(x0), dx_((x1 - x0) / n), opt_(opt) {
+  if (n < 8) throw std::invalid_argument("LadSolver1D: need at least 8 cells");
+  const std::size_t sz = static_cast<std::size_t>(n) + 2 * ng_;
+  for (auto* v : {&rho_, &mom_, &e_, &rho0_, &mom0_, &e0_, &rrho_, &rmom_,
+                  &re_, &mu_art_}) {
+    v->assign(sz, 0.0);
+  }
+}
+
+void LadSolver1D::init(const core::PrimFn1D& prim) {
+  const double gm1 = opt_.gamma - 1.0;
+  for (int i = 0; i < n_; ++i) {
+    const auto w = prim(x(i));
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    rho_[c] = w.rho;
+    mom_[c] = w.rho * w.u;
+    e_[c] = w.p / gm1 + 0.5 * w.rho * w.u * w.u;
+  }
+  time_ = 0.0;
+}
+
+void LadSolver1D::apply_bc(std::vector<double>& a) const {
+  for (int g = 1; g <= ng_; ++g) {
+    if (opt_.bc == core::Bc1D::kPeriodic) {
+      a[static_cast<std::size_t>(ng_ - g)] =
+          a[static_cast<std::size_t>(n_ + ng_ - g)];
+      a[static_cast<std::size_t>(n_ + ng_ + g - 1)] =
+          a[static_cast<std::size_t>(ng_ + g - 1)];
+    } else {
+      a[static_cast<std::size_t>(ng_ - g)] = a[ng_];
+      a[static_cast<std::size_t>(n_ + ng_ + g - 1)] =
+          a[static_cast<std::size_t>(n_ + ng_ - 1)];
+    }
+  }
+}
+
+void LadSolver1D::fill_ghosts() {
+  apply_bc(rho_);
+  apply_bc(mom_);
+  apply_bc(e_);
+}
+
+void LadSolver1D::update_art_visc() {
+  fill_ghosts();
+  // Artificial viscosity coefficient at cell centers (compression sensor).
+  // Density is clamped positive so a transient undershoot can never flip
+  // the sign of the diffusivity (anti-diffusion would blow up).
+  for (int i = -1; i <= n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const double rc = std::max(rho_[c], 1e-12);
+    const double up = mom_[c + 1] / std::max(rho_[c + 1], 1e-12);
+    const double um = mom_[c - 1] / std::max(rho_[c - 1], 1e-12);
+    const double ux = (up - um) / (2.0 * dx_);
+    mu_art_[c] =
+        (ux < 0.0) ? opt_.c_lad * rc * dx_ * dx_ * std::abs(ux) : 0.0;
+  }
+  apply_bc(mu_art_);
+}
+
+void LadSolver1D::compute_rhs() {
+  const double gm1 = opt_.gamma - 1.0;
+  const double inv_dx = 1.0 / dx_;
+  update_art_visc();
+
+  std::vector<std::array<double, 3>> flux(static_cast<std::size_t>(n_) + 1);
+  for (int f = 0; f <= n_; ++f) {
+    const int i = f - 1;
+    std::array<double, 6> sr{}, sm{}, se{};
+    for (int m = 0; m < 6; ++m) {
+      const std::size_t c = static_cast<std::size_t>(i - 2 + m + ng_);
+      sr[static_cast<std::size_t>(m)] = rho_[c];
+      sm[static_cast<std::size_t>(m)] = mom_[c];
+      se[static_cast<std::size_t>(m)] = e_[c];
+    }
+    auto fr = fv::reconstruct(opt_.recon, sr);
+    auto fm = fv::reconstruct(opt_.recon, sm);
+    auto fe = fv::reconstruct(opt_.recon, se);
+
+    // First-order fallback at non-physical reconstructed states (same
+    // safeguard as the IGR solvers).
+    auto nonphysical = [](double r, double m, double E) {
+      return !(r > 0.0) || !(E - 0.5 * m * m / r > 0.0);
+    };
+    if (nonphysical(fr.left, fm.left, fe.left) ||
+        nonphysical(fr.right, fm.right, fe.right)) {
+      fr = {sr[2], sr[3]};
+      fm = {sm[2], sm[3]};
+      fe = {se[2], se[3]};
+    }
+
+    auto side = [&](double r, double m, double E, std::array<double, 3>& out,
+                    double& smax) {
+      r = std::max(r, 1e-12);
+      const double u = m / r;
+      const double p = std::max(gm1 * (E - 0.5 * m * u), kTiny);
+      out = {m, m * u + p, (E + p) * u};
+      smax = std::abs(u) + std::sqrt(opt_.gamma * p / r);
+    };
+    std::array<double, 3> fl{}, frr{};
+    double sl = 0, srr = 0;
+    side(fr.left, fm.left, fe.left, fl, sl);
+    side(fr.right, fm.right, fe.right, frr, srr);
+    const double smax = std::max(sl, srr);
+
+    const std::array<double, 3> ul{fr.left, fm.left, fe.left};
+    const std::array<double, 3> ur{fr.right, fm.right, fe.right};
+    std::array<double, 3> fc{};
+    for (int c = 0; c < 3; ++c) {
+      fc[static_cast<std::size_t>(c)] =
+          0.5 * (fl[static_cast<std::size_t>(c)] +
+                 frr[static_cast<std::size_t>(c)]) -
+          0.5 * smax * (ur[static_cast<std::size_t>(c)] -
+                        ul[static_cast<std::size_t>(c)]);
+    }
+
+    // Artificial viscous flux at the face: -mu_art du/dx (momentum) and
+    // -mu_art u du/dx (energy), 2nd-order face gradient.
+    const std::size_t c0 = static_cast<std::size_t>(i + ng_);
+    const std::size_t c1 = c0 + 1;
+    const double mu_f = 0.5 * (mu_art_[c0] + mu_art_[c1]);
+    if (mu_f > 0.0) {
+      const double u0 = mom_[c0] / rho_[c0];
+      const double u1 = mom_[c1] / rho_[c1];
+      const double dudx = (u1 - u0) * inv_dx;
+      const double uf = 0.5 * (u0 + u1);
+      fc[1] -= mu_f * dudx;
+      fc[2] -= mu_f * uf * dudx;
+    }
+    flux[static_cast<std::size_t>(f)] = fc;
+  }
+
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const std::size_t f = static_cast<std::size_t>(i);
+    rrho_[c] = (flux[f][0] - flux[f + 1][0]) * inv_dx;
+    rmom_[c] = (flux[f][1] - flux[f + 1][1]) * inv_dx;
+    re_[c] = (flux[f][2] - flux[f + 1][2]) * inv_dx;
+  }
+}
+
+double LadSolver1D::max_wave_speed() const {
+  const double gm1 = opt_.gamma - 1.0;
+  double smax = kTiny;
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const double u = mom_[c] / rho_[c];
+    const double p = std::max(gm1 * (e_[c] - 0.5 * mom_[c] * u), kTiny);
+    smax = std::max(smax, std::abs(u) + std::sqrt(opt_.gamma * p / rho_[c]));
+  }
+  return smax;
+}
+
+double LadSolver1D::max_art_visc() const {
+  double m = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    m = std::max(m, mu_art_[c] / rho_[c]);
+  }
+  return m;
+}
+
+double LadSolver1D::step() {
+  // Advective limit plus the explicit-diffusion limit the artificial
+  // viscosity imposes — the CFL penalty §4.1 attributes to viscous methods.
+  // The sensor is re-evaluated on the *current* state (it can grow sharply
+  // within a step as the shock steepens) with a safety margin for the
+  // intra-step growth.
+  update_art_visc();
+  double dt = opt_.cfl * dx_ / max_wave_speed();
+  const double nu = max_art_visc();
+  if (nu > 0.0) dt = std::min(dt, 0.2 * dx_ * dx_ / (2.0 * nu));
+  step_fixed(dt);
+  return dt;
+}
+
+void LadSolver1D::step_fixed(double dt) {
+  rho0_ = rho_;
+  mom0_ = mom_;
+  e0_ = e_;
+  for (const auto& st : fv::kRk3Stages) {
+    compute_rhs();
+    for (int i = 0; i < n_; ++i) {
+      const std::size_t c = static_cast<std::size_t>(i + ng_);
+      rho_[c] = st.a * rho0_[c] + st.b * (rho_[c] + dt * rrho_[c]);
+      mom_[c] = st.a * mom0_[c] + st.b * (mom_[c] + dt * rmom_[c]);
+      e_[c] = st.a * e0_[c] + st.b * (e_[c] + dt * re_[c]);
+    }
+  }
+  time_ += dt;
+}
+
+void LadSolver1D::advance_to(double t_end) {
+  while (time_ < t_end - 1e-14) {
+    update_art_visc();
+    double dt = opt_.cfl * dx_ / max_wave_speed();
+    const double nu = max_art_visc();
+    if (nu > 0.0) dt = std::min(dt, 0.2 * dx_ * dx_ / (2.0 * nu));
+    dt = std::min(dt, t_end - time_);
+    step_fixed(dt);
+  }
+}
+
+std::vector<double> LadSolver1D::rho() const {
+  return {rho_.begin() + ng_, rho_.begin() + ng_ + n_};
+}
+
+std::vector<double> LadSolver1D::velocity() const {
+  std::vector<double> v(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    v[static_cast<std::size_t>(i)] = mom_[c] / rho_[c];
+  }
+  return v;
+}
+
+std::vector<double> LadSolver1D::pressure() const {
+  const double gm1 = opt_.gamma - 1.0;
+  std::vector<double> v(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const double u = mom_[c] / rho_[c];
+    v[static_cast<std::size_t>(i)] = gm1 * (e_[c] - 0.5 * mom_[c] * u);
+  }
+  return v;
+}
+
+}  // namespace igr::baseline

@@ -1,0 +1,40 @@
+#pragma once
+/// \file config.hpp
+/// Physical and numerical parameters shared by all solvers.
+
+#include <stdexcept>
+#include <string>
+
+namespace igr::common {
+
+/// Fluid and scheme parameters.  Defaults model the paper's air-like working
+/// gas; viscosities default to zero (inviscid core problem), the jet studies
+/// enable them.
+struct SolverConfig {
+  // --- Fluid (ideal gas law, eq. 4) ---
+  double gamma = 1.4;    ///< Ratio of specific heats.
+  double mu = 0.0;       ///< Shear viscosity (eq. 5).
+  double zeta = 0.0;     ///< Bulk viscosity (eq. 5).
+
+  // --- IGR (eq. 9) ---
+  /// alpha = alpha_factor * dx^2 (the paper: alpha ∝ Δx²; width of the
+  /// smoothly expanded shock in cells ~ sqrt(alpha_factor)).
+  double alpha_factor = 5.0;
+  int sigma_sweeps = 5;      ///< ≤5 Jacobi/Gauss–Seidel sweeps per flux (§5.2).
+  bool sigma_gauss_seidel = true;  ///< Gauss–Seidel (true) or Jacobi (false).
+
+  // --- Time integration ---
+  double cfl = 0.4;          ///< Advective CFL number for SSP-RK3.
+
+  // --- Robustness floors (0 disables) ---
+  /// Optional positivity floors applied when converting reconstructed face
+  /// states to primitives.  The production Mach-10 runs use small floors to
+  /// guard the inflow start-up transient.
+  double density_floor = 0.0;
+  double pressure_floor = 0.0;
+
+  /// Validate parameter ranges; throws std::invalid_argument on error.
+  void validate() const;
+};
+
+}  // namespace igr::common

@@ -1,0 +1,107 @@
+#pragma once
+/// \file field3.hpp
+/// Ghost-cell-padded 3-D scalar field and the 5-component conservative state
+/// field.  Storage is structure-of-arrays, contiguous per component, matching
+/// the layout the paper's fused kernels assume.
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace igr::common {
+
+/// Number of conserved variables for single-species flow:
+/// density, three momenta, total energy — the 5 "degrees of freedom per grid
+/// point" of the paper's 1-quadrillion-DoF accounting.
+inline constexpr int kNumVars = 5;
+
+/// Conserved-variable indices.
+enum Var : int { kRho = 0, kMomX = 1, kMomY = 2, kMomZ = 3, kEnergy = 4 };
+
+/// A scalar field on an (nx × ny × nz) block with `ng` ghost layers on every
+/// side.  Interior indices run [0, n); ghosts extend to [-ng, n+ng).
+template <class T>
+class Field3 {
+ public:
+  Field3() = default;
+  Field3(int nx, int ny, int nz, int ng)
+      : nx_(nx), ny_(ny), nz_(nz), ng_(ng),
+        sx_(nx + 2 * ng), sy_(ny + 2 * ng), sz_(nz + 2 * ng),
+        data_(static_cast<std::size_t>(sx_) * sy_ * sz_, T{}) {}
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] int ng() const { return ng_; }
+
+  /// Flat index of (i,j,k); i is the fastest-varying (unit-stride) axis.
+  [[nodiscard]] std::size_t idx(int i, int j, int k) const {
+    assert(i >= -ng_ && i < nx_ + ng_);
+    assert(j >= -ng_ && j < ny_ + ng_);
+    assert(k >= -ng_ && k < nz_ + ng_);
+    return static_cast<std::size_t>(k + ng_) * sy_ * sx_ +
+           static_cast<std::size_t>(j + ng_) * sx_ +
+           static_cast<std::size_t>(i + ng_);
+  }
+
+  T& operator()(int i, int j, int k) { return data_[idx(i, j, k)]; }
+  const T& operator()(int i, int j, int k) const { return data_[idx(i, j, k)]; }
+
+  /// Element stride along an axis (0 = x, unit stride; 1 = y; 2 = z).
+  /// Kernels walk lines through pointer arithmetic with these strides.
+  [[nodiscard]] std::ptrdiff_t stride(int axis) const {
+    switch (axis) {
+      case 0: return 1;
+      case 1: return sx_;
+      default: return static_cast<std::ptrdiff_t>(sx_) * sy_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size_with_ghosts() const { return data_.size(); }
+  [[nodiscard]] std::size_t interior_size() const {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0, ng_ = 0;
+  int sx_ = 0, sy_ = 0, sz_ = 0;
+  std::vector<T> data_;
+};
+
+/// The conservative state: kNumVars scalar fields sharing one block shape.
+template <class T>
+class StateField3 {
+ public:
+  StateField3() = default;
+  StateField3(int nx, int ny, int nz, int ng) {
+    for (auto& f : comp_) f = Field3<T>(nx, ny, nz, ng);
+  }
+
+  Field3<T>& operator[](int c) { return comp_[static_cast<std::size_t>(c)]; }
+  const Field3<T>& operator[](int c) const {
+    return comp_[static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] int nx() const { return comp_[0].nx(); }
+  [[nodiscard]] int ny() const { return comp_[0].ny(); }
+  [[nodiscard]] int nz() const { return comp_[0].nz(); }
+  [[nodiscard]] int ng() const { return comp_[0].ng(); }
+
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t b = 0;
+    for (const auto& f : comp_) b += f.bytes();
+    return b;
+  }
+
+ private:
+  std::array<Field3<T>, kNumVars> comp_;
+};
+
+}  // namespace igr::common

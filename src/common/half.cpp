@@ -1,0 +1,73 @@
+#include "common/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace igr::common {
+
+namespace {
+std::uint32_t f32_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float bits_f32(std::uint32_t u) { return std::bit_cast<float>(u); }
+}  // namespace
+
+std::uint16_t half::from_float(float f) {
+  const std::uint32_t x = f32_bits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {  // inf or NaN
+    // Preserve NaN-ness (quiet); map inf -> inf.
+    const std::uint32_t mant = (abs > 0x7f800000u) ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
+  }
+  if (abs >= 0x477ff000u) {  // rounds to >= 2^16: overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {  // subnormal half (|f| < 2^-14)
+    if (abs < 0x33000000u) {  // below half of smallest subnormal -> 0
+      return static_cast<std::uint16_t>(sign);
+    }
+    // Quantize to multiples of 2^-24 with round-to-nearest-even.  The
+    // stored value is m * 2^(e-150); shift = 126 - e in [14, 24].
+    const int shift = 126 - static_cast<int>(abs >> 23);
+    const std::uint64_t m = (abs & 0x007fffffu) | 0x00800000u;
+    const std::uint64_t base = m >> shift;
+    const std::uint64_t rem = m & ((std::uint64_t{1} << shift) - 1u);
+    const std::uint64_t half_pt = std::uint64_t{1} << (shift - 1);
+    const std::uint64_t rounded =
+        base + ((rem > half_pt || (rem == half_pt && (base & 1u))) ? 1u : 0u);
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal range: rebias exponent 127 -> 15, round mantissa 23 -> 10 bits.
+  const std::uint32_t rebiased = abs - 0x38000000u;
+  const std::uint32_t base = rebiased >> 13;
+  const std::uint32_t round_bit = (rebiased >> 12) & 1u;
+  const std::uint32_t sticky = ((rebiased & 0x0fffu) != 0u) ? 1u : 0u;
+  const std::uint32_t rounded = base + (round_bit & (sticky | (base & 1u)));
+  return static_cast<std::uint16_t>(sign | rounded);
+}
+
+float half::to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x03ffu;
+
+  if (exp == 0u) {
+    if (mant == 0u) return bits_f32(sign);  // +/- 0
+    // Subnormal: normalize.
+    int e = -1;
+    std::uint32_t m = mant;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x0400u) == 0u);
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e) << 23;
+    return bits_f32(sign | exp32 | ((m & 0x03ffu) << 13));
+  }
+  if (exp == 0x1fu) {  // inf / NaN
+    return bits_f32(sign | 0x7f800000u | (mant << 13));
+  }
+  return bits_f32(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+}  // namespace igr::common

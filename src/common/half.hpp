@@ -1,0 +1,62 @@
+#pragma once
+/// \file half.hpp
+/// Software IEEE 754 binary16 ("half") storage type.
+///
+/// The paper stores state in FP16 while computing in FP32 (§5.6).  The target
+/// machines have native half support; on commodity CPUs we reproduce the
+/// *storage semantics* exactly (round-to-nearest-even conversion, subnormal
+/// handling, +/-inf saturation) in software.  `half` is a storage-only type:
+/// arithmetic promotes to float, as hardware mixed-precision kernels do.
+
+#include <cstdint>
+
+namespace igr::common {
+
+/// IEEE 754 binary16 value.  Conversions round to nearest-even and handle
+/// subnormals, infinities, and NaN.  Layout-compatible with hardware __fp16.
+class half {
+ public:
+  half() = default;
+
+  /// Round-to-nearest-even conversion from binary32.
+  explicit half(float f) : bits_(from_float(f)) {}
+  explicit half(double d) : bits_(from_float(static_cast<float>(d))) {}
+
+  /// Exact widening conversion to binary32 (every half is representable).
+  operator float() const { return to_float(bits_); }
+
+  /// Raw bit pattern (sign[15] | exponent[14:10] | mantissa[9:0]).
+  [[nodiscard]] std::uint16_t bits() const { return bits_; }
+  static half from_bits(std::uint16_t b) {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+
+  half& operator+=(float rhs) { return *this = half(float(*this) + rhs); }
+  half& operator-=(float rhs) { return *this = half(float(*this) - rhs); }
+  half& operator*=(float rhs) { return *this = half(float(*this) * rhs); }
+  half& operator/=(float rhs) { return *this = half(float(*this) / rhs); }
+
+  friend bool operator==(half a, half b) { return float(a) == float(b); }
+  friend bool operator!=(half a, half b) { return float(a) != float(b); }
+  friend bool operator<(half a, half b) { return float(a) < float(b); }
+  friend bool operator>(half a, half b) { return float(a) > float(b); }
+
+  static std::uint16_t from_float(float f);
+  static float to_float(std::uint16_t h);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half) == 2, "half must be 2 bytes");
+
+/// Largest finite binary16 value (65504).
+inline constexpr float kHalfMax = 65504.0f;
+/// Smallest positive normal binary16 value (2^-14).
+inline constexpr float kHalfMinNormal = 6.103515625e-05f;
+/// Unit roundoff of binary16 storage (2^-11).
+inline constexpr float kHalfEps = 4.8828125e-04f;
+
+}  // namespace igr::common

@@ -1,0 +1,56 @@
+#pragma once
+/// \file math.hpp
+/// Small math helpers shared across kernels.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace igr::common {
+
+template <class T>
+constexpr T sq(T x) {
+  return x * x;
+}
+
+template <class T>
+constexpr T cube(T x) {
+  return x * x * x;
+}
+
+/// Discrete L2 norm of a sampled function: sqrt(sum(v_i^2) * h).
+template <class T>
+T l2_norm(const std::vector<T>& v, T h) {
+  T s = 0;
+  for (T x : v) s += x * x;
+  return std::sqrt(s * h);
+}
+
+/// Discrete L2 distance between two equally sampled vectors.
+template <class T>
+T l2_error(const std::vector<T>& a, const std::vector<T>& b, T h) {
+  T s = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) s += sq(a[i] - b[i]);
+  return std::sqrt(s * h);
+}
+
+/// Max-abs (L-infinity) distance.
+template <class T>
+T linf_error(const std::vector<T>& a, const std::vector<T>& b) {
+  T m = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+/// Total variation of a sampled profile: sum |v_{i+1} - v_i|.
+template <class T>
+T total_variation(const std::vector<T>& v) {
+  T tv = 0;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) tv += std::abs(v[i + 1] - v[i]);
+  return tv;
+}
+
+}  // namespace igr::common

@@ -1,0 +1,48 @@
+#pragma once
+/// \file precision.hpp
+/// Precision policies: the paper's FP64, FP32, and mixed FP16-storage/FP32-
+/// compute modes (§5.6).  Solvers are templated on a policy; `storage_t` is
+/// what lives in the big state arrays, `compute_t` is what flux kernels use.
+
+#include <string_view>
+
+#include "common/half.hpp"
+
+namespace igr::common {
+
+/// Full double precision (the CFD status quo the paper compares against).
+struct Fp64 {
+  using storage_t = double;
+  using compute_t = double;
+  static constexpr std::string_view name = "FP64";
+};
+
+/// Single-precision storage and compute.
+struct Fp32 {
+  using storage_t = float;
+  using compute_t = float;
+  static constexpr std::string_view name = "FP32";
+};
+
+/// Mixed mode: binary16 storage, binary32 compute (§5.6).  Viable for IGR
+/// because its numerics are well-conditioned; WENO/HLLC baselines are not
+/// stable below FP64 (§4.3), which the test suite demonstrates.
+struct Fp16x32 {
+  using storage_t = half;
+  using compute_t = float;
+  static constexpr std::string_view name = "FP16/32";
+};
+
+/// Load a stored value at compute precision.
+template <class Policy>
+typename Policy::compute_t load(typename Policy::storage_t v) {
+  return static_cast<typename Policy::compute_t>(v);
+}
+
+/// Round a computed value into storage precision.
+template <class Policy>
+typename Policy::storage_t store(typename Policy::compute_t v) {
+  return static_cast<typename Policy::storage_t>(v);
+}
+
+}  // namespace igr::common

@@ -1,0 +1,52 @@
+#pragma once
+/// \file state.hpp
+/// Small per-point state value types used inside flux kernels.
+
+#include <array>
+#include <cmath>
+
+#include "common/field3.hpp"
+
+namespace igr::common {
+
+/// Conservative state at one point: (rho, rho*u, rho*v, rho*w, E).
+template <class T>
+struct Cons {
+  T rho{}, mx{}, my{}, mz{}, e{};
+
+  T& operator[](int c) {
+    switch (c) {
+      case kRho: return rho;
+      case kMomX: return mx;
+      case kMomY: return my;
+      case kMomZ: return mz;
+      default: return e;
+    }
+  }
+  const T& operator[](int c) const {
+    return const_cast<Cons&>(*this)[c];
+  }
+
+  friend Cons operator+(Cons a, const Cons& b) {
+    a.rho += b.rho; a.mx += b.mx; a.my += b.my; a.mz += b.mz; a.e += b.e;
+    return a;
+  }
+  friend Cons operator-(Cons a, const Cons& b) {
+    a.rho -= b.rho; a.mx -= b.mx; a.my -= b.my; a.mz -= b.mz; a.e -= b.e;
+    return a;
+  }
+  friend Cons operator*(T s, Cons a) {
+    a.rho *= s; a.mx *= s; a.my *= s; a.mz *= s; a.e *= s;
+    return a;
+  }
+};
+
+/// Primitive state at one point: (rho, u, v, w, p).
+template <class T>
+struct Prim {
+  T rho{}, u{}, v{}, w{}, p{};
+
+  [[nodiscard]] T speed2() const { return u * u + v * v + w * w; }
+};
+
+}  // namespace igr::common

@@ -1,0 +1,18 @@
+#include "common/timer.hpp"
+
+namespace igr::common {
+
+void WallTimer::stop() {
+  if (!running_) return;
+  const auto t1 = clock::now();
+  acc_ += std::chrono::duration<double>(t1 - t0_).count();
+  running_ = false;
+}
+
+double GrindTimer::grind_ns() const {
+  if (cells_ == 0 || steps_ == 0) return 0.0;
+  return timer_.seconds() * 1.0e9 /
+         (static_cast<double>(cells_) * static_cast<double>(steps_));
+}
+
+}  // namespace igr::common

@@ -1,0 +1,51 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing and grind-time accounting.  The paper reports "grind
+/// time" — nanoseconds per grid cell per time step (§7.1) — as its primary
+/// single-device metric; GrindTimer accumulates exactly that.
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace igr::common {
+
+/// Simple monotonic stopwatch.
+class WallTimer {
+ public:
+  void start() { t0_ = clock::now(); running_ = true; }
+  /// Stop and add the elapsed interval to the accumulated total.
+  void stop();
+  /// Accumulated seconds across all start/stop intervals.
+  [[nodiscard]] double seconds() const { return acc_; }
+  void reset() { acc_ = 0.0; running_ = false; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_{};
+  double acc_ = 0.0;
+  bool running_ = false;
+};
+
+/// Accumulates time-step work and reports ns per cell per step.
+class GrindTimer {
+ public:
+  explicit GrindTimer(std::size_t cells_per_step = 0) : cells_(cells_per_step) {}
+
+  void set_cells_per_step(std::size_t c) { cells_ = c; }
+  void begin_step() { timer_.start(); }
+  void end_step() { timer_.stop(); ++steps_; }
+
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+  [[nodiscard]] double total_seconds() const { return timer_.seconds(); }
+
+  /// Nanoseconds per grid cell per time step (the paper's Table 3 metric).
+  [[nodiscard]] double grind_ns() const;
+
+ private:
+  WallTimer timer_;
+  std::size_t cells_ = 0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace igr::common

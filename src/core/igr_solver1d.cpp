@@ -1,0 +1,308 @@
+#include "core/igr_solver1d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+#include "fv/rk3.hpp"
+
+namespace igr::core {
+
+namespace {
+constexpr double kTiny = 1e-300;
+}
+
+IgrSolver1D::IgrSolver1D(int n, double x0, double x1, Options opt)
+    : n_(n), x0_(x0), dx_((x1 - x0) / n), opt_(opt) {
+  if (n < 8) throw std::invalid_argument("IgrSolver1D: need at least 8 cells");
+  if (x1 <= x0) throw std::invalid_argument("IgrSolver1D: bad extent");
+  alpha_ = (opt.alpha >= 0.0) ? opt.alpha : opt.alpha_factor * dx_ * dx_;
+  const std::size_t sz = static_cast<std::size_t>(n) + 2 * ng_;
+  for (auto* v : {&rho_, &mom_, &e_, &rho0_, &mom0_, &e0_, &rrho_, &rmom_,
+                  &re_, &sigma_, &sigma_src_, &sigma_tmp_}) {
+    v->assign(sz, 0.0);
+  }
+}
+
+void IgrSolver1D::init(const PrimFn1D& prim) {
+  const double gm1 = opt_.gamma - 1.0;
+  for (int i = 0; i < n_; ++i) {
+    const auto w = prim(x(i));
+    const std::size_t idx = static_cast<std::size_t>(i + ng_);
+    rho_[idx] = w.rho;
+    mom_[idx] = w.rho * w.u;
+    e_[idx] = (opt_.pressureless ? 0.0 : w.p / gm1) + 0.5 * w.rho * w.u * w.u;
+  }
+  std::fill(sigma_.begin(), sigma_.end(), 0.0);
+  time_ = 0.0;
+}
+
+void IgrSolver1D::apply_bc(std::vector<double>& a, bool negate_odd) const {
+  for (int g = 1; g <= ng_; ++g) {
+    if (opt_.bc == Bc1D::kPeriodic) {
+      a[static_cast<std::size_t>(ng_ - g)] =
+          a[static_cast<std::size_t>(n_ + ng_ - g)];
+      a[static_cast<std::size_t>(n_ + ng_ + g - 1)] =
+          a[static_cast<std::size_t>(ng_ + g - 1)];
+    } else {  // outflow: zero-gradient
+      a[static_cast<std::size_t>(ng_ - g)] = a[ng_];
+      a[static_cast<std::size_t>(n_ + ng_ + g - 1)] =
+          a[static_cast<std::size_t>(n_ + ng_ - 1)];
+    }
+  }
+  (void)negate_odd;
+}
+
+void IgrSolver1D::fill_ghosts() {
+  apply_bc(rho_, false);
+  apply_bc(mom_, false);
+  apply_bc(e_, false);
+}
+
+void IgrSolver1D::solve_sigma() {
+  if (alpha_ <= 0.0 || opt_.sigma_sweeps == 0) {
+    std::fill(sigma_.begin(), sigma_.end(), 0.0);
+    return;
+  }
+  const double inv_dx2 = 1.0 / (dx_ * dx_);
+  // Source: alpha * (tr((grad u)^2) + tr^2(grad u)) = 2 alpha u_x^2 in 1-D.
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const double up = mom_[c + 1] / rho_[c + 1];
+    const double um = mom_[c - 1] / rho_[c - 1];
+    const double ux = (up - um) / (2.0 * dx_);
+    sigma_src_[c] = 2.0 * alpha_ * ux * ux;
+  }
+
+  // Face densities are arithmetic means.  (The 3-D solver uses harmonic
+  // means for a division-free hot loop; near-vacuum pressureless states are
+  // gentler under arithmetic means, and 1-D cost is irrelevant.)
+  for (int s = 0; s < opt_.sigma_sweeps; ++s) {
+    apply_bc(sigma_, false);
+    auto relax = [&](int i) {
+      const std::size_t c = static_cast<std::size_t>(i + ng_);
+      const double rp = 0.5 * (rho_[c] + rho_[c + 1]);
+      const double rm = 0.5 * (rho_[c] + rho_[c - 1]);
+      const double off =
+          inv_dx2 * (sigma_[c + 1] / rp + sigma_[c - 1] / rm);
+      const double diag =
+          1.0 / rho_[c] + alpha_ * inv_dx2 * (1.0 / rp + 1.0 / rm);
+      return (sigma_src_[c] + alpha_ * off) / diag;
+    };
+    if (opt_.gauss_seidel) {
+      for (int i = 0; i < n_; ++i)
+        sigma_[static_cast<std::size_t>(i + ng_)] = relax(i);
+    } else {
+      for (int i = 0; i < n_; ++i)
+        sigma_tmp_[static_cast<std::size_t>(i + ng_)] = relax(i);
+      std::swap(sigma_, sigma_tmp_);
+    }
+  }
+  apply_bc(sigma_, false);
+}
+
+void IgrSolver1D::compute_rhs() {
+  fill_ghosts();
+  solve_sigma();
+
+  const double gm1 = opt_.gamma - 1.0;
+  const double inv_dx = 1.0 / dx_;
+
+  // Face fluxes at i-1/2 for i in [0, n]; flux[f] separates cell f-1 and f.
+  std::vector<std::array<double, 3>> flux(static_cast<std::size_t>(n_) + 1);
+
+  for (int f = 0; f <= n_; ++f) {
+    const int i = f - 1;  // face between cells i and i+1
+    std::array<double, 6> sr{}, sm{}, se{}, ssig{};
+    for (int m = 0; m < 6; ++m) {
+      const std::size_t c = static_cast<std::size_t>(i - 2 + m + ng_);
+      sr[static_cast<std::size_t>(m)] = rho_[c];
+      sm[static_cast<std::size_t>(m)] = mom_[c];
+      se[static_cast<std::size_t>(m)] = e_[c];
+      ssig[static_cast<std::size_t>(m)] = sigma_[c];
+    }
+    auto fr = fv::reconstruct(opt_.recon, sr);
+    auto fm = fv::reconstruct(opt_.recon, sm);
+    auto fe = fv::reconstruct(opt_.recon, se);
+    auto fs = fv::reconstruct(opt_.recon, ssig);
+
+    // First-order fallback at non-physical reconstructed states (start-up
+    // discontinuities before Sigma develops) — same safeguard as the 3-D
+    // solver; conservation is unaffected.
+    auto nonphysical = [&](double r, double m, double E) {
+      if (!(r > 0.0)) return true;
+      return !opt_.pressureless && !(E - 0.5 * m * m / r > 0.0);
+    };
+    if (nonphysical(fr.left, fm.left, fe.left) ||
+        nonphysical(fr.right, fm.right, fe.right)) {
+      fr = {sr[2], sr[3]};
+      fm = {sm[2], sm[3]};
+      fe = {se[2], se[3]};
+      fs = {ssig[2], ssig[3]};
+    }
+
+    auto side = [&](double r, double m, double E, double sig,
+                    std::array<double, 3>& out, double& smax) {
+      r = std::max(r, 1e-12);
+      const double u = m / r;
+      const double p =
+          opt_.pressureless ? 0.0 : std::max(gm1 * (E - 0.5 * m * u), 0.0);
+      const double pt = p + sig;
+      out = {m, m * u + pt, (E + pt) * u};
+      const double c2 = opt_.pressureless
+                            ? std::max(sig, 0.0) / r
+                            : opt_.gamma * std::max(pt, kTiny) / r;
+      smax = std::abs(u) + std::sqrt(std::max(c2, 0.0));
+    };
+
+    std::array<double, 3> fl{}, frr{};
+    double sl = 0, srr = 0;
+    side(fr.left, fm.left, fe.left, fs.left, fl, sl);
+    side(fr.right, fm.right, fe.right, fs.right, frr, srr);
+    const double smax = std::max(sl, srr);
+
+    const std::array<double, 3> ul{fr.left, fm.left, fe.left};
+    const std::array<double, 3> ur{fr.right, fm.right, fe.right};
+    for (int c = 0; c < 3; ++c) {
+      flux[static_cast<std::size_t>(f)][static_cast<std::size_t>(c)] =
+          0.5 * (fl[static_cast<std::size_t>(c)] +
+                 frr[static_cast<std::size_t>(c)]) -
+          0.5 * smax * (ur[static_cast<std::size_t>(c)] -
+                        ul[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const std::size_t f = static_cast<std::size_t>(i);
+    rrho_[c] = (flux[f][0] - flux[f + 1][0]) * inv_dx;
+    rmom_[c] = (flux[f][1] - flux[f + 1][1]) * inv_dx;
+    re_[c] = (flux[f][2] - flux[f + 1][2]) * inv_dx;
+  }
+}
+
+double IgrSolver1D::max_wave_speed() const {
+  // The entropic pressure augments the effective acoustic speed (eqs. 7-8:
+  // p -> p + Sigma), so the CFL bound must include it — material at large
+  // alpha, negligible at alpha ~ dx^2 with O(1) gradients.
+  const double gm1 = opt_.gamma - 1.0;
+  double smax = kTiny;
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const double u = mom_[c] / rho_[c];
+    const double sig = std::max(sigma_[c], 0.0);
+    double cs = 0.0;
+    if (!opt_.pressureless) {
+      const double p = std::max(gm1 * (e_[c] - 0.5 * mom_[c] * u), kTiny);
+      cs = std::sqrt(opt_.gamma * (p + sig) / rho_[c]);
+    } else {
+      cs = std::sqrt(sig / rho_[c]);
+    }
+    smax = std::max(smax, std::abs(u) + cs);
+  }
+  return smax;
+}
+
+double IgrSolver1D::step() {
+  const double dt = opt_.cfl * dx_ / max_wave_speed();
+  step_fixed(dt);
+  return dt;
+}
+
+void IgrSolver1D::step_fixed(double dt) {
+  rho0_ = rho_;
+  mom0_ = mom_;
+  e0_ = e_;
+  // Tracer velocities are advanced with the pre-step field (explicit Euler in
+  // the flow map; dt is CFL-small so this resolves the Fig. 3 trajectories).
+  std::vector<double> tracer_vel(tracers_.size());
+  for (std::size_t t = 0; t < tracers_.size(); ++t)
+    tracer_vel[t] = velocity_at(tracers_[t]);
+
+  for (const auto& st : fv::kRk3Stages) {
+    compute_rhs();
+    for (int i = 0; i < n_; ++i) {
+      const std::size_t c = static_cast<std::size_t>(i + ng_);
+      rho_[c] = st.a * rho0_[c] + st.b * (rho_[c] + dt * rrho_[c]);
+      mom_[c] = st.a * mom0_[c] + st.b * (mom_[c] + dt * rmom_[c]);
+      e_[c] = st.a * e0_[c] + st.b * (e_[c] + dt * re_[c]);
+    }
+  }
+
+  // Heun correction with the post-step field.
+  for (std::size_t t = 0; t < tracers_.size(); ++t) {
+    const double v1 = velocity_at(tracers_[t] + dt * tracer_vel[t]);
+    tracers_[t] += 0.5 * dt * (tracer_vel[t] + v1);
+  }
+  time_ += dt;
+}
+
+void IgrSolver1D::advance_to(double t_end) {
+  while (time_ < t_end - 1e-14) {
+    double dt = opt_.cfl * dx_ / max_wave_speed();
+    dt = std::min(dt, t_end - time_);
+    step_fixed(dt);
+  }
+}
+
+std::vector<double> IgrSolver1D::rho() const {
+  return {rho_.begin() + ng_, rho_.begin() + ng_ + n_};
+}
+
+std::vector<double> IgrSolver1D::velocity() const {
+  std::vector<double> v(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    v[static_cast<std::size_t>(i)] = mom_[c] / rho_[c];
+  }
+  return v;
+}
+
+std::vector<double> IgrSolver1D::pressure() const {
+  const double gm1 = opt_.gamma - 1.0;
+  std::vector<double> v(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    const double u = mom_[c] / rho_[c];
+    v[static_cast<std::size_t>(i)] =
+        opt_.pressureless ? 0.0 : gm1 * (e_[c] - 0.5 * mom_[c] * u);
+  }
+  return v;
+}
+
+std::vector<double> IgrSolver1D::sigma_profile() const {
+  return {sigma_.begin() + ng_, sigma_.begin() + ng_ + n_};
+}
+
+std::array<double, 3> IgrSolver1D::conserved_totals() const {
+  std::array<double, 3> tot{0.0, 0.0, 0.0};
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i + ng_);
+    tot[0] += rho_[c] * dx_;
+    tot[1] += mom_[c] * dx_;
+    tot[2] += e_[c] * dx_;
+  }
+  return tot;
+}
+
+int IgrSolver1D::add_tracer(double xp) {
+  tracers_.push_back(xp);
+  return static_cast<int>(tracers_.size()) - 1;
+}
+
+double IgrSolver1D::velocity_at(double xp) const {
+  // Linear interpolation between cell centers; clamp to the domain.
+  if (!std::isfinite(xp)) return 0.0;
+  const double s = (xp - x0_) / dx_ - 0.5;
+  const double sc = std::clamp(s, 0.0, static_cast<double>(n_ - 1));
+  const int i0 = std::min(static_cast<int>(sc), n_ - 2);
+  const double w = sc - i0;
+  const std::size_t c0 = static_cast<std::size_t>(i0 + ng_);
+  const double u0 = mom_[c0] / rho_[c0];
+  const double u1 = mom_[c0 + 1] / rho_[c0 + 1];
+  return (1.0 - w) * u0 + w * u1;
+}
+
+}  // namespace igr::core

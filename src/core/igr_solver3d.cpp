@@ -1,0 +1,418 @@
+#include "core/igr_solver3d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/math.hpp"
+#include "common/state.hpp"
+#include "fv/cfl.hpp"
+#include "fv/riemann.hpp"
+#include "fv/rk3.hpp"
+#include "fv/viscous.hpp"
+
+namespace igr::core {
+
+namespace {
+
+using common::kEnergy;
+using common::kMomX;
+using common::kMomY;
+using common::kMomZ;
+using common::kNumVars;
+using common::kRho;
+
+bool all_periodic(const fv::BcSpec& bc) {
+  for (auto k : bc.kind) {
+    if (k != fv::BcKind::kPeriodic) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+template <class Policy>
+IgrSolver3D<Policy>::IgrSolver3D(const mesh::Grid& grid,
+                                 const common::SolverConfig& cfg,
+                                 fv::BcSpec bc, fv::ReconScheme recon)
+    : grid_(grid),
+      cfg_(cfg),
+      bc_(std::move(bc)),
+      recon_(recon),
+      eos_(cfg.gamma),
+      alpha_(cfg.alpha_factor * grid.min_dx() * grid.min_dx()),
+      q_(grid.nx(), grid.ny(), grid.nz(), 3),
+      qstage_(grid.nx(), grid.ny(), grid.nz(), 3),
+      rhs_(grid.nx(), grid.ny(), grid.nz(), 3),
+      sigma_(grid.nx(), grid.ny(), grid.nz(), 3),
+      sigma_src_(grid.nx(), grid.ny(), grid.nz(), 3),
+      inv_rho_(grid.nx(), grid.ny(), grid.nz(), 3) {
+  cfg_.validate();
+  sigma_bc_ = all_periodic(bc_) ? SigmaBc::kPeriodic : SigmaBc::kNeumann;
+  if (!cfg_.sigma_gauss_seidel) {
+    sigma_scratch_ =
+        common::Field3<S>(grid.nx(), grid.ny(), grid.nz(), 3);
+  }
+  grind_.set_cells_per_step(grid.cells());
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::init(const PrimFn& prim) {
+  const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const auto w = prim(grid_.x(i), grid_.y(j), grid_.z(k));
+        const auto qc = eos_.to_cons(w);
+        for (int c = 0; c < kNumVars; ++c)
+          q_[c](i, j, k) = static_cast<S>(qc[c]);
+      }
+    }
+  }
+  sigma_.fill(S{});
+  time_ = 0.0;
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_sigma_source(common::StateField3<S>& q) {
+  const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  const int ng = q.ng();
+  const C inv2dx = C(0.5) / static_cast<C>(grid_.dx());
+  const C inv2dy = C(0.5) / static_cast<C>(grid_.dy());
+  const C inv2dz = C(0.5) / static_cast<C>(grid_.dz());
+  const C al = static_cast<C>(alpha_);
+
+  // Reciprocal density over the full ghosted extent: one division per
+  // point, consumed multiplication-only by the source and the sweeps.
+#pragma omp parallel for
+  for (int k = -ng; k < nz + ng; ++k) {
+    for (int j = -ng; j < ny + ng; ++j) {
+      const S* pr = &q[kRho](-ng, j, k);
+      S* pir = &inv_rho_(-ng, j, k);
+      for (int i = 0; i < nx + 2 * ng; ++i) {
+        pir[i] = static_cast<S>(C(1) / static_cast<C>(pr[i]));
+      }
+    }
+  }
+
+  const std::ptrdiff_t sy = inv_rho_.stride(1);
+  const std::ptrdiff_t sz = inv_rho_.stride(2);
+
+#pragma omp parallel for
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      const S* pir = &inv_rho_(0, j, k);
+      const S* pm[3] = {&q[kMomX](0, j, k), &q[kMomY](0, j, k),
+                        &q[kMomZ](0, j, k)};
+      S* psrc = &sigma_src_(0, j, k);
+      auto vel = [&](int a, std::ptrdiff_t o) -> C {
+        return static_cast<C>(pm[a][o]) * static_cast<C>(pir[o]);
+      };
+      for (int i = 0; i < nx; ++i) {
+        fv::VelGrad<C> g;
+        for (int a = 0; a < 3; ++a) {
+          g.g[a][0] = (vel(a, i + 1) - vel(a, i - 1)) * inv2dx;
+          g.g[a][1] = (vel(a, i + sy) - vel(a, i - sy)) * inv2dy;
+          g.g[a][2] = (vel(a, i + sz) - vel(a, i - sz)) * inv2dz;
+        }
+        const C d = g.div();
+        psrc[i] = static_cast<S>(al * (g.tr_sq() + d * d));
+      }
+    }
+  }
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
+                                     common::StateField3<S>& rhs, int dir) {
+  const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  const int n_dir = (dir == 0) ? nx : (dir == 1) ? ny : nz;
+  const C d_dir = static_cast<C>((dir == 0)   ? grid_.dx()
+                                 : (dir == 1) ? grid_.dy()
+                                              : grid_.dz());
+  const C inv_d = C(1) / d_dir;
+  const C gam = static_cast<C>(cfg_.gamma);
+  const C mu = static_cast<C>(cfg_.mu);
+  const C zeta = static_cast<C>(cfg_.zeta);
+  const bool viscous = (cfg_.mu > 0.0 || cfg_.zeta > 0.0);
+  const C rho_floor = static_cast<C>(cfg_.density_floor);
+  const C p_floor = static_cast<C>(cfg_.pressure_floor);
+  const std::array<C, 3> dd{static_cast<C>(grid_.dx()),
+                            static_cast<C>(grid_.dy()),
+                            static_cast<C>(grid_.dz())};
+
+  // Offsets of the line direction and the two tangential directions.
+  auto cell = [&](int line_a, int line_b, int s) -> std::array<int, 3> {
+    // Map (tangential a, tangential b, line coordinate s) -> (i,j,k).
+    switch (dir) {
+      case 0: return {s, line_a, line_b};
+      case 1: return {line_a, s, line_b};
+      default: return {line_a, line_b, s};
+    }
+  };
+
+  const int na = (dir == 0) ? ny : nx;
+  const int nb = (dir == 2) ? ny : nz;
+
+  auto vel = [&](int a, const std::array<int, 3>& c) -> C {
+    return static_cast<C>(q[kMomX + a](c[0], c[1], c[2])) /
+           static_cast<C>(q[kRho](c[0], c[1], c[2]));
+  };
+
+  // Central derivative of velocity component `a` along axis `ax` at cell c.
+  auto dvel = [&](int a, int ax, std::array<int, 3> c) -> C {
+    auto cp = c, cm = c;
+    cp[static_cast<std::size_t>(ax)] += 1;
+    cm[static_cast<std::size_t>(ax)] -= 1;
+    return (vel(a, cp) - vel(a, cm)) / (C(2) * dd[static_cast<std::size_t>(ax)]);
+  };
+
+#pragma omp parallel
+  {
+    // Per-thread line buffers — the CPU analogue of the paper's
+    // thread-local temporaries (§5.4).  Each line of cells (with ghosts) is
+    // gathered once into contiguous storage; reconstruction then walks it
+    // with unit stride.
+    const std::size_t line_len = static_cast<std::size_t>(n_dir) + 6;
+    std::vector<C> lines((kNumVars + 1) * line_len);
+    std::vector<common::Cons<C>> flux(static_cast<std::size_t>(n_dir) + 1);
+
+#pragma omp for collapse(2)
+    for (int lb = 0; lb < nb; ++lb) {
+      for (int la = 0; la < na; ++la) {
+        const auto c0 = cell(la, lb, 0);
+        for (int c = 0; c <= kNumVars; ++c) {
+          const common::Field3<S>& f = (c < kNumVars) ? q[c] : sigma_;
+          const S* p = &f(c0[0], c0[1], c0[2]);
+          const std::ptrdiff_t st = f.stride(dir);
+          C* line = lines.data() + static_cast<std::size_t>(c) * line_len;
+          for (int s = -3; s < n_dir + 3; ++s)
+            line[s + 3] = static_cast<C>(p[s * st]);
+        }
+
+        for (int fi = 0; fi <= n_dir; ++fi) {
+          const int i = fi - 1;  // face between cells i and i+1 along dir
+          // Stencil q(i-2..i+3) starts at line offset (i-2)+3 = fi.
+          const std::size_t off = static_cast<std::size_t>(fi);
+          common::Cons<C> ql, qr;
+          for (int c = 0; c < kNumVars; ++c) {
+            const C* sc =
+                lines.data() + static_cast<std::size_t>(c) * line_len + off;
+            const auto f = fv::reconstruct(recon_, sc);
+            ql[c] = f.left;
+            qr[c] = f.right;
+          }
+          const C* ss =
+              lines.data() + static_cast<std::size_t>(kNumVars) * line_len +
+              off;
+          auto sf = fv::reconstruct(recon_, ss);
+
+          // High-order linear reconstruction can overshoot into a
+          // non-physical state at an under-resolved start-up discontinuity,
+          // before Sigma has developed to smooth it.  Fall back to the
+          // piecewise-constant (cell-average) face states there — a
+          // conservative, local safeguard that leaves smooth regions (and
+          // the developed IGR solution) untouched.
+          auto nonphysical = [&](const common::Cons<C>& qc) {
+            if (!(qc.rho > C(0))) return true;
+            const C ke = (qc.mx * qc.mx + qc.my * qc.my + qc.mz * qc.mz) /
+                         (C(2) * qc.rho);
+            return !(qc.e - ke > C(0));
+          };
+          if (nonphysical(ql) || nonphysical(qr)) {
+            for (int c = 0; c < kNumVars; ++c) {
+              const C* sc =
+                  lines.data() + static_cast<std::size_t>(c) * line_len + off;
+              ql[c] = sc[2];
+              qr[c] = sc[3];
+            }
+            sf.left = ss[2];
+            sf.right = ss[3];
+          }
+
+          // Optional configured floors (high-Mach jet start-up robustness).
+          auto to_prim = [&](const common::Cons<C>& qc) {
+            common::Prim<C> w = eos_.to_prim(qc);
+            if (rho_floor > C(0)) w.rho = std::max(w.rho, rho_floor);
+            if (p_floor > C(0)) w.p = std::max(w.p, p_floor);
+            return w;
+          };
+          const auto wl = to_prim(ql);
+          const auto wr = to_prim(qr);
+
+          auto f = fv::rusanov_flux(wl, ql.e, sf.left, wr, qr.e, sf.right,
+                                    gam, dir);
+
+          if (viscous) {
+            const auto cl = cell(la, lb, i);
+            const auto cr = cell(la, lb, i + 1);
+            fv::VelGrad<C> g;
+            C uf[3];
+            for (int a = 0; a < 3; ++a) {
+              uf[a] = C(0.5) * (vel(a, cl) + vel(a, cr));
+              for (int ax = 0; ax < 3; ++ax) {
+                if (ax == dir) {
+                  g.g[a][ax] = (vel(a, cr) - vel(a, cl)) * inv_d;
+                } else {
+                  g.g[a][ax] = C(0.5) * (dvel(a, ax, cl) + dvel(a, ax, cr));
+                }
+              }
+            }
+            const auto fv_ = fv::viscous_flux(g, uf, mu, zeta, dir);
+            for (int c = 0; c < kNumVars; ++c) f[c] += fv_[c];
+          }
+
+          flux[static_cast<std::size_t>(fi)] = f;
+        }
+
+        for (int c = 0; c < kNumVars; ++c) {
+          S* pr = &rhs[c](c0[0], c0[1], c0[2]);
+          const std::ptrdiff_t st = rhs[c].stride(dir);
+          for (int s = 0; s < n_dir; ++s) {
+            const C cur = static_cast<C>(pr[s * st]);
+            pr[s * st] = static_cast<S>(
+                cur + (flux[static_cast<std::size_t>(s)][c] -
+                       flux[static_cast<std::size_t>(s) + 1][c]) *
+                          inv_d);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::apply_domain_bc(common::StateField3<S>& q) {
+  fv::apply_bc(q, bc_, grid_, eos_);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::sigma_sweep(common::StateField3<S>& q) {
+  sigma_sweep_once<Policy>(sigma_, sigma_scratch_, sigma_src_, inv_rho_,
+                           static_cast<C>(alpha_), static_cast<C>(grid_.dx()),
+                           static_cast<C>(grid_.dy()),
+                           static_cast<C>(grid_.dz()),
+                           cfg_.sigma_gauss_seidel);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::fill_sigma_boundary() {
+  fill_sigma_ghosts(sigma_, sigma_bc_);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_fluxes(common::StateField3<S>& q,
+                                         common::StateField3<S>& rhs) {
+  for (int c = 0; c < kNumVars; ++c) rhs[c].fill(S{});
+  for (int dir = 0; dir < 3; ++dir) flux_sweep(q, rhs, dir);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_rhs(common::StateField3<S>& q,
+                                      common::StateField3<S>& rhs) {
+  apply_domain_bc(q);
+
+  if (alpha_ > 0.0 && cfg_.sigma_sweeps > 0) {
+    build_sigma_source(q);
+    for (int s = 0; s < cfg_.sigma_sweeps; ++s) {
+      fill_sigma_ghosts(sigma_, sigma_bc_, 1);  // sweeps need one layer
+      sigma_sweep(q);
+    }
+    fill_sigma_boundary();  // reconstruction needs the full depth
+  } else {
+    sigma_.fill(S{});
+  }
+
+  compute_fluxes(q, rhs);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::begin_step() {
+  qstage_ = q_;
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::rk_update(const fv::Rk3Stage& st, double dt) {
+  const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  const C a = static_cast<C>(st.a);
+  const C b = static_cast<C>(st.b);
+  const C dtc = static_cast<C>(dt);
+#pragma omp parallel for
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        for (int c = 0; c < kNumVars; ++c) {
+          const C qn = static_cast<C>(q_[c](i, j, k));
+          const C qs = static_cast<C>(qstage_[c](i, j, k));
+          const C r = static_cast<C>(rhs_[c](i, j, k));
+          qstage_[c](i, j, k) = static_cast<S>(a * qn + b * (qs + dtc * r));
+        }
+      }
+    }
+  }
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::finish_step(double dt) {
+  std::swap(q_, qstage_);
+  time_ += dt;
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::step_fixed(double dt) {
+  grind_.begin_step();
+  begin_step();
+  for (const auto& st : fv::kRk3Stages) {
+    compute_rhs(qstage_, rhs_);
+    rk_update(st, dt);
+  }
+  finish_step(dt);
+  grind_.end_step();
+}
+
+template <class Policy>
+double IgrSolver3D<Policy>::step() {
+  // The warm-start Sigma from the previous step feeds the wave-speed bound.
+  const double dt = fv::compute_dt(q_, grid_, eos_, cfg_, &sigma_);
+  step_fixed(dt);
+  return dt;
+}
+
+template <class Policy>
+std::size_t IgrSolver3D<Policy>::memory_bytes() const {
+  return q_.bytes() + qstage_.bytes() + rhs_.bytes() + sigma_.bytes() +
+         sigma_src_.bytes() + sigma_scratch_.bytes() + inv_rho_.bytes();
+}
+
+template <class Policy>
+double IgrSolver3D<Policy>::storage_per_cell() const {
+  // 5 state + 5 RK register + 5 RHS + Sigma + Sigma source (+ Jacobi copy),
+  // plus the CPU-only reciprocal-density scratch (the paper's fused GPU
+  // kernel stays at 17N by recomputing reciprocals in registers, §5.2).
+  return 18.0 + (cfg_.sigma_gauss_seidel ? 0.0 : 1.0);
+}
+
+template <class Policy>
+common::Cons<double> IgrSolver3D<Policy>::conserved_totals() const {
+  const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  const double dv = grid_.dx() * grid_.dy() * grid_.dz();
+  common::Cons<double> tot{};
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        for (int c = 0; c < kNumVars; ++c)
+          tot[c] += static_cast<double>(q_[c](i, j, k)) * dv;
+      }
+    }
+  }
+  return tot;
+}
+
+template class IgrSolver3D<common::Fp64>;
+template class IgrSolver3D<common::Fp32>;
+template class IgrSolver3D<common::Fp16x32>;
+
+}  // namespace igr::core

@@ -1,0 +1,71 @@
+#include "core/memory_footprint.hpp"
+
+namespace igr::core {
+
+double FootprintModel::reals_per_cell() const {
+  double r = 0;
+  for (const auto& it : items) r += it.reals_per_cell;
+  return r;
+}
+
+double FootprintModel::bytes_per_cell() const {
+  return reals_per_cell() * static_cast<double>(bytes_per_real);
+}
+
+FootprintModel igr_footprint(std::size_t bytes_per_real, bool jacobi) {
+  FootprintModel m;
+  m.scheme = "IGR (fused kernel)";
+  m.bytes_per_real = bytes_per_real;
+  m.items = {
+      {"conservative state (rho, rho*u, E)", 5},
+      {"Runge-Kutta sub-step register", 5},
+      {"right-hand side", 5},
+      {"entropic pressure Sigma", 1},
+      {"Sigma-equation source", 1},
+  };
+  if (jacobi) m.items.push_back({"Sigma Jacobi double-buffer", 1});
+  return m;
+}
+
+FootprintModel weno_footprint(std::size_t bytes_per_real) {
+  FootprintModel m;
+  m.scheme = "WENO5+HLLC (array-based)";
+  m.bytes_per_real = bytes_per_real;
+  // Buffer inventory of a conventional optimized implementation (MFC-style):
+  // all reconstruction/flux intermediates are stored as full fields per
+  // coordinate direction rather than as thread-local temporaries.
+  m.items = {
+      {"conservative state", 5},
+      {"Runge-Kutta registers (2)", 10},
+      {"primitive variables", 5},
+      {"right-hand side", 5},
+      {"reconstructed L/R states, 3 dirs", 30},
+      {"face fluxes, 3 dirs", 15},
+      {"WENO smoothness/workspace (3 stencils, L/R)", 30},
+      {"velocity-gradient workspace", 6},
+  };
+  return m;
+}
+
+double footprint_ratio(const FootprintModel& baseline,
+                       const FootprintModel& igr) {
+  return baseline.bytes_per_cell() / igr.bytes_per_cell();
+}
+
+double device_resident_fraction(bool host_rk, bool host_igr_tmp) {
+  double device = 17.0;
+  if (host_rk) device -= 5.0;       // RK register to host -> 12/17
+  if (host_igr_tmp) device -= 2.0;  // Sigma + source to host -> 10/17
+  return device / 17.0;
+}
+
+std::size_t max_cells_per_device(std::size_t device_bytes,
+                                 const FootprintModel& model,
+                                 double device_fraction) {
+  const double bytes_per_cell = model.bytes_per_cell() * device_fraction;
+  if (bytes_per_cell <= 0.0) return 0;
+  return static_cast<std::size_t>(static_cast<double>(device_bytes) /
+                                  bytes_per_cell);
+}
+
+}  // namespace igr::core

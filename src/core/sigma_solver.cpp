@@ -1,0 +1,235 @@
+#include "core/sigma_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/half.hpp"
+
+namespace igr::core {
+
+namespace {
+
+/// One relaxation pass.  With `jacobi` true, reads `in` and writes `out`
+/// (distinct buffers); otherwise updates in place (Gauss–Seidel ordering is
+/// the natural lexicographic sweep).  Face coefficients are arithmetic
+/// means of 1/rho, so the inner loop performs a single division.
+template <class Policy>
+void sweep(common::Field3<typename Policy::storage_t>& out,
+           const common::Field3<typename Policy::storage_t>& in,
+           const common::Field3<typename Policy::storage_t>& src,
+           const common::Field3<typename Policy::storage_t>& inv_rho,
+           typename Policy::compute_t alpha,
+           typename Policy::compute_t inv_dx2,
+           typename Policy::compute_t inv_dy2,
+           typename Policy::compute_t inv_dz2, bool jacobi) {
+  using C = typename Policy::compute_t;
+  using S = typename Policy::storage_t;
+  const int nx = out.nx(), ny = out.ny(), nz = out.nz();
+
+  const std::ptrdiff_t sy = inv_rho.stride(1);
+  const std::ptrdiff_t sz = inv_rho.stride(2);
+  const common::Field3<S>& sin_f = jacobi ? in : out;
+
+#pragma omp parallel for if (jacobi)
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      const S* pir = &inv_rho(0, j, k);
+      const S* psr = &src(0, j, k);
+      const S* ps = &sin_f(0, j, k);
+      S* po = &out(0, j, k);
+      for (int i = 0; i < nx; ++i) {
+        const C ir0 = static_cast<C>(pir[i]);
+        // Face coefficients 1/rho_face (harmonic-mean face density).
+        const C cxm = C(0.5) * (ir0 + static_cast<C>(pir[i - 1]));
+        const C cxp = C(0.5) * (ir0 + static_cast<C>(pir[i + 1]));
+        const C cym = C(0.5) * (ir0 + static_cast<C>(pir[i - sy]));
+        const C cyp = C(0.5) * (ir0 + static_cast<C>(pir[i + sy]));
+        const C czm = C(0.5) * (ir0 + static_cast<C>(pir[i - sz]));
+        const C czp = C(0.5) * (ir0 + static_cast<C>(pir[i + sz]));
+
+        const C off =
+            inv_dx2 * (static_cast<C>(ps[i + 1]) * cxp +
+                       static_cast<C>(ps[i - 1]) * cxm) +
+            inv_dy2 * (static_cast<C>(ps[i + sy]) * cyp +
+                       static_cast<C>(ps[i - sy]) * cym) +
+            inv_dz2 * (static_cast<C>(ps[i + sz]) * czp +
+                       static_cast<C>(ps[i - sz]) * czm);
+        const C diag = ir0 + alpha * (inv_dx2 * (cxp + cxm) +
+                                      inv_dy2 * (cyp + cym) +
+                                      inv_dz2 * (czp + czm));
+        po[i] = static_cast<S>((static_cast<C>(psr[i]) + alpha * off) / diag);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class S>
+void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
+                            std::array<bool, 2> sides, int layers) {
+  const int ng = (layers < 0 || layers > sigma.ng()) ? sigma.ng() : layers;
+  const int n[3] = {sigma.nx(), sigma.ny(), sigma.nz()};
+  {
+    int lo[3], hi[3];
+    for (int a = 0; a < 3; ++a) {
+      lo[a] = (a < axis) ? -ng : 0;
+      hi[a] = (a < axis) ? n[a] + ng : n[a];
+    }
+    for (int side = 0; side < 2; ++side) {
+      if (!sides[static_cast<std::size_t>(side)]) continue;
+      for (int g = 1; g <= ng; ++g) {
+        const int ghost = (side == 0) ? -g : n[axis] + g - 1;
+        const int src = (bc == SigmaBc::kPeriodic)
+                            ? ((side == 0) ? n[axis] - g : g - 1)
+                            : ((side == 0) ? 0 : n[axis] - 1);
+        int i0 = lo[0], i1 = hi[0], j0 = lo[1], j1 = hi[1], k0 = lo[2],
+            k1 = hi[2];
+        if (axis == 0) { i0 = ghost; i1 = ghost + 1; }
+        if (axis == 1) { j0 = ghost; j1 = ghost + 1; }
+        if (axis == 2) { k0 = ghost; k1 = ghost + 1; }
+        for (int k = k0; k < k1; ++k) {
+          for (int j = j0; j < j1; ++j) {
+            for (int i = i0; i < i1; ++i) {
+              int sidx[3] = {i, j, k};
+              sidx[axis] = src;
+              sigma(i, j, k) = sigma(sidx[0], sidx[1], sidx[2]);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class S>
+void fill_sigma_ghosts(common::Field3<S>& sigma, SigmaBc bc, int layers) {
+  for (int axis = 0; axis < 3; ++axis)
+    fill_sigma_ghosts_axis(sigma, bc, axis, {true, true}, layers);
+}
+
+#define IGR_INSTANTIATE_SIGMA_GHOSTS(T)                                        \
+  template void fill_sigma_ghosts<T>(common::Field3<T>&, SigmaBc, int);        \
+  template void fill_sigma_ghosts_axis<T>(common::Field3<T>&, SigmaBc, int,    \
+                                          std::array<bool, 2>, int);
+
+IGR_INSTANTIATE_SIGMA_GHOSTS(double)
+IGR_INSTANTIATE_SIGMA_GHOSTS(float)
+IGR_INSTANTIATE_SIGMA_GHOSTS(common::half)
+#undef IGR_INSTANTIATE_SIGMA_GHOSTS
+
+template <class Policy>
+void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
+                      common::Field3<typename Policy::storage_t>& scratch,
+                      const common::Field3<typename Policy::storage_t>& src,
+                      const common::Field3<typename Policy::storage_t>& inv_rho,
+                      typename Policy::compute_t alpha,
+                      typename Policy::compute_t dx,
+                      typename Policy::compute_t dy,
+                      typename Policy::compute_t dz, bool gauss_seidel) {
+  using C = typename Policy::compute_t;
+  const C inv_dx2 = C(1) / (dx * dx);
+  const C inv_dy2 = C(1) / (dy * dy);
+  const C inv_dz2 = C(1) / (dz * dz);
+  if (gauss_seidel) {
+    sweep<Policy>(sigma, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
+                  inv_dz2, /*jacobi=*/false);
+  } else {
+    sweep<Policy>(scratch, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
+                  inv_dz2, /*jacobi=*/true);
+    std::swap(sigma, scratch);
+  }
+}
+
+template <class Policy>
+void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
+                 common::Field3<typename Policy::storage_t>& scratch,
+                 const common::Field3<typename Policy::storage_t>& src,
+                 const common::Field3<typename Policy::storage_t>& inv_rho,
+                 typename Policy::compute_t alpha,
+                 typename Policy::compute_t dx,
+                 typename Policy::compute_t dy,
+                 typename Policy::compute_t dz,
+                 int sweeps, bool gauss_seidel, SigmaBc bc) {
+  for (int s = 0; s < sweeps; ++s) {
+    // Sweeps consume a single ghost layer.
+    fill_sigma_ghosts(sigma, bc, 1);
+    sigma_sweep_once<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz,
+                             gauss_seidel);
+  }
+  // Reconstruction downstream needs the full ghost depth.
+  fill_sigma_ghosts(sigma, bc);
+}
+
+template <class Policy>
+double sigma_residual(const common::Field3<typename Policy::storage_t>& sigma,
+                      const common::Field3<typename Policy::storage_t>& src,
+                      const common::Field3<typename Policy::storage_t>& inv_rho,
+                      typename Policy::compute_t alpha,
+                      typename Policy::compute_t dx,
+                      typename Policy::compute_t dy,
+                      typename Policy::compute_t dz) {
+  using C = typename Policy::compute_t;
+  using S = typename Policy::storage_t;
+  const int nx = sigma.nx(), ny = sigma.ny(), nz = sigma.nz();
+  const C inv_dx2 = C(1) / (dx * dx);
+  const C inv_dy2 = C(1) / (dy * dy);
+  const C inv_dz2 = C(1) / (dz * dz);
+  auto at = [](const common::Field3<S>& f, int i, int j, int k) -> C {
+    return static_cast<C>(f(i, j, k));
+  };
+
+  double res = 0.0;
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const C ir0 = at(inv_rho, i, j, k);
+        const C cxm = C(0.5) * (ir0 + at(inv_rho, i - 1, j, k));
+        const C cxp = C(0.5) * (ir0 + at(inv_rho, i + 1, j, k));
+        const C cym = C(0.5) * (ir0 + at(inv_rho, i, j - 1, k));
+        const C cyp = C(0.5) * (ir0 + at(inv_rho, i, j + 1, k));
+        const C czm = C(0.5) * (ir0 + at(inv_rho, i, j, k - 1));
+        const C czp = C(0.5) * (ir0 + at(inv_rho, i, j, k + 1));
+        const C s0 = at(sigma, i, j, k);
+        const C lap =
+            inv_dx2 * ((at(sigma, i + 1, j, k) - s0) * cxp -
+                       (s0 - at(sigma, i - 1, j, k)) * cxm) +
+            inv_dy2 * ((at(sigma, i, j + 1, k) - s0) * cyp -
+                       (s0 - at(sigma, i, j - 1, k)) * cym) +
+            inv_dz2 * ((at(sigma, i, j, k + 1) - s0) * czp -
+                       (s0 - at(sigma, i, j, k - 1)) * czm);
+        const C r = s0 * ir0 - alpha * lap - at(src, i, j, k);
+        res = std::max(res, static_cast<double>(std::abs(r)));
+      }
+    }
+  }
+  return res;
+}
+
+// Explicit instantiations for the three precision policies.
+using common::Fp16x32;
+using common::Fp32;
+using common::Fp64;
+
+#define IGR_INSTANTIATE_SIGMA(P)                                               \
+  template void sigma_sweep_once<P>(                                           \
+      common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
+      const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
+      P::compute_t, P::compute_t, P::compute_t, P::compute_t, bool);           \
+  template void sigma_solve<P>(                                                \
+      common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
+      const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
+      P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, bool,       \
+      SigmaBc);                                                                \
+  template double sigma_residual<P>(                                           \
+      const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
+      const common::Field3<P::storage_t>&, P::compute_t, P::compute_t,         \
+      P::compute_t, P::compute_t);
+
+IGR_INSTANTIATE_SIGMA(Fp64)
+IGR_INSTANTIATE_SIGMA(Fp32)
+IGR_INSTANTIATE_SIGMA(Fp16x32)
+#undef IGR_INSTANTIATE_SIGMA
+
+}  // namespace igr::core

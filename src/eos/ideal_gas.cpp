@@ -1,0 +1,11 @@
+#include "eos/ideal_gas.hpp"
+
+#include <stdexcept>
+
+namespace igr::eos {
+
+IdealGas::IdealGas(double gamma) : gamma_(gamma) {
+  if (gamma <= 1.0) throw std::invalid_argument("IdealGas: gamma must exceed 1");
+}
+
+}  // namespace igr::eos

@@ -1,0 +1,75 @@
+#pragma once
+/// \file ideal_gas.hpp
+/// Ideal-gas (gamma-law) equation of state, paper eq. (4):
+///   p = (gamma - 1) * rho * e,   e = E/rho - |u|^2/2.
+
+#include <cmath>
+
+#include "common/state.hpp"
+
+namespace igr::eos {
+
+/// Gamma-law EOS.  All member functions are templated on the compute type so
+/// the same code path serves FP32 and FP64 kernels.
+class IdealGas {
+ public:
+  explicit IdealGas(double gamma = 1.4);
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+  /// Pressure from conservative state.
+  template <class T>
+  T pressure(const common::Cons<T>& q) const {
+    const T g = static_cast<T>(gamma_);
+    const T ke = (q.mx * q.mx + q.my * q.my + q.mz * q.mz) / (T(2) * q.rho);
+    return (g - T(1)) * (q.e - ke);
+  }
+
+  /// Total energy from primitive state.
+  template <class T>
+  T total_energy(const common::Prim<T>& w) const {
+    const T g = static_cast<T>(gamma_);
+    return w.p / (g - T(1)) + T(0.5) * w.rho * w.speed2();
+  }
+
+  /// Speed of sound c = sqrt(gamma p / rho).
+  template <class T>
+  T sound_speed(T rho, T p) const {
+    return std::sqrt(static_cast<T>(gamma_) * p / rho);
+  }
+
+  /// Specific internal energy e = p / ((gamma-1) rho).
+  template <class T>
+  T internal_energy(T rho, T p) const {
+    return p / ((static_cast<T>(gamma_) - T(1)) * rho);
+  }
+
+  /// Primitive from conservative.
+  template <class T>
+  common::Prim<T> to_prim(const common::Cons<T>& q) const {
+    common::Prim<T> w;
+    w.rho = q.rho;
+    w.u = q.mx / q.rho;
+    w.v = q.my / q.rho;
+    w.w = q.mz / q.rho;
+    w.p = pressure(q);
+    return w;
+  }
+
+  /// Conservative from primitive.
+  template <class T>
+  common::Cons<T> to_cons(const common::Prim<T>& w) const {
+    common::Cons<T> q;
+    q.rho = w.rho;
+    q.mx = w.rho * w.u;
+    q.my = w.rho * w.v;
+    q.mz = w.rho * w.w;
+    q.e = total_energy(w);
+    return q;
+  }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace igr::eos

@@ -1,0 +1,147 @@
+#include "fv/bc.hpp"
+
+#include "common/half.hpp"
+#include "common/precision.hpp"
+
+namespace igr::fv {
+
+namespace {
+
+using common::kEnergy;
+using common::kMomX;
+using common::kMomY;
+using common::kMomZ;
+using common::kNumVars;
+using common::kRho;
+
+/// Momentum component normal to a face's axis.
+int normal_mom(int axis) { return kMomX + axis; }
+
+/// Does (t1, t2) fall inside any patch?  Returns the patch or nullptr.
+const InflowPatch* find_patch(const std::vector<InflowPatch>& patches,
+                              double t1, double t2) {
+  for (const auto& p : patches) {
+    const double d1 = t1 - p.cx;
+    const double d2 = t2 - p.cy;
+    if (d1 * d1 + d2 * d2 <= p.radius * p.radius) return &p;
+  }
+  return nullptr;
+}
+
+template <class T>
+void fill_axis(common::StateField3<T>& q, const BcSpec& spec,
+               const mesh::Grid& grid, const eos::IdealGas& eos, int axis,
+               std::array<bool, 2> sides) {
+  const int ng = q.ng();
+  const int n[3] = {q.nx(), q.ny(), q.nz()};
+  // Tangential loop bounds: include ghosts for axes already filled so that
+  // edge/corner ghosts end up defined (x first, then y, then z).
+  int lo[3], hi[3];
+  for (int a = 0; a < 3; ++a) {
+    const bool widen = a < axis;
+    lo[a] = widen ? -ng : 0;
+    hi[a] = widen ? n[a] + ng : n[a];
+  }
+
+  for (int side = 0; side < 2; ++side) {
+    if (!sides[static_cast<std::size_t>(side)]) continue;
+    const auto face = static_cast<mesh::Face>(2 * axis + side);
+    const BcKind kind = spec.face_kind(face);
+    const auto& patches = spec.patches[static_cast<std::size_t>(face)];
+
+    for (int g = 1; g <= ng; ++g) {
+      // Ghost index and its source (interior) index along `axis`.
+      const int ghost = (side == 0) ? -g : n[axis] + g - 1;
+      const int wrap = (side == 0) ? n[axis] - g : g - 1;
+      const int clamp = (side == 0) ? 0 : n[axis] - 1;
+      const int mirror = (side == 0) ? g - 1 : n[axis] - g;
+
+      int i0 = lo[0], i1 = hi[0], j0 = lo[1], j1 = hi[1], k0 = lo[2],
+          k1 = hi[2];
+      // The loop over the normal axis collapses to the single ghost plane.
+      if (axis == 0) { i0 = ghost; i1 = ghost + 1; }
+      if (axis == 1) { j0 = ghost; j1 = ghost + 1; }
+      if (axis == 2) { k0 = ghost; k1 = ghost + 1; }
+
+      for (int k = k0; k < k1; ++k) {
+        for (int j = j0; j < j1; ++j) {
+          for (int i = i0; i < i1; ++i) {
+            int src[3] = {i, j, k};
+            switch (kind) {
+              case BcKind::kPeriodic:
+                src[axis] = wrap;
+                for (int c = 0; c < kNumVars; ++c)
+                  q[c](i, j, k) = q[c](src[0], src[1], src[2]);
+                break;
+              case BcKind::kOutflow:
+                src[axis] = clamp;
+                for (int c = 0; c < kNumVars; ++c)
+                  q[c](i, j, k) = q[c](src[0], src[1], src[2]);
+                break;
+              case BcKind::kReflective: {
+                src[axis] = mirror;
+                for (int c = 0; c < kNumVars; ++c)
+                  q[c](i, j, k) = q[c](src[0], src[1], src[2]);
+                const int nm = normal_mom(axis);
+                q[nm](i, j, k) = static_cast<T>(
+                    -static_cast<double>(q[nm](src[0], src[1], src[2])));
+                break;
+              }
+              case BcKind::kInflowPatches: {
+                // Tangential physical coordinates for the patch test.
+                double t1 = 0, t2 = 0;
+                if (axis == 0) { t1 = grid.y(j); t2 = grid.z(k); }
+                if (axis == 1) { t1 = grid.x(i); t2 = grid.z(k); }
+                if (axis == 2) { t1 = grid.x(i); t2 = grid.y(j); }
+                if (const auto* p = find_patch(patches, t1, t2)) {
+                  const auto qc = eos.to_cons(p->state);
+                  for (int c = 0; c < kNumVars; ++c)
+                    q[c](i, j, k) = static_cast<T>(qc[c]);
+                } else {
+                  // Base plate between nozzles: reflective wall.
+                  src[axis] = mirror;
+                  for (int c = 0; c < kNumVars; ++c)
+                    q[c](i, j, k) = q[c](src[0], src[1], src[2]);
+                  const int nm = normal_mom(axis);
+                  q[nm](i, j, k) = static_cast<T>(
+                      -static_cast<double>(q[nm](src[0], src[1], src[2])));
+                }
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+void apply_bc(common::StateField3<T>& q, const BcSpec& spec,
+              const mesh::Grid& grid, const eos::IdealGas& eos) {
+  for (int axis = 0; axis < 3; ++axis)
+    fill_axis(q, spec, grid, eos, axis, {true, true});
+}
+
+template <class T>
+void apply_bc_axis(common::StateField3<T>& q, const BcSpec& spec,
+                   const mesh::Grid& grid, const eos::IdealGas& eos, int axis,
+                   std::array<bool, 2> sides) {
+  fill_axis(q, spec, grid, eos, axis, sides);
+}
+
+#define IGR_INSTANTIATE_BC(T)                                                  \
+  template void apply_bc<T>(common::StateField3<T>&, const BcSpec&,           \
+                            const mesh::Grid&, const eos::IdealGas&);          \
+  template void apply_bc_axis<T>(common::StateField3<T>&, const BcSpec&,      \
+                                 const mesh::Grid&, const eos::IdealGas&, int, \
+                                 std::array<bool, 2>);
+
+IGR_INSTANTIATE_BC(double)
+IGR_INSTANTIATE_BC(float)
+IGR_INSTANTIATE_BC(common::half)
+#undef IGR_INSTANTIATE_BC
+
+}  // namespace igr::fv

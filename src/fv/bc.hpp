@@ -1,0 +1,71 @@
+#pragma once
+/// \file bc.hpp
+/// Boundary conditions on the ghost layers of a StateField3.
+///
+/// Supported kinds: periodic, outflow (zero-gradient extrapolation),
+/// reflective slip wall, and Dirichlet inflow patches (how the paper models
+/// the rocket engines: "We model them through inflow boundary conditions",
+/// Fig. 1 caption).  Inflow patches are circles on a face with a prescribed
+/// primitive state; cells outside every patch fall back to the face's base
+/// kind (typically reflective — the rocket base plate).
+
+#include <array>
+#include <vector>
+
+#include "common/field3.hpp"
+#include "common/state.hpp"
+#include "eos/ideal_gas.hpp"
+#include "mesh/decomp.hpp"
+#include "mesh/grid.hpp"
+
+namespace igr::fv {
+
+enum class BcKind { kPeriodic, kOutflow, kReflective, kInflowPatches };
+
+/// Circular inflow patch on a z/y/x-face: engine nozzle exit.
+struct InflowPatch {
+  double cx = 0.0;    ///< Patch center, first tangential coordinate.
+  double cy = 0.0;    ///< Patch center, second tangential coordinate.
+  double radius = 0.1;
+  common::Prim<double> state;  ///< Injected primitive state.
+};
+
+/// Per-face boundary specification.
+struct BcSpec {
+  std::array<BcKind, mesh::kNumFaces> kind{
+      BcKind::kPeriodic, BcKind::kPeriodic, BcKind::kPeriodic,
+      BcKind::kPeriodic, BcKind::kPeriodic, BcKind::kPeriodic};
+  /// Patches per face (only consulted when kind == kInflowPatches).
+  std::array<std::vector<InflowPatch>, mesh::kNumFaces> patches{};
+
+  static BcSpec all_periodic() { return {}; }
+  static BcSpec all_outflow() {
+    BcSpec b;
+    b.kind.fill(BcKind::kOutflow);
+    return b;
+  }
+
+  [[nodiscard]] BcKind face_kind(mesh::Face f) const {
+    return kind[static_cast<std::size_t>(f)];
+  }
+};
+
+/// Fill all ghost layers of `q` according to `spec`.  The grid supplies
+/// physical coordinates for inflow-patch tests.  Implemented as a template
+/// over storage type; instantiated for double, float, and half.
+template <class T>
+void apply_bc(common::StateField3<T>& q, const BcSpec& spec,
+              const mesh::Grid& grid, const eos::IdealGas& eos);
+
+/// Fill the ghost layers of one axis only, optionally restricted to one
+/// side (`sides[0]` = low face, `sides[1]` = high face).  Distributed
+/// drivers use this to fill *physical* faces while halo exchange covers
+/// interior faces, interleaved per axis so corner ghosts match the
+/// single-domain fill ordering.
+template <class T>
+void apply_bc_axis(common::StateField3<T>& q, const BcSpec& spec,
+                   const mesh::Grid& grid, const eos::IdealGas& eos, int axis,
+                   std::array<bool, 2> sides);
+
+// Explicit instantiations live in bc.cpp.
+}  // namespace igr::fv

@@ -1,0 +1,79 @@
+#include "fv/cfl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/half.hpp"
+
+namespace igr::fv {
+
+template <class T>
+double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
+                  const eos::IdealGas& eos, const common::SolverConfig& cfg,
+                  const common::Field3<T>* sigma) {
+  const int nx = q.nx(), ny = q.ny(), nz = q.nz();
+  double max_rate = 1e-300;
+  double min_rho = 1e300;
+
+#pragma omp parallel for reduction(max : max_rate) reduction(min : min_rho)
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        common::Cons<double> qc;
+        for (int c = 0; c < common::kNumVars; ++c)
+          qc[c] = static_cast<double>(q[c](i, j, k));
+        const auto w = eos.to_prim(qc);
+        const double sig =
+            sigma ? std::max(static_cast<double>((*sigma)(i, j, k)), 0.0)
+                  : 0.0;
+        const double cs =
+            eos.sound_speed(w.rho, std::max(w.p, 1e-300) + sig);
+        const double rate = (std::abs(w.u) + cs) / grid.dx() +
+                            (std::abs(w.v) + cs) / grid.dy() +
+                            (std::abs(w.w) + cs) / grid.dz();
+        max_rate = std::max(max_rate, rate);
+        min_rho = std::min(min_rho, w.rho);
+      }
+    }
+  }
+
+  double dt = cfg.cfl / max_rate;
+
+  // Explicit-diffusion stability when viscous terms are active.
+  const double nu = std::max(cfg.mu, cfg.zeta) / std::max(min_rho, 1e-300);
+  if (nu > 0.0) {
+    const double inv2 = 1.0 / (grid.dx() * grid.dx()) +
+                        1.0 / (grid.dy() * grid.dy()) +
+                        1.0 / (grid.dz() * grid.dz());
+    dt = std::min(dt, cfg.cfl / (2.0 * nu * inv2));
+  }
+  return dt;
+}
+
+template double compute_dt<double>(const common::StateField3<double>&,
+                                   const mesh::Grid&, const eos::IdealGas&,
+                                   const common::SolverConfig&,
+                                   const common::Field3<double>*);
+template double compute_dt<float>(const common::StateField3<float>&,
+                                  const mesh::Grid&, const eos::IdealGas&,
+                                  const common::SolverConfig&,
+                                  const common::Field3<float>*);
+template double compute_dt<common::half>(
+    const common::StateField3<common::half>&, const mesh::Grid&,
+    const eos::IdealGas&, const common::SolverConfig&,
+    const common::Field3<common::half>*);
+
+double compute_dt_1d(const double* rho, const double* mom, const double* e,
+                     int n, double dx, double gamma, double cfl) {
+  double smax = 1e-300;
+  for (int i = 0; i < n; ++i) {
+    const double u = mom[i] / rho[i];
+    const double p =
+        std::max((gamma - 1.0) * (e[i] - 0.5 * mom[i] * u), 1e-300);
+    const double c = std::sqrt(gamma * p / rho[i]);
+    smax = std::max(smax, std::abs(u) + c);
+  }
+  return cfl * dx / smax;
+}
+
+}  // namespace igr::fv

@@ -1,0 +1,28 @@
+#pragma once
+/// \file cfl.hpp
+/// Time-step control.  The advective limit uses the acoustic spectral radius
+/// per direction; an explicit-diffusion limit applies when viscosities are
+/// active.  IGR itself imposes no extra CFL restriction — a key advantage the
+/// paper notes over strong artificial viscosity (§4.1).
+
+#include "common/config.hpp"
+#include "common/field3.hpp"
+#include "eos/ideal_gas.hpp"
+#include "mesh/grid.hpp"
+
+namespace igr::fv {
+
+/// Maximum stable dt for conservative state `q` on `grid`.
+/// Computed in double regardless of storage precision.  When `sigma` is
+/// given, the entropic pressure augments the acoustic speed (eqs. 7-8 add
+/// Sigma to p), tightening the bound for large regularization strengths.
+template <class T>
+double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
+                  const eos::IdealGas& eos, const common::SolverConfig& cfg,
+                  const common::Field3<T>* sigma = nullptr);
+
+/// Advective dt for a 1-D state (density/momentum/energy arrays).
+double compute_dt_1d(const double* rho, const double* mom, const double* e,
+                     int n, double dx, double gamma, double cfl);
+
+}  // namespace igr::fv

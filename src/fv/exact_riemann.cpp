@@ -1,0 +1,140 @@
+#include "fv/exact_riemann.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace igr::fv {
+
+ExactRiemann::ExactRiemann(Prim1D left, Prim1D right, double gamma)
+    : l_(left), r_(right), gamma_(gamma) {
+  if (left.rho <= 0 || right.rho <= 0 || left.p <= 0 || right.p <= 0)
+    throw std::invalid_argument("ExactRiemann: non-positive density/pressure");
+  cl_ = std::sqrt(gamma_ * l_.p / l_.rho);
+  cr_ = std::sqrt(gamma_ * r_.p / r_.rho);
+  // Vacuum check (Toro eq. 4.40).
+  if (2.0 / (gamma_ - 1.0) * (cl_ + cr_) <= r_.u - l_.u)
+    throw std::invalid_argument("ExactRiemann: vacuum generated");
+  solve_star();
+}
+
+double ExactRiemann::f_side(double p, const Prim1D& s, double c) const {
+  const double g = gamma_;
+  if (p > s.p) {  // shock
+    const double a = 2.0 / ((g + 1.0) * s.rho);
+    const double b = (g - 1.0) / (g + 1.0) * s.p;
+    return (p - s.p) * std::sqrt(a / (p + b));
+  }
+  // rarefaction
+  return 2.0 * c / (g - 1.0) * (std::pow(p / s.p, (g - 1.0) / (2.0 * g)) - 1.0);
+}
+
+double ExactRiemann::df_side(double p, const Prim1D& s, double c) const {
+  const double g = gamma_;
+  if (p > s.p) {
+    const double a = 2.0 / ((g + 1.0) * s.rho);
+    const double b = (g - 1.0) / (g + 1.0) * s.p;
+    return std::sqrt(a / (b + p)) * (1.0 - (p - s.p) / (2.0 * (b + p)));
+  }
+  return 1.0 / (s.rho * c) * std::pow(p / s.p, -(g + 1.0) / (2.0 * g));
+}
+
+void ExactRiemann::solve_star() {
+  // Initial guess: two-rarefaction approximation (Toro eq. 4.46).
+  const double g = gamma_;
+  const double z = (g - 1.0) / (2.0 * g);
+  double p =
+      std::pow((cl_ + cr_ - 0.5 * (g - 1.0) * (r_.u - l_.u)) /
+                   (cl_ / std::pow(l_.p, z) + cr_ / std::pow(r_.p, z)),
+               1.0 / z);
+  p = std::max(p, 1e-12);
+
+  for (int it = 0; it < 100; ++it) {
+    const double f =
+        f_side(p, l_, cl_) + f_side(p, r_, cr_) + (r_.u - l_.u);
+    const double df = df_side(p, l_, cl_) + df_side(p, r_, cr_);
+    const double pn = std::max(p - f / df, 1e-14);
+    if (std::abs(pn - p) / (0.5 * (pn + p)) < 1e-14) {
+      p = pn;
+      break;
+    }
+    p = pn;
+  }
+  p_star_ = p;
+  u_star_ = 0.5 * (l_.u + r_.u) +
+            0.5 * (f_side(p, r_, cr_) - f_side(p, l_, cl_));
+}
+
+Prim1D ExactRiemann::sample(double xi) const {
+  const double g = gamma_;
+  const double gm1 = g - 1.0, gp1 = g + 1.0;
+
+  if (xi <= u_star_) {  // left of contact
+    if (p_star_ > l_.p) {  // left shock
+      const double sl =
+          l_.u - cl_ * std::sqrt(gp1 / (2.0 * g) * p_star_ / l_.p +
+                                 gm1 / (2.0 * g));
+      if (xi <= sl) return l_;
+      const double rho = l_.rho * (p_star_ / l_.p + gm1 / gp1) /
+                         (gm1 / gp1 * p_star_ / l_.p + 1.0);
+      return {rho, u_star_, p_star_};
+    }
+    // left rarefaction
+    const double c_star = cl_ * std::pow(p_star_ / l_.p, gm1 / (2.0 * g));
+    const double head = l_.u - cl_;
+    const double tail = u_star_ - c_star;
+    if (xi <= head) return l_;
+    if (xi >= tail) {
+      const double rho = l_.rho * std::pow(p_star_ / l_.p, 1.0 / g);
+      return {rho, u_star_, p_star_};
+    }
+    const double u = 2.0 / gp1 * (cl_ + gm1 / 2.0 * l_.u + xi);
+    const double c = 2.0 / gp1 * (cl_ + gm1 / 2.0 * (l_.u - xi));
+    const double rho = l_.rho * std::pow(c / cl_, 2.0 / gm1);
+    return {rho, u, rho * c * c / g};
+  }
+
+  // right of contact
+  if (p_star_ > r_.p) {  // right shock
+    const double sr =
+        r_.u + cr_ * std::sqrt(gp1 / (2.0 * g) * p_star_ / r_.p +
+                               gm1 / (2.0 * g));
+    if (xi >= sr) return r_;
+    const double rho = r_.rho * (p_star_ / r_.p + gm1 / gp1) /
+                       (gm1 / gp1 * p_star_ / r_.p + 1.0);
+    return {rho, u_star_, p_star_};
+  }
+  // right rarefaction
+  const double c_star = cr_ * std::pow(p_star_ / r_.p, gm1 / (2.0 * g));
+  const double head = r_.u + cr_;
+  const double tail = u_star_ + c_star;
+  if (xi >= head) return r_;
+  if (xi <= tail) {
+    const double rho = r_.rho * std::pow(p_star_ / r_.p, 1.0 / g);
+    return {rho, u_star_, p_star_};
+  }
+  const double u = 2.0 / gp1 * (-cr_ + gm1 / 2.0 * r_.u + xi);
+  const double c = 2.0 / gp1 * (cr_ - gm1 / 2.0 * (r_.u - xi));
+  const double rho = r_.rho * std::pow(c / cr_, 2.0 / gm1);
+  return {rho, u, rho * c * c / g};
+}
+
+std::vector<Prim1D> ExactRiemann::sample_profile(int n, double x0, double x1,
+                                                 double xd, double t) const {
+  std::vector<Prim1D> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double dx = (x1 - x0) / n;
+  for (int i = 0; i < n; ++i) {
+    const double x = x0 + (i + 0.5) * dx;
+    if (t <= 0.0) {
+      out.push_back(x < xd ? l_ : r_);
+    } else {
+      out.push_back(sample((x - xd) / t));
+    }
+  }
+  return out;
+}
+
+Prim1D sod_left() { return {1.0, 0.0, 1.0}; }
+Prim1D sod_right() { return {0.125, 0.0, 0.1}; }
+
+}  // namespace igr::fv

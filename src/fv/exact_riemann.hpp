@@ -1,0 +1,50 @@
+#pragma once
+/// \file exact_riemann.hpp
+/// Exact solver for the 1-D Riemann problem of the ideal-gas Euler equations
+/// (Toro, ch. 4).  Serves as ground truth for the Fig. 2 shock comparisons
+/// and for validating both the IGR and baseline schemes.
+
+#include <vector>
+
+namespace igr::fv {
+
+/// 1-D primitive state (rho, u, p).
+struct Prim1D {
+  double rho;
+  double u;
+  double p;
+};
+
+/// Exact self-similar Riemann solution for given left/right states.
+class ExactRiemann {
+ public:
+  ExactRiemann(Prim1D left, Prim1D right, double gamma);
+
+  /// Star-region pressure and velocity.
+  [[nodiscard]] double p_star() const { return p_star_; }
+  [[nodiscard]] double u_star() const { return u_star_; }
+
+  /// Sample the solution at similarity coordinate xi = x/t.
+  [[nodiscard]] Prim1D sample(double xi) const;
+
+  /// Sample on a uniform grid of n cells over [x0, x1] at time t, with the
+  /// initial discontinuity at xd.
+  [[nodiscard]] std::vector<Prim1D> sample_profile(int n, double x0, double x1,
+                                                   double xd, double t) const;
+
+ private:
+  [[nodiscard]] double f_side(double p, const Prim1D& s, double c) const;
+  [[nodiscard]] double df_side(double p, const Prim1D& s, double c) const;
+  void solve_star();
+
+  Prim1D l_, r_;
+  double gamma_;
+  double cl_, cr_;
+  double p_star_ = 0.0, u_star_ = 0.0;
+};
+
+/// Classic Sod shock-tube states (left: rho=1,p=1; right: rho=0.125,p=0.1).
+Prim1D sod_left();
+Prim1D sod_right();
+
+}  // namespace igr::fv

@@ -1,0 +1,121 @@
+#pragma once
+/// \file reconstruct.hpp
+/// Interface reconstruction operators.
+///
+/// IGR permits *linear* (non-adaptive) high-order reconstruction — the paper
+/// uses "a 5th-order accurate polynomial interpolation scheme" (§5.3) since
+/// no shock capturing is needed.  The WENO5-JS nonlinear reconstruction is
+/// provided for the state-of-the-art baseline (§6.2).
+///
+/// All operators act on a 6-point stencil s = { q(i-2) ... q(i+3) } around the
+/// face i+1/2 (the paper's q(-2:3)) and return the left/right face states.
+
+#include <array>
+
+#include "common/math.hpp"
+
+namespace igr::fv {
+
+/// Left/right states at one face.
+template <class T>
+struct FacePair {
+  T left{}, right{};
+};
+
+/// First-order (Godunov) reconstruction: piecewise-constant.
+template <class T>
+FacePair<T> recon1(const std::array<T, 6>& s) {
+  return {s[2], s[3]};
+}
+
+/// Third-order upwind-biased linear reconstruction.
+template <class T>
+FacePair<T> recon3(const std::array<T, 6>& s) {
+  FacePair<T> f;
+  f.left = (-s[1] + T(5) * s[2] + T(2) * s[3]) / T(6);
+  f.right = (T(2) * s[2] + T(5) * s[3] - s[4]) / T(6);
+  return f;
+}
+
+/// Fifth-order upwind-biased linear reconstruction (the IGR scheme's default).
+template <class T>
+FacePair<T> recon5(const std::array<T, 6>& s) {
+  FacePair<T> f;
+  f.left = (T(2) * s[0] - T(13) * s[1] + T(47) * s[2] + T(27) * s[3] -
+            T(3) * s[4]) / T(60);
+  f.right = (-T(3) * s[1] + T(27) * s[2] + T(47) * s[3] - T(13) * s[4] +
+             T(2) * s[5]) / T(60);
+  return f;
+}
+
+/// WENO5-JS smoothness indicators and weights for one upwind triple.
+/// `a,b,c,d,e` are the five stencil values ordered upwind-to-downwind.
+template <class T>
+T weno5_side(T a, T b, T c, T d, T e) {
+  using common::sq;
+  const T thirteen_twelfths = T(13) / T(12);
+  const T beta0 = thirteen_twelfths * sq(a - T(2) * b + c) +
+                  T(0.25) * sq(a - T(4) * b + T(3) * c);
+  const T beta1 = thirteen_twelfths * sq(b - T(2) * c + d) +
+                  T(0.25) * sq(b - d);
+  const T beta2 = thirteen_twelfths * sq(c - T(2) * d + e) +
+                  T(0.25) * sq(T(3) * c - T(4) * d + e);
+  const T eps = T(1e-6);
+  T w0 = T(0.1) / sq(eps + beta0);
+  T w1 = T(0.6) / sq(eps + beta1);
+  T w2 = T(0.3) / sq(eps + beta2);
+  const T wsum = w0 + w1 + w2;
+  w0 /= wsum;
+  w1 /= wsum;
+  w2 /= wsum;
+  const T p0 = (T(2) * a - T(7) * b + T(11) * c) / T(6);
+  const T p1 = (-b + T(5) * c + T(2) * d) / T(6);
+  const T p2 = (T(2) * c + T(5) * d - e) / T(6);
+  return w0 * p0 + w1 * p1 + w2 * p2;
+}
+
+/// WENO5-JS reconstruction of both face states (baseline scheme).
+template <class T>
+FacePair<T> weno5(const std::array<T, 6>& s) {
+  FacePair<T> f;
+  f.left = weno5_side(s[0], s[1], s[2], s[3], s[4]);
+  f.right = weno5_side(s[5], s[4], s[3], s[2], s[1]);
+  return f;
+}
+
+/// Reconstruction scheme selector used by solver configuration.
+enum class ReconScheme { kFirst, kThird, kFifth, kWeno5 };
+
+template <class T>
+FacePair<T> reconstruct(ReconScheme scheme, const std::array<T, 6>& s) {
+  switch (scheme) {
+    case ReconScheme::kFirst: return recon1(s);
+    case ReconScheme::kThird: return recon3(s);
+    case ReconScheme::kFifth: return recon5(s);
+    case ReconScheme::kWeno5: return weno5(s);
+  }
+  return recon1(s);
+}
+
+/// Pointer-based variant for hot loops walking contiguous line buffers:
+/// `s` points at q(i-2) for the face i+1/2.
+template <class T>
+FacePair<T> reconstruct(ReconScheme scheme, const T* s) {
+  switch (scheme) {
+    case ReconScheme::kFirst: return {s[2], s[3]};
+    case ReconScheme::kThird:
+      return {(-s[1] + T(5) * s[2] + T(2) * s[3]) / T(6),
+              (T(2) * s[2] + T(5) * s[3] - s[4]) / T(6)};
+    case ReconScheme::kFifth:
+      return {(T(2) * s[0] - T(13) * s[1] + T(47) * s[2] + T(27) * s[3] -
+               T(3) * s[4]) / T(60),
+              (-T(3) * s[1] + T(27) * s[2] + T(47) * s[3] - T(13) * s[4] +
+               T(2) * s[5]) / T(60)};
+    case ReconScheme::kWeno5:
+      return {weno5_side(s[0], s[1], s[2], s[3], s[4]),
+              weno5_side(s[5], s[4], s[3], s[2], s[1])};
+  }
+  return {s[2], s[3]};
+}
+
+}  // namespace igr::fv

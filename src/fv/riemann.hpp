@@ -1,0 +1,113 @@
+#pragma once
+/// \file riemann.hpp
+/// Approximate Riemann solvers at cell faces.
+///
+/// IGR uses the Lax–Friedrichs (Rusanov) flux (§5.2): with shocks smoothed at
+/// the grid scale, no upwinding sophistication is required.  The baseline
+/// pairs WENO5 with HLLC (§6.2).  Both operate on primitive face states plus
+/// an entropic-pressure value Sigma (zero for the baseline), implementing the
+/// modified conservation law eqs. (6)-(8): p -> p + Sigma in the momentum and
+/// energy fluxes.
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/state.hpp"
+
+namespace igr::fv {
+
+/// Physical (Euler) flux along axis `dir` (0,1,2) with entropic pressure.
+template <class T>
+common::Cons<T> euler_flux(const common::Prim<T>& w, T E, T sigma, int dir) {
+  const T un = (dir == 0) ? w.u : (dir == 1) ? w.v : w.w;
+  const T pt = w.p + sigma;
+  common::Cons<T> f;
+  f.rho = w.rho * un;
+  f.mx = w.rho * w.u * un;
+  f.my = w.rho * w.v * un;
+  f.mz = w.rho * w.w * un;
+  if (dir == 0) f.mx += pt;
+  if (dir == 1) f.my += pt;
+  if (dir == 2) f.mz += pt;
+  f.e = (E + pt) * un;
+  return f;
+}
+
+/// Rusanov (local Lax–Friedrichs) flux.  `gamma` enters through the sound
+/// speed estimate; Sigma augments the pressure in both the flux and the wave
+/// speed bound (a slight overestimate, which only adds robustness).
+template <class T>
+common::Cons<T> rusanov_flux(const common::Prim<T>& wl, T El, T sl,
+                             const common::Prim<T>& wr, T Er, T sr,
+                             T gamma, int dir) {
+  const T unl = (dir == 0) ? wl.u : (dir == 1) ? wl.v : wl.w;
+  const T unr = (dir == 0) ? wr.u : (dir == 1) ? wr.v : wr.w;
+  const T cl = std::sqrt(gamma * std::max(wl.p + sl, T(0)) / wl.rho);
+  const T cr = std::sqrt(gamma * std::max(wr.p + sr, T(0)) / wr.rho);
+  const T smax = std::max(std::abs(unl) + cl, std::abs(unr) + cr);
+
+  const auto fl = euler_flux(wl, El, sl, dir);
+  const auto fr = euler_flux(wr, Er, sr, dir);
+
+  common::Cons<T> ql{wl.rho, wl.rho * wl.u, wl.rho * wl.v, wl.rho * wl.w, El};
+  common::Cons<T> qr{wr.rho, wr.rho * wr.u, wr.rho * wr.v, wr.rho * wr.w, Er};
+
+  common::Cons<T> f;
+  for (int c = 0; c < common::kNumVars; ++c) {
+    f[c] = T(0.5) * (fl[c] + fr[c]) - T(0.5) * smax * (qr[c] - ql[c]);
+  }
+  return f;
+}
+
+/// HLLC flux (Toro), used by the WENO baseline.  Sigma is accepted for
+/// interface symmetry but conventional baselines run with Sigma = 0.
+template <class T>
+common::Cons<T> hllc_flux(const common::Prim<T>& wl, T El,
+                          const common::Prim<T>& wr, T Er,
+                          T gamma, int dir) {
+  const T unl = (dir == 0) ? wl.u : (dir == 1) ? wl.v : wl.w;
+  const T unr = (dir == 0) ? wr.u : (dir == 1) ? wr.v : wr.w;
+  const T cl = std::sqrt(gamma * std::max(wl.p, T(1e-30)) / wl.rho);
+  const T cr = std::sqrt(gamma * std::max(wr.p, T(1e-30)) / wr.rho);
+
+  // Davis wave-speed estimates.
+  const T s_l = std::min(unl - cl, unr - cr);
+  const T s_r = std::max(unl + cl, unr + cr);
+  const T s_m = (wr.p - wl.p + wl.rho * unl * (s_l - unl) -
+                 wr.rho * unr * (s_r - unr)) /
+                (wl.rho * (s_l - unl) - wr.rho * (s_r - unr));
+
+  common::Cons<T> ql{wl.rho, wl.rho * wl.u, wl.rho * wl.v, wl.rho * wl.w, El};
+  common::Cons<T> qr{wr.rho, wr.rho * wr.u, wr.rho * wr.v, wr.rho * wr.w, Er};
+  const auto fl = euler_flux(wl, El, T(0), dir);
+  const auto fr = euler_flux(wr, Er, T(0), dir);
+
+  if (s_l >= T(0)) return fl;
+  if (s_r <= T(0)) return fr;
+
+  auto star = [&](const common::Prim<T>& w, const common::Cons<T>& q, T E,
+                  T un, T s) {
+    const T fac = w.rho * (s - un) / (s - s_m);
+    common::Cons<T> qs;
+    qs.rho = fac;
+    qs.mx = fac * ((dir == 0) ? s_m : w.u);
+    qs.my = fac * ((dir == 1) ? s_m : w.v);
+    qs.mz = fac * ((dir == 2) ? s_m : w.w);
+    qs.e = fac * (E / w.rho + (s_m - un) * (s_m + w.p / (w.rho * (s - un))));
+    (void)q;
+    return qs;
+  };
+
+  if (s_m >= T(0)) {
+    const auto qs = star(wl, ql, El, unl, s_l);
+    common::Cons<T> f;
+    for (int c = 0; c < common::kNumVars; ++c) f[c] = fl[c] + s_l * (qs[c] - ql[c]);
+    return f;
+  }
+  const auto qs = star(wr, qr, Er, unr, s_r);
+  common::Cons<T> f;
+  for (int c = 0; c < common::kNumVars; ++c) f[c] = fr[c] + s_r * (qs[c] - qr[c]);
+  return f;
+}
+
+}  // namespace igr::fv

@@ -1,0 +1,47 @@
+#pragma once
+/// \file rk3.hpp
+/// Strong-stability-preserving third-order Runge–Kutta (Gottlieb & Shu 1998),
+/// the paper's time stepper (§5.2).  Written in the two-register form the
+/// paper exploits for its unified-memory strategy (§5.5.3): only the current
+/// sub-step is passed to the RHS; the previous-state register supplies the
+/// convex combinations.
+///
+///   q1 = q^n + dt L(q^n)
+///   q2 = 3/4 q^n + 1/4 (q1 + dt L(q1))
+///   q^{n+1} = 1/3 q^n + 2/3 (q2 + dt L(q2))
+
+#include <array>
+
+namespace igr::fv {
+
+/// Convex-combination coefficients per SSP-RK3 stage:
+/// q_new = a * q_n + b * (q_stage + dt * L(q_stage)).
+struct Rk3Stage {
+  double a;  ///< Weight of the time-step-start state q^n.
+  double b;  ///< Weight of the advanced stage state.
+};
+
+inline constexpr std::array<Rk3Stage, 3> kRk3Stages{{
+    {0.0, 1.0},
+    {3.0 / 4.0, 1.0 / 4.0},
+    {1.0 / 3.0, 2.0 / 3.0},
+}};
+
+/// Generic SSP-RK3 driver over contiguous state vectors (used by the 1-D
+/// solvers; the 3-D solvers implement the same recurrence over fields).
+/// `State` must support elementwise access via size() and operator[].
+/// `Rhs` is rhs(const State& q, State& dqdt).
+template <class State, class Rhs>
+void ssp_rk3_step(State& q, State& stage, State& dqdt, double dt, Rhs&& rhs) {
+  const std::size_t n = q.size();
+  stage = q;
+  for (const auto& s : kRk3Stages) {
+    rhs(stage, dqdt);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = s.a * q[i] + s.b * (stage[i] + dt * dqdt[i]);
+    }
+  }
+  q = stage;
+}
+
+}  // namespace igr::fv

@@ -1,0 +1,59 @@
+#pragma once
+/// \file viscous.hpp
+/// Viscous stress tensor (paper eq. 5) and its face-flux contribution.
+/// The paper uses 2nd-order accurate velocity derivatives for the stress
+/// (§5.2); the same gradients feed the IGR source term.
+
+#include "common/math.hpp"
+#include "common/state.hpp"
+
+namespace igr::fv {
+
+/// Velocity gradient tensor at a point: g[a][b] = d u_a / d x_b.
+template <class T>
+struct VelGrad {
+  T g[3][3] = {};
+
+  /// Divergence of velocity, tr(grad u).
+  [[nodiscard]] T div() const { return g[0][0] + g[1][1] + g[2][2]; }
+
+  /// tr((grad u)^2) = sum_ab g[a][b] * g[b][a] — the IGR source ingredient.
+  [[nodiscard]] T tr_sq() const {
+    T s = 0;
+    for (int a = 0; a < 3; ++a)
+      for (int b = 0; b < 3; ++b) s += g[a][b] * g[b][a];
+    return s;
+  }
+};
+
+/// Newtonian stress tau_ij = mu (du_i/dx_j + du_j/dx_i) + (zeta - 2mu/3)
+/// delta_ij div(u)  (paper eq. 5).
+template <class T>
+void stress_tensor(const VelGrad<T>& g, T mu, T zeta, T tau[3][3]) {
+  const T lam = (zeta - T(2) * mu / T(3)) * g.div();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      tau[a][b] = mu * (g.g[a][b] + g.g[b][a]);
+    }
+    tau[a][a] += lam;
+  }
+}
+
+/// Viscous flux through a face with unit normal along `dir`:
+/// momentum receives -tau(:,dir), energy receives -(u . tau(:,dir)).
+/// `uf` is the face velocity (average of the two sides).
+template <class T>
+common::Cons<T> viscous_flux(const VelGrad<T>& g, const T uf[3], T mu, T zeta,
+                             int dir) {
+  T tau[3][3];
+  stress_tensor(g, mu, zeta, tau);
+  common::Cons<T> f;
+  f.rho = T(0);
+  f.mx = -tau[0][dir];
+  f.my = -tau[1][dir];
+  f.mz = -tau[2][dir];
+  f.e = -(uf[0] * tau[0][dir] + uf[1] * tau[1][dir] + uf[2] * tau[2][dir]);
+  return f;
+}
+
+}  // namespace igr::fv

@@ -1,0 +1,96 @@
+#include "io/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace igr::io {
+
+namespace {
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw std::runtime_error("checkpoint: " + what);
+}
+
+}  // namespace
+
+template <class T>
+void write_checkpoint(const std::string& path,
+                      const common::StateField3<T>& q, double time) {
+  std::ofstream out(path, std::ios::binary);
+  check(static_cast<bool>(out), "cannot open " + path + " for writing");
+
+  CheckpointHeader h;
+  h.storage_bytes = sizeof(T);
+  h.nx = q.nx();
+  h.ny = q.ny();
+  h.nz = q.nz();
+  h.ng = q.ng();
+  h.num_vars = common::kNumVars;
+  h.time = time;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  std::vector<T> row(static_cast<std::size_t>(q.nx()));
+  for (int c = 0; c < common::kNumVars; ++c) {
+    for (int k = 0; k < q.nz(); ++k) {
+      for (int j = 0; j < q.ny(); ++j) {
+        for (int i = 0; i < q.nx(); ++i)
+          row[static_cast<std::size_t>(i)] = q[c](i, j, k);
+        out.write(reinterpret_cast<const char*>(row.data()),
+                  static_cast<std::streamsize>(row.size() * sizeof(T)));
+      }
+    }
+  }
+  check(static_cast<bool>(out), "write failed for " + path);
+}
+
+CheckpointHeader read_checkpoint_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check(static_cast<bool>(in), "cannot open " + path);
+  CheckpointHeader h;
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  check(static_cast<bool>(in), "truncated header in " + path);
+  check(h.magic == CheckpointHeader{}.magic, "bad magic in " + path);
+  check(h.version == 1, "unsupported version in " + path);
+  return h;
+}
+
+template <class T>
+double read_checkpoint(const std::string& path, common::StateField3<T>& q) {
+  const auto h = read_checkpoint_header(path);
+  check(h.storage_bytes == sizeof(T), "storage width mismatch in " + path);
+  check(h.nx == q.nx() && h.ny == q.ny() && h.nz == q.nz(),
+        "grid shape mismatch in " + path);
+  check(h.num_vars == common::kNumVars, "variable count mismatch in " + path);
+
+  std::ifstream in(path, std::ios::binary);
+  check(static_cast<bool>(in), "cannot open " + path);
+  in.seekg(sizeof(CheckpointHeader));
+
+  std::vector<T> row(static_cast<std::size_t>(q.nx()));
+  for (int c = 0; c < common::kNumVars; ++c) {
+    for (int k = 0; k < q.nz(); ++k) {
+      for (int j = 0; j < q.ny(); ++j) {
+        in.read(reinterpret_cast<char*>(row.data()),
+                static_cast<std::streamsize>(row.size() * sizeof(T)));
+        check(static_cast<bool>(in), "truncated data in " + path);
+        for (int i = 0; i < q.nx(); ++i)
+          q[c](i, j, k) = row[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  return h.time;
+}
+
+#define IGR_INSTANTIATE_CHECKPOINT(T)                                         \
+  template void write_checkpoint<T>(const std::string&,                       \
+                                    const common::StateField3<T>&, double);   \
+  template double read_checkpoint<T>(const std::string&,                      \
+                                     common::StateField3<T>&);
+
+IGR_INSTANTIATE_CHECKPOINT(double)
+IGR_INSTANTIATE_CHECKPOINT(float)
+IGR_INSTANTIATE_CHECKPOINT(common::half)
+#undef IGR_INSTANTIATE_CHECKPOINT
+
+}  // namespace igr::io

@@ -1,0 +1,43 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Binary checkpoint/restart for conservative states.  The paper's timings
+/// cover "the whole application including I/O" (Table 1); production runs
+/// of 16 hours (Fig. 1) are only feasible with restart capability.
+///
+/// Format: a fixed header (magic, version, dims, ghost depth, storage width,
+/// simulated time) followed by the interior of each component in native
+/// byte order.  Storage-precision-faithful: an FP16 state checkpoints at
+/// 2 bytes per value.
+
+#include <cstdint>
+#include <string>
+
+#include "common/field3.hpp"
+#include "common/half.hpp"
+
+namespace igr::io {
+
+struct CheckpointHeader {
+  std::uint64_t magic = 0x49475246'4C4F5731ull;  // "IGRF" "LOW1"
+  std::uint32_t version = 1;
+  std::uint32_t storage_bytes = 0;  ///< 2, 4, or 8.
+  std::int32_t nx = 0, ny = 0, nz = 0, ng = 0;
+  std::int32_t num_vars = 0;
+  double time = 0.0;
+};
+
+/// Write the interior of `q` (plus simulated time) to `path`.
+/// Throws std::runtime_error on I/O failure.
+template <class T>
+void write_checkpoint(const std::string& path,
+                      const common::StateField3<T>& q, double time);
+
+/// Read a checkpoint into `q` (shape must match) and return the stored
+/// simulated time.  Throws std::runtime_error on mismatch or corruption.
+template <class T>
+double read_checkpoint(const std::string& path, common::StateField3<T>& q);
+
+/// Peek at a checkpoint's header without loading the data.
+CheckpointHeader read_checkpoint_header(const std::string& path);
+
+}  // namespace igr::io

@@ -1,0 +1,36 @@
+#include "io/csv_writer.hpp"
+
+#include <stdexcept>
+
+namespace igr::io {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), width_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << columns[i] << (i + 1 < columns.size() ? "," : "\n");
+  }
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != width_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << values[i] << (i + 1 < values.size() ? "," : "\n");
+  }
+  ++rows_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  if (values.size() != width_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << values[i] << (i + 1 < values.size() ? "," : "\n");
+  }
+  ++rows_;
+}
+
+}  // namespace igr::io

@@ -1,0 +1,33 @@
+#pragma once
+/// \file csv_writer.hpp
+/// Minimal column-oriented CSV writer for benchmark series and profiles.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace igr::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Write one data row; must match the header width.
+  void row(const std::vector<double>& values);
+  /// Mixed string/number row.
+  void row_strings(const std::vector<std::string>& values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace igr::io

@@ -1,0 +1,89 @@
+#include "io/vtk_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/half.hpp"
+#include "common/state.hpp"
+
+namespace igr::io {
+
+void VtkWriter::open(const std::string& path) {
+  path_ = path;
+  body_.clear();
+  n_fields_ = 0;
+}
+
+template <class T>
+void VtkWriter::add_scalar(const std::string& name,
+                           const common::Field3<T>& f) {
+  if (path_.empty()) throw std::logic_error("VtkWriter: open() first");
+  std::ostringstream os;
+  os << "SCALARS " << name << " float 1\nLOOKUP_TABLE default\n";
+  for (int k = 0; k < f.nz(); ++k)
+    for (int j = 0; j < f.ny(); ++j)
+      for (int i = 0; i < f.nx(); ++i)
+        os << static_cast<float>(static_cast<double>(f(i, j, k))) << "\n";
+  body_ += os.str();
+  ++n_fields_;
+}
+
+template <class T>
+void VtkWriter::add_state(const common::StateField3<T>& q,
+                          const eos::IdealGas& eos) {
+  if (path_.empty()) throw std::logic_error("VtkWriter: open() first");
+  std::ostringstream rho, pre, vel;
+  rho << "SCALARS density float 1\nLOOKUP_TABLE default\n";
+  pre << "SCALARS pressure float 1\nLOOKUP_TABLE default\n";
+  vel << "SCALARS velocity_magnitude float 1\nLOOKUP_TABLE default\n";
+  for (int k = 0; k < q.nz(); ++k) {
+    for (int j = 0; j < q.ny(); ++j) {
+      for (int i = 0; i < q.nx(); ++i) {
+        common::Cons<double> qc;
+        for (int c = 0; c < common::kNumVars; ++c)
+          qc[c] = static_cast<double>(q[c](i, j, k));
+        const auto w = eos.to_prim(qc);
+        rho << static_cast<float>(w.rho) << "\n";
+        pre << static_cast<float>(w.p) << "\n";
+        vel << static_cast<float>(std::sqrt(w.speed2())) << "\n";
+      }
+    }
+  }
+  body_ += rho.str() + pre.str() + vel.str();
+  n_fields_ += 3;
+}
+
+void VtkWriter::close() {
+  if (path_.empty()) return;
+  std::ofstream out(path_);
+  if (!out) throw std::runtime_error("VtkWriter: cannot open " + path_);
+  out << "# vtk DataFile Version 3.0\nigrflow output\nASCII\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << grid_->nx() << " " << grid_->ny() << " "
+      << grid_->nz() << "\n"
+      << "ORIGIN " << grid_->x(0) << " " << grid_->y(0) << " " << grid_->z(0)
+      << "\n"
+      << "SPACING " << grid_->dx() << " " << grid_->dy() << " " << grid_->dz()
+      << "\n"
+      << "POINT_DATA " << grid_->cells() << "\n"
+      << body_;
+  path_.clear();
+  body_.clear();
+}
+
+template void VtkWriter::add_scalar<double>(const std::string&,
+                                            const common::Field3<double>&);
+template void VtkWriter::add_scalar<float>(const std::string&,
+                                           const common::Field3<float>&);
+template void VtkWriter::add_scalar<common::half>(
+    const std::string&, const common::Field3<common::half>&);
+template void VtkWriter::add_state<double>(const common::StateField3<double>&,
+                                           const eos::IdealGas&);
+template void VtkWriter::add_state<float>(const common::StateField3<float>&,
+                                          const eos::IdealGas&);
+template void VtkWriter::add_state<common::half>(
+    const common::StateField3<common::half>&, const eos::IdealGas&);
+
+}  // namespace igr::io

@@ -1,0 +1,45 @@
+#pragma once
+/// \file vtk_writer.hpp
+/// Legacy-VTK (structured points) output for visualization of 3-D fields —
+/// the paper reports whole-application timings "including I/O" (Table 1).
+
+#include <string>
+#include <vector>
+
+#include "common/field3.hpp"
+#include "eos/ideal_gas.hpp"
+#include "mesh/grid.hpp"
+
+namespace igr::io {
+
+/// Writes cell-centered scalar fields to an ASCII legacy VTK file.
+class VtkWriter {
+ public:
+  explicit VtkWriter(const mesh::Grid& grid) : grid_(&grid) {}
+
+  /// Begin a dataset; subsequent add_* calls append fields.
+  void open(const std::string& path);
+
+  /// Append a scalar field (interior only) under `name`.
+  template <class T>
+  void add_scalar(const std::string& name, const common::Field3<T>& f);
+
+  /// Append derived fields from a conservative state: density, pressure,
+  /// and velocity magnitude.
+  template <class T>
+  void add_state(const common::StateField3<T>& q, const eos::IdealGas& eos);
+
+  void close();
+
+  [[nodiscard]] bool is_open() const { return !path_.empty(); }
+
+ private:
+  void write_header();
+
+  const mesh::Grid* grid_;
+  std::string path_;
+  std::string body_;
+  int n_fields_ = 0;
+};
+
+}  // namespace igr::io

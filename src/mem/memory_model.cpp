@@ -1,0 +1,55 @@
+#include "mem/memory_model.hpp"
+
+#include <algorithm>
+
+namespace igr::mem {
+
+double MemoryModel::unified_traffic_bytes_per_cell(std::size_t bytes_per_real,
+                                                   const Placement& placement) {
+  double vars = 0.0;
+  if (placement.host_rk_register) {
+    // 3 RK stages read q^n (5 vars) + the end-of-step register write.
+    vars += (3.0 + 1.0) * 5.0;
+  }
+  if (placement.host_igr_temporaries) {
+    // Sigma warm-start read + solution write per stage, source write+read.
+    vars += 3.0 * 4.0;
+  }
+  return vars * static_cast<double>(bytes_per_real);
+}
+
+double MemoryModel::unified_overhead_ns(const perf::Platform& p,
+                                        std::size_t bytes_per_real,
+                                        const Placement& placement) {
+  if (p.unified_pool || p.c2c_bandwidth_Bps <= 0.0) return 0.0;
+  const double bytes = unified_traffic_bytes_per_cell(bytes_per_real, placement);
+  return bytes / (p.c2c_bandwidth_Bps * p.c2c_efficiency) * 1.0e9;
+}
+
+double MemoryModel::capacity_cells(const perf::Platform& p,
+                                   const core::FootprintModel& model,
+                                   perf::MemMode mode,
+                                   const Placement& placement) {
+  const double bytes_per_cell = model.bytes_per_cell();
+  if (p.unified_pool) {
+    // Single pool: everything shares the APU's HBM regardless of mode.
+    return p.device_mem_bytes / bytes_per_cell;
+  }
+  if (mode == perf::MemMode::kInCore) {
+    return p.device_mem_bytes / bytes_per_cell;
+  }
+  // Unified: host-resident fraction leaves the device (§5.5.3, 12/17 or
+  // 10/17 of the state on-device for IGR).
+  const double device_frac = core::device_resident_fraction(
+      placement.host_rk_register, placement.host_igr_temporaries);
+  const double host_frac = 1.0 - device_frac;
+  const double dev_cap =
+      p.device_mem_bytes / (bytes_per_cell * device_frac);
+  const double host_cap =
+      host_frac > 0.0
+          ? p.host_mem_bytes / (bytes_per_cell * host_frac)
+          : dev_cap;
+  return std::min(dev_cap, host_cap);
+}
+
+}  // namespace igr::mem

@@ -1,0 +1,48 @@
+#pragma once
+/// \file memory_model.hpp
+/// Unified-memory placement and traffic model (§5.5).
+///
+/// The paper's out-of-core strategy parks the Runge–Kutta sub-step register
+/// (and optionally the IGR temporaries) in host memory and accesses them
+/// zero-copy over the chip-to-chip link during the RK update (Fig. 4).  The
+/// grind-time overhead of unified mode is then the per-cell cross-link
+/// traffic divided by the achievable link bandwidth — which is how Table 3's
+/// in-core vs unified deltas arise (<5% on GH200's 900 GB/s NVLink-C2C,
+/// 42–51% on Frontier's 72 GB/s xGMI, 0% on MI300A's single HBM pool).
+
+#include <cstddef>
+
+#include "core/memory_footprint.hpp"
+#include "perf/platform.hpp"
+
+namespace igr::mem {
+
+/// Where the RK register and IGR temporaries live.
+struct Placement {
+  bool host_rk_register = true;   ///< §5.5.3: sub-step on the host.
+  bool host_igr_temporaries = false;  ///< Sigma + source on the host too.
+};
+
+class MemoryModel {
+ public:
+  /// Cross-link bytes per cell per time step in unified mode: the RK update
+  /// reads the host-resident register once per stage and writes it once per
+  /// step (Fig. 4's q2 traffic).
+  static double unified_traffic_bytes_per_cell(std::size_t bytes_per_real,
+                                               const Placement& placement);
+
+  /// Grind-time overhead (ns per cell per step) of unified mode on a
+  /// platform; zero for single-pool devices (MI300A).
+  static double unified_overhead_ns(const perf::Platform& p,
+                                    std::size_t bytes_per_real,
+                                    const Placement& placement);
+
+  /// Largest per-device cell count for a scheme on a platform.  In unified
+  /// mode the host-resident share of the footprint moves off-device and the
+  /// host pool bounds it instead.
+  static double capacity_cells(const perf::Platform& p,
+                               const core::FootprintModel& model,
+                               perf::MemMode mode, const Placement& placement);
+};
+
+}  // namespace igr::mem

@@ -1,0 +1,66 @@
+#pragma once
+/// \file decomp.hpp
+/// 3-D Cartesian domain decomposition.  Maps ranks to subdomain coordinates
+/// and local extents; used both by the in-process simulated communicator
+/// (src/sim) and by the scaling performance model (src/perf).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "mesh/grid.hpp"
+
+namespace igr::mesh {
+
+/// Face identifiers for neighbor lookup and halo exchange.
+enum class Face : int { kXLo = 0, kXHi, kYLo, kYHi, kZLo, kZHi };
+inline constexpr int kNumFaces = 6;
+
+/// Opposite face (kXLo <-> kXHi, ...).
+Face opposite(Face f);
+
+/// Local block of a decomposed global grid.
+struct LocalBlock {
+  std::array<int, 3> lo{};   ///< Global index of first interior cell.
+  std::array<int, 3> n{};    ///< Local interior cell counts.
+};
+
+/// Rank layout on a 3-D process grid.
+class Decomp {
+ public:
+  /// Decompose `grid` over rx*ry*rz ranks; each axis must divide... it does
+  /// not need to divide evenly — remainder cells go to the low-index ranks.
+  Decomp(const Grid& grid, int rx, int ry, int rz, bool periodic = true);
+
+  /// Choose a near-cubic process grid for `ranks` ranks (factorization that
+  /// minimizes surface-to-volume of local blocks).
+  static std::array<int, 3> balanced_layout(int ranks);
+
+  [[nodiscard]] int ranks() const { return rx_ * ry_ * rz_; }
+  [[nodiscard]] std::array<int, 3> layout() const { return {rx_, ry_, rz_}; }
+  [[nodiscard]] bool periodic() const { return periodic_; }
+
+  /// Rank id from process-grid coordinates.
+  [[nodiscard]] int rank_of(int cx, int cy, int cz) const;
+  /// Process-grid coordinates of a rank.
+  [[nodiscard]] std::array<int, 3> coords_of(int rank) const;
+
+  /// Local interior block of `rank` within the global grid.
+  [[nodiscard]] LocalBlock block(int rank) const;
+
+  /// Neighbor rank across `face`, or -1 at a non-periodic physical boundary.
+  [[nodiscard]] int neighbor(int rank, Face face) const;
+
+  /// Halo message size in cells for one face exchange with `ng` ghost layers.
+  [[nodiscard]] std::size_t halo_cells(int rank, Face face, int ng) const;
+
+ private:
+  [[nodiscard]] static int split_lo(int n, int parts, int idx);
+  [[nodiscard]] static int split_n(int n, int parts, int idx);
+
+  const Grid* grid_ = nullptr;
+  int rx_ = 1, ry_ = 1, rz_ = 1;
+  bool periodic_ = true;
+};
+
+}  // namespace igr::mesh

@@ -1,0 +1,26 @@
+#include "mesh/grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace igr::mesh {
+
+Grid::Grid(int nx, int ny, int nz, std::array<double, 2> xr,
+           std::array<double, 2> yr, std::array<double, 2> zr)
+    : nx_(nx), ny_(ny), nz_(nz), x0_(xr[0]), y0_(yr[0]), z0_(zr[0]) {
+  if (nx < 1 || ny < 1 || nz < 1)
+    throw std::invalid_argument("Grid: cell counts must be positive");
+  if (xr[1] <= xr[0] || yr[1] <= yr[0] || zr[1] <= zr[0])
+    throw std::invalid_argument("Grid: extents must be increasing");
+  dx_ = (xr[1] - xr[0]) / nx;
+  dy_ = (yr[1] - yr[0]) / ny;
+  dz_ = (zr[1] - zr[0]) / nz;
+}
+
+Grid Grid::cube(int n) {
+  return Grid(n, n, n, {0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0});
+}
+
+double Grid::min_dx() const { return std::min({dx_, dy_, dz_}); }
+
+}  // namespace igr::mesh

@@ -1,0 +1,53 @@
+#pragma once
+/// \file grid.hpp
+/// Uniform rectilinear grid, as used by the paper's production runs
+/// ("rectilinear grid of 3.3T cells", §3).
+
+#include <array>
+#include <cstddef>
+
+namespace igr::mesh {
+
+/// Uniform Cartesian grid on [x0,x1] x [y0,y1] x [z0,z1] with cell-centered
+/// unknowns.  Cell (i,j,k) center: x0 + (i + 1/2) dx, etc.
+class Grid {
+ public:
+  Grid() = default;
+  Grid(int nx, int ny, int nz,
+       std::array<double, 2> xr, std::array<double, 2> yr,
+       std::array<double, 2> zr);
+
+  /// Convenience: unit cube with n^3 cells.
+  static Grid cube(int n);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t cells() const {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+
+  [[nodiscard]] double dx() const { return dx_; }
+  [[nodiscard]] double dy() const { return dy_; }
+  [[nodiscard]] double dz() const { return dz_; }
+  /// Smallest spacing; sets the IGR alpha = alpha_factor * min_dx^2.
+  [[nodiscard]] double min_dx() const;
+
+  [[nodiscard]] double x(int i) const { return x0_ + (i + 0.5) * dx_; }
+  [[nodiscard]] double y(int j) const { return y0_ + (j + 0.5) * dy_; }
+  [[nodiscard]] double z(int k) const { return z0_ + (k + 0.5) * dz_; }
+
+  [[nodiscard]] double x0() const { return x0_; }
+  [[nodiscard]] double y0() const { return y0_; }
+  [[nodiscard]] double z0() const { return z0_; }
+  [[nodiscard]] double lx() const { return nx_ * dx_; }
+  [[nodiscard]] double ly() const { return ny_ * dy_; }
+  [[nodiscard]] double lz() const { return nz_ * dz_; }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  double x0_ = 0, y0_ = 0, z0_ = 0;
+  double dx_ = 0, dy_ = 0, dz_ = 0;
+};
+
+}  // namespace igr::mesh

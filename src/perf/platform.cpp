@@ -1,0 +1,100 @@
+#include "perf/platform.hpp"
+
+namespace igr::perf {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double NA = kNotApplicable;
+
+double cube(double n) { return n * n * n; }
+}  // namespace
+
+Platform el_capitan() {
+  Platform p;
+  p.name = "El Capitan";
+  p.device = "MI300A";
+  p.devices_per_node = 4;
+  p.full_system_nodes = 11136;
+  p.device_mem_bytes = 128.0 * kGiB;  // single physical HBM3 pool per APU
+  p.host_mem_bytes = 0.0;
+  p.unified_pool = true;
+  p.c2c_bandwidth_Bps = 0.0;  // no separate link: CPU and GPU share HBM
+  p.c2c_efficiency = 1.0;
+  p.network = {25.0e9, 2.0e-6, 0.9};  // 4x Slingshot NICs / 4 APUs
+  p.step_overhead_s = 0.043;
+  p.weak_cells_per_device = cube(1380.0);
+  // Table 3 rows [scheme][precision][in-core, unified]; the MI300A is
+  // "always unified" so in-core IGR entries are not applicable.
+  p.grind_ns = {{
+      {{{29.50, 29.50}, {NA, NA}, {NA, NA}}},        // baseline WENO
+      {{{NA, 7.21}, {NA, 4.19}, {NA, 17.39}}},       // IGR
+  }};
+  p.energy_uJ = {15.24, 3.493};  // Table 4
+  return p;
+}
+
+Platform frontier() {
+  Platform p;
+  p.name = "Frontier";
+  p.device = "MI250X GCD";
+  p.devices_per_node = 8;  // 4 MI250X = 8 GCDs per node
+  p.full_system_nodes = 9408;  // nodes used for the 200T-cell run
+  p.device_mem_bytes = 64.0 * kGiB;  // HBM2E per GCD
+  p.host_mem_bytes = 64.0 * kGiB;    // 512 GB DDR4 / 8 GCDs
+  p.unified_pool = false;
+  p.c2c_bandwidth_Bps = 72.0e9;  // Trento<->GCD InfinityFabric (xGMI)
+  p.c2c_efficiency = 0.33;       // calibrated: Table 3 in-core->unified delta
+  p.network = {12.5e9, 2.0e-6, 0.9};  // 4 NICs / 8 GCDs
+  p.step_overhead_s = 0.035;
+  p.weak_cells_per_device = cube(1386.0);
+  p.grind_ns = {{
+      {{{69.72, NA}, {NA, NA}, {NA, NA}}},
+      {{{13.01, 19.81}, {9.12, 13.03}, {22.63, 24.71}}},
+  }};
+  p.energy_uJ = {10.67, 1.982};
+  return p;
+}
+
+Platform alps() {
+  Platform p;
+  p.name = "Alps";
+  p.device = "GH200";
+  p.devices_per_node = 4;
+  p.full_system_nodes = 2688;
+  p.device_mem_bytes = 96.0 * kGiB;   // HBM3 per Hopper
+  p.host_mem_bytes = 120.0 * kGiB;    // LPDDR5 per Grace
+  p.unified_pool = false;
+  p.c2c_bandwidth_Bps = 900.0e9;  // NVLink-C2C
+  p.c2c_efficiency = 0.5;         // calibrated: Table 3 in-core->unified delta
+  p.network = {25.0e9, 2.0e-6, 0.9};
+  p.step_overhead_s = 0.0096;
+  p.weak_cells_per_device = cube(1611.0);
+  p.grind_ns = {{
+      {{{16.89, NA}, {NA, NA}, {NA, NA}}},
+      {{{3.83, 4.18}, {2.70, 2.81}, {3.06, 3.07}}},
+  }};
+  p.energy_uJ = {9.349, 2.466};
+  return p;
+}
+
+std::array<Platform, 3> all_platforms() {
+  return {el_capitan(), frontier(), alps()};
+}
+
+const char* scheme_name(Scheme s) {
+  return s == Scheme::kBaselineWeno ? "Baseline (WENO5+HLLC)" : "IGR";
+}
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp64: return "FP64";
+    case Precision::kFp32: return "FP32";
+    default: return "FP16/32";
+  }
+}
+
+const char* memmode_name(MemMode m) {
+  return m == MemMode::kInCore ? "in-core" : "unified";
+}
+
+}  // namespace igr::perf

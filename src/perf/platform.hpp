@@ -1,0 +1,80 @@
+#pragma once
+/// \file platform.hpp
+/// Specifications of the three machines the paper evaluates (Table 2), plus
+/// the paper's measured single-device grind times (Table 3) used to
+/// calibrate the performance models.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "sim/network_model.hpp"
+
+namespace igr::perf {
+
+enum class Scheme : int { kBaselineWeno = 0, kIgr = 1 };
+enum class Precision : int { kFp64 = 0, kFp32 = 1, kFp16x32 = 2 };
+enum class MemMode : int { kInCore = 0, kUnified = 1 };
+
+/// Marker for entries the paper reports as numerically unstable or not
+/// applicable (e.g., WENO below FP64).
+inline constexpr double kNotApplicable = -1.0;
+
+struct Platform {
+  std::string name;          ///< e.g. "El Capitan"
+  std::string device;        ///< e.g. "MI300A"
+  int devices_per_node = 4;
+  int full_system_nodes = 0;
+
+  double device_mem_bytes = 0;  ///< HBM per device (GCD for MI250X).
+  double host_mem_bytes = 0;    ///< CPU memory share per device.
+  bool unified_pool = false;    ///< MI300A: single physical HBM pool.
+
+  /// CPU<->GPU link bandwidth per device (bytes/s) and its achievable
+  /// efficiency for streaming RK-register traffic (calibrated from Table 3).
+  double c2c_bandwidth_Bps = 0;
+  double c2c_efficiency = 1.0;
+
+  sim::NetworkModel network;
+
+  /// Per-step fixed software/runtime overhead (kernel launches, MPI stack)
+  /// that bounds strong scaling; calibrated against the paper's full-system
+  /// strong-scaling efficiencies (Fig. 7).
+  double step_overhead_s = 0.0;
+
+  /// Per-device cell count of the paper's weak-scaling/full-system runs
+  /// (1386^3 per GCD on Frontier, 1611^3 per GH200 on Alps, 1380^3 per
+  /// MI300A on El Capitan), §7.2.
+  double weak_cells_per_device = 0.0;
+
+  /// Paper Table 3 grind times [scheme][precision][memmode] in ns/cell/step;
+  /// kNotApplicable where the paper marks instability or always-unified.
+  std::array<std::array<std::array<double, 2>, 3>, 2> grind_ns{};
+
+  /// Paper Table 4 energy (uJ/cell/step) [scheme] (FP64 column).
+  std::array<double, 2> energy_uJ{};
+
+  [[nodiscard]] double grind(Scheme s, Precision p, MemMode m) const {
+    return grind_ns[static_cast<std::size_t>(s)][static_cast<std::size_t>(p)]
+                   [static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] int full_system_devices() const {
+    return devices_per_node * full_system_nodes;
+  }
+};
+
+/// LLNL El Capitan: 4x MI300A APU per node (unified HBM pool).
+Platform el_capitan();
+/// OLCF Frontier: 4x MI250X per node; modeled per GCD (8 GCDs/node).
+Platform frontier();
+/// CSCS Alps: 4x GH200 per node.
+Platform alps();
+
+/// All three, in the paper's presentation order.
+std::array<Platform, 3> all_platforms();
+
+const char* scheme_name(Scheme s);
+const char* precision_name(Precision p);
+const char* memmode_name(MemMode m);
+
+}  // namespace igr::perf

@@ -1,0 +1,103 @@
+#include "perf/scaling_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace igr::perf {
+
+ScalingModel::ScalingModel(Platform platform, Scheme scheme, Precision prec,
+                           MemMode mem)
+    : platform_(std::move(platform)), scheme_(scheme), prec_(prec), mem_(mem) {
+  grind_ns_ = platform_.grind(scheme, prec, mem);
+  if (grind_ns_ == kNotApplicable) {
+    // Fall back to the other memory mode; callers may also override via
+    // set_grind_ns (required when the paper marks the entry unstable).
+    const auto other =
+        (mem == MemMode::kInCore) ? MemMode::kUnified : MemMode::kInCore;
+    grind_ns_ = platform_.grind(scheme, prec, other);
+  }
+}
+
+std::size_t ScalingModel::bytes_per_real(Precision p) {
+  switch (p) {
+    case Precision::kFp64: return 8;
+    case Precision::kFp32: return 4;
+    default: return 2;  // FP16 storage
+  }
+}
+
+double ScalingModel::comm_time(double cells_per_device, int devices) const {
+  if (devices <= 1) return 0.0;
+  const double face_cells = std::pow(cells_per_device, 2.0 / 3.0);
+  const double bytes = static_cast<double>(bytes_per_real(prec_));
+
+  // Conservative-state halos: 5 vars x 3 ghost layers, once per RK stage.
+  const double state_msg = face_cells * kGhostLayers * 5.0 * bytes;
+  double t = kRkStages * platform_.network.halo_time(
+                             static_cast<std::size_t>(state_msg));
+
+  // Sigma halos: 1 var per relaxation sweep (+1 final), IGR only.
+  if (scheme_ == Scheme::kIgr) {
+    const double sigma_msg = face_cells * kGhostLayers * bytes;
+    t += kRkStages * (kSigmaSweeps + 1) *
+         platform_.network.halo_time(static_cast<std::size_t>(sigma_msg));
+  }
+
+  // dt allreduce once per step.
+  t += platform_.network.allreduce_time(devices);
+  return t;
+}
+
+double ScalingModel::time_per_step(double cells_per_device,
+                                   int devices) const {
+  if (grind_ns_ <= 0.0) {
+    throw std::invalid_argument(
+        "ScalingModel: no grind time for this configuration (the paper marks "
+        "it numerically unstable); call set_grind_ns to supply one");
+  }
+  return cells_per_device * grind_ns_ * 1.0e-9 + platform_.step_overhead_s +
+         comm_time(cells_per_device, devices);
+}
+
+std::vector<ScalingPoint> ScalingModel::weak_scaling(
+    double cells_per_device, const std::vector<int>& device_counts) const {
+  std::vector<ScalingPoint> out;
+  if (device_counts.empty()) return out;
+  const double t0 = time_per_step(cells_per_device, device_counts.front());
+  for (int d : device_counts) {
+    ScalingPoint p;
+    p.devices = d;
+    p.cells_per_device = cells_per_device;
+    p.time_per_step_s = time_per_step(cells_per_device, d);
+    p.speedup = 1.0;
+    p.efficiency = t0 / p.time_per_step_s;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> ScalingModel::strong_scaling(
+    double total_cells, const std::vector<int>& device_counts) const {
+  std::vector<ScalingPoint> out;
+  if (device_counts.empty()) return out;
+  const int d0 = device_counts.front();
+  const double t0 = time_per_step(total_cells / d0, d0);
+  for (int d : device_counts) {
+    ScalingPoint p;
+    p.devices = d;
+    p.cells_per_device = total_cells / d;
+    p.time_per_step_s = time_per_step(p.cells_per_device, d);
+    p.speedup = t0 / p.time_per_step_s;
+    const double ideal = static_cast<double>(d) / d0;
+    p.efficiency = p.speedup / ideal;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double ScalingModel::max_total_cells(int devices,
+                                     double cells_per_device) const {
+  return static_cast<double>(devices) * cells_per_device;
+}
+
+}  // namespace igr::perf

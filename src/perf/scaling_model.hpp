@@ -1,0 +1,69 @@
+#pragma once
+/// \file scaling_model.hpp
+/// Weak/strong scaling simulator for the Figs. 6–8 reproductions.
+///
+/// Per-step time on D devices with N cells each:
+///   t = N * grind + overhead + t_halo(state) + t_halo(Sigma) + t_allreduce
+/// where grind is the platform's measured per-cell time (Table 3), overhead
+/// is the per-step fixed software cost calibrated against the paper's
+/// full-system strong-scaling efficiencies, and the halo terms follow the
+/// scheme's actual message sizes (3 ghost layers x 5 variables per RK stage;
+/// 1 variable per Sigma sweep) through the NetworkModel.
+
+#include <cstddef>
+#include <vector>
+
+#include "perf/platform.hpp"
+
+namespace igr::perf {
+
+struct ScalingPoint {
+  int devices = 0;
+  double cells_per_device = 0;
+  double time_per_step_s = 0;
+  double speedup = 1.0;      ///< Relative to the first (base) point.
+  double efficiency = 1.0;   ///< Weak: t_base/t; strong: speedup/ideal.
+};
+
+class ScalingModel {
+ public:
+  ScalingModel(Platform platform, Scheme scheme, Precision prec, MemMode mem);
+
+  /// Override the grind time (e.g., with a locally measured value).
+  void set_grind_ns(double ns) { grind_ns_ = ns; }
+  [[nodiscard]] double grind_ns() const { return grind_ns_; }
+
+  /// Per-step wall time for one device count / local size.
+  [[nodiscard]] double time_per_step(double cells_per_device,
+                                     int devices) const;
+
+  /// Fixed work per device (Fig. 6).  Efficiency = t(base)/t(D).
+  [[nodiscard]] std::vector<ScalingPoint> weak_scaling(
+      double cells_per_device, const std::vector<int>& device_counts) const;
+
+  /// Fixed total work (Figs. 7, 8).  Speedup relative to the first count.
+  [[nodiscard]] std::vector<ScalingPoint> strong_scaling(
+      double total_cells, const std::vector<int>& device_counts) const;
+
+  /// Largest total problem (cells) on D devices given the per-device
+  /// capacity; used for the 200T-cell / 1-quadrillion-DoF headline.
+  [[nodiscard]] double max_total_cells(int devices,
+                                       double cells_per_device) const;
+
+  [[nodiscard]] static std::size_t bytes_per_real(Precision p);
+  [[nodiscard]] const Platform& platform() const { return platform_; }
+
+ private:
+  [[nodiscard]] double comm_time(double cells_per_device, int devices) const;
+
+  Platform platform_;
+  Scheme scheme_;
+  Precision prec_;
+  MemMode mem_;
+  double grind_ns_ = 0.0;
+  static constexpr int kGhostLayers = 3;
+  static constexpr int kRkStages = 3;
+  static constexpr int kSigmaSweeps = 5;
+};
+
+}  // namespace igr::perf

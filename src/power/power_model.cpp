@@ -1,0 +1,43 @@
+#include "power/power_model.hpp"
+
+#include <stdexcept>
+
+namespace igr::power {
+
+namespace {
+
+/// FP64 grind time for the scheme in the memory mode the paper's energy
+/// table used (in-core where available, unified otherwise).
+double fp64_grind_ns(const perf::Platform& p, perf::Scheme s) {
+  const double in_core =
+      p.grind(s, perf::Precision::kFp64, perf::MemMode::kInCore);
+  if (in_core != perf::kNotApplicable) return in_core;
+  const double unified =
+      p.grind(s, perf::Precision::kFp64, perf::MemMode::kUnified);
+  if (unified != perf::kNotApplicable) return unified;
+  throw std::invalid_argument("no FP64 grind time for scheme on platform");
+}
+
+}  // namespace
+
+double PowerModel::device_power_W(const perf::Platform& p, perf::Scheme s) {
+  const double e_J =
+      p.energy_uJ[static_cast<std::size_t>(s)] * 1.0e-6;  // per cell per step
+  const double t_s = fp64_grind_ns(p, s) * 1.0e-9;
+  return e_J / t_s;
+}
+
+double PowerModel::energy_uJ_per_cell(const perf::Platform& p, perf::Scheme s,
+                                      double grind_ns) {
+  return device_power_W(p, s) * grind_ns * 1.0e-9 * 1.0e6;
+}
+
+double PowerModel::paper_energy_uJ(const perf::Platform& p, perf::Scheme s) {
+  return p.energy_uJ[static_cast<std::size_t>(s)];
+}
+
+double PowerModel::improvement_factor(const perf::Platform& p) {
+  return p.energy_uJ[0] / p.energy_uJ[1];
+}
+
+}  // namespace igr::power

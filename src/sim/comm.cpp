@@ -1,0 +1,27 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace igr::sim {
+
+Comm::Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic)
+    : global_(global), decomp_(global_, rx, ry, rz, periodic) {}
+
+mesh::Grid Comm::local_grid(int rank) const {
+  const auto b = decomp_.block(rank);
+  const double x0 = global_.x0() + b.lo[0] * global_.dx();
+  const double y0 = global_.y0() + b.lo[1] * global_.dy();
+  const double z0 = global_.z0() + b.lo[2] * global_.dz();
+  return mesh::Grid(b.n[0], b.n[1], b.n[2],
+                    {x0, x0 + b.n[0] * global_.dx()},
+                    {y0, y0 + b.n[1] * global_.dy()},
+                    {z0, z0 + b.n[2] * global_.dz()});
+}
+
+double Comm::allreduce_min(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("allreduce_min: empty");
+  return *std::min_element(v.begin(), v.end());
+}
+
+}  // namespace igr::sim

@@ -1,0 +1,131 @@
+#pragma once
+/// \file comm.hpp
+/// In-process simulated communicator.
+///
+/// The paper runs MPI across up to 11k nodes (§6).  Locally we reproduce the
+/// *semantics* of that layer: R ranks own disjoint blocks of the global grid
+/// and exchange real halo buffers, so a decomposed run is verifiable against
+/// a single-domain run (bitwise, when the elliptic sweeps use Jacobi — see
+/// sim::DistributedIgr).  Performance at scale is the province of
+/// perf::ScalingModel; this class also meters exchanged bytes so the model's
+/// traffic terms can be cross-checked against an executed exchange.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/field3.hpp"
+#include "mesh/decomp.hpp"
+#include "mesh/grid.hpp"
+
+namespace igr::sim {
+
+class Comm {
+ public:
+  /// Decompose `global` over an rx*ry*rz rank layout.
+  Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic);
+
+  [[nodiscard]] int ranks() const { return decomp_.ranks(); }
+  [[nodiscard]] const mesh::Decomp& decomp() const { return decomp_; }
+  [[nodiscard]] const mesh::Grid& global_grid() const { return global_; }
+
+  /// Local physical grid of `rank` (extents match its block).
+  [[nodiscard]] mesh::Grid local_grid(int rank) const;
+
+  /// Exchange ghost layers of one scalar field per rank.  Axes are swept in
+  /// x,y,z order with widening tangential extents, matching the single-
+  /// domain ghost-fill ordering so corner ghosts coincide.
+  template <class T>
+  void exchange(std::vector<common::Field3<T>*> fields) const;
+
+  /// Exchange all components of one state field per rank.
+  template <class T>
+  void exchange_state(std::vector<common::StateField3<T>*> states) const;
+
+  /// Single-axis exchange (x=0, y=1, z=2) — the building block distributed
+  /// drivers interleave with per-axis physical-boundary fills.
+  template <class T>
+  void exchange_axis(std::vector<common::Field3<T>*>& fields, int axis) const;
+
+  /// Minimum across per-rank values (the dt allreduce).
+  [[nodiscard]] static double allreduce_min(const std::vector<double>& v);
+
+  /// Total bytes moved by exchanges since construction.
+  [[nodiscard]] std::size_t bytes_exchanged() const { return bytes_; }
+  void reset_traffic() { bytes_ = 0; }
+
+ private:
+  mesh::Grid global_;
+  mesh::Decomp decomp_;
+  mutable std::size_t bytes_ = 0;
+};
+
+// ---- template implementations ----
+
+template <class T>
+void Comm::exchange_axis(std::vector<common::Field3<T>*>& fields,
+                         int axis) const {
+  const int R = ranks();
+  for (int r = 0; r < R; ++r) {
+    common::Field3<T>& dst = *fields[static_cast<std::size_t>(r)];
+    const int ng = dst.ng();
+    const int nd[3] = {dst.nx(), dst.ny(), dst.nz()};
+
+    for (int side = 0; side < 2; ++side) {
+      const auto face = static_cast<mesh::Face>(2 * axis + side);
+      const int nb = decomp_.neighbor(r, face);
+      if (nb < 0) continue;  // physical boundary: left for BC fill
+      const common::Field3<T>& src = *fields[static_cast<std::size_t>(nb)];
+      const int ns[3] = {src.nx(), src.ny(), src.nz()};
+
+      // Tangential bounds: widened for axes already exchanged.
+      int lo[3], hi[3];
+      for (int a = 0; a < 3; ++a) {
+        lo[a] = (a < axis) ? -ng : 0;
+        hi[a] = (a < axis) ? nd[a] + ng : nd[a];
+      }
+
+      for (int g = 0; g < ng; ++g) {
+        // Ghost plane in dst and the matching interior plane in src.
+        const int gp = (side == 0) ? -ng + g : nd[axis] + g;
+        const int sp = (side == 0) ? ns[axis] - ng + g : g;
+
+        int i0 = lo[0], i1 = hi[0], j0 = lo[1], j1 = hi[1], k0 = lo[2],
+            k1 = hi[2];
+        if (axis == 0) { i0 = gp; i1 = gp + 1; }
+        if (axis == 1) { j0 = gp; j1 = gp + 1; }
+        if (axis == 2) { k0 = gp; k1 = gp + 1; }
+
+        for (int k = k0; k < k1; ++k) {
+          for (int j = j0; j < j1; ++j) {
+            for (int i = i0; i < i1; ++i) {
+              int s[3] = {i, j, k};
+              s[axis] = sp;
+              dst(i, j, k) = src(s[0], s[1], s[2]);
+              bytes_ += sizeof(T);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void Comm::exchange(std::vector<common::Field3<T>*> fields) const {
+  for (int axis = 0; axis < 3; ++axis) exchange_axis(fields, axis);
+}
+
+template <class T>
+void Comm::exchange_state(
+    std::vector<common::StateField3<T>*> states) const {
+  for (int c = 0; c < common::kNumVars; ++c) {
+    std::vector<common::Field3<T>*> comp;
+    comp.reserve(states.size());
+    for (auto* s : states) comp.push_back(&(*s)[c]);
+    // One full axis sweep per component keeps the per-component ordering
+    // identical to the single-domain fill.
+    for (int axis = 0; axis < 3; ++axis) exchange_axis(comp, axis);
+  }
+}
+
+}  // namespace igr::sim

@@ -1,0 +1,14 @@
+#include "sim/network_model.hpp"
+
+#include <cmath>
+
+namespace igr::sim {
+
+double NetworkModel::allreduce_time(int ranks) const {
+  if (ranks <= 1) return 0.0;
+  // Reduce + broadcast along a binary tree: 2 * ceil(log2(R)) hops.
+  const double hops = 2.0 * std::ceil(std::log2(static_cast<double>(ranks)));
+  return hops * latency_s;
+}
+
+}  // namespace igr::sim

@@ -1,0 +1,36 @@
+#pragma once
+/// \file network_model.hpp
+/// Analytic interconnect model (HPE Slingshot-class, §6.1): per-message
+/// latency plus bandwidth-limited transfer, with an effective-bandwidth
+/// efficiency factor.  Used by perf::ScalingModel for the Figs. 6-8
+/// reproductions; cross-checked against sim::Comm traffic metering in tests.
+
+#include <cstddef>
+
+namespace igr::sim {
+
+struct NetworkModel {
+  /// Injection bandwidth available to one device (bytes/s).
+  double bandwidth_Bps = 25.0e9;
+  /// Per-message latency (s); Slingshot-class RDMA is ~2 us end-to-end.
+  double latency_s = 2.0e-6;
+  /// Achievable fraction of peak bandwidth for halo-sized messages.
+  double efficiency = 0.9;
+
+  /// Time to move one message of `bytes`.
+  [[nodiscard]] double message_time(std::size_t bytes) const {
+    return latency_s +
+           static_cast<double>(bytes) / (bandwidth_Bps * efficiency);
+  }
+
+  /// One halo phase: per axis, send+receive (full duplex assumed, so one
+  /// message time per axis), three axes per exchange.
+  [[nodiscard]] double halo_time(std::size_t bytes_per_face) const {
+    return 3.0 * message_time(bytes_per_face);
+  }
+
+  /// Tree allreduce of a scalar over `ranks` (the dt reduction).
+  [[nodiscard]] double allreduce_time(int ranks) const;
+};
+
+}  // namespace igr::sim

@@ -1,0 +1,226 @@
+/// Tests for the application layer (jet configurations, Simulation driver)
+/// and the I/O substrate (VTK + CSV writers), plus timers and config.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "app/jet_config.hpp"
+#include "app/simulation.hpp"
+#include "common/timer.hpp"
+#include "io/csv_writer.hpp"
+#include "io/vtk_writer.hpp"
+
+namespace {
+
+using igr::app::JetConfig;
+using igr::app::SchemeKind;
+using igr::app::Simulation;
+using igr::common::Fp16x32;
+using igr::common::Fp64;
+using igr::common::SolverConfig;
+using igr::mesh::Grid;
+
+TEST(JetConfig, SuperHeavyHasThirtyThreeEngines) {
+  const auto j = igr::app::super_heavy_33();
+  EXPECT_EQ(j.centers.size(), 33u);  // 3 + 10 + 20, Fig. 1 layout
+}
+
+TEST(JetConfig, EnginesDoNotOverlap) {
+  const auto j = igr::app::super_heavy_33();
+  for (std::size_t a = 0; a < j.centers.size(); ++a) {
+    for (std::size_t b = a + 1; b < j.centers.size(); ++b) {
+      const double dx = j.centers[a][0] - j.centers[b][0];
+      const double dy = j.centers[a][1] - j.centers[b][1];
+      EXPECT_GT(std::sqrt(dx * dx + dy * dy), 2.0 * j.nozzle_radius)
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(JetConfig, EnginesInsideUnitCrossSection) {
+  for (const auto& cfg : {igr::app::single_engine(),
+                          igr::app::three_engine_row(),
+                          igr::app::super_heavy_33()}) {
+    for (const auto& c : cfg.centers) {
+      EXPECT_GT(c[0] - cfg.nozzle_radius, 0.0);
+      EXPECT_LT(c[0] + cfg.nozzle_radius, 1.0);
+      EXPECT_GT(c[1] - cfg.nozzle_radius, 0.0);
+      EXPECT_LT(c[1] + cfg.nozzle_radius, 1.0);
+    }
+  }
+}
+
+TEST(JetConfig, JetStateIsMachTen) {
+  const auto j = igr::app::single_engine();
+  const auto w = j.jet_state();
+  const double c = std::sqrt(j.gamma * w.p / w.rho);
+  EXPECT_NEAR(w.w / c, 10.0, 1e-12);
+  EXPECT_EQ(w.u, 0.0);
+}
+
+TEST(JetConfig, BcHasPatchesOnZLowOnly) {
+  const auto j = igr::app::three_engine_row();
+  const auto bc = j.make_bc();
+  using igr::mesh::Face;
+  EXPECT_EQ(bc.face_kind(Face::kZLo), igr::fv::BcKind::kInflowPatches);
+  EXPECT_EQ(bc.patches[static_cast<std::size_t>(Face::kZLo)].size(), 3u);
+  EXPECT_EQ(bc.face_kind(Face::kZHi), igr::fv::BcKind::kOutflow);
+}
+
+TEST(JetConfig, NoiseSeedingPerturbsDensity) {
+  const auto j = igr::app::single_engine();
+  const auto ic0 = j.initial_condition(0.0);
+  const auto ic1 = j.initial_condition(0.01);
+  const auto w0 = ic0(0.3, 0.4, 0.2);
+  const auto w1 = ic1(0.3, 0.4, 0.2);
+  EXPECT_EQ(w0.rho, 1.0);
+  EXPECT_NE(w1.rho, w0.rho);
+  EXPECT_NEAR(w1.rho, 1.0, 0.02);
+}
+
+TEST(Simulation, IgrJetRunsStably) {
+  const auto j = igr::app::single_engine();
+  typename Simulation<Fp64>::Params params;
+  params.grid = Grid(16, 16, 24, {0, 1}, {0, 1}, {0, 1.5});
+  params.cfg = j.solver_config();
+  params.bc = j.make_bc();
+  params.scheme = SchemeKind::kIgr;
+  Simulation<Fp64> sim(params);
+  sim.init(j.initial_condition());
+  sim.run_steps(10);
+  const auto d = sim.diagnostics();
+  EXPECT_GT(d.max_mach, 1.0);       // the jet has entered the domain
+  EXPECT_GT(d.min_density, 0.0);    // positivity held
+  EXPECT_TRUE(std::isfinite(d.kinetic_energy));
+  EXPECT_GT(sim.grind_ns(), 0.0);
+}
+
+TEST(Simulation, BaselineJetRunsStablyFp64) {
+  const auto j = igr::app::single_engine();
+  typename Simulation<Fp64>::Params params;
+  params.grid = Grid(12, 12, 16, {0, 1}, {0, 1}, {0, 1.5});
+  params.cfg = j.solver_config();
+  params.bc = j.make_bc();
+  params.scheme = SchemeKind::kBaselineWeno;
+  Simulation<Fp64> sim(params);
+  sim.init(j.initial_condition());
+  sim.run_steps(5);
+  EXPECT_GT(sim.diagnostics().max_mach, 0.5);
+}
+
+TEST(Simulation, BaselineRejectsFp16) {
+  // §4.3: WENO/HLLC is numerically unstable below FP64; the API forbids it.
+  typename Simulation<Fp16x32>::Params params;
+  params.scheme = SchemeKind::kBaselineWeno;
+  EXPECT_THROW(Simulation<Fp16x32>{params}, std::invalid_argument);
+}
+
+TEST(Simulation, Fp16IgrJetStaysFinite) {
+  const auto j = igr::app::single_engine();
+  typename Simulation<Fp16x32>::Params params;
+  params.grid = Grid(12, 12, 16, {0, 1}, {0, 1}, {0, 1.5});
+  params.cfg = j.solver_config();
+  params.bc = j.make_bc();
+  Simulation<Fp16x32> sim(params);
+  sim.init(j.initial_condition(0.005));
+  sim.run_steps(8);
+  const auto d = sim.diagnostics();
+  EXPECT_GT(d.min_density, 0.0);
+  EXPECT_TRUE(std::isfinite(d.max_mach));
+}
+
+TEST(VtkWriter, WritesWellFormedFile) {
+  const auto path = std::filesystem::temp_directory_path() / "igr_test.vtk";
+  const auto g = Grid::cube(4);
+  igr::common::StateField3<double> q(4, 4, 4, 3);
+  for (int c = 0; c < 5; ++c) q[c].fill(c == 0 || c == 4 ? 1.0 : 0.0);
+  igr::eos::IdealGas eos(1.4);
+  igr::io::VtkWriter w(g);
+  w.open(path.string());
+  w.add_state(q, eos);
+  w.close();
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# vtk DataFile Version 3.0");
+  int scalars = 0;
+  while (std::getline(in, line))
+    if (line.rfind("SCALARS", 0) == 0) ++scalars;
+  EXPECT_EQ(scalars, 3);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const auto path = std::filesystem::temp_directory_path() / "igr_test.csv";
+  {
+    igr::io::CsvWriter csv(path.string(), {"x", "rho"});
+    csv.row({0.5, 1.25});
+    csv.row({1.5, 0.75});
+    EXPECT_EQ(csv.rows_written(), 2u);
+    EXPECT_THROW(csv.row({1.0}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,rho");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.5,1.25");
+  std::filesystem::remove(path);
+}
+
+TEST(Timer, GrindTimeMatchesDefinition) {
+  igr::common::GrindTimer t(1000);
+  t.begin_step();
+  t.end_step();
+  t.begin_step();
+  t.end_step();
+  EXPECT_EQ(t.steps(), 2u);
+  // grind_ns = total_s * 1e9 / (cells * steps)
+  EXPECT_NEAR(t.grind_ns(), t.total_seconds() * 1e9 / 2000.0, 1e-9);
+}
+
+TEST(Timer, ZeroStepsGivesZeroGrind) {
+  igr::common::GrindTimer t(100);
+  EXPECT_EQ(t.grind_ns(), 0.0);
+}
+
+TEST(Config, ValidationCatchesBadInputs) {
+  SolverConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.gamma = 0.9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.cfl = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.mu = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.sigma_sweeps = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.pressure_floor = -1e-3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Simulation, VtkOutputFromDriver) {
+  const auto path = std::filesystem::temp_directory_path() / "igr_sim.vtk";
+  const auto j = igr::app::single_engine();
+  typename Simulation<Fp64>::Params params;
+  params.grid = Grid(8, 8, 8, {0, 1}, {0, 1}, {0, 1});
+  params.cfg = j.solver_config();
+  params.bc = j.make_bc();
+  Simulation<Fp64> sim(params);
+  sim.init(j.initial_condition());
+  sim.run_steps(2);
+  sim.write_vtk(path.string());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 1000u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+/// Tests for the ghost-cell boundary conditions, including the jet inflow
+/// patches the paper uses to model rocket engines.
+
+#include <gtest/gtest.h>
+
+#include "common/half.hpp"
+#include "eos/ideal_gas.hpp"
+#include "fv/bc.hpp"
+
+namespace {
+
+using igr::common::kEnergy;
+using igr::common::kMomX;
+using igr::common::kMomY;
+using igr::common::kMomZ;
+using igr::common::kNumVars;
+using igr::common::kRho;
+using igr::common::StateField3;
+using igr::eos::IdealGas;
+using igr::fv::apply_bc;
+using igr::fv::BcKind;
+using igr::fv::BcSpec;
+using igr::fv::InflowPatch;
+using igr::mesh::Face;
+using igr::mesh::Grid;
+
+constexpr int kN = 8;
+
+StateField3<double> make_state() {
+  StateField3<double> q(kN, kN, kN, 3);
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < kN; ++k)
+      for (int j = 0; j < kN; ++j)
+        for (int i = 0; i < kN; ++i)
+          q[c](i, j, k) = 1000.0 * c + 100.0 * i + 10.0 * j + k + 1.0;
+  return q;
+}
+
+TEST(Bc, PeriodicWrapsAllComponents) {
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  apply_bc(q, BcSpec::all_periodic(), g, eos);
+  for (int c = 0; c < kNumVars; ++c) {
+    EXPECT_EQ(q[c](-1, 3, 3), q[c](kN - 1, 3, 3));
+    EXPECT_EQ(q[c](-3, 3, 3), q[c](kN - 3, 3, 3));
+    EXPECT_EQ(q[c](kN, 3, 3), q[c](0, 3, 3));
+    EXPECT_EQ(q[c](3, -2, 3), q[c](3, kN - 2, 3));
+    EXPECT_EQ(q[c](3, 3, kN + 1), q[c](3, 3, 1));
+  }
+}
+
+TEST(Bc, PeriodicFillsCornerGhosts) {
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  apply_bc(q, BcSpec::all_periodic(), g, eos);
+  EXPECT_EQ(q[kRho](-1, -1, -1), q[kRho](kN - 1, kN - 1, kN - 1));
+  EXPECT_EQ(q[kRho](kN + 2, -3, kN), q[kRho](2, kN - 3, 0));
+}
+
+TEST(Bc, OutflowExtrapolatesZeroGradient) {
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  apply_bc(q, BcSpec::all_outflow(), g, eos);
+  for (int gl = 1; gl <= 3; ++gl) {
+    EXPECT_EQ(q[kRho](-gl, 4, 4), q[kRho](0, 4, 4));
+    EXPECT_EQ(q[kEnergy](kN - 1 + gl, 4, 4), q[kEnergy](kN - 1, 4, 4));
+  }
+}
+
+TEST(Bc, ReflectiveMirrorsAndNegatesNormalMomentum) {
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  BcSpec spec;
+  spec.kind.fill(BcKind::kReflective);
+  apply_bc(q, spec, g, eos);
+  // x-low: ghost -1 mirrors cell 0, ghost -2 mirrors cell 1.
+  EXPECT_EQ(q[kRho](-1, 4, 4), q[kRho](0, 4, 4));
+  EXPECT_EQ(q[kRho](-2, 4, 4), q[kRho](1, 4, 4));
+  EXPECT_EQ(q[kMomX](-1, 4, 4), -q[kMomX](0, 4, 4));
+  EXPECT_EQ(q[kMomY](-1, 4, 4), q[kMomY](0, 4, 4));  // tangential unchanged
+  // z-high face: normal is z.
+  EXPECT_EQ(q[kMomZ](4, 4, kN), -q[kMomZ](4, 4, kN - 1));
+  EXPECT_EQ(q[kMomX](4, 4, kN), q[kMomX](4, 4, kN - 1));
+}
+
+TEST(Bc, ReflectiveWallHasZeroNormalMassFluxSymmetry) {
+  // The mirrored state at the wall implies u_n(face) = 0 by symmetry.
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  BcSpec spec;
+  spec.kind.fill(BcKind::kReflective);
+  apply_bc(q, spec, g, eos);
+  const double sum = q[kMomX](-1, 4, 4) + q[kMomX](0, 4, 4);
+  EXPECT_NEAR(sum, 0.0, 1e-14);
+}
+
+TEST(Bc, InflowPatchInjectsJetState) {
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  BcSpec spec = BcSpec::all_outflow();
+  spec.kind[static_cast<std::size_t>(Face::kZLo)] = BcKind::kInflowPatches;
+  InflowPatch p;
+  p.cx = 0.5;
+  p.cy = 0.5;
+  p.radius = 0.2;
+  p.state = {1.0, 0.0, 0.0, 10.0, 1.0};  // fast jet along +z
+  spec.patches[static_cast<std::size_t>(Face::kZLo)].push_back(p);
+  apply_bc(q, spec, g, eos);
+
+  // Center of the face (x=y=0.5 is between cells 3 and 4): inside patch.
+  const auto qc = eos.to_cons(p.state);
+  EXPECT_NEAR(q[kMomZ](4, 4, -1), qc.mz, 1e-12);
+  EXPECT_NEAR(q[kRho](4, 4, -2), qc.rho, 1e-12);
+  EXPECT_NEAR(q[kEnergy](4, 4, -3), qc.e, 1e-12);
+}
+
+TEST(Bc, OutsidePatchFallsBackToReflectiveBasePlate) {
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  BcSpec spec = BcSpec::all_outflow();
+  spec.kind[static_cast<std::size_t>(Face::kZLo)] = BcKind::kInflowPatches;
+  InflowPatch p;
+  p.cx = 0.5;
+  p.cy = 0.5;
+  p.radius = 0.1;  // small: corner cells are outside
+  p.state = {1.0, 0.0, 0.0, 10.0, 1.0};
+  spec.patches[static_cast<std::size_t>(Face::kZLo)].push_back(p);
+  apply_bc(q, spec, g, eos);
+  // Corner cell (0,0): wall behavior (mirror, negate z-momentum).
+  EXPECT_EQ(q[kRho](0, 0, -1), q[kRho](0, 0, 0));
+  EXPECT_EQ(q[kMomZ](0, 0, -1), -q[kMomZ](0, 0, 0));
+}
+
+TEST(Bc, MixedFacesIndependent) {
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  BcSpec spec;
+  spec.kind = {BcKind::kPeriodic, BcKind::kPeriodic, BcKind::kOutflow,
+               BcKind::kOutflow, BcKind::kReflective, BcKind::kReflective};
+  apply_bc(q, spec, g, eos);
+  EXPECT_EQ(q[kRho](-1, 4, 4), q[kRho](kN - 1, 4, 4));      // periodic x
+  EXPECT_EQ(q[kRho](4, -1, 4), q[kRho](4, 0, 4));           // outflow y
+  EXPECT_EQ(q[kMomZ](4, 4, -1), -q[kMomZ](4, 4, 0));        // wall z
+}
+
+TEST(Bc, FloatAndHalfInstantiations) {
+  StateField3<float> qf(4, 4, 4, 3);
+  StateField3<igr::common::half> qh(4, 4, 4, 3);
+  for (int c = 0; c < kNumVars; ++c) {
+    qf[c].fill(1.5f);
+    qh[c].fill(igr::common::half(1.5f));
+  }
+  const auto g = Grid::cube(4);
+  IdealGas eos(1.4);
+  apply_bc(qf, BcSpec::all_periodic(), g, eos);
+  apply_bc(qh, BcSpec::all_periodic(), g, eos);
+  EXPECT_EQ(qf[kRho](-1, 0, 0), 1.5f);
+  EXPECT_EQ(float(qh[kRho](-1, 0, 0)), 1.5f);
+}
+
+}  // namespace

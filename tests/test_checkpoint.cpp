@@ -1,0 +1,143 @@
+/// Tests for binary checkpoint/restart: bit-exact round trips at every
+/// storage precision, header validation, and restart-equivalence of a
+/// simulation (continue == straight-through run).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/igr_solver3d.hpp"
+#include "io/checkpoint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using igr::common::kNumVars;
+using igr::common::StateField3;
+
+template <class T>
+StateField3<T> make_state(int n) {
+  StateField3<T> q(n, n, n, 3);
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+          q[c](i, j, k) = static_cast<T>(
+              0.1 * c + std::sin(0.3 * i) * std::cos(0.2 * j) + 0.01 * k);
+  return q;
+}
+
+template <class T>
+class CheckpointRoundTrip : public ::testing::Test {};
+
+using StorageTypes = ::testing::Types<double, float, igr::common::half>;
+TYPED_TEST_SUITE(CheckpointRoundTrip, StorageTypes);
+
+TYPED_TEST(CheckpointRoundTrip, BitExactAtEveryPrecision) {
+  const auto path =
+      fs::temp_directory_path() / ("igr_ckpt_" +
+                                   std::to_string(sizeof(TypeParam)) + ".bin");
+  const auto q = make_state<TypeParam>(6);
+  igr::io::write_checkpoint(path.string(), q, 1.25);
+
+  StateField3<TypeParam> r(6, 6, 6, 3);
+  const double t = igr::io::read_checkpoint(path.string(), r);
+  EXPECT_DOUBLE_EQ(t, 1.25);
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < 6; ++k)
+      for (int j = 0; j < 6; ++j)
+        for (int i = 0; i < 6; ++i)
+          ASSERT_EQ(static_cast<double>(q[c](i, j, k)),
+                    static_cast<double>(r[c](i, j, k)));
+  fs::remove(path);
+}
+
+TEST(Checkpoint, HeaderRecordsMetadata) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_hdr.bin";
+  const auto q = make_state<float>(5);
+  igr::io::write_checkpoint(path.string(), q, 3.5);
+  const auto h = igr::io::read_checkpoint_header(path.string());
+  EXPECT_EQ(h.nx, 5);
+  EXPECT_EQ(h.storage_bytes, 4u);
+  EXPECT_EQ(h.num_vars, 5);
+  EXPECT_DOUBLE_EQ(h.time, 3.5);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, RejectsShapeMismatch) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_shape.bin";
+  igr::io::write_checkpoint(path.string(), make_state<double>(6), 0.0);
+  StateField3<double> wrong(8, 8, 8, 3);
+  EXPECT_THROW(igr::io::read_checkpoint(path.string(), wrong),
+               std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, RejectsPrecisionMismatch) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_prec.bin";
+  igr::io::write_checkpoint(path.string(), make_state<double>(6), 0.0);
+  StateField3<float> wrong(6, 6, 6, 3);
+  EXPECT_THROW(igr::io::read_checkpoint(path.string(), wrong),
+               std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_garbage.bin";
+  {
+    std::ofstream out(path);
+    out << "this is not a checkpoint";
+  }
+  EXPECT_THROW(igr::io::read_checkpoint_header(path.string()),
+               std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, RestartedRunMatchesStraightThrough) {
+  // 6 steps straight vs 3 steps + checkpoint + restart + 3 steps: the
+  // restarted solver must match bitwise (fixed dt; Sigma is re-derived from
+  // the state by the warm-started solve, which is part of the state's
+  // definition only through the initial guess — use Jacobi + enough sweeps
+  // to make the restart difference vanish below round-off).
+  using igr::common::Fp64;
+  using igr::core::IgrSolver3D;
+  const auto g = igr::mesh::Grid::cube(10);
+  igr::common::SolverConfig cfg;
+  cfg.alpha_factor = 5.0;
+  const auto bc = igr::fv::BcSpec::all_periodic();
+  auto ic = [](double x, double y, double) {
+    igr::common::Prim<double> w;
+    w.rho = 1.0 + 0.2 * std::sin(2 * M_PI * x);
+    w.u = 0.3 * std::cos(2 * M_PI * y);
+    w.p = 1.0;
+    return w;
+  };
+
+  IgrSolver3D<Fp64> full(g, cfg, bc);
+  full.init(ic);
+  for (int s = 0; s < 6; ++s) full.step_fixed(1e-3);
+
+  IgrSolver3D<Fp64> first(g, cfg, bc);
+  first.init(ic);
+  for (int s = 0; s < 3; ++s) first.step_fixed(1e-3);
+  const auto path = fs::temp_directory_path() / "igr_ckpt_restart.bin";
+  igr::io::write_checkpoint(path.string(), first.state(), first.time());
+
+  IgrSolver3D<Fp64> resumed(g, cfg, bc);
+  const double t = igr::io::read_checkpoint(path.string(), resumed.state());
+  EXPECT_NEAR(t, 3e-3, 1e-15);
+  for (int s = 0; s < 3; ++s) resumed.step_fixed(1e-3);
+  fs::remove(path);
+
+  // Sigma's warm start differs across the restart (zero vs converged), so
+  // the runs agree to the iteration error of the well-conditioned solve.
+  for (int k = 0; k < 10; ++k)
+    for (int j = 0; j < 10; ++j)
+      for (int i = 0; i < 10; ++i)
+        ASSERT_NEAR(full.state()[0](i, j, k), resumed.state()[0](i, j, k),
+                    1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+/// Tests for the simulated communicator: halo exchange correctness against
+/// the single-domain ghost fill, traffic metering, and local grids.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eos/ideal_gas.hpp"
+#include "fv/bc.hpp"
+#include "sim/comm.hpp"
+
+namespace {
+
+using igr::common::Field3;
+using igr::common::kNumVars;
+using igr::common::StateField3;
+using igr::mesh::Grid;
+using igr::sim::Comm;
+
+constexpr int kN = 12;
+constexpr int kNg = 3;
+
+double cell_value(int gi, int gj, int gk) {
+  return 1.0 * gi + 100.0 * gj + 10000.0 * gk;
+}
+
+TEST(Comm, LocalGridsTileTheGlobalDomain) {
+  const auto g = Grid(kN, kN, kN, {0.0, 3.0}, {0.0, 3.0}, {0.0, 3.0});
+  Comm comm(g, 2, 2, 1, true);
+  double vol = 0.0;
+  for (int r = 0; r < comm.ranks(); ++r) {
+    const auto lg = comm.local_grid(r);
+    vol += lg.lx() * lg.ly() * lg.lz();
+    EXPECT_DOUBLE_EQ(lg.dx(), g.dx());
+  }
+  EXPECT_NEAR(vol, 27.0, 1e-12);
+}
+
+TEST(Comm, LocalGridCoordinatesAreGlobal) {
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 2, 1, 1, true);
+  const auto lg1 = comm.local_grid(1);
+  // Rank 1 starts at global cell kN/2 along x.
+  EXPECT_NEAR(lg1.x(0), g.x(kN / 2), 1e-14);
+}
+
+/// Scatter a globally indexed field into per-rank blocks.
+std::vector<Field3<double>> scatter(const Comm& comm) {
+  std::vector<Field3<double>> blocks;
+  for (int r = 0; r < comm.ranks(); ++r) {
+    const auto b = comm.decomp().block(r);
+    Field3<double> f(b.n[0], b.n[1], b.n[2], kNg);
+    for (int k = 0; k < b.n[2]; ++k)
+      for (int j = 0; j < b.n[1]; ++j)
+        for (int i = 0; i < b.n[0]; ++i)
+          f(i, j, k) = cell_value(b.lo[0] + i, b.lo[1] + j, b.lo[2] + k);
+    blocks.push_back(std::move(f));
+  }
+  return blocks;
+}
+
+TEST(Comm, ExchangeFillsInteriorFaceGhosts) {
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 2, 2, 1, true);
+  auto blocks = scatter(comm);
+  std::vector<Field3<double>*> ptrs;
+  for (auto& b : blocks) ptrs.push_back(&b);
+  comm.exchange(ptrs);
+
+  // Rank 0's x-high ghosts must hold rank 1's first interior cells.
+  const auto b0 = comm.decomp().block(0);
+  for (int gl = 0; gl < kNg; ++gl)
+    for (int k = 0; k < b0.n[2]; ++k)
+      for (int j = 0; j < b0.n[1]; ++j)
+        EXPECT_EQ(blocks[0](b0.n[0] + gl, j, k),
+                  cell_value(b0.n[0] + gl, j, k));
+}
+
+TEST(Comm, PeriodicWrapAcrossDomainBoundary) {
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 2, 1, 1, true);
+  auto blocks = scatter(comm);
+  std::vector<Field3<double>*> ptrs;
+  for (auto& b : blocks) ptrs.push_back(&b);
+  comm.exchange(ptrs);
+  // Rank 0's x-low ghosts wrap to rank 1's last interior cells.
+  EXPECT_EQ(blocks[0](-1, 2, 2), cell_value(kN - 1, 2, 2));
+  EXPECT_EQ(blocks[0](-3, 2, 2), cell_value(kN - 3, 2, 2));
+}
+
+TEST(Comm, SingleRankSelfExchangeEqualsPeriodicFill) {
+  // With one rank the exchange must reproduce exactly what the single-domain
+  // periodic ghost fill produces — the bitwise-equivalence cornerstone.
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 1, 1, 1, true);
+
+  StateField3<double> qa(kN, kN, kN, kNg), qb(kN, kN, kN, kNg);
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < kN; ++k)
+      for (int j = 0; j < kN; ++j)
+        for (int i = 0; i < kN; ++i) {
+          const double v = cell_value(i, j, k) + 7.0 * c;
+          qa[c](i, j, k) = v;
+          qb[c](i, j, k) = v;
+        }
+
+  igr::eos::IdealGas eos(1.4);
+  igr::fv::apply_bc(qa, igr::fv::BcSpec::all_periodic(), g, eos);
+  comm.exchange_state(std::vector<StateField3<double>*>{&qb});
+
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = -kNg; k < kN + kNg; ++k)
+      for (int j = -kNg; j < kN + kNg; ++j)
+        for (int i = -kNg; i < kN + kNg; ++i)
+          ASSERT_EQ(qa[c](i, j, k), qb[c](i, j, k))
+              << c << " " << i << " " << j << " " << k;
+}
+
+TEST(Comm, DecomposedExchangeMatchesGlobalPeriodicFill) {
+  // Scatter, exchange, and compare every ghost against the global wrap.
+  const auto g = Grid::cube(kN);
+  for (auto [rx, ry, rz] : {std::array<int, 3>{2, 1, 1},
+                            std::array<int, 3>{2, 2, 1},
+                            std::array<int, 3>{2, 2, 3}}) {
+    Comm comm(g, rx, ry, rz, true);
+    auto blocks = scatter(comm);
+    std::vector<Field3<double>*> ptrs;
+    for (auto& b : blocks) ptrs.push_back(&b);
+    comm.exchange(ptrs);
+    for (int r = 0; r < comm.ranks(); ++r) {
+      const auto b = comm.decomp().block(r);
+      for (int k = -kNg; k < b.n[2] + kNg; ++k)
+        for (int j = -kNg; j < b.n[1] + kNg; ++j)
+          for (int i = -kNg; i < b.n[0] + kNg; ++i) {
+            const int gi = ((b.lo[0] + i) % kN + kN) % kN;
+            const int gj = ((b.lo[1] + j) % kN + kN) % kN;
+            const int gk = ((b.lo[2] + k) % kN + kN) % kN;
+            ASSERT_EQ(blocks[static_cast<std::size_t>(r)](i, j, k),
+                      cell_value(gi, gj, gk))
+                << rx << ry << rz << " rank " << r;
+          }
+    }
+  }
+}
+
+TEST(Comm, NonPeriodicLeavesPhysicalGhostsUntouched) {
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 2, 1, 1, false);
+  auto blocks = scatter(comm);
+  blocks[0](-1, 0, 0) = -777.0;  // sentinel in a physical ghost
+  std::vector<Field3<double>*> ptrs;
+  for (auto& b : blocks) ptrs.push_back(&b);
+  comm.exchange(ptrs);
+  EXPECT_EQ(blocks[0](-1, 0, 0), -777.0);
+  // But the interior face was exchanged.
+  const auto b0 = comm.decomp().block(0);
+  EXPECT_EQ(blocks[0](b0.n[0], 0, 0), cell_value(b0.n[0], 0, 0));
+}
+
+TEST(Comm, TrafficMeteringCountsBytes) {
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 2, 1, 1, true);
+  auto blocks = scatter(comm);
+  std::vector<Field3<double>*> ptrs;
+  for (auto& b : blocks) ptrs.push_back(&b);
+  comm.reset_traffic();
+  comm.exchange(ptrs);
+  // Two ranks, x-axis only has interior+wrap faces: each rank receives
+  // ng * (ny+2ng) * ... — just sanity-check nonzero and units of 8 bytes.
+  EXPECT_GT(comm.bytes_exchanged(), 0u);
+  EXPECT_EQ(comm.bytes_exchanged() % sizeof(double), 0u);
+}
+
+TEST(Comm, AllreduceMin) {
+  EXPECT_DOUBLE_EQ(Comm::allreduce_min({3.0, 1.5, 2.0}), 1.5);
+  EXPECT_THROW(static_cast<void>(Comm::allreduce_min({})),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+/// Unit tests for the ideal-gas equation of state.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eos/ideal_gas.hpp"
+
+namespace {
+
+using igr::common::Cons;
+using igr::common::Prim;
+using igr::eos::IdealGas;
+
+TEST(IdealGas, RejectsNonPhysicalGamma) {
+  EXPECT_THROW(IdealGas(1.0), std::invalid_argument);
+  EXPECT_THROW(IdealGas(0.5), std::invalid_argument);
+  EXPECT_NO_THROW(IdealGas(1.4));
+}
+
+TEST(IdealGas, PressureOfStaticGas) {
+  IdealGas eos(1.4);
+  Cons<double> q{1.0, 0.0, 0.0, 0.0, 2.5};
+  EXPECT_DOUBLE_EQ(eos.pressure(q), 1.0);  // p = 0.4 * 2.5
+}
+
+TEST(IdealGas, PressureSubtractsKineticEnergy) {
+  IdealGas eos(1.4);
+  Cons<double> q{2.0, 2.0, 4.0, 6.0, 30.0};
+  const double ke = (4.0 + 16.0 + 36.0) / (2.0 * 2.0);
+  EXPECT_NEAR(eos.pressure(q), 0.4 * (30.0 - ke), 1e-14);
+}
+
+TEST(IdealGas, PrimConsRoundTrip) {
+  IdealGas eos(1.4);
+  Prim<double> w{1.2, 0.3, -0.7, 2.1, 0.9};
+  const auto q = eos.to_cons(w);
+  const auto w2 = eos.to_prim(q);
+  EXPECT_NEAR(w2.rho, w.rho, 1e-14);
+  EXPECT_NEAR(w2.u, w.u, 1e-14);
+  EXPECT_NEAR(w2.v, w.v, 1e-14);
+  EXPECT_NEAR(w2.w, w.w, 1e-14);
+  EXPECT_NEAR(w2.p, w.p, 1e-14);
+}
+
+TEST(IdealGas, SoundSpeedAir) {
+  IdealGas eos(1.4);
+  EXPECT_NEAR(eos.sound_speed(1.0, 1.0), std::sqrt(1.4), 1e-14);
+}
+
+TEST(IdealGas, InternalEnergyConsistency) {
+  IdealGas eos(1.4);
+  const double e = eos.internal_energy(2.0, 3.0);
+  EXPECT_NEAR(e, 3.0 / (0.4 * 2.0), 1e-14);
+}
+
+TEST(IdealGas, FloatInstantiation) {
+  IdealGas eos(1.4);
+  Prim<float> w{1.0f, 0.5f, 0.0f, 0.0f, 1.0f};
+  const auto q = eos.to_cons(w);
+  EXPECT_NEAR(eos.pressure(q), 1.0f, 1e-6f);
+}
+
+class EosGammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EosGammaSweep, RoundTripAcrossGammas) {
+  IdealGas eos(GetParam());
+  Prim<double> w{0.7, 1.0, -2.0, 0.5, 2.5};
+  const auto w2 = eos.to_prim(eos.to_cons(w));
+  EXPECT_NEAR(w2.p, w.p, 1e-13);
+  EXPECT_NEAR(w2.u, w.u, 1e-13);
+}
+
+TEST_P(EosGammaSweep, SoundSpeedScalesWithGamma) {
+  IdealGas eos(GetParam());
+  EXPECT_NEAR(eos.sound_speed(1.0, 1.0), std::sqrt(GetParam()), 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, EosGammaSweep,
+                         ::testing::Values(1.1, 1.3, 1.4, 5.0 / 3.0, 2.0));
+
+TEST(IdealGas, TotalEnergyMatchesDefinition) {
+  // E = p/(gamma-1) + rho |u|^2 / 2, paper eq. (4) rearranged.
+  IdealGas eos(1.4);
+  Prim<double> w{2.0, 3.0, 0.0, 0.0, 5.0};
+  EXPECT_NEAR(eos.total_energy(w), 5.0 / 0.4 + 0.5 * 2.0 * 9.0, 1e-13);
+}
+
+}  // namespace

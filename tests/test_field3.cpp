@@ -1,0 +1,90 @@
+/// Unit tests for the ghost-padded field containers.
+
+#include <gtest/gtest.h>
+
+#include "common/field3.hpp"
+#include "common/half.hpp"
+
+namespace {
+
+using igr::common::Field3;
+using igr::common::StateField3;
+
+TEST(Field3, InteriorAndGhostIndexingDisjoint) {
+  Field3<double> f(4, 5, 6, 3);
+  // Write a unique value everywhere (ghosts included) and read it back.
+  double v = 0.0;
+  for (int k = -3; k < 9; ++k)
+    for (int j = -3; j < 8; ++j)
+      for (int i = -3; i < 7; ++i) f(i, j, k) = v += 1.0;
+  v = 0.0;
+  for (int k = -3; k < 9; ++k)
+    for (int j = -3; j < 8; ++j)
+      for (int i = -3; i < 7; ++i) EXPECT_EQ(f(i, j, k), v += 1.0);
+}
+
+TEST(Field3, SizesAndBytes) {
+  Field3<float> f(8, 4, 2, 3);
+  EXPECT_EQ(f.interior_size(), 8u * 4u * 2u);
+  EXPECT_EQ(f.size_with_ghosts(), 14u * 10u * 8u);
+  EXPECT_EQ(f.bytes(), f.size_with_ghosts() * sizeof(float));
+}
+
+TEST(Field3, UnitStrideAlongX) {
+  Field3<double> f(8, 8, 8, 2);
+  EXPECT_EQ(f.idx(1, 0, 0), f.idx(0, 0, 0) + 1);
+  EXPECT_EQ(f.idx(0, 1, 0) - f.idx(0, 0, 0), 12u);  // sx = 8 + 2*2
+}
+
+TEST(Field3, FillSetsEverything) {
+  Field3<double> f(4, 4, 4, 1);
+  f.fill(2.5);
+  for (int k = -1; k < 5; ++k)
+    for (int j = -1; j < 5; ++j)
+      for (int i = -1; i < 5; ++i) EXPECT_EQ(f(i, j, k), 2.5);
+}
+
+TEST(Field3, DefaultConstructedIsEmpty) {
+  Field3<double> f;
+  EXPECT_EQ(f.bytes(), 0u);
+  EXPECT_EQ(f.interior_size(), 0u);
+}
+
+TEST(Field3, HalfStorageWorks) {
+  Field3<igr::common::half> f(4, 4, 4, 1);
+  f(1, 2, 3) = igr::common::half(1.5f);
+  EXPECT_EQ(float(f(1, 2, 3)), 1.5f);
+  EXPECT_EQ(f.bytes(), f.size_with_ghosts() * 2u);
+}
+
+TEST(StateField3, FiveIndependentComponents) {
+  StateField3<double> q(4, 4, 4, 2);
+  for (int c = 0; c < igr::common::kNumVars; ++c) q[c].fill(c + 1.0);
+  for (int c = 0; c < igr::common::kNumVars; ++c)
+    EXPECT_EQ(q[c](0, 0, 0), c + 1.0);
+}
+
+TEST(StateField3, BytesSumComponents) {
+  StateField3<double> q(4, 4, 4, 2);
+  EXPECT_EQ(q.bytes(), 5u * q[0].bytes());
+}
+
+TEST(StateField3, ShapeAccessors) {
+  StateField3<float> q(3, 5, 7, 3);
+  EXPECT_EQ(q.nx(), 3);
+  EXPECT_EQ(q.ny(), 5);
+  EXPECT_EQ(q.nz(), 7);
+  EXPECT_EQ(q.ng(), 3);
+}
+
+TEST(StateField3, VarEnumMatchesLayout) {
+  using namespace igr::common;
+  EXPECT_EQ(kRho, 0);
+  EXPECT_EQ(kMomX, 1);
+  EXPECT_EQ(kMomY, 2);
+  EXPECT_EQ(kMomZ, 3);
+  EXPECT_EQ(kEnergy, 4);
+  EXPECT_EQ(kNumVars, 5);  // the paper's 5 DoF per grid point
+}
+
+}  // namespace

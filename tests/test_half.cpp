@@ -1,0 +1,159 @@
+/// Unit tests for the software binary16 storage type.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/half.hpp"
+
+namespace {
+
+using igr::common::half;
+
+TEST(Half, RoundTripsSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(float(half(f)), f) << "i=" << i;
+  }
+}
+
+TEST(Half, RoundTripsPowersOfTwo) {
+  for (int e = -14; e <= 15; ++e) {
+    const float f = std::ldexp(1.0f, e);
+    EXPECT_EQ(float(half(f)), f) << "e=" << e;
+  }
+}
+
+TEST(Half, ExactHalvesSurvive) {
+  EXPECT_EQ(float(half(0.5f)), 0.5f);
+  EXPECT_EQ(float(half(-0.25f)), -0.25f);
+  EXPECT_EQ(float(half(1.5f)), 1.5f);
+}
+
+TEST(Half, ZeroAndSignedZero) {
+  EXPECT_EQ(half(0.0f).bits(), 0u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(float(half(-0.0f)), 0.0f);
+}
+
+TEST(Half, OverflowSaturatesToInfinity) {
+  EXPECT_TRUE(std::isinf(float(half(1.0e6f))));
+  EXPECT_TRUE(std::isinf(float(half(-1.0e6f))));
+  EXPECT_GT(float(half(1.0e6f)), 0.0f);
+  EXPECT_LT(float(half(-1.0e6f)), 0.0f);
+}
+
+TEST(Half, MaxFiniteValue) {
+  EXPECT_EQ(float(half(65504.0f)), 65504.0f);
+  EXPECT_TRUE(std::isinf(float(half(65520.0f))));  // rounds up to 2^16
+  EXPECT_EQ(float(half(65519.0f)), 65504.0f);      // rounds down to max
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const float min_sub = std::ldexp(1.0f, -24);  // smallest subnormal
+  EXPECT_EQ(float(half(min_sub)), min_sub);
+  EXPECT_EQ(float(half(3.0f * min_sub)), 3.0f * min_sub);
+}
+
+TEST(Half, TinyValuesFlushToZero) {
+  const float below = std::ldexp(1.0f, -26);  // under half the min subnormal
+  EXPECT_EQ(float(half(below)), 0.0f);
+}
+
+TEST(Half, NanPropagates) {
+  EXPECT_TRUE(std::isnan(float(half(std::nanf("")))));
+}
+
+TEST(Half, InfinityPropagates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(float(half(inf))));
+  EXPECT_TRUE(std::isinf(float(half(-inf))));
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 2048 + 1 = 2049 is not representable (ulp = 2 there): ties to even.
+  EXPECT_EQ(float(half(2049.0f)), 2048.0f);
+  EXPECT_EQ(float(half(2051.0f)), 2052.0f);
+}
+
+TEST(Half, RelativeErrorBoundedByEps) {
+  // Storage rounding respects the binary16 unit roundoff.
+  for (float f : {0.1f, 0.3f, 0.7f, 1.1f, 3.3f, 9.9f, 123.456f, 4567.8f}) {
+    const float r = float(half(f));
+    EXPECT_NEAR(r, f, std::abs(f) * igr::common::kHalfEps) << f;
+  }
+}
+
+TEST(Half, ComparisonsPromoteToFloat) {
+  EXPECT_TRUE(half(1.0f) < half(2.0f));
+  EXPECT_TRUE(half(2.0f) > half(1.0f));
+  EXPECT_TRUE(half(1.0f) == half(1.0f));
+  EXPECT_TRUE(half(1.0f) != half(1.5f));
+}
+
+TEST(Half, CompoundAssignmentRoundsEachStep) {
+  half h(1.0f);
+  h += 1.0f;
+  EXPECT_EQ(float(h), 2.0f);
+  h *= 3.0f;
+  EXPECT_EQ(float(h), 6.0f);
+  h /= 2.0f;
+  EXPECT_EQ(float(h), 3.0f);
+  h -= 0.5f;
+  EXPECT_EQ(float(h), 2.5f);
+}
+
+TEST(Half, ExhaustiveBitPatternRoundTrip) {
+  // Every finite binary16 value must survive half -> float -> half exactly
+  // (the widening conversion is exact and rounding a representable value is
+  // the identity).  Covers all 63488 finite patterns including subnormals.
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const auto h = half::from_bits(static_cast<std::uint16_t>(b));
+    const float f = float(h);
+    if (std::isnan(f)) continue;  // NaN payloads need not be preserved
+    const auto h2 = half(f);
+    ASSERT_EQ(h2.bits(), h.bits()) << "bits=0x" << std::hex << b;
+  }
+}
+
+TEST(Half, ExhaustiveMonotonicity) {
+  // Conversion to float is strictly increasing over positive finite halves
+  // — ordering of stored values is faithful.
+  float prev = float(half::from_bits(0));
+  for (std::uint32_t b = 1; b <= 0x7c00u; ++b) {  // up to +inf
+    const float f = float(half::from_bits(static_cast<std::uint16_t>(b)));
+    ASSERT_GT(f, prev) << "bits=0x" << std::hex << b;
+    prev = f;
+  }
+}
+
+TEST(Half, RoundingNeverOffByMoreThanHalfUlp) {
+  // Sampled verification of round-to-nearest: the stored value is at least
+  // as close to the input as either neighboring representable half.
+  for (int i = 0; i < 20000; ++i) {
+    // Deterministic quasi-random floats across the half range.
+    const float x = std::ldexp(1.0f + 7.7e-5f * static_cast<float>(i),
+                               (i % 30) - 14);
+    const half h(x);
+    const float fh = float(h);
+    if (std::isinf(fh)) continue;
+    const float up = float(half::from_bits(
+        static_cast<std::uint16_t>(h.bits() + 1)));
+    const float dn = h.bits() > 0 ? float(half::from_bits(
+                                        static_cast<std::uint16_t>(
+                                            h.bits() - 1)))
+                                  : fh;
+    ASSERT_LE(std::abs(fh - x), std::abs(up - x) + 1e-30f) << x;
+    ASSERT_LE(std::abs(fh - x), std::abs(dn - x) + 1e-30f) << x;
+  }
+}
+
+TEST(Half, BitsRoundTrip) {
+  for (std::uint16_t b : {std::uint16_t{0x3c00}, std::uint16_t{0x4000},
+                          std::uint16_t{0xbc00}, std::uint16_t{0x0001}}) {
+    EXPECT_EQ(half::from_bits(b).bits(), b);
+  }
+}
+
+}  // namespace

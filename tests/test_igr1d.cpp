@@ -1,0 +1,253 @@
+/// Tests for the 1-D IGR solver: shock-tube accuracy against the exact
+/// Riemann solution, conservation, the pressureless flow-map behavior of
+/// paper Fig. 3 (trajectories converge instead of crossing), and the alpha
+/// sweep controlling shock width.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/igr_solver1d.hpp"
+#include "fv/exact_riemann.hpp"
+
+namespace {
+
+using igr::core::Bc1D;
+using igr::core::IgrSolver1D;
+using igr::core::Prim1;
+
+IgrSolver1D::Options sod_options() {
+  IgrSolver1D::Options opt;
+  opt.alpha_factor = 5.0;
+  opt.bc = Bc1D::kOutflow;
+  return opt;
+}
+
+auto sod_ic() {
+  return [](double x) {
+    Prim1 w;
+    if (x < 0.5) {
+      w.rho = 1.0;
+      w.p = 1.0;
+    } else {
+      w.rho = 0.125;
+      w.p = 0.1;
+    }
+    return w;
+  };
+}
+
+TEST(Igr1D, SodDensityCloseToExact) {
+  IgrSolver1D s(400, 0.0, 1.0, sod_options());
+  s.init(sod_ic());
+  s.advance_to(0.2);
+  igr::fv::ExactRiemann ex(igr::fv::sod_left(), igr::fv::sod_right(), 1.4);
+  const auto ref = ex.sample_profile(400, 0.0, 1.0, 0.5, 0.2);
+  const auto rho = s.rho();
+  double l1 = 0;
+  for (int i = 0; i < 400; ++i)
+    l1 += std::abs(rho[static_cast<std::size_t>(i)] -
+                   ref[static_cast<std::size_t>(i)].rho) *
+          s.dx();
+  EXPECT_LT(l1, 0.02);
+}
+
+TEST(Igr1D, SodErrorDecreasesWithResolution) {
+  auto l1_at = [&](int n) {
+    IgrSolver1D s(n, 0.0, 1.0, sod_options());
+    s.init(sod_ic());
+    s.advance_to(0.2);
+    igr::fv::ExactRiemann ex(igr::fv::sod_left(), igr::fv::sod_right(), 1.4);
+    const auto ref = ex.sample_profile(n, 0.0, 1.0, 0.5, 0.2);
+    const auto rho = s.rho();
+    double l1 = 0;
+    for (int i = 0; i < n; ++i)
+      l1 += std::abs(rho[static_cast<std::size_t>(i)] -
+                     ref[static_cast<std::size_t>(i)].rho) *
+            s.dx();
+    return l1;
+  };
+  EXPECT_LT(l1_at(400), 0.6 * l1_at(100));
+}
+
+TEST(Igr1D, PeriodicConservation) {
+  IgrSolver1D::Options opt;
+  opt.alpha_factor = 5.0;
+  opt.bc = Bc1D::kPeriodic;
+  IgrSolver1D s(128, 0.0, 1.0, opt);
+  s.init([](double x) {
+    Prim1 w;
+    w.rho = 1.0 + 0.5 * std::sin(2 * M_PI * x);
+    w.u = 0.7;
+    w.p = 1.0 + 0.2 * std::cos(2 * M_PI * x);
+    return w;
+  });
+  const auto before = s.conserved_totals();
+  for (int i = 0; i < 50; ++i) s.step();
+  const auto after = s.conserved_totals();
+  EXPECT_NEAR(after[0], before[0], 1e-12 * std::abs(before[0]));
+  EXPECT_NEAR(after[1], before[1], 1e-12 * std::abs(before[1]) + 1e-13);
+  EXPECT_NEAR(after[2], before[2], 1e-12 * std::abs(before[2]));
+}
+
+TEST(Igr1D, ConstantStateIsSteady) {
+  IgrSolver1D::Options opt;
+  opt.bc = Bc1D::kPeriodic;
+  IgrSolver1D s(64, 0.0, 1.0, opt);
+  s.init([](double) { return Prim1{1.3, 0.4, 0.9}; });
+  for (int i = 0; i < 20; ++i) s.step();
+  for (double r : s.rho()) EXPECT_NEAR(r, 1.3, 1e-12);
+  for (double u : s.velocity()) EXPECT_NEAR(u, 0.4, 1e-12);
+}
+
+TEST(Igr1D, SigmaIsPositiveAtCompression) {
+  // At a forming shock (compression), the entropic pressure is positive.
+  IgrSolver1D s(256, 0.0, 1.0, sod_options());
+  s.init(sod_ic());
+  s.advance_to(0.1);
+  const auto sig = s.sigma_profile();
+  double smax = 0;
+  for (double v : sig) smax = std::max(smax, v);
+  EXPECT_GT(smax, 1e-6);
+}
+
+TEST(Igr1D, AlphaZeroRecoversUnregularizedScheme) {
+  IgrSolver1D::Options opt = sod_options();
+  opt.alpha = 0.0;
+  IgrSolver1D s(128, 0.0, 1.0, opt);
+  s.init(sod_ic());
+  s.advance_to(0.05);
+  const auto sig = s.sigma_profile();
+  for (double v : sig) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Igr1D, ShockWidthGrowsWithAlpha) {
+  // Paper Fig. 3: "The regularization strength alpha determines the rate of
+  // convergence" / shock width ~ sqrt(alpha).  Measure the 10-90% width of
+  // the captured shock for two alphas.
+  auto width_cells = [&](double alpha_factor) {
+    IgrSolver1D::Options opt = sod_options();
+    opt.alpha_factor = alpha_factor;
+    IgrSolver1D s(800, 0.0, 1.0, opt);
+    s.init(sod_ic());
+    s.advance_to(0.2);
+    const auto rho = s.rho();
+    // Count transition cells between the post-shock plateau (0.2656) and
+    // the pre-shock state (0.125), scanning right of the contact.
+    int cells = 0;
+    for (int i = 580; i < 800; ++i) {
+      const double r = rho[static_cast<std::size_t>(i)];
+      if (r > 0.139 && r < 0.252) ++cells;
+    }
+    return cells;
+  };
+  // Measured: ~2 cells at alpha_factor 2, ~6 at 5, ~10 at 10.
+  EXPECT_GT(width_cells(10.0), width_cells(2.0));
+  EXPECT_GT(width_cells(10.0), width_cells(5.0));
+  EXPECT_GT(width_cells(5.0), width_cells(2.0));
+}
+
+// ---- Pressureless flow-map experiments (paper Fig. 3) ----
+
+IgrSolver1D::Options pressureless_options(double alpha) {
+  IgrSolver1D::Options opt;
+  opt.pressureless = true;
+  opt.alpha = alpha;
+  opt.bc = Bc1D::kOutflow;
+  opt.cfl = 0.3;
+  return opt;
+}
+
+/// Converging velocity field: u = -tanh((x - 1)/0.1): particles collide at
+/// x = 1 in finite time without regularization.
+auto collision_ic() {
+  return [](double x) {
+    Prim1 w;
+    w.rho = 1.0;
+    w.u = -std::tanh((x - 1.0) / 0.1);
+    w.p = 0.0;
+    return w;
+  };
+}
+
+TEST(Igr1DPressureless, TracerTrajectoriesDoNotCross) {
+  auto s = IgrSolver1D(512, 0.0, 2.0, pressureless_options(1e-3));
+  s.init(collision_ic());
+  const int t1 = s.add_tracer(0.8);
+  const int t2 = s.add_tracer(1.2);
+  double min_gap = 1e300;
+  while (s.time() < 0.8) {
+    s.step();
+    const double gap = s.tracer_position(t2) - s.tracer_position(t1);
+    min_gap = std::min(min_gap, gap);
+    ASSERT_GT(gap, 0.0) << "trajectories crossed at t=" << s.time();
+  }
+  EXPECT_GT(min_gap, 0.0);
+}
+
+TEST(Igr1DPressureless, GapShrinksMonotonically) {
+  // Trajectories converge asymptotically (Fig. 3): the gap decreases but
+  // stays positive.
+  auto s = IgrSolver1D(512, 0.0, 2.0, pressureless_options(1e-3));
+  s.init(collision_ic());
+  const int t1 = s.add_tracer(0.8);
+  const int t2 = s.add_tracer(1.2);
+  double prev = s.tracer_position(t2) - s.tracer_position(t1);
+  while (s.time() < 0.6) {
+    s.step();
+    const double gap = s.tracer_position(t2) - s.tracer_position(t1);
+    EXPECT_LE(gap, prev + 1e-12);
+    prev = gap;
+  }
+  EXPECT_LT(prev, 0.4);  // substantially converged
+}
+
+TEST(Igr1DPressureless, SmallerAlphaConvergesFaster) {
+  // Fig. 3: alpha sets the rate of convergence; smaller alpha -> trajectories
+  // approach each other faster (closer to the colliding exact solution).
+  // The regularized density spike is ~sqrt(alpha) wide, so the resolution
+  // must track alpha (2048 cells resolve alpha = 1e-4 on [0,2]).
+  auto final_gap = [&](double alpha) {
+    auto s = IgrSolver1D(2048, 0.0, 2.0, pressureless_options(alpha));
+    s.init(collision_ic());
+    const int t1 = s.add_tracer(0.8);
+    const int t2 = s.add_tracer(1.2);
+    while (s.time() < 0.4) s.step();
+    return s.tracer_position(t2) - s.tracer_position(t1);
+  };
+  const double g3 = final_gap(1e-3);
+  const double g4 = final_gap(1e-4);
+  EXPECT_LT(g4, g3);
+  EXPECT_GT(g4, 0.0);
+}
+
+TEST(Igr1DPressureless, DensityStaysBoundedThroughCollision) {
+  // Without regularization the density blows up at the collision point;
+  // IGR must keep it finite.
+  auto s = IgrSolver1D(512, 0.0, 2.0, pressureless_options(1e-3));
+  s.init(collision_ic());
+  while (s.time() < 0.8) s.step();
+  for (double r : s.rho()) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_LT(r, 500.0);  // bounded (the exact solution is a delta)
+    EXPECT_GT(r, 0.0);
+  }
+}
+
+TEST(Igr1D, VelocityInterpolationMatchesField) {
+  IgrSolver1D::Options opt;
+  opt.bc = Bc1D::kPeriodic;
+  IgrSolver1D s(64, 0.0, 1.0, opt);
+  s.init([](double) { return Prim1{1.0, 0.5, 1.0}; });
+  EXPECT_NEAR(s.velocity_at(0.37), 0.5, 1e-12);
+  EXPECT_NEAR(s.velocity_at(0.0), 0.5, 1e-12);   // clamped end
+  EXPECT_NEAR(s.velocity_at(1.0), 0.5, 1e-12);
+}
+
+TEST(Igr1D, RejectsBadConstruction) {
+  EXPECT_THROW(IgrSolver1D(4, 0.0, 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(IgrSolver1D(64, 1.0, 0.0, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+/// Property-based and convergence tests spanning modules: precision
+/// policies, flux-function invariants under parameter sweeps, and formal
+/// order of accuracy of the full 1-D IGR solver on smooth flow.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/precision.hpp"
+#include "core/igr_solver1d.hpp"
+#include "eos/ideal_gas.hpp"
+#include "fv/riemann.hpp"
+
+namespace {
+
+using igr::common::Prim;
+using igr::eos::IdealGas;
+
+// ---- precision policies ----
+
+TEST(Precision, PolicyTraits) {
+  EXPECT_EQ(igr::common::Fp64::name, "FP64");
+  EXPECT_EQ(igr::common::Fp32::name, "FP32");
+  EXPECT_EQ(igr::common::Fp16x32::name, "FP16/32");
+  static_assert(sizeof(igr::common::Fp64::storage_t) == 8);
+  static_assert(sizeof(igr::common::Fp32::storage_t) == 4);
+  static_assert(sizeof(igr::common::Fp16x32::storage_t) == 2);
+  static_assert(
+      std::is_same_v<igr::common::Fp16x32::compute_t, float>);
+}
+
+TEST(Precision, LoadStoreRoundTripWithinEps) {
+  using igr::common::Fp16x32;
+  const float v = 0.333f;
+  const auto stored = igr::common::store<Fp16x32>(v);
+  const float loaded = igr::common::load<Fp16x32>(stored);
+  EXPECT_NEAR(loaded, v, std::abs(v) * igr::common::kHalfEps);
+}
+
+TEST(Precision, StorageRoundingIsIdempotent) {
+  // store(load(store(x))) == store(x): rounding is a projection.
+  using igr::common::half;
+  for (float v : {0.1f, 1.7f, 123.456f, 1e-5f, 6e4f}) {
+    const half once{v};
+    const half twice{static_cast<float>(once)};
+    EXPECT_EQ(once.bits(), twice.bits()) << v;
+  }
+}
+
+// ---- flux-function properties over parameter sweeps ----
+
+class FluxSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(FluxSweep, RusanovConsistency) {
+  const auto [gamma, dir] = GetParam();
+  IdealGas eos(gamma);
+  const Prim<double> w{1.1, 0.4, -0.3, 0.2, 0.9};
+  const double E = eos.total_energy(w);
+  const auto f = igr::fv::rusanov_flux(w, E, 0.0, w, E, 0.0, gamma, dir);
+  const auto ref = igr::fv::euler_flux(w, E, 0.0, dir);
+  for (int c = 0; c < 5; ++c) EXPECT_NEAR(f[c], ref[c], 1e-12);
+}
+
+TEST_P(FluxSweep, HllcConsistency) {
+  const auto [gamma, dir] = GetParam();
+  IdealGas eos(gamma);
+  const Prim<double> w{0.7, -0.2, 0.5, 0.1, 1.3};
+  const double E = eos.total_energy(w);
+  const auto f = igr::fv::hllc_flux(w, E, w, E, gamma, dir);
+  const auto ref = igr::fv::euler_flux(w, E, 0.0, dir);
+  for (int c = 0; c < 5; ++c) EXPECT_NEAR(f[c], ref[c], 1e-11);
+}
+
+TEST_P(FluxSweep, RusanovDissipationActsAgainstTheJump) {
+  // F(ql,qr) - (F(ql)+F(qr))/2 = -smax/2 (qr-ql): each component of the
+  // dissipation has sign opposite to the state jump.
+  const auto [gamma, dir] = GetParam();
+  IdealGas eos(gamma);
+  const Prim<double> wl{1.0, 0.2, 0.0, 0.0, 1.0};
+  const Prim<double> wr{0.5, -0.1, 0.3, 0.0, 0.6};
+  const double El = eos.total_energy(wl), Er = eos.total_energy(wr);
+  const auto f = igr::fv::rusanov_flux(wl, El, 0.0, wr, Er, 0.0, gamma, dir);
+  const auto fl = igr::fv::euler_flux(wl, El, 0.0, dir);
+  const auto fr = igr::fv::euler_flux(wr, Er, 0.0, dir);
+  const auto ql = eos.to_cons(wl);
+  const auto qr = eos.to_cons(wr);
+  for (int c = 0; c < 5; ++c) {
+    const double diss = f[c] - 0.5 * (fl[c] + fr[c]);
+    const double jump = qr[c] - ql[c];
+    if (std::abs(jump) > 1e-12) EXPECT_LE(diss * jump, 1e-12) << c;
+  }
+}
+
+TEST_P(FluxSweep, SigmaOnlyEntersMomentumAndEnergy) {
+  const auto [gamma, dir] = GetParam();
+  IdealGas eos(gamma);
+  const Prim<double> w{1.0, 0.3, -0.2, 0.5, 1.0};
+  const double E = eos.total_energy(w);
+  const auto f0 = igr::fv::rusanov_flux(w, E, 0.0, w, E, 0.0, gamma, dir);
+  const auto f1 = igr::fv::rusanov_flux(w, E, 0.25, w, E, 0.25, gamma, dir);
+  EXPECT_NEAR(f1.rho, f0.rho, 1e-12);  // mass flux unchanged by Sigma
+  EXPECT_GT(std::abs(f1[1 + dir] - f0[1 + dir]), 0.2);  // normal momentum
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaDir, FluxSweep,
+    ::testing::Combine(::testing::Values(1.2, 1.4, 5.0 / 3.0),
+                       ::testing::Values(0, 1, 2)));
+
+// ---- formal order of accuracy of the assembled solver ----
+
+double smooth_advection_error(int n, igr::fv::ReconScheme recon) {
+  igr::core::IgrSolver1D::Options opt;
+  opt.alpha_factor = 5.0;
+  opt.bc = igr::core::Bc1D::kPeriodic;
+  opt.recon = recon;
+  igr::core::IgrSolver1D s(n, 0.0, 1.0, opt);
+  s.init([](double x) {
+    igr::core::Prim1 w;
+    w.rho = 1.0 + 0.2 * std::sin(2 * M_PI * x);
+    w.u = 1.0;
+    w.p = 100.0;  // stiff background: density behaves as an advected scalar
+    return w;
+  });
+  s.advance_to(0.25);
+  const auto rho = s.rho();
+  double l1 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = s.x(i) - 0.25;
+    l1 += std::abs(rho[static_cast<std::size_t>(i)] -
+                   (1.0 + 0.2 * std::sin(2 * M_PI * x))) /
+          n;
+  }
+  return l1;
+}
+
+TEST(Convergence, FifthOrderSchemeConvergesFastOnSmoothFlow) {
+  const double e64 = smooth_advection_error(64, igr::fv::ReconScheme::kFifth);
+  const double e128 =
+      smooth_advection_error(128, igr::fv::ReconScheme::kFifth);
+  // CFL-coupled refinement mixes space (5th) and time (3rd) orders; demand
+  // at least 3rd-order reduction.
+  EXPECT_GT(e64 / e128, 8.0);
+  EXPECT_LT(e128, 1e-6);
+}
+
+TEST(Convergence, ThirdOrderSchemeConvergesAtItsOrder) {
+  const double e64 = smooth_advection_error(64, igr::fv::ReconScheme::kThird);
+  const double e128 =
+      smooth_advection_error(128, igr::fv::ReconScheme::kThird);
+  const double rate = std::log2(e64 / e128);
+  EXPECT_GT(rate, 2.5);
+  EXPECT_LT(rate, 4.0);
+}
+
+TEST(Convergence, FirstOrderSchemeIsFirstOrder) {
+  const double e64 = smooth_advection_error(64, igr::fv::ReconScheme::kFirst);
+  const double e128 =
+      smooth_advection_error(128, igr::fv::ReconScheme::kFirst);
+  // Pre-asymptotic upwinding on a marginally resolved wave sits slightly
+  // under the formal rate at these resolutions (measured ~0.69).
+  const double rate = std::log2(e64 / e128);
+  EXPECT_GT(rate, 0.6);
+  EXPECT_LT(rate, 1.6);
+}
+
+TEST(Convergence, RegularizationDoesNotDegradeSmoothAccuracy) {
+  // On smooth flow, IGR (alpha > 0) matches the unregularized scheme to
+  // high accuracy — "preserves smooth grid-scale oscillations" (§4.1).
+  igr::core::IgrSolver1D::Options with, without;
+  with.alpha_factor = 5.0;
+  without.alpha = 0.0;
+  with.bc = without.bc = igr::core::Bc1D::kPeriodic;
+  auto run = [&](const igr::core::IgrSolver1D::Options& opt) {
+    igr::core::IgrSolver1D s(128, 0.0, 1.0, opt);
+    s.init([](double x) {
+      igr::core::Prim1 w;
+      w.rho = 1.0 + 0.2 * std::sin(2 * M_PI * x);
+      w.u = 1.0;
+      w.p = 100.0;
+      return w;
+    });
+    s.advance_to(0.25);
+    return s.rho();
+  };
+  const auto a = run(with);
+  const auto b = run(without);
+  for (int i = 0; i < 128; ++i)
+    EXPECT_NEAR(a[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], 2e-5);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+/// Unit tests for interface reconstruction: formal accuracy of the linear
+/// operators (the IGR scheme's workhorses) and the non-oscillatory behavior
+/// of WENO5 (the baseline's).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "fv/reconstruct.hpp"
+
+namespace {
+
+using namespace igr::fv;
+
+/// Cell averages of f over cells of width h centered so the face of
+/// interest (i+1/2) sits at x = 0; cell i spans [-h, 0].
+template <class F>
+std::array<double, 6> cell_averages(F f, double h) {
+  std::array<double, 6> s{};
+  for (int m = 0; m < 6; ++m) {
+    const double a = (m - 3) * h;  // cell m spans [a, a+h]
+    // 5-point Gauss-Legendre per cell: exact through degree 9.
+    const double c = a + 0.5 * h, hw = 0.5 * h;
+    const double x1 = 0.0, w1 = 128.0 / 225.0;
+    const double x2 = std::sqrt(5.0 - 2.0 * std::sqrt(10.0 / 7.0)) / 3.0;
+    const double w2 = (322.0 + 13.0 * std::sqrt(70.0)) / 900.0;
+    const double x3 = std::sqrt(5.0 + 2.0 * std::sqrt(10.0 / 7.0)) / 3.0;
+    const double w3 = (322.0 - 13.0 * std::sqrt(70.0)) / 900.0;
+    s[static_cast<std::size_t>(m)] =
+        0.5 * (w1 * f(c + hw * x1) + w2 * (f(c + hw * x2) + f(c - hw * x2)) +
+               w3 * (f(c + hw * x3) + f(c - hw * x3)));
+  }
+  return s;
+}
+
+TEST(Recon, FirstOrderIsPiecewiseConstant) {
+  std::array<double, 6> s{1, 2, 3, 4, 5, 6};
+  const auto f = recon1(s);
+  EXPECT_EQ(f.left, 3.0);
+  EXPECT_EQ(f.right, 4.0);
+}
+
+TEST(Recon, AllSchemesExactOnConstants) {
+  std::array<double, 6> s;
+  s.fill(7.5);
+  for (auto scheme : {ReconScheme::kFirst, ReconScheme::kThird,
+                      ReconScheme::kFifth, ReconScheme::kWeno5}) {
+    const auto f = reconstruct(scheme, s);
+    EXPECT_NEAR(f.left, 7.5, 1e-13);
+    EXPECT_NEAR(f.right, 7.5, 1e-13);
+  }
+}
+
+TEST(Recon, LinearSchemesExactOnLinears) {
+  // Cell averages of f(x) = 2x + 1 with h = 0.1; face value f(0) = 1.
+  const auto s = cell_averages([](double x) { return 2.0 * x + 1.0; }, 0.1);
+  for (auto scheme : {ReconScheme::kThird, ReconScheme::kFifth}) {
+    const auto f = reconstruct(scheme, s);
+    EXPECT_NEAR(f.left, 1.0, 1e-13);
+    EXPECT_NEAR(f.right, 1.0, 1e-13);
+  }
+}
+
+TEST(Recon, FifthOrderExactOnQuartics) {
+  const auto f4 = [](double x) {
+    return 1.0 + x + x * x - 2.0 * x * x * x + 0.5 * x * x * x * x;
+  };
+  const auto s = cell_averages(f4, 0.2);
+  const auto f = recon5(s);
+  EXPECT_NEAR(f.left, f4(0.0), 1e-12);
+  EXPECT_NEAR(f.right, f4(0.0), 1e-12);
+}
+
+TEST(Recon, ThirdOrderExactOnQuadratics) {
+  const auto f2 = [](double x) { return 3.0 - x + 2.0 * x * x; };
+  const auto s = cell_averages(f2, 0.2);
+  const auto f = recon3(s);
+  EXPECT_NEAR(f.left, f2(0.0), 1e-12);
+  EXPECT_NEAR(f.right, f2(0.0), 1e-12);
+}
+
+/// Convergence-order sweep: error(h) ~ h^p.
+double recon_error(ReconScheme scheme, double h) {
+  const auto f = [](double x) { return std::sin(3.0 * x + 0.4); };
+  const auto s = cell_averages(f, h);
+  const auto r = reconstruct(scheme, s);
+  return std::abs(r.left - f(0.0));
+}
+
+TEST(Recon, FifthOrderConvergenceRate) {
+  const double e1 = recon_error(ReconScheme::kFifth, 0.1);
+  const double e2 = recon_error(ReconScheme::kFifth, 0.05);
+  const double rate = std::log2(e1 / e2);
+  EXPECT_GT(rate, 4.6);  // nominal 5
+}
+
+TEST(Recon, ThirdOrderConvergenceRate) {
+  const double e1 = recon_error(ReconScheme::kThird, 0.1);
+  const double e2 = recon_error(ReconScheme::kThird, 0.05);
+  EXPECT_GT(std::log2(e1 / e2), 2.6);  // nominal 3
+}
+
+TEST(Recon, Weno5MatchesLinearOnSmoothData) {
+  const auto f = [](double x) { return std::cos(x); };
+  const auto s = cell_averages(f, 0.05);
+  const auto w = weno5(s);
+  const auto l = recon5(s);
+  EXPECT_NEAR(w.left, l.left, 1e-6);
+  EXPECT_NEAR(w.right, l.right, 1e-6);
+}
+
+TEST(Recon, Weno5NonOscillatoryAtJump) {
+  // Step data placed so the upwind-biased linear stencil overshoots:
+  // recon5 left state = -3/60 < 0, outside the data range [0, 1].
+  std::array<double, 6> s{0.0, 0.0, 0.0, 0.0, 1.0, 1.0};
+  const auto l = recon5(s);
+  EXPECT_LT(l.left, -1e-3);  // the Gibbs overshoot WENO exists to cure
+
+  // WENO stays essentially within the data range.
+  const auto w = weno5(s);
+  EXPECT_GE(w.left, -1e-3);
+  EXPECT_LE(w.left, 1.0 + 1e-3);
+  EXPECT_GE(w.right, -1e-3);
+  EXPECT_LE(w.right, 1.0 + 1e-3);
+}
+
+TEST(Recon, Weno5UpwindBias) {
+  // A jump far downwind should not contaminate the left state.
+  std::array<double, 6> s{1.0, 1.0, 1.0, 1.0, 1.0, 100.0};
+  const auto w = weno5(s);
+  EXPECT_NEAR(w.left, 1.0, 1e-10);
+}
+
+class ReconSchemeSweep : public ::testing::TestWithParam<ReconScheme> {};
+
+TEST_P(ReconSchemeSweep, TranslationEquivariance) {
+  // recon(s + c) == recon(s) + c for all schemes (affine invariance of the
+  // reconstructions; for WENO the weights are shift-invariant).
+  std::array<double, 6> s{0.3, 1.7, 0.9, 1.1, 0.2, 0.8};
+  auto sc = s;
+  for (auto& v : sc) v += 5.0;
+  const auto f = reconstruct(GetParam(), s);
+  const auto g = reconstruct(GetParam(), sc);
+  EXPECT_NEAR(g.left, f.left + 5.0, 1e-10);
+  EXPECT_NEAR(g.right, f.right + 5.0, 1e-10);
+}
+
+TEST_P(ReconSchemeSweep, MirrorSymmetry) {
+  // Reversing the stencil swaps left and right states.
+  std::array<double, 6> s{0.3, 1.7, 0.9, 1.1, 0.2, 0.8};
+  std::array<double, 6> r;
+  for (int m = 0; m < 6; ++m) r[static_cast<std::size_t>(m)] = s[static_cast<std::size_t>(5 - m)];
+  const auto f = reconstruct(GetParam(), s);
+  const auto g = reconstruct(GetParam(), r);
+  EXPECT_NEAR(g.left, f.right, 1e-12);
+  EXPECT_NEAR(g.right, f.left, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ReconSchemeSweep,
+                         ::testing::Values(ReconScheme::kFirst,
+                                           ReconScheme::kThird,
+                                           ReconScheme::kFifth,
+                                           ReconScheme::kWeno5));
+
+}  // namespace

@@ -1,0 +1,150 @@
+/// Tests for the WENO5+HLLC baseline solver (the paper's state-of-the-art
+/// comparator) and its relationship to the IGR solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/weno_hllc_solver3d.hpp"
+#include "core/igr_solver3d.hpp"
+#include "fv/exact_riemann.hpp"
+
+namespace {
+
+using igr::baseline::WenoHllcSolver3D;
+using igr::common::Fp64;
+using igr::common::kNumVars;
+using igr::common::Prim;
+using igr::common::SolverConfig;
+using igr::core::IgrSolver3D;
+using igr::fv::BcSpec;
+using igr::mesh::Grid;
+
+TEST(Weno3D, ConstantStateIsSteady) {
+  WenoHllcSolver3D<Fp64> s(Grid::cube(12), SolverConfig{},
+                           BcSpec::all_periodic());
+  s.init([](double, double, double) {
+    return Prim<double>{1.1, 0.2, 0.3, -0.1, 0.8};
+  });
+  for (int i = 0; i < 5; ++i) s.step();
+  for (int k = 0; k < 12; ++k)
+    for (int j = 0; j < 12; ++j)
+      for (int i = 0; i < 12; ++i)
+        EXPECT_NEAR(s.state()[0](i, j, k), 1.1, 1e-12);
+}
+
+TEST(Weno3D, PeriodicConservation) {
+  WenoHllcSolver3D<Fp64> s(Grid::cube(16), SolverConfig{},
+                           BcSpec::all_periodic());
+  s.init([](double x, double y, double z) {
+    Prim<double> w;
+    w.rho = 1.0 + 0.3 * std::sin(2 * M_PI * x);
+    w.u = 0.2 * std::cos(2 * M_PI * y);
+    w.w = -0.1 * std::sin(2 * M_PI * z);
+    w.p = 1.0;
+    return w;
+  });
+  const auto before = s.conserved_totals();
+  for (int i = 0; i < 10; ++i) s.step();
+  const auto after = s.conserved_totals();
+  for (int c = 0; c < kNumVars; ++c)
+    EXPECT_NEAR(after[c], before[c], 1e-11 * (std::abs(before[c]) + 1.0));
+}
+
+TEST(Weno3D, SodMatchesExactSolution) {
+  SolverConfig cfg;
+  cfg.cfl = 0.35;
+  BcSpec bc = BcSpec::all_outflow();
+  Grid g(128, 4, 4, {0.0, 1.0}, {0.0, 0.05}, {0.0, 0.05});
+  WenoHllcSolver3D<Fp64> s(g, cfg, bc);
+  s.init([](double x, double, double) {
+    Prim<double> w;
+    w.rho = x < 0.5 ? 1.0 : 0.125;
+    w.p = x < 0.5 ? 1.0 : 0.1;
+    return w;
+  });
+  while (s.time() < 0.2) s.step();
+  igr::fv::ExactRiemann ex(igr::fv::sod_left(), igr::fv::sod_right(), 1.4);
+  const auto ref = ex.sample_profile(128, 0.0, 1.0, 0.5, s.time());
+  double l1 = 0;
+  for (int i = 0; i < 128; ++i)
+    l1 += std::abs(s.state()[0](i, 2, 2) -
+                   ref[static_cast<std::size_t>(i)].rho) *
+          g.dx();
+  EXPECT_LT(l1, 0.02);
+}
+
+TEST(Weno3D, CapturesShockSharperThanIgr) {
+  // WENO+HLLC resolves the captured shock in fewer cells; IGR deliberately
+  // smooths it over ~sqrt(alpha_factor) cells.  Verify the expected
+  // relationship holds (and thus that both are behaving as designed).
+  SolverConfig cfg;
+  cfg.cfl = 0.3;
+  cfg.alpha_factor = 10.0;
+  BcSpec bc = BcSpec::all_outflow();
+  Grid g(128, 4, 4, {0.0, 1.0}, {0.0, 0.05}, {0.0, 0.05});
+  auto ic = [](double x, double, double) {
+    Prim<double> w;
+    w.rho = x < 0.5 ? 1.0 : 0.125;
+    w.p = x < 0.5 ? 1.0 : 0.1;
+    return w;
+  };
+  WenoHllcSolver3D<Fp64> w(g, cfg, bc);
+  IgrSolver3D<Fp64> s(g, cfg, bc);
+  w.init(ic);
+  s.init(ic);
+  while (w.time() < 0.15) w.step();
+  while (s.time() < 0.15) s.step();
+
+  auto shock_width = [&](auto& solver) {
+    // Count cells with density between the post- and pre-shock plateaus.
+    int cells = 0;
+    for (int i = 64; i < 128; ++i) {
+      const double r = static_cast<double>(solver.state()[0](i, 2, 2));
+      if (r > 0.14 && r < 0.25) ++cells;
+    }
+    return cells;
+  };
+  EXPECT_LE(shock_width(w), shock_width(s));
+}
+
+TEST(Weno3D, BaselineStoresMoreThanIgr) {
+  // §5.4: the fused IGR kernel eliminates the array-based intermediates the
+  // baseline must keep.  Measured on a grid large enough that ghost-layer
+  // overhead does not mask the per-cell storage difference.
+  SolverConfig cfg;
+  Grid g = Grid::cube(48);
+  WenoHllcSolver3D<Fp64> w(g, cfg, BcSpec::all_periodic());
+  IgrSolver3D<Fp64> s(g, cfg, BcSpec::all_periodic());
+  EXPECT_GT(w.storage_per_cell(), s.storage_per_cell());
+  EXPECT_GT(static_cast<double>(w.memory_bytes()),
+            1.3 * static_cast<double>(s.memory_bytes()));
+}
+
+TEST(Weno3D, GrindTimerWorks) {
+  WenoHllcSolver3D<Fp64> s(Grid::cube(8), SolverConfig{},
+                           BcSpec::all_periodic());
+  s.init([](double, double, double) { return Prim<double>{1, 0, 0, 0, 1}; });
+  s.step();
+  EXPECT_EQ(s.grind_timer().steps(), 1u);
+}
+
+TEST(Weno3D, ViscousRunConserves) {
+  SolverConfig cfg;
+  cfg.mu = 0.01;
+  WenoHllcSolver3D<Fp64> s(Grid::cube(12), cfg, BcSpec::all_periodic());
+  s.init([](double, double y, double) {
+    Prim<double> w;
+    w.rho = 1.0;
+    w.u = 0.2 * std::sin(2 * M_PI * y);
+    w.p = 1.0;
+    return w;
+  });
+  const auto before = s.conserved_totals();
+  for (int i = 0; i < 5; ++i) s.step();
+  const auto after = s.conserved_totals();
+  EXPECT_NEAR(after.rho, before.rho, 1e-12);
+  EXPECT_NEAR(after.e, before.e, 1e-11);
+}
+
+}  // namespace
