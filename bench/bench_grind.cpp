@@ -1,0 +1,165 @@
+/// \file bench_grind.cpp
+/// The perf-trajectory harness: measures grind time (ns per cell per step,
+/// the paper's Table 3 metric) on the Mach-10 single-jet workload (§6.2) for
+/// every precision policy × reconstruction scheme of the IGR solver plus the
+/// WENO5+HLLC baseline, and writes the results as BENCH_<name>.json.
+///
+/// Every PR that touches a hot path re-runs this and checks the JSON in, so
+/// perf regressions are one `diff` away.  See PERF.md.
+///
+/// Usage:
+///   bench_grind [--smoke] [--n N] [--warmup W] [--steps S]
+///               [--label NAME] [--out PATH]
+///
+/// --smoke shrinks the grid and step counts to a seconds-scale run for CI
+/// (ctest label `bench-smoke`); default sizes match the checked-in numbers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/precision.hpp"
+
+namespace {
+
+using namespace igr;
+using app::SchemeKind;
+
+struct Row {
+  std::string scheme;
+  std::string precision;
+  std::string recon;
+  double grind_ns = 0.0;
+};
+
+const char* recon_name(fv::ReconScheme r) {
+  switch (r) {
+    case fv::ReconScheme::kFirst: return "recon1";
+    case fv::ReconScheme::kThird: return "recon3";
+    case fv::ReconScheme::kFifth: return "recon5";
+    case fv::ReconScheme::kWeno5: return "weno5";
+  }
+  return "?";
+}
+
+template <class Policy>
+Row run_one(SchemeKind scheme, fv::ReconScheme recon, int n, int warmup,
+            int steps) {
+  Row r;
+  r.scheme = (scheme == SchemeKind::kIgr) ? "igr" : "baseline_weno_hllc";
+  r.precision = std::string(Policy::name);
+  r.recon = recon_name(scheme == SchemeKind::kIgr ? recon
+                                                  : fv::ReconScheme::kWeno5);
+  r.grind_ns = bench::measure_grind_ns<Policy>(scheme, n, warmup, steps, recon);
+  std::printf("  %-20s %-8s %-7s %10.1f ns/cell/step  (%.3g cells/s)\n",
+              r.scheme.c_str(), r.precision.c_str(), r.recon.c_str(),
+              r.grind_ns, 1.0e9 / r.grind_ns);
+  std::fflush(stdout);
+  return r;
+}
+
+void write_json(const std::string& path, const std::string& label, int n,
+                int warmup, int steps, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_grind: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"name\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"workload\": \"mach10_single_jet\",\n");
+  std::fprintf(f, "  \"metric\": \"grind_ns_per_cell_step\",\n");
+  std::fprintf(f, "  \"grid\": [%d, %d, %d],\n", n, n, n + n / 2);
+  std::fprintf(f, "  \"warmup_steps\": %d,\n", warmup);
+  std::fprintf(f, "  \"timed_steps\": %d,\n", steps);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scheme\": \"%s\", \"precision\": \"%s\", "
+                 "\"recon\": \"%s\", \"grind_ns_per_cell_step\": %.2f, "
+                 "\"cells_per_sec\": %.0f}%s\n",
+                 r.scheme.c_str(), r.precision.c_str(), r.recon.c_str(),
+                 r.grind_ns, 1.0e9 / r.grind_ns,
+                 (i + 1 < rows.size()) ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 32, warmup = 2, steps = 3;
+  std::string out = "BENCH_grind.json";
+  std::string label = "grind";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_grind: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strcmp(argv[i], "--n")) {
+      n = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--warmup")) {
+      warmup = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--steps")) {
+      steps = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out = next();
+    } else if (!std::strcmp(argv[i], "--label")) {
+      label = next();
+    } else {
+      std::fprintf(stderr, "bench_grind: unknown arg %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    n = 16;
+    warmup = 1;
+    steps = 2;
+    if (label == "grind") label = "smoke";
+  }
+  if (n < 8 || steps < 1 || warmup < 0) {
+    std::fprintf(stderr,
+                 "bench_grind: need --n >= 8 (reconstruction stencil + "
+                 "inflow patch), --steps >= 1, --warmup >= 0\n");
+    return 2;
+  }
+
+  std::printf("igrflow bench_grind: n=%d warmup=%d steps=%d\n", n, warmup,
+              steps);
+  std::vector<Row> rows;
+  using common::Fp16x32;
+  using common::Fp32;
+  using common::Fp64;
+  const auto kAll = {fv::ReconScheme::kFirst, fv::ReconScheme::kThird,
+                     fv::ReconScheme::kFifth};
+  // IGR: every precision × reconstruction order (Table 3's rows, extended
+  // with the recon sweep so dispatch-level regressions are visible).
+  for (auto recon : kAll)
+    rows.push_back(run_one<Fp64>(SchemeKind::kIgr, recon, n, warmup, steps));
+  for (auto recon : kAll)
+    rows.push_back(run_one<Fp32>(SchemeKind::kIgr, recon, n, warmup, steps));
+  for (auto recon : kAll)
+    rows.push_back(
+        run_one<Fp16x32>(SchemeKind::kIgr, recon, n, warmup, steps));
+  // Baseline: WENO5+HLLC at FP64 (the state of the art the paper beats) and
+  // FP32 (timing-only; unstable below FP64 per §4.3).
+  rows.push_back(run_one<Fp64>(SchemeKind::kBaselineWeno,
+                               fv::ReconScheme::kWeno5, n, warmup, steps));
+  rows.push_back(run_one<Fp32>(SchemeKind::kBaselineWeno,
+                               fv::ReconScheme::kWeno5, n, warmup, steps));
+
+  write_json(out, label, n, warmup, steps, rows);
+  return 0;
+}

@@ -16,7 +16,9 @@ namespace igr::bench {
 /// simulation of the exhaust plume of a single Mach 10 jet" (§6.2), at a
 /// laptop-scale resolution.
 template <class Policy>
-app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32) {
+app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32,
+                                     fv::ReconScheme recon =
+                                         fv::ReconScheme::kFifth) {
   const auto jet = app::single_engine();
   typename app::Simulation<Policy>::Params params;
   params.grid = mesh::Grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0},
@@ -24,6 +26,7 @@ app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32) {
   params.cfg = jet.solver_config();
   params.bc = jet.make_bc();
   params.scheme = scheme;
+  params.recon = recon;
   app::Simulation<Policy> sim(params);
   sim.init(jet.initial_condition(0.005));
   return sim;
@@ -31,9 +34,9 @@ app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32) {
 
 /// Measure ns/cell/step over `steps` steps after `warmup` untimed ones.
 template <class Policy>
-double measure_grind_ns(app::SchemeKind scheme, int n, int warmup,
-                        int steps) {
-  auto sim = make_jet_sim<Policy>(scheme, n);
+double measure_grind_ns(app::SchemeKind scheme, int n, int warmup, int steps,
+                        fv::ReconScheme recon = fv::ReconScheme::kFifth) {
+  auto sim = make_jet_sim<Policy>(scheme, n, recon);
   sim.run_steps(warmup);
   common::WallTimer t;
   t.start();

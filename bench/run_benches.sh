@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run the perf harness and the paper fig/table benches at a small "smoke"
+# size, writing BENCH_<label>.json into the repo root so perf regressions
+# are one `diff` away.
+#
+# Usage:
+#   bench/run_benches.sh [label] [build-dir]
+#
+#   label      name embedded in the output file (default: smoke)
+#   build-dir  an existing CMake build tree (default: ./build)
+#
+# The full-size grind matrix (the numbers checked in as BENCH_pr<N>.json,
+# see PERF.md) is:
+#   build/bench_grind --n 32 --warmup 2 --steps 6 --label pr<N> \
+#                     --out BENCH_pr<N>.json
+set -euo pipefail
+
+label="${1:-smoke}"
+build="${2:-build}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ ! -x "$root/$build/bench_grind" ]]; then
+  echo "run_benches.sh: $build/bench_grind not built." >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# Grind-time matrix (the primary perf-trajectory artifact).
+"$root/$build/bench_grind" --smoke --label "$label" \
+    --out "$root/BENCH_${label}.json"
+
+# Paper-artifact benches that are cheap enough for a smoke pass; these
+# print tables rather than JSON and serve as a does-it-still-run probe.
+for b in fig2_regularization ablation_design_choices; do
+  if [[ -x "$root/$build/$b" ]]; then
+    echo "--- $b"
+    "$root/$build/$b" >/dev/null || { echo "$b FAILED" >&2; exit 1; }
+    echo "ok"
+  fi
+done
+
+echo "wrote $root/BENCH_${label}.json"

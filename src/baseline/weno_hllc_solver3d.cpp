@@ -57,7 +57,7 @@ void WenoHllcSolver3D<Policy>::init(const PrimFn& prim) {
 template <class Policy>
 void WenoHllcSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
                                           common::StateField3<S>& rhs,
-                                          int dir) {
+                                          int dir, bool overwrite) {
   const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
   const int n_dir = (dir == 0) ? nx : (dir == 1) ? ny : nz;
   const C d_dir = static_cast<C>((dir == 0)   ? grid_.dx()
@@ -120,9 +120,12 @@ void WenoHllcSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
           const std::ptrdiff_t fst = face_l_[c].stride(dir);
           const C* line =
               lines.data() + static_cast<std::size_t>(c) * line_len;
+          // The baseline always runs WENO5; bind it at compile time so the
+          // nonlinear-weight arithmetic inlines into this loop instead of
+          // re-dispatching through the scheme switch per face.
           for (int fi = 0; fi <= n_dir; ++fi) {
-            const auto f = fv::reconstruct(fv::ReconScheme::kWeno5,
-                                           line + fi);
+            const auto f =
+                fv::reconstruct_fixed<fv::ReconScheme::kWeno5>(line + fi);
             pl[fi * fst] = static_cast<S>(f.left);
             pr[fi * fst] = static_cast<S>(f.right);
           }
@@ -181,7 +184,8 @@ void WenoHllcSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
     }
   }
 
-  // Pass 3: flux divergence into the RHS.
+  // Pass 3: flux divergence into the RHS (the first sweep overwrites,
+  // folding the per-stage zero-fill into its write-back).
 #pragma omp parallel for collapse(2)
   for (int lb = 0; lb < nb; ++lb) {
     for (int la = 0; la < na; ++la) {
@@ -191,11 +195,19 @@ void WenoHllcSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
         const S* pf = &face_flux_[c](c0[0], c0[1], c0[2]);
         const std::ptrdiff_t rst = rhs[c].stride(dir);
         const std::ptrdiff_t fst = face_flux_[c].stride(dir);
-        for (int s = 0; s < n_dir; ++s) {
-          const C cur = static_cast<C>(pr[s * rst]);
-          const C fa = static_cast<C>(pf[s * fst]);
-          const C fb = static_cast<C>(pf[(s + 1) * fst]);
-          pr[s * rst] = static_cast<S>(cur + (fa - fb) * inv_d);
+        if (overwrite) {
+          for (int s = 0; s < n_dir; ++s) {
+            const C fa = static_cast<C>(pf[s * fst]);
+            const C fb = static_cast<C>(pf[(s + 1) * fst]);
+            pr[s * rst] = static_cast<S>((fa - fb) * inv_d);
+          }
+        } else {
+          for (int s = 0; s < n_dir; ++s) {
+            const C cur = static_cast<C>(pr[s * rst]);
+            const C fa = static_cast<C>(pf[s * fst]);
+            const C fb = static_cast<C>(pf[(s + 1) * fst]);
+            pr[s * rst] = static_cast<S>(cur + (fa - fb) * inv_d);
+          }
         }
       }
     }
@@ -206,8 +218,8 @@ template <class Policy>
 void WenoHllcSolver3D<Policy>::compute_rhs(common::StateField3<S>& q,
                                            common::StateField3<S>& rhs) {
   fv::apply_bc(q, bc_, grid_, eos_);
-  for (int c = 0; c < kNumVars; ++c) rhs[c].fill(S{});
-  for (int dir = 0; dir < 3; ++dir) flux_sweep(q, rhs, dir);
+  for (int dir = 0; dir < 3; ++dir)
+    flux_sweep(q, rhs, dir, /*overwrite=*/dir == 0);
 }
 
 template <class Policy>

@@ -55,8 +55,11 @@ class WenoHllcSolver3D {
   [[nodiscard]] common::Cons<double> conserved_totals() const;
 
  private:
+  /// One dimensional sweep; `overwrite` folds the RHS zeroing into the
+  /// first sweep's write-back.  Reconstruction is bound to WENO5 at compile
+  /// time inside (the baseline has no scheme choice).
   void flux_sweep(common::StateField3<S>& q, common::StateField3<S>& rhs,
-                  int dir);
+                  int dir, bool overwrite);
 
   mesh::Grid grid_;
   common::SolverConfig cfg_;

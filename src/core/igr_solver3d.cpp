@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -77,16 +78,9 @@ void IgrSolver3D<Policy>::init(const PrimFn& prim) {
 }
 
 template <class Policy>
-void IgrSolver3D<Policy>::compute_sigma_source(common::StateField3<S>& q) {
+void IgrSolver3D<Policy>::refresh_inv_rho(common::StateField3<S>& q) {
   const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
   const int ng = q.ng();
-  const C inv2dx = C(0.5) / static_cast<C>(grid_.dx());
-  const C inv2dy = C(0.5) / static_cast<C>(grid_.dy());
-  const C inv2dz = C(0.5) / static_cast<C>(grid_.dz());
-  const C al = static_cast<C>(alpha_);
-
-  // Reciprocal density over the full ghosted extent: one division per
-  // point, consumed multiplication-only by the source and the sweeps.
 #pragma omp parallel for
   for (int k = -ng; k < nz + ng; ++k) {
     for (int j = -ng; j < ny + ng; ++j) {
@@ -97,6 +91,17 @@ void IgrSolver3D<Policy>::compute_sigma_source(common::StateField3<S>& q) {
       }
     }
   }
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_sigma_source(common::StateField3<S>& q) {
+  const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  const C inv2dx = C(0.5) / static_cast<C>(grid_.dx());
+  const C inv2dy = C(0.5) / static_cast<C>(grid_.dy());
+  const C inv2dz = C(0.5) / static_cast<C>(grid_.dz());
+  const C al = static_cast<C>(alpha_);
+
+  refresh_inv_rho(q);
 
   const std::ptrdiff_t sy = inv_rho_.stride(1);
   const std::ptrdiff_t sz = inv_rho_.stride(2);
@@ -126,8 +131,11 @@ void IgrSolver3D<Policy>::compute_sigma_source(common::StateField3<S>& q) {
 }
 
 template <class Policy>
+template <int Dir, class ReconOp>
 void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
-                                     common::StateField3<S>& rhs, int dir) {
+                                     common::StateField3<S>& rhs,
+                                     ReconOp recon, bool overwrite) {
+  constexpr int dir = Dir;
   const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
   const int n_dir = (dir == 0) ? nx : (dir == 1) ? ny : nz;
   const C d_dir = static_cast<C>((dir == 0)   ? grid_.dx()
@@ -135,18 +143,26 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
                                               : grid_.dz());
   const C inv_d = C(1) / d_dir;
   const C gam = static_cast<C>(cfg_.gamma);
+  const C gm1 = gam - C(1);
   const C mu = static_cast<C>(cfg_.mu);
   const C zeta = static_cast<C>(cfg_.zeta);
   const bool viscous = (cfg_.mu > 0.0 || cfg_.zeta > 0.0);
   const C rho_floor = static_cast<C>(cfg_.density_floor);
   const C p_floor = static_cast<C>(cfg_.pressure_floor);
+
+  // The two tangential axes of this sweep (the line runs along `dir`).
+  const int axA = (dir == 0) ? 1 : 0;
+  const int axB = (dir == 2) ? 1 : 2;
+  const int na = (dir == 0) ? ny : nx;
+  const int nb = (dir == 2) ? ny : nz;
   const std::array<C, 3> dd{static_cast<C>(grid_.dx()),
                             static_cast<C>(grid_.dy()),
                             static_cast<C>(grid_.dz())};
+  const C inv2dA = C(0.5) / dd[static_cast<std::size_t>(axA)];
+  const C inv2dB = C(0.5) / dd[static_cast<std::size_t>(axB)];
 
-  // Offsets of the line direction and the two tangential directions.
+  // Map (tangential a, tangential b, line coordinate s) -> (i,j,k).
   auto cell = [&](int line_a, int line_b, int s) -> std::array<int, 3> {
-    // Map (tangential a, tangential b, line coordinate s) -> (i,j,k).
     switch (dir) {
       case 0: return {s, line_a, line_b};
       case 1: return {line_a, s, line_b};
@@ -154,129 +170,282 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
     }
   };
 
-  const int na = (dir == 0) ? ny : nx;
-  const int nb = (dir == 2) ? ny : nz;
-
-  auto vel = [&](int a, const std::array<int, 3>& c) -> C {
-    return static_cast<C>(q[kMomX + a](c[0], c[1], c[2])) /
-           static_cast<C>(q[kRho](c[0], c[1], c[2]));
-  };
-
-  // Central derivative of velocity component `a` along axis `ax` at cell c.
-  auto dvel = [&](int a, int ax, std::array<int, 3> c) -> C {
-    auto cp = c, cm = c;
-    cp[static_cast<std::size_t>(ax)] += 1;
-    cm[static_cast<std::size_t>(ax)] -= 1;
-    return (vel(a, cp) - vel(a, cm)) / (C(2) * dd[static_cast<std::size_t>(ax)]);
-  };
+  // All fields share one block shape, hence one set of strides.
+  const std::ptrdiff_t st = q[0].stride(dir);
+  const std::ptrdiff_t stA = q[0].stride(axA);
+  const std::ptrdiff_t stB = q[0].stride(axB);
 
 #pragma omp parallel
   {
     // Per-thread line buffers — the CPU analogue of the paper's
     // thread-local temporaries (§5.4).  Each line of cells (with ghosts) is
-    // gathered once into contiguous storage; reconstruction then walks it
-    // with unit stride.
+    // gathered once into contiguous storage: the 5 conservative variables
+    // and Sigma, then the primitive line (1/rho, u, v, w, p) computed once
+    // per cell with a single division.  Reconstruction and the Riemann,
+    // viscous, and fallback paths then walk these with unit stride,
+    // multiplication-only.
     const std::size_t line_len = static_cast<std::size_t>(n_dir) + 6;
+    const std::size_t fn = static_cast<std::size_t>(n_dir) + 1;
     std::vector<C> lines((kNumVars + 1) * line_len);
-    std::vector<common::Cons<C>> flux(static_cast<std::size_t>(n_dir) + 1);
+    std::vector<C> prims(5 * line_len);   // ir, u, v, w, p
+    std::vector<C> faces(2 * (kNumVars + 1) * fn);  // recon left/right states
+    std::vector<C> fprims(2 * 6 * fn);  // face prims: rho,ir,u,v,w,p (L/R)
+    std::vector<C> smax_buf(fn);
+    std::vector<unsigned char> fallback(fn);
+    std::vector<C> flux(kNumVars * fn);   // [c*fn + fi]
+
+    C* const ir_l = prims.data();
+    C* const u_l = prims.data() + line_len;
+    C* const v_l = prims.data() + 2 * line_len;
+    C* const w_l = prims.data() + 3 * line_len;
+    C* const p_l = prims.data() + 4 * line_len;
+    C* const lf = faces.data();                       // [c*fn + fi] left
+    C* const rf = faces.data() + (kNumVars + 1) * fn; // [c*fn + fi] right
+    C* const lp = fprims.data();                      // [c*fn + fi] left
+    C* const rp = fprims.data() + 6 * fn;             // [c*fn + fi] right
 
 #pragma omp for collapse(2)
     for (int lb = 0; lb < nb; ++lb) {
       for (int la = 0; la < na; ++la) {
         const auto c0 = cell(la, lb, 0);
+        const std::size_t base = q[0].idx(c0[0], c0[1], c0[2]);
         for (int c = 0; c <= kNumVars; ++c) {
-          const common::Field3<S>& f = (c < kNumVars) ? q[c] : sigma_;
-          const S* p = &f(c0[0], c0[1], c0[2]);
-          const std::ptrdiff_t st = f.stride(dir);
+          const S* p = ((c < kNumVars) ? q[c].data() : sigma_.data()) + base;
           C* line = lines.data() + static_cast<std::size_t>(c) * line_len;
           for (int s = -3; s < n_dir + 3; ++s)
             line[s + 3] = static_cast<C>(p[s * st]);
         }
 
-        for (int fi = 0; fi <= n_dir; ++fi) {
-          const int i = fi - 1;  // face between cells i and i+1 along dir
-          // Stencil q(i-2..i+3) starts at line offset (i-2)+3 = fi.
-          const std::size_t off = static_cast<std::size_t>(fi);
-          common::Cons<C> ql, qr;
-          for (int c = 0; c < kNumVars; ++c) {
-            const C* sc =
-                lines.data() + static_cast<std::size_t>(c) * line_len + off;
-            const auto f = fv::reconstruct(recon_, sc);
-            ql[c] = f.left;
-            qr[c] = f.right;
+        // Primitive line: one division per cell; everything downstream of
+        // it multiplies (the register-resident discipline of §5.2).
+        {
+          const C* rho = lines.data();
+          const C* mx = lines.data() + 1 * line_len;
+          const C* my = lines.data() + 2 * line_len;
+          const C* mz = lines.data() + 3 * line_len;
+          const C* en = lines.data() + 4 * line_len;
+          for (std::size_t s = 0; s < line_len; ++s) {
+            const C ir = C(1) / rho[s];
+            ir_l[s] = ir;
+            u_l[s] = mx[s] * ir;
+            v_l[s] = my[s] * ir;
+            w_l[s] = mz[s] * ir;
+            p_l[s] = gm1 * (en[s] - C(0.5) * (mx[s] * u_l[s] +
+                                              my[s] * v_l[s] +
+                                              mz[s] * w_l[s]));
           }
-          const C* ss =
-              lines.data() + static_cast<std::size_t>(kNumVars) * line_len +
-              off;
-          auto sf = fv::reconstruct(recon_, ss);
+        }
 
-          // High-order linear reconstruction can overshoot into a
-          // non-physical state at an under-resolved start-up discontinuity,
-          // before Sigma has developed to smooth it.  Fall back to the
-          // piecewise-constant (cell-average) face states there — a
-          // conservative, local safeguard that leaves smooth regions (and
-          // the developed IGR solution) untouched.
-          auto nonphysical = [&](const common::Cons<C>& qc) {
-            if (!(qc.rho > C(0))) return true;
-            const C ke = (qc.mx * qc.mx + qc.my * qc.my + qc.mz * qc.mz) /
-                         (C(2) * qc.rho);
-            return !(qc.e - ke > C(0));
-          };
-          if (nonphysical(ql) || nonphysical(qr)) {
-            for (int c = 0; c < kNumVars; ++c) {
+        // Reconstruction, one tight vectorizable loop per variable: the
+        // scheme is a compile-time constant of this instantiation, so there
+        // is no per-face dispatch left to block SIMD.
+        for (int c = 0; c <= kNumVars; ++c) {
+          const C* line = lines.data() + static_cast<std::size_t>(c) * line_len;
+          C* ql = lf + static_cast<std::size_t>(c) * fn;
+          C* qr = rf + static_cast<std::size_t>(c) * fn;
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            const auto f = recon(line + fi);
+            ql[fi] = f.left;
+            qr[fi] = f.right;
+          }
+        }
+
+        // --- Face primitives: one vector division per side per face; the
+        // rest of the conversion is multiplication-only and vectorizes.
+        auto prim_pass = [&](const C* qs, C* ps) {
+          const C* mx = qs + 1 * fn;
+          const C* my = qs + 2 * fn;
+          const C* mz = qs + 3 * fn;
+          const C* en = qs + 4 * fn;
+          C* rho = ps;
+          C* ir = ps + fn;
+          C* u = ps + 2 * fn;
+          C* v = ps + 3 * fn;
+          C* w = ps + 4 * fn;
+          C* p = ps + 5 * fn;
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            const C r0 = C(1) / qs[fi];
+            rho[fi] = qs[fi];
+            ir[fi] = r0;
+            u[fi] = mx[fi] * r0;
+            v[fi] = my[fi] * r0;
+            w[fi] = mz[fi] * r0;
+            p[fi] = gm1 * (en[fi] - C(0.5) * (mx[fi] * u[fi] +
+                                              my[fi] * v[fi] +
+                                              mz[fi] * w[fi]));
+          }
+        };
+        prim_pass(lf, lp);
+        prim_pass(rf, rp);
+
+        // --- Nonphysical-fallback mask.  High-order linear reconstruction
+        // can overshoot into a non-physical state at an under-resolved
+        // start-up discontinuity, before Sigma has developed to smooth it.
+        // The internal-energy positivity predicate is written
+        // multiplication-only so the mask pass vectorizes; the (rare)
+        // masked faces are then patched scalar with piecewise-constant
+        // (cell-average) face states — a conservative, local safeguard that
+        // leaves smooth regions (and the developed IGR solution) untouched.
+        unsigned any_fallback = 0;
+        for (std::size_t fi = 0; fi < fn; ++fi) {
+          const C rl = lf[fi], rr = rf[fi];
+          const C kel = lf[fn + fi] * lf[fn + fi] +
+                        lf[2 * fn + fi] * lf[2 * fn + fi] +
+                        lf[3 * fn + fi] * lf[3 * fn + fi];
+          const C ker = rf[fn + fi] * rf[fn + fi] +
+                        rf[2 * fn + fi] * rf[2 * fn + fi] +
+                        rf[3 * fn + fi] * rf[3 * fn + fi];
+          const bool bad =
+              !(rl > C(0)) || !(C(2) * rl * lf[4 * fn + fi] - kel > C(0)) ||
+              !(rr > C(0)) || !(C(2) * rr * rf[4 * fn + fi] - ker > C(0));
+          fallback[fi] = static_cast<unsigned char>(bad);
+          any_fallback |= static_cast<unsigned>(bad);
+        }
+        if (any_fallback) {
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            if (!fallback[fi]) continue;
+            const std::size_t il = fi + 2, ir = fi + 3;
+            for (int c = 0; c <= kNumVars; ++c) {
               const C* sc =
-                  lines.data() + static_cast<std::size_t>(c) * line_len + off;
-              ql[c] = sc[2];
-              qr[c] = sc[3];
+                  lines.data() + static_cast<std::size_t>(c) * line_len;
+              lf[static_cast<std::size_t>(c) * fn + fi] = sc[il];
+              rf[static_cast<std::size_t>(c) * fn + fi] = sc[ir];
             }
-            sf.left = ss[2];
-            sf.right = ss[3];
+            // Cell-center primitives come off the cached line — no
+            // division.
+            lp[fi] = lf[fi];
+            lp[fn + fi] = ir_l[il];
+            lp[2 * fn + fi] = u_l[il];
+            lp[3 * fn + fi] = v_l[il];
+            lp[4 * fn + fi] = w_l[il];
+            lp[5 * fn + fi] = p_l[il];
+            rp[fi] = rf[fi];
+            rp[fn + fi] = ir_l[ir];
+            rp[2 * fn + fi] = u_l[ir];
+            rp[3 * fn + fi] = v_l[ir];
+            rp[4 * fn + fi] = w_l[ir];
+            rp[5 * fn + fi] = p_l[ir];
           }
+        }
 
-          // Optional configured floors (high-Mach jet start-up robustness).
-          auto to_prim = [&](const common::Cons<C>& qc) {
-            common::Prim<C> w = eos_.to_prim(qc);
-            if (rho_floor > C(0)) w.rho = std::max(w.rho, rho_floor);
-            if (p_floor > C(0)) w.p = std::max(w.p, p_floor);
-            return w;
-          };
-          const auto wl = to_prim(ql);
-          const auto wr = to_prim(qr);
+        // --- Optional configured floors (high-Mach jet start-up
+        // robustness).  A triggered density floor leaves the cached
+        // reciprocal as an overestimate (1/rho >= 1/rho_floor), which only
+        // raises the wave-speed bound — the robust direction.
+        if (rho_floor > C(0)) {
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            lp[fi] = std::max(lp[fi], rho_floor);
+            rp[fi] = std::max(rp[fi], rho_floor);
+          }
+        }
+        if (p_floor > C(0)) {
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            lp[5 * fn + fi] = std::max(lp[5 * fn + fi], p_floor);
+            rp[5 * fn + fi] = std::max(rp[5 * fn + fi], p_floor);
+          }
+        }
 
-          auto f = fv::rusanov_flux(wl, ql.e, sf.left, wr, qr.e, sf.right,
-                                    gam, dir);
+        // --- Rusanov (local Lax–Friedrichs) flux, assembled per component
+        // over all faces of the line: the wave-speed bound (one vector
+        // sqrt per side) and both physical fluxes vectorize; Sigma
+        // augments the pressure in both (eqs. 6-8; the slight wave-speed
+        // overestimate only adds robustness).
+        {
+          constexpr std::size_t kUn = 2 + static_cast<std::size_t>(Dir);
+          const C* sfl = lf + static_cast<std::size_t>(kNumVars) * fn;
+          const C* sfr = rf + static_cast<std::size_t>(kNumVars) * fn;
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            const C unl = lp[kUn * fn + fi];
+            const C unr = rp[kUn * fn + fi];
+            const C cl = std::sqrt(gam * std::max(lp[5 * fn + fi] + sfl[fi],
+                                                  C(0)) *
+                                   lp[fn + fi]);
+            const C cr = std::sqrt(gam * std::max(rp[5 * fn + fi] + sfr[fi],
+                                                  C(0)) *
+                                   rp[fn + fi]);
+            smax_buf[fi] = std::max(std::abs(unl) + cl, std::abs(unr) + cr);
+          }
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            const C rl = lp[fi], rr = rp[fi];
+            const C ul = lp[2 * fn + fi], ur = rp[2 * fn + fi];
+            const C vl = lp[3 * fn + fi], vr = rp[3 * fn + fi];
+            const C wwl = lp[4 * fn + fi], wwr = rp[4 * fn + fi];
+            const C unl = lp[kUn * fn + fi], unr = rp[kUn * fn + fi];
+            const C el = lf[4 * fn + fi], er = rf[4 * fn + fi];
+            const C ptl = lp[5 * fn + fi] + sfl[fi];
+            const C ptr = rp[5 * fn + fi] + sfr[fi];
+            const C sm = smax_buf[fi];
 
-          if (viscous) {
-            const auto cl = cell(la, lb, i);
-            const auto cr = cell(la, lb, i + 1);
+            // Conservative states rebuilt from the (floored) primitives,
+            // exactly as the scalar rusanov_flux does.
+            const C qml[3] = {rl * ul, rl * vl, rl * wwl};
+            const C qmr[3] = {rr * ur, rr * vr, rr * wwr};
+
+            auto blend = [&](C fl_c, C fr_c, C ql_c, C qr_c) {
+              return C(0.5) * (fl_c + fr_c) - C(0.5) * sm * (qr_c - ql_c);
+            };
+            flux[fi] = blend(rl * unl, rr * unr, rl, rr);
+            C fml[3] = {qml[0] * unl, qml[1] * unl, qml[2] * unl};
+            C fmr[3] = {qmr[0] * unr, qmr[1] * unr, qmr[2] * unr};
+            fml[Dir] += ptl;
+            fmr[Dir] += ptr;
+            flux[fn + fi] = blend(fml[0], fmr[0], qml[0], qmr[0]);
+            flux[2 * fn + fi] = blend(fml[1], fmr[1], qml[1], qmr[1]);
+            flux[3 * fn + fi] = blend(fml[2], fmr[2], qml[2], qmr[2]);
+            flux[4 * fn + fi] =
+                blend((el + ptl) * unl, (er + ptr) * unr, el, er);
+          }
+        }
+
+        if (viscous) {
+          // Velocities along the line come from the cached primitive line;
+          // transverse derivatives pair the momentum fields with the
+          // persistent reciprocal-density field — every term is
+          // multiplication-only.
+          const S* pmom[3] = {q[kMomX].data() + base, q[kMomY].data() + base,
+                              q[kMomZ].data() + base};
+          const S* pir = inv_rho_.data() + inv_rho_.idx(c0[0], c0[1], c0[2]);
+          for (std::size_t fi = 0; fi < fn; ++fi) {
+            const std::size_t il = fi + 2, ir = fi + 3;
+            const std::ptrdiff_t ol =
+                (static_cast<std::ptrdiff_t>(fi) - 1) * st;
+            const std::ptrdiff_t orr = ol + st;
             fv::VelGrad<C> g;
             C uf[3];
+            const C* uvw[3] = {u_l, v_l, w_l};
             for (int a = 0; a < 3; ++a) {
-              uf[a] = C(0.5) * (vel(a, cl) + vel(a, cr));
-              for (int ax = 0; ax < 3; ++ax) {
-                if (ax == dir) {
-                  g.g[a][ax] = (vel(a, cr) - vel(a, cl)) * inv_d;
-                } else {
-                  g.g[a][ax] = C(0.5) * (dvel(a, ax, cl) + dvel(a, ax, cr));
-                }
-              }
+              uf[a] = C(0.5) * (uvw[a][il] + uvw[a][ir]);
+              g.g[a][dir] = (uvw[a][ir] - uvw[a][il]) * inv_d;
+              const S* pm = pmom[a];
+              auto dv = [&](std::ptrdiff_t o, std::ptrdiff_t stT) -> C {
+                return static_cast<C>(pm[o + stT]) *
+                           static_cast<C>(pir[o + stT]) -
+                       static_cast<C>(pm[o - stT]) *
+                           static_cast<C>(pir[o - stT]);
+              };
+              g.g[a][axA] = C(0.5) * (dv(ol, stA) + dv(orr, stA)) * inv2dA;
+              g.g[a][axB] = C(0.5) * (dv(ol, stB) + dv(orr, stB)) * inv2dB;
             }
             const auto fv_ = fv::viscous_flux(g, uf, mu, zeta, dir);
-            for (int c = 0; c < kNumVars; ++c) f[c] += fv_[c];
+            for (int c = 0; c < kNumVars; ++c)
+              flux[static_cast<std::size_t>(c) * fn + fi] += fv_[c];
           }
-
-          flux[static_cast<std::size_t>(fi)] = f;
         }
 
         for (int c = 0; c < kNumVars; ++c) {
-          S* pr = &rhs[c](c0[0], c0[1], c0[2]);
-          const std::ptrdiff_t st = rhs[c].stride(dir);
-          for (int s = 0; s < n_dir; ++s) {
-            const C cur = static_cast<C>(pr[s * st]);
-            pr[s * st] = static_cast<S>(
-                cur + (flux[static_cast<std::size_t>(s)][c] -
-                       flux[static_cast<std::size_t>(s) + 1][c]) *
-                          inv_d);
+          S* pr = rhs[c].data() + base;
+          const C* fc = flux.data() + static_cast<std::size_t>(c) * fn;
+          if (overwrite) {
+            // dir==0: the zero-fill is folded into this overwrite, and the
+            // store is unit-stride (st == 1), so it vectorizes.
+            for (int s = 0; s < n_dir; ++s) {
+              pr[s * st] = static_cast<S>((fc[s] - fc[s + 1]) * inv_d);
+            }
+          } else {
+            for (int s = 0; s < n_dir; ++s) {
+              const C cur = static_cast<C>(pr[s * st]);
+              pr[s * st] = static_cast<S>(cur + (fc[s] - fc[s + 1]) * inv_d);
+            }
           }
         }
       }
@@ -304,10 +473,43 @@ void IgrSolver3D<Policy>::fill_sigma_boundary() {
 }
 
 template <class Policy>
+template <class ReconOp>
+void IgrSolver3D<Policy>::flux_sweep_all(common::StateField3<S>& q,
+                                         common::StateField3<S>& rhs,
+                                         ReconOp recon) {
+  // The sweeps reuse q[0]'s base offset and strides for rhs, Sigma, and
+  // inv_rho; every field must share the solver's block shape (this held
+  // implicitly before the pointer-based rewrite, now it is load-bearing).
+  assert(q.nx() == grid_.nx() && q.ny() == grid_.ny() && q.nz() == grid_.nz());
+  assert(rhs.nx() == grid_.nx() && rhs.ny() == grid_.ny() &&
+         rhs.nz() == grid_.nz());
+  assert(q.ng() == sigma_.ng() && rhs.ng() == sigma_.ng());
+  // The viscous path reads the persistent reciprocal-density field; when the
+  // Sigma solve is disabled nobody has refreshed it this RHS, so do it here.
+  // (With Sigma active, build_sigma_source already recomputed it from the
+  // same ghost-filled state.)
+  const bool viscous = (cfg_.mu > 0.0 || cfg_.zeta > 0.0);
+  const bool sigma_active = (alpha_ > 0.0 && cfg_.sigma_sweeps > 0);
+  if (viscous && !sigma_active) refresh_inv_rho(q);
+
+  // The dir==0 sweep overwrites rhs, folding the zero-fill into its
+  // write-back and saving one full 5N traversal per RK stage.
+  flux_sweep<0>(q, rhs, recon, /*overwrite=*/true);
+  flux_sweep<1>(q, rhs, recon, /*overwrite=*/false);
+  flux_sweep<2>(q, rhs, recon, /*overwrite=*/false);
+}
+
+template <class Policy>
 void IgrSolver3D<Policy>::compute_fluxes(common::StateField3<S>& q,
                                          common::StateField3<S>& rhs) {
-  for (int c = 0; c < kNumVars; ++c) rhs[c].fill(S{});
-  for (int dir = 0; dir < 3; ++dir) flux_sweep(q, rhs, dir);
+  fv::dispatch_recon(recon_,
+                     [&](auto recon) { flux_sweep_all(q, rhs, recon); });
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_fluxes_runtime_dispatch(
+    common::StateField3<S>& q, common::StateField3<S>& rhs) {
+  flux_sweep_all(q, rhs, fv::ReconRuntime{recon_});
 }
 
 template <class Policy>

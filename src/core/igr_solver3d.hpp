@@ -93,8 +93,24 @@ class IgrSolver3D {
   /// overwrite interior-face ghosts with exchanged halos).
   void fill_sigma_boundary();
   /// Zero `rhs` and accumulate the three dimensional flux sweeps (requires
-  /// valid ghosts on `q` and on Sigma).
+  /// valid ghosts on `q` and on Sigma).  The reconstruction scheme is
+  /// resolved to a compile-time instantiation here, once per call — the only
+  /// runtime dispatch on the flux path.  (The zeroing is folded into the
+  /// dir==0 sweep's write-back; rhs ghost cells are never touched.)
+  ///
+  /// Preconditions: `q` and `rhs` must have this solver's block shape and
+  /// ghost depth (asserted).  With viscosity enabled *and* the Sigma solve
+  /// active, the viscous path reads the reciprocal-density cache refreshed
+  /// by build_sigma_source — call that on the same `q` first (compute_rhs
+  /// and the distributed driver both do); with the Sigma solve disabled the
+  /// cache is refreshed here.
   void compute_fluxes(common::StateField3<S>& q, common::StateField3<S>& rhs);
+  /// Reference flux path: identical sweep body, but the reconstruction
+  /// scheme is re-dispatched through the runtime switch per face — the
+  /// pre-optimization structure.  Kept for the dispatch-equivalence tests
+  /// (bitwise-equal results at FP64) and as a bisection aid; not a hot path.
+  void compute_fluxes_runtime_dispatch(common::StateField3<S>& q,
+                                       common::StateField3<S>& rhs);
   /// RK convex combination: stage = a*q^n + b*(stage + dt*rhs).
   void rk_update(const fv::Rk3Stage& st, double dt);
 
@@ -107,9 +123,23 @@ class IgrSolver3D {
   void begin_step();
 
  private:
+  /// Reciprocal density over the full ghosted extent of `q` into inv_rho_:
+  /// one division per point, consumed multiplication-only by the Sigma
+  /// source, the relaxation sweeps, and the viscous flux path.
+  void refresh_inv_rho(common::StateField3<S>& q);
   void compute_sigma_source(common::StateField3<S>& q);
+  /// One dimensional sweep, templated on the sweep axis and on the
+  /// reconstruction operator (a fv::ReconFixed<R> for the hot path,
+  /// fv::ReconRuntime for the reference path): axis selection, pressure
+  /// placement, and the reconstruction stencil all resolve at compile time,
+  /// leaving no per-face dispatch.  `overwrite` folds the RHS zeroing into
+  /// the first sweep's write-back.
+  template <int Dir, class ReconOp>
   void flux_sweep(common::StateField3<S>& q, common::StateField3<S>& rhs,
-                  int dir);
+                  ReconOp recon, bool overwrite);
+  template <class ReconOp>
+  void flux_sweep_all(common::StateField3<S>& q, common::StateField3<S>& rhs,
+                      ReconOp recon);
 
   mesh::Grid grid_;
   common::SolverConfig cfg_;

@@ -10,10 +10,40 @@ namespace igr::core {
 
 namespace {
 
-/// One relaxation pass.  With `jacobi` true, reads `in` and writes `out`
-/// (distinct buffers); otherwise updates in place (Gauss–Seidel ordering is
-/// the natural lexicographic sweep).  Face coefficients are arithmetic
-/// means of 1/rho, so the inner loop performs a single division.
+/// The 7-point relaxation update at flat row offset `i`.  Face coefficients
+/// are arithmetic means of the *reciprocal* densities — i.e. 1/rho_face
+/// with rho_face the harmonic mean of the two cell densities (that is the
+/// intended discretization: it is division-free given the precomputed
+/// 1/rho field and keeps the operator symmetric; see sigma_solver.hpp).
+/// One division per cell (the diagonal solve).
+template <class C, class S>
+inline C relax_cell(const S* pir, const S* psr, const S* ps, std::ptrdiff_t i,
+                    std::ptrdiff_t sy, std::ptrdiff_t sz, C alpha, C inv_dx2,
+                    C inv_dy2, C inv_dz2) {
+  const C ir0 = static_cast<C>(pir[i]);
+  const C cxm = C(0.5) * (ir0 + static_cast<C>(pir[i - 1]));
+  const C cxp = C(0.5) * (ir0 + static_cast<C>(pir[i + 1]));
+  const C cym = C(0.5) * (ir0 + static_cast<C>(pir[i - sy]));
+  const C cyp = C(0.5) * (ir0 + static_cast<C>(pir[i + sy]));
+  const C czm = C(0.5) * (ir0 + static_cast<C>(pir[i - sz]));
+  const C czp = C(0.5) * (ir0 + static_cast<C>(pir[i + sz]));
+
+  const C off = inv_dx2 * (static_cast<C>(ps[i + 1]) * cxp +
+                           static_cast<C>(ps[i - 1]) * cxm) +
+                inv_dy2 * (static_cast<C>(ps[i + sy]) * cyp +
+                           static_cast<C>(ps[i - sy]) * cym) +
+                inv_dz2 * (static_cast<C>(ps[i + sz]) * czp +
+                           static_cast<C>(ps[i - sz]) * czm);
+  const C diag = ir0 + alpha * (inv_dx2 * (cxp + cxm) +
+                                inv_dy2 * (cyp + cym) +
+                                inv_dz2 * (czp + czm));
+  return (static_cast<C>(psr[i]) + alpha * off) / diag;
+}
+
+/// One full-field relaxation pass.  With `jacobi` true, reads `in` and
+/// writes `out` (distinct buffers, embarrassingly parallel); otherwise
+/// updates in place in the natural lexicographic Gauss–Seidel order, which
+/// is inherently serial (kept as the reference ordering).
 template <class Policy>
 void sweep(common::Field3<typename Policy::storage_t>& out,
            const common::Field3<typename Policy::storage_t>& in,
@@ -39,26 +69,45 @@ void sweep(common::Field3<typename Policy::storage_t>& out,
       const S* ps = &sin_f(0, j, k);
       S* po = &out(0, j, k);
       for (int i = 0; i < nx; ++i) {
-        const C ir0 = static_cast<C>(pir[i]);
-        // Face coefficients 1/rho_face (harmonic-mean face density).
-        const C cxm = C(0.5) * (ir0 + static_cast<C>(pir[i - 1]));
-        const C cxp = C(0.5) * (ir0 + static_cast<C>(pir[i + 1]));
-        const C cym = C(0.5) * (ir0 + static_cast<C>(pir[i - sy]));
-        const C cyp = C(0.5) * (ir0 + static_cast<C>(pir[i + sy]));
-        const C czm = C(0.5) * (ir0 + static_cast<C>(pir[i - sz]));
-        const C czp = C(0.5) * (ir0 + static_cast<C>(pir[i + sz]));
+        po[i] = static_cast<S>(relax_cell<C>(pir, psr, ps, i, sy, sz, alpha,
+                                             inv_dx2, inv_dy2, inv_dz2));
+      }
+    }
+  }
+}
 
-        const C off =
-            inv_dx2 * (static_cast<C>(ps[i + 1]) * cxp +
-                       static_cast<C>(ps[i - 1]) * cxm) +
-            inv_dy2 * (static_cast<C>(ps[i + sy]) * cyp +
-                       static_cast<C>(ps[i - sy]) * cym) +
-            inv_dz2 * (static_cast<C>(ps[i + sz]) * czp +
-                       static_cast<C>(ps[i - sz]) * czm);
-        const C diag = ir0 + alpha * (inv_dx2 * (cxp + cxm) +
-                                      inv_dy2 * (cyp + cym) +
-                                      inv_dz2 * (czp + czm));
-        po[i] = static_cast<S>((static_cast<C>(psr[i]) + alpha * off) / diag);
+/// One two-color (red–black) Gauss–Seidel pass, in place.  Cells of one
+/// color only couple to the other color through the 7-point stencil, so
+/// each half-pass is dependency-free: it parallelizes across k-planes and,
+/// within a row, the stride-2 updates pipeline (no loop-carried division
+/// chain like the lexicographic order).  Converges to the same fixed point
+/// as the serial sweep — tests/test_sigma_solver.cpp asserts this.
+template <class Policy>
+void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
+                     const common::Field3<typename Policy::storage_t>& src,
+                     const common::Field3<typename Policy::storage_t>& inv_rho,
+                     typename Policy::compute_t alpha,
+                     typename Policy::compute_t inv_dx2,
+                     typename Policy::compute_t inv_dy2,
+                     typename Policy::compute_t inv_dz2) {
+  using C = typename Policy::compute_t;
+  using S = typename Policy::storage_t;
+  const int nx = sigma.nx(), ny = sigma.ny(), nz = sigma.nz();
+  const std::ptrdiff_t sy = inv_rho.stride(1);
+  const std::ptrdiff_t sz = inv_rho.stride(2);
+
+  for (int color = 0; color < 2; ++color) {
+#pragma omp parallel for
+    for (int k = 0; k < nz; ++k) {
+      for (int j = 0; j < ny; ++j) {
+        const S* pir = &inv_rho(0, j, k);
+        const S* psr = &src(0, j, k);
+        S* ps = &sigma(0, j, k);
+        for (int i = (color + j + k) & 1; i < nx; i += 2) {
+          ps[i] = static_cast<S>(relax_cell<C>(pir, psr, ps, i, sy, sz,
+                                               alpha, inv_dx2, inv_dy2,
+                                               inv_dz2));
+        }
       }
     }
   }
@@ -127,19 +176,60 @@ void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       typename Policy::compute_t alpha,
                       typename Policy::compute_t dx,
                       typename Policy::compute_t dy,
-                      typename Policy::compute_t dz, bool gauss_seidel) {
+                      typename Policy::compute_t dz, SweepKind kind) {
   using C = typename Policy::compute_t;
   const C inv_dx2 = C(1) / (dx * dx);
   const C inv_dy2 = C(1) / (dy * dy);
   const C inv_dz2 = C(1) / (dz * dz);
-  if (gauss_seidel) {
-    sweep<Policy>(sigma, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
-                  inv_dz2, /*jacobi=*/false);
-  } else {
-    sweep<Policy>(scratch, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
-                  inv_dz2, /*jacobi=*/true);
-    std::swap(sigma, scratch);
+  switch (kind) {
+    case SweepKind::kRedBlack:
+      sweep_red_black<Policy>(sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
+                              inv_dz2);
+      break;
+    case SweepKind::kGaussSeidelLex:
+      sweep<Policy>(sigma, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
+                    inv_dz2, /*jacobi=*/false);
+      break;
+    case SweepKind::kJacobi:
+      sweep<Policy>(scratch, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
+                    inv_dz2, /*jacobi=*/true);
+      std::swap(sigma, scratch);
+      break;
   }
+}
+
+template <class Policy>
+void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
+                      common::Field3<typename Policy::storage_t>& scratch,
+                      const common::Field3<typename Policy::storage_t>& src,
+                      const common::Field3<typename Policy::storage_t>& inv_rho,
+                      typename Policy::compute_t alpha,
+                      typename Policy::compute_t dx,
+                      typename Policy::compute_t dy,
+                      typename Policy::compute_t dz, bool gauss_seidel) {
+  sigma_sweep_once<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz,
+                           gauss_seidel ? SweepKind::kRedBlack
+                                        : SweepKind::kJacobi);
+}
+
+template <class Policy>
+void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
+                 common::Field3<typename Policy::storage_t>& scratch,
+                 const common::Field3<typename Policy::storage_t>& src,
+                 const common::Field3<typename Policy::storage_t>& inv_rho,
+                 typename Policy::compute_t alpha,
+                 typename Policy::compute_t dx,
+                 typename Policy::compute_t dy,
+                 typename Policy::compute_t dz,
+                 int sweeps, SweepKind kind, SigmaBc bc) {
+  for (int s = 0; s < sweeps; ++s) {
+    // Sweeps consume a single ghost layer.
+    fill_sigma_ghosts(sigma, bc, 1);
+    sigma_sweep_once<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz,
+                             kind);
+  }
+  // Reconstruction downstream needs the full ghost depth.
+  fill_sigma_ghosts(sigma, bc);
 }
 
 template <class Policy>
@@ -152,14 +242,9 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
                  int sweeps, bool gauss_seidel, SigmaBc bc) {
-  for (int s = 0; s < sweeps; ++s) {
-    // Sweeps consume a single ghost layer.
-    fill_sigma_ghosts(sigma, bc, 1);
-    sigma_sweep_once<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz,
-                             gauss_seidel);
-  }
-  // Reconstruction downstream needs the full ghost depth.
-  fill_sigma_ghosts(sigma, bc);
+  sigma_solve<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz, sweeps,
+                      gauss_seidel ? SweepKind::kRedBlack : SweepKind::kJacobi,
+                      bc);
 }
 
 template <class Policy>
@@ -217,10 +302,19 @@ using common::Fp64;
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       P::compute_t, P::compute_t, P::compute_t, P::compute_t, bool);           \
+  template void sigma_sweep_once<P>(                                           \
+      common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
+      const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
+      P::compute_t, P::compute_t, P::compute_t, P::compute_t, SweepKind);      \
   template void sigma_solve<P>(                                                \
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, bool,       \
+      SigmaBc);                                                                \
+  template void sigma_solve<P>(                                                \
+      common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
+      const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
+      P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, SweepKind,  \
       SigmaBc);                                                                \
   template double sigma_residual<P>(                                           \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\

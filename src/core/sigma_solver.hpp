@@ -7,7 +7,12 @@
 /// Because alpha ∝ dx^2, the discrete system is uniformly well-conditioned
 /// and grid-point-local; warm-started Jacobi or Gauss–Seidel converges in
 /// ≤ 5 sweeps per flux computation (§5.2).  The elliptic operator uses the
-/// paper's 7-point stencil with face densities taken as arithmetic means.
+/// paper's 7-point stencil.  Its face coefficient is the arithmetic mean of
+/// the two cells' *reciprocal* densities, 0.5*(1/rho_i + 1/rho_j) — i.e.
+/// 1/rho_face with rho_face the harmonic mean of the cell densities.  That
+/// is the intended discretization (not an arithmetic-mean face density):
+/// it is division-free given the precomputed 1/rho field and keeps the
+/// operator symmetric positive definite for rho > 0.
 
 #include <array>
 
@@ -18,6 +23,22 @@ namespace igr::core {
 
 /// Boundary handling for Sigma's ghost layers during sweeps/reconstruction.
 enum class SigmaBc { kPeriodic, kNeumann };
+
+/// Relaxation orderings for the eq. (9) sweeps.
+enum class SweepKind {
+  /// Double-buffered simultaneous update.  Embarrassingly parallel and
+  /// decomposition-exact (rank count cannot change the bits), at the cost
+  /// of one extra N-sized buffer and a slightly slower contraction rate.
+  kJacobi,
+  /// In-place lexicographic Gauss–Seidel: the textbook serial ordering.
+  /// Kept as the reference the parallel ordering is validated against.
+  kGaussSeidelLex,
+  /// In-place two-color (red–black) Gauss–Seidel: each half-pass updates
+  /// one parity of (i+j+k) and is dependency-free, so it parallelizes
+  /// across k-planes and pipelines within a row.  Same fixed point as the
+  /// lexicographic ordering.  The default Gauss–Seidel flavor.
+  kRedBlack,
+};
 
 /// Fill ghost layers of `sigma` (wrap for periodic, clamp for Neumann).
 /// `layers` limits the fill depth: relaxation sweeps only consume one ghost
@@ -50,6 +71,19 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
+                 int sweeps, SweepKind kind, SigmaBc bc);
+
+/// Back-compat flavor selector: `gauss_seidel` picks the parallel red–black
+/// ordering (the production Gauss–Seidel), false picks Jacobi.
+template <class Policy>
+void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
+                 common::Field3<typename Policy::storage_t>& scratch,
+                 const common::Field3<typename Policy::storage_t>& src,
+                 const common::Field3<typename Policy::storage_t>& inv_rho,
+                 typename Policy::compute_t alpha,
+                 typename Policy::compute_t dx,
+                 typename Policy::compute_t dy,
+                 typename Policy::compute_t dz,
                  int sweeps, bool gauss_seidel, SigmaBc bc);
 
 /// A single relaxation pass using the *current* ghost values of `sigma`
@@ -58,9 +92,21 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
 /// Jacobi passes write through `scratch` and swap.
 ///
 /// `inv_rho` is the reciprocal density (with ghosts); face coefficients are
-/// arithmetic means of 1/rho (harmonic-mean density), which keeps the sweep
-/// free of divisions — the CPU analogue of the fused GPU kernel's
-/// reciprocal arithmetic.
+/// arithmetic means of 1/rho (equivalently: 1/rho_face with a harmonic-mean
+/// face density), which keeps the stencil free of divisions — the CPU
+/// analogue of the fused GPU kernel's reciprocal arithmetic.  The only
+/// division left is the diagonal solve, one per cell.
+template <class Policy>
+void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
+                      common::Field3<typename Policy::storage_t>& scratch,
+                      const common::Field3<typename Policy::storage_t>& src,
+                      const common::Field3<typename Policy::storage_t>& inv_rho,
+                      typename Policy::compute_t alpha,
+                      typename Policy::compute_t dx,
+                      typename Policy::compute_t dy,
+                      typename Policy::compute_t dz, SweepKind kind);
+
+/// Back-compat flavor selector: `gauss_seidel` picks red–black, else Jacobi.
 template <class Policy>
 void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       common::Field3<typename Policy::storage_t>& scratch,

@@ -22,30 +22,28 @@ struct FacePair {
   T left{}, right{};
 };
 
+/// Reconstruction scheme selector used by solver configuration.
+enum class ReconScheme { kFirst, kThird, kFifth, kWeno5 };
+
+template <ReconScheme R, class T>
+inline FacePair<T> reconstruct_fixed(const T* s);
+
 /// First-order (Godunov) reconstruction: piecewise-constant.
 template <class T>
 FacePair<T> recon1(const std::array<T, 6>& s) {
-  return {s[2], s[3]};
+  return reconstruct_fixed<ReconScheme::kFirst>(s.data());
 }
 
 /// Third-order upwind-biased linear reconstruction.
 template <class T>
 FacePair<T> recon3(const std::array<T, 6>& s) {
-  FacePair<T> f;
-  f.left = (-s[1] + T(5) * s[2] + T(2) * s[3]) / T(6);
-  f.right = (T(2) * s[2] + T(5) * s[3] - s[4]) / T(6);
-  return f;
+  return reconstruct_fixed<ReconScheme::kThird>(s.data());
 }
 
 /// Fifth-order upwind-biased linear reconstruction (the IGR scheme's default).
 template <class T>
 FacePair<T> recon5(const std::array<T, 6>& s) {
-  FacePair<T> f;
-  f.left = (T(2) * s[0] - T(13) * s[1] + T(47) * s[2] + T(27) * s[3] -
-            T(3) * s[4]) / T(60);
-  f.right = (-T(3) * s[1] + T(27) * s[2] + T(47) * s[3] - T(13) * s[4] +
-             T(2) * s[5]) / T(60);
-  return f;
+  return reconstruct_fixed<ReconScheme::kFifth>(s.data());
 }
 
 /// WENO5-JS smoothness indicators and weights for one upwind triple.
@@ -77,14 +75,8 @@ T weno5_side(T a, T b, T c, T d, T e) {
 /// WENO5-JS reconstruction of both face states (baseline scheme).
 template <class T>
 FacePair<T> weno5(const std::array<T, 6>& s) {
-  FacePair<T> f;
-  f.left = weno5_side(s[0], s[1], s[2], s[3], s[4]);
-  f.right = weno5_side(s[5], s[4], s[3], s[2], s[1]);
-  return f;
+  return reconstruct_fixed<ReconScheme::kWeno5>(s.data());
 }
-
-/// Reconstruction scheme selector used by solver configuration.
-enum class ReconScheme { kFirst, kThird, kFifth, kWeno5 };
 
 template <class T>
 FacePair<T> reconstruct(ReconScheme scheme, const std::array<T, 6>& s) {
@@ -97,25 +89,77 @@ FacePair<T> reconstruct(ReconScheme scheme, const std::array<T, 6>& s) {
   return recon1(s);
 }
 
-/// Pointer-based variant for hot loops walking contiguous line buffers:
-/// `s` points at q(i-2) for the face i+1/2.
+/// Compile-time-dispatched pointer variant for hot loops walking contiguous
+/// line buffers: `s` points at q(i-2) for the face i+1/2.  Solvers resolve
+/// the scheme once per flux computation and instantiate their sweeps on it,
+/// so the per-face/per-variable dispatch below inlines away entirely and the
+/// face loops vectorize.  This is the single home of the stencil
+/// coefficients: the array-based named operators above and the runtime
+/// `reconstruct(scheme, s)` all forward here, which also makes the two
+/// dispatch styles bitwise-identical (tests/test_flux_dispatch.cpp).
+template <ReconScheme R, class T>
+inline FacePair<T> reconstruct_fixed(const T* s) {
+  if constexpr (R == ReconScheme::kFirst) {
+    return {s[2], s[3]};
+  } else if constexpr (R == ReconScheme::kThird) {
+    return {(-s[1] + T(5) * s[2] + T(2) * s[3]) / T(6),
+            (T(2) * s[2] + T(5) * s[3] - s[4]) / T(6)};
+  } else if constexpr (R == ReconScheme::kFifth) {
+    return {(T(2) * s[0] - T(13) * s[1] + T(47) * s[2] + T(27) * s[3] -
+             T(3) * s[4]) / T(60),
+            (-T(3) * s[1] + T(27) * s[2] + T(47) * s[3] - T(13) * s[4] +
+             T(2) * s[5]) / T(60)};
+  } else {
+    return {weno5_side(s[0], s[1], s[2], s[3], s[4]),
+            weno5_side(s[5], s[4], s[3], s[2], s[1])};
+  }
+}
+
+/// Runtime-dispatched pointer variant; the reference path.  Hot loops should
+/// not call this per face — resolve the scheme once and use the functors
+/// below (ReconFixed) or `reconstruct_fixed` directly.
 template <class T>
 FacePair<T> reconstruct(ReconScheme scheme, const T* s) {
   switch (scheme) {
-    case ReconScheme::kFirst: return {s[2], s[3]};
-    case ReconScheme::kThird:
-      return {(-s[1] + T(5) * s[2] + T(2) * s[3]) / T(6),
-              (T(2) * s[2] + T(5) * s[3] - s[4]) / T(6)};
-    case ReconScheme::kFifth:
-      return {(T(2) * s[0] - T(13) * s[1] + T(47) * s[2] + T(27) * s[3] -
-               T(3) * s[4]) / T(60),
-              (-T(3) * s[1] + T(27) * s[2] + T(47) * s[3] - T(13) * s[4] +
-               T(2) * s[5]) / T(60)};
-    case ReconScheme::kWeno5:
-      return {weno5_side(s[0], s[1], s[2], s[3], s[4]),
-              weno5_side(s[5], s[4], s[3], s[2], s[1])};
+    case ReconScheme::kFirst: return reconstruct_fixed<ReconScheme::kFirst>(s);
+    case ReconScheme::kThird: return reconstruct_fixed<ReconScheme::kThird>(s);
+    case ReconScheme::kFifth: return reconstruct_fixed<ReconScheme::kFifth>(s);
+    case ReconScheme::kWeno5: return reconstruct_fixed<ReconScheme::kWeno5>(s);
   }
   return {s[2], s[3]};
+}
+
+/// Zero-size functor binding the scheme at compile time; sweeps templated on
+/// a recon operator inline it into their face loops.
+template <ReconScheme R>
+struct ReconFixed {
+  template <class T>
+  FacePair<T> operator()(const T* s) const {
+    return reconstruct_fixed<R, T>(s);
+  }
+};
+
+/// Runtime-bound recon operator: the pre-dispatch reference path, retained
+/// for equivalence testing of the compile-time instantiations.
+struct ReconRuntime {
+  ReconScheme scheme = ReconScheme::kFifth;
+  template <class T>
+  FacePair<T> operator()(const T* s) const {
+    return reconstruct(scheme, s);
+  }
+};
+
+/// Invoke `fn` with the ReconFixed functor matching a runtime `scheme` — the
+/// thin runtime dispatcher solvers use at the compute_fluxes level.
+template <class Fn>
+decltype(auto) dispatch_recon(ReconScheme scheme, Fn&& fn) {
+  switch (scheme) {
+    case ReconScheme::kFirst: return fn(ReconFixed<ReconScheme::kFirst>{});
+    case ReconScheme::kThird: return fn(ReconFixed<ReconScheme::kThird>{});
+    case ReconScheme::kFifth: return fn(ReconFixed<ReconScheme::kFifth>{});
+    case ReconScheme::kWeno5: return fn(ReconFixed<ReconScheme::kWeno5>{});
+  }
+  return fn(ReconFixed<ReconScheme::kFirst>{});
 }
 
 }  // namespace igr::fv

@@ -16,20 +16,58 @@
 
 namespace igr::fv {
 
-/// Physical (Euler) flux along axis `dir` (0,1,2) with entropic pressure.
-template <class T>
-common::Cons<T> euler_flux(const common::Prim<T>& w, T E, T sigma, int dir) {
-  const T un = (dir == 0) ? w.u : (dir == 1) ? w.v : w.w;
+/// Physical (Euler) flux along compile-time axis `Dir` with entropic
+/// pressure — the hot-loop form: the axis selection and the pressure
+/// placement resolve at compile time.
+template <int Dir, class T>
+common::Cons<T> euler_flux_d(const common::Prim<T>& w, T E, T sigma) {
+  const T un = (Dir == 0) ? w.u : (Dir == 1) ? w.v : w.w;
   const T pt = w.p + sigma;
   common::Cons<T> f;
   f.rho = w.rho * un;
   f.mx = w.rho * w.u * un;
   f.my = w.rho * w.v * un;
   f.mz = w.rho * w.w * un;
-  if (dir == 0) f.mx += pt;
-  if (dir == 1) f.my += pt;
-  if (dir == 2) f.mz += pt;
+  if constexpr (Dir == 0) f.mx += pt;
+  if constexpr (Dir == 1) f.my += pt;
+  if constexpr (Dir == 2) f.mz += pt;
   f.e = (E + pt) * un;
+  return f;
+}
+
+/// Physical (Euler) flux along axis `dir` (0,1,2) with entropic pressure.
+template <class T>
+common::Cons<T> euler_flux(const common::Prim<T>& w, T E, T sigma, int dir) {
+  switch (dir) {
+    case 0: return euler_flux_d<0>(w, E, sigma);
+    case 1: return euler_flux_d<1>(w, E, sigma);
+    default: return euler_flux_d<2>(w, E, sigma);
+  }
+}
+
+/// Rusanov flux, compile-time axis, division-free: callers supply the
+/// reciprocal densities (they already hold them from the primitive
+/// conversion), so the wave-speed bound multiplies instead of divides.
+template <int Dir, class T>
+common::Cons<T> rusanov_flux_d(const common::Prim<T>& wl, T El, T sl, T irl,
+                               const common::Prim<T>& wr, T Er, T sr, T irr,
+                               T gamma) {
+  const T unl = (Dir == 0) ? wl.u : (Dir == 1) ? wl.v : wl.w;
+  const T unr = (Dir == 0) ? wr.u : (Dir == 1) ? wr.v : wr.w;
+  const T cl = std::sqrt(gamma * std::max(wl.p + sl, T(0)) * irl);
+  const T cr = std::sqrt(gamma * std::max(wr.p + sr, T(0)) * irr);
+  const T smax = std::max(std::abs(unl) + cl, std::abs(unr) + cr);
+
+  const auto fl = euler_flux_d<Dir>(wl, El, sl);
+  const auto fr = euler_flux_d<Dir>(wr, Er, sr);
+
+  common::Cons<T> ql{wl.rho, wl.rho * wl.u, wl.rho * wl.v, wl.rho * wl.w, El};
+  common::Cons<T> qr{wr.rho, wr.rho * wr.u, wr.rho * wr.v, wr.rho * wr.w, Er};
+
+  common::Cons<T> f;
+  for (int c = 0; c < common::kNumVars; ++c) {
+    f[c] = T(0.5) * (fl[c] + fr[c]) - T(0.5) * smax * (qr[c] - ql[c]);
+  }
   return f;
 }
 
@@ -40,23 +78,14 @@ template <class T>
 common::Cons<T> rusanov_flux(const common::Prim<T>& wl, T El, T sl,
                              const common::Prim<T>& wr, T Er, T sr,
                              T gamma, int dir) {
-  const T unl = (dir == 0) ? wl.u : (dir == 1) ? wl.v : wl.w;
-  const T unr = (dir == 0) ? wr.u : (dir == 1) ? wr.v : wr.w;
-  const T cl = std::sqrt(gamma * std::max(wl.p + sl, T(0)) / wl.rho);
-  const T cr = std::sqrt(gamma * std::max(wr.p + sr, T(0)) / wr.rho);
-  const T smax = std::max(std::abs(unl) + cl, std::abs(unr) + cr);
-
-  const auto fl = euler_flux(wl, El, sl, dir);
-  const auto fr = euler_flux(wr, Er, sr, dir);
-
-  common::Cons<T> ql{wl.rho, wl.rho * wl.u, wl.rho * wl.v, wl.rho * wl.w, El};
-  common::Cons<T> qr{wr.rho, wr.rho * wr.u, wr.rho * wr.v, wr.rho * wr.w, Er};
-
-  common::Cons<T> f;
-  for (int c = 0; c < common::kNumVars; ++c) {
-    f[c] = T(0.5) * (fl[c] + fr[c]) - T(0.5) * smax * (qr[c] - ql[c]);
+  const T irl = T(1) / wl.rho;
+  const T irr = T(1) / wr.rho;
+  switch (dir) {
+    case 0: return rusanov_flux_d<0>(wl, El, sl, irl, wr, Er, sr, irr, gamma);
+    case 1: return rusanov_flux_d<1>(wl, El, sl, irl, wr, Er, sr, irr, gamma);
+    default: return rusanov_flux_d<2>(wl, El, sl, irl, wr, Er, sr, irr,
+                                      gamma);
   }
-  return f;
 }
 
 /// HLLC flux (Toro), used by the WENO baseline.  Sigma is accepted for
