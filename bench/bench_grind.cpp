@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/half.hpp"
 #include "common/precision.hpp"
 
 namespace {
@@ -72,6 +73,8 @@ void write_json(const std::string& path, const std::string& label, int n,
   std::fprintf(f, "  \"name\": \"%s\",\n", label.c_str());
   std::fprintf(f, "  \"workload\": \"mach10_single_jet\",\n");
   std::fprintf(f, "  \"metric\": \"grind_ns_per_cell_step\",\n");
+  std::fprintf(f, "  \"half_backend\": \"%s\",\n",
+               std::string(common::half_batch::backend_name()).c_str());
   std::fprintf(f, "  \"grid\": [%d, %d, %d],\n", n, n, n + n / 2);
   std::fprintf(f, "  \"warmup_steps\": %d,\n", warmup);
   std::fprintf(f, "  \"timed_steps\": %d,\n", steps);
@@ -136,8 +139,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("igrflow bench_grind: n=%d warmup=%d steps=%d\n", n, warmup,
-              steps);
+  std::printf("igrflow bench_grind: n=%d warmup=%d steps=%d half_backend=%s\n",
+              n, warmup, steps,
+              std::string(common::half_batch::backend_name()).c_str());
   std::vector<Row> rows;
   using common::Fp16x32;
   using common::Fp32;

@@ -13,6 +13,9 @@
 # see PERF.md) is:
 #   build/bench_grind --n 32 --warmup 2 --steps 6 --label pr<N> \
 #                     --out BENCH_pr<N>.json
+#
+# Sibling flow: bench/run_sanitize.sh runs the unit-test suite under
+# ASan+UBSan in one command (perf smoke here, memory/UB smoke there).
 set -euo pipefail
 
 label="${1:-smoke}"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-command ASan+UBSan pass over the unit-test suite: configures a
+# dedicated build tree with -DIGR_SANITIZE=ON (every test carries the
+# `sanitize` ctest label there, see CMakeLists.txt), builds it, and runs
+# `ctest -L sanitize`.  Sibling of run_benches.sh's perf smoke flow — the
+# two together are the CI story: one command for perf, one for memory/UB.
+#
+# Usage:
+#   bench/run_sanitize.sh [build-dir]
+#
+#   build-dir  where to configure the sanitizer tree (default:
+#              ./build-sanitize; created if missing)
+set -euo pipefail
+
+build="${1:-build-sanitize}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+case "$build" in /*) ;; *) build="$root/$build" ;; esac
+
+# The reproducibility flags normally live only in the Release flag set; the
+# bitwise-equality tests need them in this RelWithDebInfo tree too (on
+# FMA-default toolchains, contraction differences between dispatch paths
+# would otherwise trip them spuriously).
+cmake -B "$build" -S "$root" \
+      -DIGR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-ffp-contract=off -fno-tree-slp-vectorize"
+cmake --build "$build" -j
+ctest --test-dir "$build" -L sanitize --output-on-failure

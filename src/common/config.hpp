@@ -26,6 +26,13 @@ struct SolverConfig {
   // --- Time integration ---
   double cfl = 0.4;          ///< Advective CFL number for SSP-RK3.
 
+  // --- Mixed-precision storage (FP16/32 policy only) ---
+  /// Use the batched binary16 conversion lanes (common::half) on the solver
+  /// hot paths.  The per-element reference path is kept behind `false` for
+  /// the bitwise batch-on/off regression test; identity-storage policies
+  /// (FP64, FP32) ignore this flag entirely.
+  bool batch_half_conversion = true;
+
   // --- Robustness floors (0 disables) ---
   /// Optional positivity floors applied when converting reconstructed face
   /// states to primitives.  The production Mach-10 runs use small floors to

@@ -48,6 +48,12 @@ class Field3 {
   T& operator()(int i, int j, int k) { return data_[idx(i, j, k)]; }
   const T& operator()(int i, int j, int k) const { return data_[idx(i, j, k)]; }
 
+  /// Pointer to the start of the interior of row (j, k) — the unit-stride
+  /// i-axis.  Rows are the unit the batched conversion lanes operate on; a
+  /// row extends contiguously from -ng() to nx() + ng().
+  T* row(int j, int k) { return &data_[idx(0, j, k)]; }
+  const T* row(int j, int k) const { return &data_[idx(0, j, k)]; }
+
   /// Element stride along an axis (0 = x, unit stride; 1 = y; 2 = z).
   /// Kernels walk lines through pointer arithmetic with these strides.
   [[nodiscard]] std::ptrdiff_t stride(int axis) const {

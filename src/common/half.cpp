@@ -3,6 +3,10 @@
 #include <bit>
 #include <cstring>
 
+#if defined(IGR_HALF_HAS_F16C)
+#include <immintrin.h>
+#endif
+
 namespace igr::common {
 
 namespace {
@@ -16,8 +20,11 @@ std::uint16_t half::from_float(float f) {
   const std::uint32_t abs = x & 0x7fffffffu;
 
   if (abs >= 0x7f800000u) {  // inf or NaN
-    // Preserve NaN-ness (quiet); map inf -> inf.
-    const std::uint32_t mant = (abs > 0x7f800000u) ? 0x0200u : 0u;
+    // NaN: truncate the payload to 10 bits and set the quiet bit — exactly
+    // what x86 VCVTPS2PH does, so the hardware backend stays bitwise
+    // identical.  Inf maps to inf.
+    const std::uint32_t mant =
+        (abs > 0x7f800000u) ? (0x0200u | ((abs >> 13) & 0x03ffu)) : 0u;
     return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
   }
   if (abs >= 0x477ff000u) {  // rounds to >= 2^16: overflow -> inf
@@ -65,9 +72,157 @@ float half::to_float(std::uint16_t h) {
     return bits_f32(sign | exp32 | ((m & 0x03ffu) << 13));
   }
   if (exp == 0x1fu) {  // inf / NaN
-    return bits_f32(sign | 0x7f800000u | (mant << 13));
+    // NaN: widen the payload and quieten (VCVTPH2PS semantics; inf has
+    // mant == 0 and must stay infinite, so the quiet bit is conditional).
+    const std::uint32_t quiet = (mant != 0u) ? 0x00400000u : 0u;
+    return bits_f32(sign | 0x7f800000u | quiet | (mant << 13));
   }
   return bits_f32(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+namespace half_batch {
+
+void to_float_reference(const std::uint16_t* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = half::to_float(src[i]);
+}
+
+void from_float_reference(const float* src, std::uint16_t* dst,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = half::from_float(src[i]);
+}
+
+namespace {
+
+/// Branch-free half -> float.  The finite path places the 15-bit
+/// exponent/mantissa field at the binary32 position and rescales by an exact
+/// multiply with 2^112: for normals that rebias (15 -> 127); for subnormals
+/// the product renormalizes in the FPU — m * 2^-136 becomes the normal
+/// m * 2^-24 — with no per-element normalization loop.  Inf/NaN rebias by
+/// integer add instead (the multiply would produce a finite value), with the
+/// hardware quietening rule applied.
+inline std::uint32_t to_float_bits_bitwise(std::uint16_t h) {
+  const std::uint32_t em = static_cast<std::uint32_t>(h) & 0x7fffu;
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t finite =
+      f32_bits(bits_f32(em << 13) * bits_f32(0x77800000u));  // * 2^112
+  const std::uint32_t quiet = (em > 0x7c00u) ? 0x00400000u : 0u;
+  const std::uint32_t special = ((em << 13) + (0xe0u << 23)) | quiet;
+  return sign | ((em >= 0x7c00u) ? special : finite);
+}
+
+/// Branch-free float -> half with round-to-nearest-even.  All three class
+/// results are computed unconditionally and selected by compare masks:
+///  - normal: RNE folded into integer adds (+0xfff + odd-bit, then shift) on
+///    the exponent-rebiased value;
+///  - subnormal: adding 0.5f makes the FPU quantize to multiples of 2^-24
+///    (the ulp at 0.5) under its own round-to-nearest-even — the magic-add
+///    normalization trick, again loop-free — and an integer subtract of the
+///    0.5f pattern leaves exactly the 10 mantissa bits;
+///  - inf/NaN: saturate / truncate-and-quieten as the hardware does.
+inline std::uint16_t from_float_bits_bitwise(float f) {
+  const std::uint32_t x = f32_bits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  const std::uint32_t odd = (abs >> 13) & 1u;
+  // 0xc8000000 is ((15 - 127) << 23) as unsigned: the exponent rebias.
+  const std::uint32_t norm = (abs + 0xc8000fffu + odd) >> 13;
+  const std::uint32_t sub = f32_bits(bits_f32(abs) + 0.5f) - 0x3f000000u;
+  const std::uint32_t infnan =
+      0x7c00u |
+      ((abs > 0x7f800000u) ? (0x0200u | ((abs >> 13) & 0x03ffu)) : 0u);
+
+  std::uint32_t r = (abs < 0x38800000u) ? sub : norm;
+  r = (abs >= 0x47800000u) ? 0x7c00u : r;  // norm covers [65520, 2^16) itself
+  r = (abs >= 0x7f800000u) ? infnan : r;
+  return static_cast<std::uint16_t>(sign | r);
+}
+
+}  // namespace
+
+void to_float_bitwise(const std::uint16_t* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = bits_f32(to_float_bits_bitwise(src[i]));
+}
+
+void from_float_bitwise(const float* src, std::uint16_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = from_float_bits_bitwise(src[i]);
+}
+
+#if defined(IGR_HALF_HAS_F16C)
+
+void to_float_f16c(const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  // Tail through the same instruction, one lane at a time, so the semantics
+  // (and any MXCSR interaction) are identical to the vector body.
+  for (; i < n; ++i) {
+    const __m128i h = _mm_cvtsi32_si128(src[i]);
+    dst[i] = _mm_cvtss_f32(_mm_cvtph_ps(h));
+  }
+}
+
+void from_float_f16c(const float* src, std::uint16_t* dst, std::size_t n) {
+  constexpr int kRound = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_loadu_ps(src + i);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm256_cvtps_ph(f, kRound));
+  }
+  for (; i < n; ++i) {
+    const __m128i h = _mm_cvtps_ph(_mm_set_ss(src[i]), kRound);
+    dst[i] = static_cast<std::uint16_t>(_mm_cvtsi128_si32(h) & 0xffff);
+  }
+}
+
+#endif  // IGR_HALF_HAS_F16C
+
+Backend active_backend() {
+#if defined(IGR_HALF_BACKEND_F16C)
+  return Backend::kF16c;
+#elif defined(IGR_HALF_BACKEND_SCALAR)
+  return Backend::kScalar;
+#else
+  return Backend::kBitwise;
+#endif
+}
+
+std::string_view backend_name() {
+  switch (active_backend()) {
+    case Backend::kF16c: return "f16c";
+    case Backend::kBitwise: return "bitwise";
+    case Backend::kScalar: return "scalar";
+  }
+  return "?";
+}
+
+}  // namespace half_batch
+
+void convert_to_float(const half* src, float* dst, std::size_t n) {
+  const auto* bits = reinterpret_cast<const std::uint16_t*>(src);
+#if defined(IGR_HALF_BACKEND_F16C)
+  half_batch::to_float_f16c(bits, dst, n);
+#elif defined(IGR_HALF_BACKEND_SCALAR)
+  half_batch::to_float_reference(bits, dst, n);
+#else
+  half_batch::to_float_bitwise(bits, dst, n);
+#endif
+}
+
+void convert_from_float(const float* src, half* dst, std::size_t n) {
+  auto* bits = reinterpret_cast<std::uint16_t*>(dst);
+#if defined(IGR_HALF_BACKEND_F16C)
+  half_batch::from_float_f16c(src, bits, n);
+#elif defined(IGR_HALF_BACKEND_SCALAR)
+  half_batch::from_float_reference(src, bits, n);
+#else
+  half_batch::from_float_bitwise(src, bits, n);
+#endif
 }
 
 }  // namespace igr::common

@@ -1,14 +1,50 @@
 #pragma once
 /// \file half.hpp
-/// Software IEEE 754 binary16 ("half") storage type.
+/// Software IEEE 754 binary16 ("half") storage type and batched conversion
+/// lanes.
 ///
 /// The paper stores state in FP16 while computing in FP32 (§5.6).  The target
 /// machines have native half support; on commodity CPUs we reproduce the
 /// *storage semantics* exactly (round-to-nearest-even conversion, subnormal
 /// handling, +/-inf saturation) in software.  `half` is a storage-only type:
 /// arithmetic promotes to float, as hardware mixed-precision kernels do.
+///
+/// ## Conversion semantics (all backends, bit-for-bit)
+///
+///  - float -> half rounds to nearest-even; values that would round to a
+///    magnitude >= 2^16 saturate to +/-inf (65519.x is the largest float that
+///    still rounds down to 65504); subnormal halves are produced down to
+///    2^-24, with inputs below half that magnitude rounding to signed zero.
+///  - half -> float is the exact widening conversion for every non-NaN value.
+///  - NaNs convert the way x86 F16C hardware does: the payload is shifted
+///    (truncated on narrowing), the sign is preserved, and signaling NaNs are
+///    quietened.  This keeps every backend — including the hardware one —
+///    bitwise identical on *all* 2^16 half patterns and on arbitrary float
+///    NaNs (tests/test_half_batch.cpp asserts exactly that).
+///
+/// ## Batched conversion lanes
+///
+/// `convert_to_float` / `convert_from_float` convert contiguous spans.  The
+/// backend is resolved at configure time (see CMakeLists.txt):
+///
+///  - **F16C** (`IGR_HALF_BACKEND_F16C`): VCVTPH2PS/VCVTPS2PH, 8 lanes per
+///    instruction; compiled only where the configure-time probe runs it
+///    successfully (`IGR_HALF_HAS_F16C`).
+///  - **bitwise** (`IGR_HALF_BACKEND_BITWISE`): branch-free scalar kernel
+///    (per-element selects, no subnormal loop — renormalization is a single
+///    exact multiply by 2^112, quantization a magic 0.5f add) that the
+///    compiler auto-vectorizes; the portable fallback.
+///  - **scalar** (`IGR_HALF_BACKEND_SCALAR`): the original per-element
+///    converters, kept as the test reference.
+///
+/// Every compiled backend is exported under `half_batch::` so the test suite
+/// can assert bitwise equivalence against the reference; the `convert_*`
+/// entry points dispatch to the configured one.  All backends accept any
+/// length (odd tails included) and any alignment.
 
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace igr::common {
 
@@ -42,6 +78,8 @@ class half {
   friend bool operator!=(half a, half b) { return float(a) != float(b); }
   friend bool operator<(half a, half b) { return float(a) < float(b); }
   friend bool operator>(half a, half b) { return float(a) > float(b); }
+  friend bool operator<=(half a, half b) { return float(a) <= float(b); }
+  friend bool operator>=(half a, half b) { return float(a) >= float(b); }
 
   static std::uint16_t from_float(float f);
   static float to_float(std::uint16_t h);
@@ -58,5 +96,46 @@ inline constexpr float kHalfMax = 65504.0f;
 inline constexpr float kHalfMinNormal = 6.103515625e-05f;
 /// Unit roundoff of binary16 storage (2^-11).
 inline constexpr float kHalfEps = 4.8828125e-04f;
+
+/// Convert `n` halves to floats through the configured backend.  Exact for
+/// every non-NaN value; see the file header for the NaN contract.
+void convert_to_float(const half* src, float* dst, std::size_t n);
+/// Convert `n` floats to halves (round-to-nearest-even) through the
+/// configured backend.
+void convert_from_float(const float* src, half* dst, std::size_t n);
+
+/// Individual conversion backends.  `reference` is always compiled (it is
+/// the per-element scalar converter the others are tested against);
+/// `bitwise` is always compiled; the F16C pair exists only when the build
+/// probed hardware support (`IGR_HALF_HAS_F16C`).
+namespace half_batch {
+
+enum class Backend { kScalar, kBitwise, kF16c };
+
+/// The configure-time-selected backend behind `convert_to_float` /
+/// `convert_from_float`.
+Backend active_backend();
+std::string_view backend_name();
+
+/// True when the F16C backend is compiled into this build.
+constexpr bool f16c_compiled() {
+#if defined(IGR_HALF_HAS_F16C)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void to_float_reference(const std::uint16_t* src, float* dst, std::size_t n);
+void from_float_reference(const float* src, std::uint16_t* dst,
+                          std::size_t n);
+void to_float_bitwise(const std::uint16_t* src, float* dst, std::size_t n);
+void from_float_bitwise(const float* src, std::uint16_t* dst, std::size_t n);
+#if defined(IGR_HALF_HAS_F16C)
+void to_float_f16c(const std::uint16_t* src, float* dst, std::size_t n);
+void from_float_f16c(const float* src, std::uint16_t* dst, std::size_t n);
+#endif
+
+}  // namespace half_batch
 
 }  // namespace igr::common

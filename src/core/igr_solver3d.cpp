@@ -81,6 +81,29 @@ template <class Policy>
 void IgrSolver3D<Policy>::refresh_inv_rho(common::StateField3<S>& q) {
   const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
   const int ng = q.ng();
+  const std::size_t row_len = static_cast<std::size_t>(nx) + 2 * ng;
+  if constexpr (common::converts_storage<Policy>) {
+    if (cfg_.batch_half_conversion) {
+      // Whole ghosted rows through the batched conversion lanes: one batch
+      // load, a vector reciprocal, one batch store — same per-element values
+      // as the scalar path below.
+#pragma omp parallel
+      {
+        std::vector<C> row(row_len);
+#pragma omp for
+        for (int k = -ng; k < nz + ng; ++k) {
+          for (int j = -ng; j < ny + ng; ++j) {
+            common::load_line<Policy>(&q[kRho](-ng, j, k), row.data(),
+                                      row_len);
+            for (std::size_t i = 0; i < row_len; ++i) row[i] = C(1) / row[i];
+            common::store_line<Policy>(row.data(), &inv_rho_(-ng, j, k),
+                                       row_len);
+          }
+        }
+      }
+      return;
+    }
+  }
 #pragma omp parallel for
   for (int k = -ng; k < nz + ng; ++k) {
     for (int j = -ng; j < ny + ng; ++j) {
@@ -105,6 +128,65 @@ void IgrSolver3D<Policy>::compute_sigma_source(common::StateField3<S>& q) {
 
   const std::ptrdiff_t sy = inv_rho_.stride(1);
   const std::ptrdiff_t sz = inv_rho_.stride(2);
+
+  if constexpr (common::converts_storage<Policy>) {
+    if (cfg_.batch_half_conversion) {
+      // Batched form: for each of the five stencil row positions (center,
+      // j∓1, k∓1) convert the reciprocal-density and momentum rows once and
+      // form velocity rows u_a = m_a * (1/rho) at compute precision — the
+      // same products the scalar path forms per tap, at SIMD conversion
+      // cost.  Rows span i in [-1, nx] so the center row's i∓1 taps are
+      // in-slab.
+      const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
+#pragma omp parallel
+      {
+        std::vector<C> ir_row(row_len), mom_row(row_len);
+        std::vector<C> vel(15 * row_len);  // [pos * 3 + a] rows
+        std::vector<C> src_row(static_cast<std::size_t>(nx));
+#pragma omp for
+        for (int k = 0; k < nz; ++k) {
+          for (int j = 0; j < ny; ++j) {
+            const int js[5] = {j, j - 1, j + 1, j, j};
+            const int ks[5] = {k, k, k, k - 1, k + 1};
+            for (int pos = 0; pos < 5; ++pos) {
+              common::load_line<Policy>(&inv_rho_(-1, js[pos], ks[pos]),
+                                        ir_row.data(), row_len);
+              for (int a = 0; a < 3; ++a) {
+                common::load_line<Policy>(
+                    &q[kMomX + a](-1, js[pos], ks[pos]), mom_row.data(),
+                    row_len);
+                C* v = vel.data() +
+                       static_cast<std::size_t>(pos * 3 + a) * row_len;
+                for (std::size_t i = 0; i < row_len; ++i)
+                  v[i] = mom_row[i] * ir_row[i];
+              }
+            }
+            const C* vc = vel.data();
+            const C* vjm = vel.data() + 3 * row_len;
+            const C* vjp = vel.data() + 6 * row_len;
+            const C* vkm = vel.data() + 9 * row_len;
+            const C* vkp = vel.data() + 12 * row_len;
+            for (int i = 0; i < nx; ++i) {
+              const std::size_t o = static_cast<std::size_t>(i) + 1;
+              fv::VelGrad<C> g;
+              for (int a = 0; a < 3; ++a) {
+                const std::size_t ar = static_cast<std::size_t>(a) * row_len;
+                g.g[a][0] = (vc[ar + o + 1] - vc[ar + o - 1]) * inv2dx;
+                g.g[a][1] = (vjp[ar + o] - vjm[ar + o]) * inv2dy;
+                g.g[a][2] = (vkp[ar + o] - vkm[ar + o]) * inv2dz;
+              }
+              const C d = g.div();
+              src_row[static_cast<std::size_t>(i)] =
+                  al * (g.tr_sq() + d * d);
+            }
+            common::store_line<Policy>(src_row.data(), sigma_src_.row(j, k),
+                                       static_cast<std::size_t>(nx));
+          }
+        }
+      }
+      return;
+    }
+  }
 
 #pragma omp parallel for
   for (int k = 0; k < nz; ++k) {
@@ -149,6 +231,9 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
   const bool viscous = (cfg_.mu > 0.0 || cfg_.zeta > 0.0);
   const C rho_floor = static_cast<C>(cfg_.density_floor);
   const C p_floor = static_cast<C>(cfg_.pressure_floor);
+  // Batched half<->float lanes for the line gather/scatter (FP16/32 only;
+  // dead for identity-storage policies).
+  const bool batch = cfg_.batch_half_conversion;
 
   // The two tangential axes of this sweep (the line runs along `dir`).
   const int axA = (dir == 0) ? 1 : 0;
@@ -193,6 +278,7 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
     std::vector<C> smax_buf(fn);
     std::vector<unsigned char> fallback(fn);
     std::vector<C> flux(kNumVars * fn);   // [c*fn + fi]
+    std::vector<C> out_row(static_cast<std::size_t>(n_dir));  // rhs scatter
 
     C* const ir_l = prims.data();
     C* const u_l = prims.data() + line_len;
@@ -212,6 +298,16 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
         for (int c = 0; c <= kNumVars; ++c) {
           const S* p = ((c < kNumVars) ? q[c].data() : sigma_.data()) + base;
           C* line = lines.data() + static_cast<std::size_t>(c) * line_len;
+          if constexpr (common::converts_storage<Policy>) {
+            if (batch) {
+              // Whole-line conversion through the batched lanes (unit-stride
+              // for the x sweep; gathered for y/z) — bitwise-identical to
+              // the per-element loop below.
+              common::load_line_strided<Policy>(p - 3 * st, st, line,
+                                                line_len);
+              continue;
+            }
+          }
           for (int s = -3; s < n_dir + 3; ++s)
             line[s + 3] = static_cast<C>(p[s * st]);
         }
@@ -435,6 +531,25 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
         for (int c = 0; c < kNumVars; ++c) {
           S* pr = rhs[c].data() + base;
           const C* fc = flux.data() + static_cast<std::size_t>(c) * fn;
+          if constexpr (common::converts_storage<Policy>) {
+            if (batch) {
+              // Accumulate in a compute-precision scratch line and convert
+              // the whole line once, instead of a conversion round-trip per
+              // element — same element values as the scalar loops below.
+              C* row = out_row.data();
+              const std::size_t nd = static_cast<std::size_t>(n_dir);
+              if (overwrite) {
+                for (std::size_t s = 0; s < nd; ++s)
+                  row[s] = (fc[s] - fc[s + 1]) * inv_d;
+              } else {
+                common::load_line_strided<Policy>(pr, st, row, nd);
+                for (std::size_t s = 0; s < nd; ++s)
+                  row[s] += (fc[s] - fc[s + 1]) * inv_d;
+              }
+              common::store_line_strided<Policy>(row, pr, st, nd);
+              continue;
+            }
+          }
           if (overwrite) {
             // dir==0: the zero-fill is folded into this overwrite, and the
             // store is unit-stride (st == 1), so it vectorizes.
@@ -464,7 +579,9 @@ void IgrSolver3D<Policy>::sigma_sweep(common::StateField3<S>& q) {
                            static_cast<C>(alpha_), static_cast<C>(grid_.dx()),
                            static_cast<C>(grid_.dy()),
                            static_cast<C>(grid_.dz()),
-                           cfg_.sigma_gauss_seidel);
+                           cfg_.sigma_gauss_seidel ? SweepKind::kRedBlack
+                                                   : SweepKind::kJacobi,
+                           cfg_.batch_half_conversion);
 }
 
 template <class Policy>
@@ -542,6 +659,33 @@ void IgrSolver3D<Policy>::rk_update(const fv::Rk3Stage& st, double dt) {
   const C a = static_cast<C>(st.a);
   const C b = static_cast<C>(st.b);
   const C dtc = static_cast<C>(dt);
+  if constexpr (common::converts_storage<Policy>) {
+    if (cfg_.batch_half_conversion) {
+      // Row-batched update: 3 batch loads + 1 batch store per component row
+      // replace 3 scalar conversions + 1 round-trip per element.
+      const std::size_t nxs = static_cast<std::size_t>(nx);
+#pragma omp parallel
+      {
+        std::vector<C> qn_row(nxs), qs_row(nxs), r_row(nxs);
+#pragma omp for
+        for (int k = 0; k < nz; ++k) {
+          for (int j = 0; j < ny; ++j) {
+            for (int c = 0; c < kNumVars; ++c) {
+              common::load_line<Policy>(q_[c].row(j, k), qn_row.data(), nxs);
+              common::load_line<Policy>(qstage_[c].row(j, k), qs_row.data(),
+                                        nxs);
+              common::load_line<Policy>(rhs_[c].row(j, k), r_row.data(), nxs);
+              for (std::size_t i = 0; i < nxs; ++i)
+                qs_row[i] = a * qn_row[i] + b * (qs_row[i] + dtc * r_row[i]);
+              common::store_line<Policy>(qs_row.data(), qstage_[c].row(j, k),
+                                         nxs);
+            }
+          }
+        }
+      }
+      return;
+    }
+  }
 #pragma omp parallel for
   for (int k = 0; k < nz; ++k) {
     for (int j = 0; j < ny; ++j) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "common/half.hpp"
 
@@ -38,6 +40,68 @@ inline C relax_cell(const S* pir, const S* psr, const S* ps, std::ptrdiff_t i,
                                 inv_dy2 * (cyp + cym) +
                                 inv_dz2 * (czp + czm));
   return (static_cast<C>(psr[i]) + alpha * off) / diag;
+}
+
+/// Row-gather for the batched sweeps of a converting (FP16/32) policy: pull
+/// the eleven rows the 7-point stencil reads for cell row (j, k) — sigma and
+/// reciprocal density at (j, k), (j∓1, k), (j, k∓1), plus the source row —
+/// through the batched conversion lanes into one compute-precision scratch
+/// block.  Each row spans i in [-1, nx] (`row_len` = nx + 2), so the i∓1
+/// taps of the center row are in-slab; neighbor rows only ever tap their
+/// center element.  Layout: 11 consecutive rows in the order sg_c, sg_jm,
+/// sg_jp, sg_km, sg_kp, ir_c, ir_jm, ir_jp, ir_km, ir_kp, src_c.
+template <class Policy>
+inline void gather_stencil_rows(
+    const common::Field3<typename Policy::storage_t>& sig_in,
+    const common::Field3<typename Policy::storage_t>& src,
+    const common::Field3<typename Policy::storage_t>& inv_rho, int j, int k,
+    std::size_t row_len, typename Policy::compute_t* buf) {
+  const int js[5] = {j, j - 1, j + 1, j, j};
+  const int ks[5] = {k, k, k, k - 1, k + 1};
+  for (int r = 0; r < 5; ++r) {
+    common::load_line<Policy>(&sig_in(-1, js[r], ks[r]), buf + r * row_len,
+                              row_len);
+    common::load_line<Policy>(&inv_rho(-1, js[r], ks[r]),
+                              buf + (5 + r) * row_len, row_len);
+  }
+  common::load_line<Policy>(&src(-1, j, k), buf + 10 * row_len, row_len);
+}
+
+/// relax_cell against gathered compute-precision rows (`gather_stencil_rows`
+/// layout).  The expression mirrors relax_cell exactly, so with bitwise-
+/// identical conversion lanes the two paths produce bitwise-identical
+/// updates — tests/test_mixed_precision_step.cpp asserts this end to end.
+template <class C>
+inline C relax_cell_rows(const C* b, std::size_t row_len, int i, C alpha,
+                         C inv_dx2, C inv_dy2, C inv_dz2) {
+  const std::size_t o = static_cast<std::size_t>(i) + 1;  // rows start at -1
+  const C* sgc = b;
+  const C* sgjm = b + row_len;
+  const C* sgjp = b + 2 * row_len;
+  const C* sgkm = b + 3 * row_len;
+  const C* sgkp = b + 4 * row_len;
+  const C* irc = b + 5 * row_len;
+  const C* irjm = b + 6 * row_len;
+  const C* irjp = b + 7 * row_len;
+  const C* irkm = b + 8 * row_len;
+  const C* irkp = b + 9 * row_len;
+  const C* srcc = b + 10 * row_len;
+
+  const C ir0 = irc[o];
+  const C cxm = C(0.5) * (ir0 + irc[o - 1]);
+  const C cxp = C(0.5) * (ir0 + irc[o + 1]);
+  const C cym = C(0.5) * (ir0 + irjm[o]);
+  const C cyp = C(0.5) * (ir0 + irjp[o]);
+  const C czm = C(0.5) * (ir0 + irkm[o]);
+  const C czp = C(0.5) * (ir0 + irkp[o]);
+
+  const C off = inv_dx2 * (sgc[o + 1] * cxp + sgc[o - 1] * cxm) +
+                inv_dy2 * (sgjp[o] * cyp + sgjm[o] * cym) +
+                inv_dz2 * (sgkp[o] * czp + sgkm[o] * czm);
+  const C diag = ir0 + alpha * (inv_dx2 * (cxp + cxm) +
+                                inv_dy2 * (cyp + cym) +
+                                inv_dz2 * (czp + czm));
+  return (srcc[o] + alpha * off) / diag;
 }
 
 /// One full-field relaxation pass.  With `jacobi` true, reads `in` and
@@ -113,6 +177,96 @@ void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
   }
 }
 
+/// Row-batched red–black pass for converting policies: the storage fields
+/// are read through per-row compute-precision scratch (one batch conversion
+/// per row instead of one scalar conversion per stencil tap), and the
+/// updated color's values are compacted, batch-converted, and scattered
+/// back with stride 2.  Only the updated color's cells are ever read by the
+/// relax expression's taps (opposite parity) and only they are written, so
+/// the result is bitwise-equal to the per-element ordering.
+///
+/// Each color pass runs as two k-parity phases: the whole-row gathers also
+/// *touch* (without using) the current color's elements of the k∓1 planes,
+/// so letting adjacent planes update concurrently would be a formal data
+/// race on those bytes.  Within one phase all written planes share a k
+/// parity while gathers only cross to the other parity — race-free with the
+/// gathers kept contiguous (the fast form).  Update order across planes is
+/// immaterial for red–black (all read taps are the un-written color), so
+/// phasing does not change results; single-core it is the same work.
+template <class Policy>
+void sweep_red_black_batched(
+    common::Field3<typename Policy::storage_t>& sigma,
+    const common::Field3<typename Policy::storage_t>& src,
+    const common::Field3<typename Policy::storage_t>& inv_rho,
+    typename Policy::compute_t alpha, typename Policy::compute_t inv_dx2,
+    typename Policy::compute_t inv_dy2, typename Policy::compute_t inv_dz2) {
+  using C = typename Policy::compute_t;
+  const int nx = sigma.nx(), ny = sigma.ny(), nz = sigma.nz();
+  const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
+
+  for (int color = 0; color < 2; ++color) {
+    for (int kphase = 0; kphase < 2; ++kphase) {
+#pragma omp parallel
+      {
+        std::vector<C> buf(11 * row_len);
+        std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
+#pragma omp for
+        for (int k = kphase; k < nz; k += 2) {
+          for (int j = 0; j < ny; ++j) {
+            gather_stencil_rows<Policy>(sigma, src, inv_rho, j, k, row_len,
+                                        buf.data());
+            const int i0 = (color + j + k) & 1;
+            std::size_t m = 0;
+            for (int i = i0; i < nx; i += 2) {
+              vals[m++] = relax_cell_rows<C>(buf.data(), row_len, i, alpha,
+                                             inv_dx2, inv_dy2, inv_dz2);
+            }
+            if (m > 0) {
+              common::store_line_strided<Policy>(vals.data(),
+                                                 &sigma(i0, j, k), 2, m);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Row-batched Jacobi pass for converting policies (reads `in`, writes
+/// `out`): whole rows are converted in, relaxed at compute precision, and
+/// converted back out in one batch store per row.
+template <class Policy>
+void sweep_jacobi_batched(
+    common::Field3<typename Policy::storage_t>& out,
+    const common::Field3<typename Policy::storage_t>& in,
+    const common::Field3<typename Policy::storage_t>& src,
+    const common::Field3<typename Policy::storage_t>& inv_rho,
+    typename Policy::compute_t alpha, typename Policy::compute_t inv_dx2,
+    typename Policy::compute_t inv_dy2, typename Policy::compute_t inv_dz2) {
+  using C = typename Policy::compute_t;
+  const int nx = out.nx(), ny = out.ny(), nz = out.nz();
+  const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
+
+#pragma omp parallel
+  {
+    std::vector<C> buf(11 * row_len);
+    std::vector<C> vals(static_cast<std::size_t>(nx));
+#pragma omp for
+    for (int k = 0; k < nz; ++k) {
+      for (int j = 0; j < ny; ++j) {
+        gather_stencil_rows<Policy>(in, src, inv_rho, j, k, row_len,
+                                    buf.data());
+        for (int i = 0; i < nx; ++i) {
+          vals[static_cast<std::size_t>(i)] = relax_cell_rows<C>(
+              buf.data(), row_len, i, alpha, inv_dx2, inv_dy2, inv_dz2);
+        }
+        common::store_line<Policy>(vals.data(), out.row(j, k),
+                                   static_cast<std::size_t>(nx));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 template <class S>
@@ -176,13 +330,25 @@ void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       typename Policy::compute_t alpha,
                       typename Policy::compute_t dx,
                       typename Policy::compute_t dy,
-                      typename Policy::compute_t dz, SweepKind kind) {
+                      typename Policy::compute_t dz, SweepKind kind,
+                      bool batch) {
   using C = typename Policy::compute_t;
   const C inv_dx2 = C(1) / (dx * dx);
   const C inv_dy2 = C(1) / (dy * dy);
   const C inv_dz2 = C(1) / (dz * dz);
+  // The row-batched passes only exist for converting policies; identity
+  // storage reads at compute precision already, so batching would only add
+  // copies.  The lexicographic ordering keeps its serial per-element form.
+  constexpr bool kConverts = common::converts_storage<Policy>;
   switch (kind) {
     case SweepKind::kRedBlack:
+      if constexpr (kConverts) {
+        if (batch) {
+          sweep_red_black_batched<Policy>(sigma, src, inv_rho, alpha, inv_dx2,
+                                          inv_dy2, inv_dz2);
+          break;
+        }
+      }
       sweep_red_black<Policy>(sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
                               inv_dz2);
       break;
@@ -191,6 +357,14 @@ void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                     inv_dz2, /*jacobi=*/false);
       break;
     case SweepKind::kJacobi:
+      if constexpr (kConverts) {
+        if (batch) {
+          sweep_jacobi_batched<Policy>(scratch, sigma, src, inv_rho, alpha,
+                                       inv_dx2, inv_dy2, inv_dz2);
+          std::swap(sigma, scratch);
+          break;
+        }
+      }
       sweep<Policy>(scratch, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
                     inv_dz2, /*jacobi=*/true);
       std::swap(sigma, scratch);
@@ -221,12 +395,12 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, SweepKind kind, SigmaBc bc) {
+                 int sweeps, SweepKind kind, SigmaBc bc, bool batch) {
   for (int s = 0; s < sweeps; ++s) {
     // Sweeps consume a single ghost layer.
     fill_sigma_ghosts(sigma, bc, 1);
     sigma_sweep_once<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz,
-                             kind);
+                             kind, batch);
   }
   // Reconstruction downstream needs the full ghost depth.
   fill_sigma_ghosts(sigma, bc);
@@ -305,7 +479,8 @@ using common::Fp64;
   template void sigma_sweep_once<P>(                                           \
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
-      P::compute_t, P::compute_t, P::compute_t, P::compute_t, SweepKind);      \
+      P::compute_t, P::compute_t, P::compute_t, P::compute_t, SweepKind,       \
+      bool);                                                                   \
   template void sigma_solve<P>(                                                \
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
@@ -315,7 +490,7 @@ using common::Fp64;
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, SweepKind,  \
-      SigmaBc);                                                                \
+      SigmaBc, bool);                                                          \
   template double sigma_residual<P>(                                           \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       const common::Field3<P::storage_t>&, P::compute_t, P::compute_t,         \

@@ -71,7 +71,7 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, SweepKind kind, SigmaBc bc);
+                 int sweeps, SweepKind kind, SigmaBc bc, bool batch = true);
 
 /// Back-compat flavor selector: `gauss_seidel` picks the parallel red–black
 /// ordering (the production Gauss–Seidel), false picks Jacobi.
@@ -96,6 +96,14 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
 /// face density), which keeps the stencil free of divisions — the CPU
 /// analogue of the fused GPU kernel's reciprocal arithmetic.  The only
 /// division left is the diagonal solve, one per cell.
+///
+/// For the converting (FP16/32) policy, `batch` routes the red–black and
+/// Jacobi passes through per-row float scratch lines filled by the batched
+/// conversion lanes — once per row per pass instead of per stencil access —
+/// which is bitwise-identical to the per-element path (`batch = false`,
+/// kept as the reference).  Identity-storage policies ignore `batch`, and
+/// the lexicographic ordering is always per-element (its loop-carried
+/// dependence is the point of keeping it).
 template <class Policy>
 void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       common::Field3<typename Policy::storage_t>& scratch,
@@ -104,7 +112,8 @@ void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       typename Policy::compute_t alpha,
                       typename Policy::compute_t dx,
                       typename Policy::compute_t dy,
-                      typename Policy::compute_t dz, SweepKind kind);
+                      typename Policy::compute_t dz, SweepKind kind,
+                      bool batch = true);
 
 /// Back-compat flavor selector: `gauss_seidel` picks red–black, else Jacobi.
 template <class Policy>

@@ -1,8 +1,14 @@
-/// Unit tests for the software binary16 storage type.
+/// Unit tests for the software binary16 storage type: value semantics,
+/// rounding conformance (every branch of from_float: overflow saturation,
+/// normal-range and subnormal ties-to-even, the flush-to-signed-zero band),
+/// and the hardware-consistent NaN contract.  The batched conversion lanes
+/// are covered by tests/test_half_batch.cpp.
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/half.hpp"
@@ -10,6 +16,9 @@
 namespace {
 
 using igr::common::half;
+
+float f32_from_bits(std::uint32_t u) { return std::bit_cast<float>(u); }
+std::uint32_t f32_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
 
 TEST(Half, RoundTripsSmallIntegers) {
   for (int i = -2048; i <= 2048; ++i) {
@@ -147,6 +156,117 @@ TEST(Half, RoundingNeverOffByMoreThanHalfUlp) {
     ASSERT_LE(std::abs(fh - x), std::abs(up - x) + 1e-30f) << x;
     ASSERT_LE(std::abs(fh - x), std::abs(dn - x) + 1e-30f) << x;
   }
+}
+
+TEST(Half, ExhaustiveRoundTripAllPatterns) {
+  // The full conformance form of the round-trip: every one of the 65536 bit
+  // patterns goes through to_float -> from_float.  Non-NaN patterns (both
+  // signed zeros, all subnormals, all normals, both infinities) must come
+  // back identically; NaN patterns must come back as a NaN with the sign
+  // preserved (the payload is quietened per the hardware contract, so exact
+  // bits are only pinned for already-quiet NaNs).
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const float f = half::to_float(bits);
+    const std::uint16_t back = half::from_float(f);
+    const bool is_nan = ((b & 0x7c00u) == 0x7c00u) && ((b & 0x03ffu) != 0u);
+    if (is_nan) {
+      EXPECT_TRUE(std::isnan(f)) << "bits=0x" << std::hex << b;
+      ASSERT_TRUE((back & 0x7c00u) == 0x7c00u && (back & 0x03ffu) != 0u)
+          << "NaN did not stay NaN: bits=0x" << std::hex << b;
+      ASSERT_EQ(back & 0x8000u, b & 0x8000u)
+          << "NaN sign lost: bits=0x" << std::hex << b;
+      // Quiet NaNs round-trip exactly; signaling ones gain the quiet bit.
+      ASSERT_EQ(back, bits | 0x0200u) << "bits=0x" << std::hex << b;
+    } else {
+      ASSERT_EQ(back, bits) << "bits=0x" << std::hex << b;
+    }
+  }
+}
+
+TEST(Half, OverflowThreshold) {
+  // The largest finite half is 65504; the rounding boundary to infinity is
+  // 65520 (the midpoint to 2^16, which ties *up* to the even 2^16 and thus
+  // saturates).  Everything strictly below 65520 still rounds down.
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bffu);
+  EXPECT_EQ(half(65519.0f).bits(), 0x7bffu);
+  EXPECT_EQ(half(std::nextafter(65520.0f, 0.0f)).bits(), 0x7bffu);
+  EXPECT_EQ(half(65520.0f).bits(), 0x7c00u);
+  EXPECT_EQ(half(-65520.0f).bits(), 0xfc00u);
+  EXPECT_EQ(half(65536.0f).bits(), 0x7c00u);
+  EXPECT_EQ(half(std::numeric_limits<float>::max()).bits(), 0x7c00u);
+  EXPECT_EQ(half(-std::numeric_limits<float>::max()).bits(), 0xfc00u);
+}
+
+TEST(Half, SubnormalHalfwayTiesToEven) {
+  // Subnormal halves are multiples of 2^-24.  Inputs exactly halfway
+  // between two multiples must round to the even one.
+  const float ulp = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half(0.5f * ulp).bits(), 0x0000u);  // tie 0|1 -> 0
+  EXPECT_EQ(half(1.5f * ulp).bits(), 0x0002u);  // tie 1|2 -> 2
+  EXPECT_EQ(half(2.5f * ulp).bits(), 0x0002u);  // tie 2|3 -> 2
+  EXPECT_EQ(half(3.5f * ulp).bits(), 0x0004u);  // tie 3|4 -> 4
+  EXPECT_EQ(half(-1.5f * ulp).bits(), 0x8002u);
+  EXPECT_EQ(half(-2.5f * ulp).bits(), 0x8002u);
+  // A hair off the tie snaps to the strict nearest instead.
+  EXPECT_EQ(half(std::nextafter(2.5f * ulp, 1.0f)).bits(), 0x0003u);
+  EXPECT_EQ(half(std::nextafter(1.5f * ulp, 0.0f)).bits(), 0x0001u);
+  // The tie at the subnormal/normal boundary: 1023.5 * 2^-24 -> 2^-14.
+  EXPECT_EQ(half(1023.5f * ulp).bits(), 0x0400u);
+  EXPECT_EQ(half(std::nextafter(1023.5f * ulp, 0.0f)).bits(), 0x03ffu);
+}
+
+TEST(Half, BelowHalfSmallestSubnormalIsSignedZero) {
+  // |f| < 2^-25 rounds to zero of the same sign; exactly 2^-25 is the tie
+  // between 0 and the smallest subnormal and goes to the even side (zero).
+  const float half_min_sub = std::ldexp(1.0f, -25);
+  EXPECT_EQ(half(half_min_sub).bits(), 0x0000u);
+  EXPECT_EQ(half(-half_min_sub).bits(), 0x8000u);
+  EXPECT_EQ(half(std::nextafter(half_min_sub, 0.0f)).bits(), 0x0000u);
+  EXPECT_EQ(half(std::nextafter(half_min_sub, 1.0f)).bits(), 0x0001u);
+  EXPECT_EQ(half(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+  EXPECT_EQ(half(-std::ldexp(1.0f, -26)).bits(), 0x8000u);
+  EXPECT_EQ(half(std::numeric_limits<float>::denorm_min()).bits(), 0x0000u);
+  EXPECT_EQ(half(-std::numeric_limits<float>::denorm_min()).bits(), 0x8000u);
+}
+
+TEST(Half, NanConversionFollowsHardwareContract) {
+  // Narrowing truncates the payload to 10 bits and sets the quiet bit;
+  // widening shifts the payload up and quietens — matching x86 F16C, so the
+  // hardware conversion backend is bitwise-exchangeable with the software
+  // ones (tests/test_half_batch.cpp relies on this).
+  EXPECT_EQ(half(f32_from_bits(0x7fc00000u)).bits(), 0x7e00u);
+  EXPECT_EQ(half(f32_from_bits(0xffc00000u)).bits(), 0xfe00u);
+  EXPECT_EQ(half(f32_from_bits(0x7fc12345u)).bits(), 0x7e09u);
+  EXPECT_EQ(half(f32_from_bits(0x7f812345u)).bits(), 0x7e09u);  // SNaN
+  EXPECT_EQ(half(f32_from_bits(0x7f800001u)).bits(), 0x7e00u);  // SNaN
+  EXPECT_EQ(f32_bits(half::to_float(0x7e00u)), 0x7fc00000u);
+  EXPECT_EQ(f32_bits(half::to_float(0x7c01u)), 0x7fc02000u);  // SNaN
+  EXPECT_EQ(f32_bits(half::to_float(0xfe01u)), 0xffc02000u);
+}
+
+TEST(Half, OrderingOperatorsIncludingNaN) {
+  const half a(1.0f), b(2.0f);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(b >= b);
+  EXPECT_FALSE(b <= a);
+  EXPECT_FALSE(a >= b);
+  EXPECT_TRUE(half(-0.0f) <= half(0.0f));
+  EXPECT_TRUE(half(-0.0f) >= half(0.0f));  // signed zeros compare equal
+  // NaN behaves exactly like float: every ordered comparison is false.
+  const half n(std::nanf(""));
+  EXPECT_FALSE(n <= n);
+  EXPECT_FALSE(n >= n);
+  EXPECT_FALSE(n <= a);
+  EXPECT_FALSE(n >= a);
+  EXPECT_FALSE(a <= n);
+  EXPECT_FALSE(a >= n);
+  EXPECT_FALSE(n < a);
+  EXPECT_FALSE(n > a);
+  EXPECT_FALSE(n == n);
+  EXPECT_TRUE(n != n);
 }
 
 TEST(Half, BitsRoundTrip) {
