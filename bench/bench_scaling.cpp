@@ -1,0 +1,266 @@
+/// \file bench_scaling.cpp
+/// *Executed* strong and weak scaling of the rank-parallel distributed IGR
+/// driver on the Mach-10 single-jet workload (§6.2) — the companion to the
+/// fig6/fig7 scaling *model* reproductions, which predict; this harness
+/// measures.  Each rank runs on its own worker thread with a pinned
+/// single-thread OpenMP team, so speedup isolates rank parallelism (the MPI
+/// analogue: one process per rank), with the overlapped halo pipeline
+/// active.  Emits JSON like bench_grind; every scaling PR checks the result
+/// in as BENCH_<name>_scaling.json (see PERF.md).
+///
+/// Usage:
+///   bench_scaling [--smoke] [--n N] [--weak-n M] [--ranks 1,2,4,8]
+///                 [--warmup W] [--steps S] [--mode strong|weak|both]
+///                 [--threads-per-rank T] [--label NAME] [--out PATH]
+///
+/// Strong: fixed N x N x 1.5N global jet, growing rank counts.
+/// Weak:   fixed M^3 cells per rank, domain resolution grows with ranks.
+///
+/// Interpreting results: rank speedup can only materialize when the host
+/// exposes enough cores (hardware_concurrency is recorded in the JSON); on
+/// a single-core container all rank counts time-share one core and the
+/// curve measures scheduling overhead instead.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/jet_config.hpp"
+#include "common/timer.hpp"
+#include "mesh/decomp.hpp"
+#include "sim/distributed_igr.hpp"
+
+namespace {
+
+using namespace igr;
+
+struct Point {
+  std::string mode;
+  int ranks = 1;
+  std::array<int, 3> layout{1, 1, 1};
+  std::array<int, 3> grid{0, 0, 0};
+  double time_per_step_s = 0.0;
+  double grind_ns = 0.0;
+  double speedup = 1.0;     ///< strong: t_base/t at equal total work
+  double efficiency = 1.0;  ///< strong: speedup/ideal; weak: t_base/t
+  double halo_mb_per_step = 0.0;
+};
+
+common::SolverConfig scaling_cfg() {
+  auto cfg = app::single_engine().solver_config();
+  // Jacobi sweeps: decomposition-exact, so every rank count performs
+  // identical arithmetic on identical bits — the clean scaling comparison
+  // (and the mode whose equivalence the test suite enforces).
+  cfg.sigma_gauss_seidel = false;
+  return cfg;
+}
+
+/// Time `steps` CFL steps of the decomposed jet; returns seconds per step.
+Point run_case(const char* mode, const mesh::Grid& grid,
+               std::array<int, 3> layout, int warmup, int steps,
+               int threads_per_rank) {
+  const auto jet = app::single_engine();
+  sim::DistOptions opts;
+  opts.threads_per_rank = threads_per_rank;
+  sim::DistributedIgr<common::Fp64> d(grid, layout[0], layout[1], layout[2],
+                                      scaling_cfg(), jet.make_bc(),
+                                      fv::ReconScheme::kFifth, opts);
+  d.init(jet.initial_condition(0.005));
+  for (int s = 0; s < warmup; ++s) d.step();
+  d.comm().reset_traffic();
+  common::WallTimer t;
+  t.start();
+  for (int s = 0; s < steps; ++s) d.step();
+  t.stop();
+
+  Point p;
+  p.mode = mode;
+  p.ranks = layout[0] * layout[1] * layout[2];
+  p.layout = layout;
+  p.grid = {grid.nx(), grid.ny(), grid.nz()};
+  p.time_per_step_s = t.seconds() / steps;
+  p.grind_ns =
+      t.seconds() * 1.0e9 / (static_cast<double>(grid.cells()) * steps);
+  p.halo_mb_per_step =
+      1.0e-6 * static_cast<double>(d.comm().bytes_exchanged()) / steps;
+  std::printf("  %-6s %2d ranks (%dx%dx%d)  %3dx%3dx%3d  %9.4f ms/step  "
+              "%8.1f ns/cell/step  %8.2f MB halo/step\n",
+              mode, p.ranks, layout[0], layout[1], layout[2], p.grid[0],
+              p.grid[1], p.grid[2], 1e3 * p.time_per_step_s, p.grind_ns,
+              p.halo_mb_per_step);
+  std::fflush(stdout);
+  return p;
+}
+
+void write_json(const std::string& path, const std::string& label, int warmup,
+                int steps, int threads_per_rank,
+                const std::vector<Point>& pts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_scaling: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"name\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"workload\": \"mach10_single_jet_distributed\",\n");
+  std::fprintf(f, "  \"metric\": \"time_per_step_s\",\n");
+  std::fprintf(f, "  \"sigma_sweeps\": \"jacobi\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"threads_per_rank\": %d,\n", threads_per_rank);
+  std::fprintf(f, "  \"warmup_steps\": %d,\n", warmup);
+  std::fprintf(f, "  \"timed_steps\": %d,\n", steps);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto& p = pts[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"ranks\": %d, "
+                 "\"layout\": [%d, %d, %d], \"grid\": [%d, %d, %d], "
+                 "\"time_per_step_s\": %.6e, "
+                 "\"grind_ns_per_cell_step\": %.2f, \"speedup\": %.3f, "
+                 "\"efficiency\": %.3f, \"halo_mb_per_step\": %.3f}%s\n",
+                 p.mode.c_str(), p.ranks, p.layout[0], p.layout[1],
+                 p.layout[2], p.grid[0], p.grid[1], p.grid[2],
+                 p.time_per_step_s, p.grind_ns, p.speedup, p.efficiency,
+                 p.halo_mb_per_step, (i + 1 < pts.size()) ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+std::vector<int> parse_rank_list(const char* arg) {
+  std::vector<int> out;
+  const char* p = arg;
+  while (*p) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < 1) {
+      std::fprintf(stderr, "bench_scaling: bad --ranks list '%s'\n", arg);
+      std::exit(2);
+    }
+    out.push_back(static_cast<int>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bench_scaling: empty --ranks list\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 32, weak_n = 16, warmup = 1, steps = 3, threads_per_rank = 1;
+  std::vector<int> rank_counts{1, 2, 4, 8};
+  std::string out = "BENCH_scaling.json";
+  std::string label = "scaling";
+  std::string mode = "both";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_scaling: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strcmp(argv[i], "--n")) {
+      n = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--weak-n")) {
+      weak_n = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--ranks")) {
+      rank_counts = parse_rank_list(next());
+    } else if (!std::strcmp(argv[i], "--warmup")) {
+      warmup = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--steps")) {
+      steps = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--threads-per-rank")) {
+      threads_per_rank = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--mode")) {
+      mode = next();
+    } else if (!std::strcmp(argv[i], "--label")) {
+      label = next();
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out = next();
+    } else {
+      std::fprintf(stderr, "bench_scaling: unknown arg %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    n = 16;
+    weak_n = 8;
+    warmup = 1;
+    steps = 2;
+    rank_counts = {1, 2, 4};
+    if (label == "scaling") label = "scaling_smoke";
+  }
+  if (mode != "strong" && mode != "weak" && mode != "both") {
+    std::fprintf(stderr, "bench_scaling: --mode must be strong|weak|both\n");
+    return 2;
+  }
+  if (n < 8 || weak_n < 4 || steps < 1 || warmup < 0 || threads_per_rank < 0) {
+    std::fprintf(stderr, "bench_scaling: need --n >= 8, --weak-n >= 4, "
+                         "--steps >= 1, --warmup >= 0\n");
+    return 2;
+  }
+
+  std::printf("igrflow bench_scaling: n=%d weak-n=%d warmup=%d steps=%d "
+              "threads/rank=%d hw_concurrency=%u\n",
+              n, weak_n, warmup, steps, threads_per_rank,
+              std::thread::hardware_concurrency());
+  std::vector<Point> pts;
+
+  if (mode != "weak") {
+    std::printf("strong scaling (fixed %dx%dx%d jet):\n", n, n, n + n / 2);
+    const mesh::Grid grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0},
+                          {0.0, 1.5});
+    double t_base = 0.0;
+    int r_base = 1;
+    for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+      const int R = rank_counts[i];
+      auto p = run_case("strong", grid, mesh::Decomp::balanced_layout(R),
+                        warmup, steps, threads_per_rank);
+      if (i == 0) {
+        t_base = p.time_per_step_s;
+        r_base = R;
+      }
+      p.speedup = t_base / p.time_per_step_s;
+      p.efficiency = p.speedup * r_base / R;
+      pts.push_back(p);
+    }
+    const auto& last = pts.back();
+    std::printf("  -> %.2fx speedup at %d ranks (%.0f%% efficiency)\n",
+                last.speedup, last.ranks, 100.0 * last.efficiency);
+  }
+
+  if (mode != "strong") {
+    std::printf("weak scaling (fixed %d^3 cells per rank):\n", weak_n);
+    double t_base = 0.0;
+    for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+      const int R = rank_counts[i];
+      const auto lay = mesh::Decomp::balanced_layout(R);
+      const mesh::Grid grid(weak_n * lay[0], weak_n * lay[1],
+                            weak_n * lay[2], {0.0, 1.0}, {0.0, 1.0},
+                            {0.0, 1.0});
+      auto p = run_case("weak", grid, lay, warmup, steps, threads_per_rank);
+      if (i == 0) t_base = p.time_per_step_s;
+      p.speedup = t_base / p.time_per_step_s;
+      p.efficiency = p.speedup;  // fixed work per rank: ideal is flat time
+      pts.push_back(p);
+    }
+    const auto& last = pts.back();
+    std::printf("  -> %.0f%% weak efficiency at %d ranks\n",
+                100.0 * last.efficiency, last.ranks);
+  }
+
+  write_json(out, label, warmup, steps, threads_per_rank, pts);
+  return 0;
+}

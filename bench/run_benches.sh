@@ -32,6 +32,12 @@ fi
 "$root/$build/bench_grind" --smoke --label "$label" \
     --out "$root/BENCH_${label}.json"
 
+# Executed strong/weak rank scaling of the distributed driver (full-size
+# flow: bench_scaling --n 32 --ranks 1,2,4,8 --label prN
+#                     --out BENCH_prN_scaling.json).
+"$root/$build/bench_scaling" --smoke --label "${label}_scaling" \
+    --out "$root/BENCH_${label}_scaling.json"
+
 # Paper-artifact benches that are cheap enough for a smoke pass; these
 # print tables rather than JSON and serve as a does-it-still-run probe.
 for b in fig2_regularization ablation_design_choices; do
@@ -42,4 +48,4 @@ for b in fig2_regularization ablation_design_choices; do
   fi
 done
 
-echo "wrote $root/BENCH_${label}.json"
+echo "wrote $root/BENCH_${label}.json and $root/BENCH_${label}_scaling.json"

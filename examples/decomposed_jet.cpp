@@ -1,0 +1,124 @@
+/// \file decomposed_jet.cpp
+/// Decomposed runs as a first-class scenario: the Mach-10 single-jet
+/// workload stepped by the rank-parallel distributed driver.
+///
+///   $ ./decomposed_jet --ranks 2,2,1 --n 32 --steps 20
+///   $ ./decomposed_jet --ranks 8            # balanced 3-D layout for 8
+///   $ ./decomposed_jet --ranks 4 --serial   # lockstep reference schedule
+///
+/// Demonstrates: app::Simulation's `ranks` parameter, the dt allreduce, the
+/// halo-byte metering against the analytic message sizes, and VTK output of
+/// a gathered decomposed state.  With Jacobi Sigma sweeps (the default
+/// below) the run is bitwise identical to `--ranks 1,1,1` at any layout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "app/jet_config.hpp"
+#include "app/simulation.hpp"
+#include "mesh/decomp.hpp"
+
+namespace {
+
+/// "rx,ry,rz" or a bare rank count (balanced layout).
+std::array<int, 3> parse_ranks(const char* arg) {
+  int rx = 0, ry = 0, rz = 0;
+  char junk = '\0';
+  if (std::strchr(arg, ',')) {
+    // A comma commits the caller to a full explicit layout: a partial
+    // "2,2" or trailing garbage ("2,2,1,4") must not silently pass.
+    if (std::sscanf(arg, "%d,%d,%d%c", &rx, &ry, &rz, &junk) == 3 &&
+        rx >= 1 && ry >= 1 && rz >= 1)
+      return {rx, ry, rz};
+  } else if (std::sscanf(arg, "%d%c", &rx, &junk) == 1 && rx >= 1) {
+    return igr::mesh::Decomp::balanced_layout(rx);
+  }
+  std::fprintf(stderr, "decomposed_jet: bad --ranks '%s' (rx,ry,rz or N)\n",
+               arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace igr;
+
+  std::array<int, 3> ranks{2, 2, 1};
+  int n = 24;
+  int steps = 10;
+  sim::DistOptions dist;
+  std::string vtk;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "decomposed_jet: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--ranks")) {
+      ranks = parse_ranks(next());
+    } else if (!std::strcmp(argv[i], "--n")) {
+      n = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--steps")) {
+      steps = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--threads-per-rank")) {
+      dist.threads_per_rank = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--serial")) {
+      dist.parallel = false;
+    } else if (!std::strcmp(argv[i], "--no-overlap")) {
+      dist.overlap_halo = false;
+    } else if (!std::strcmp(argv[i], "--vtk")) {
+      vtk = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: decomposed_jet [--ranks rx,ry,rz|N] [--n N] "
+                   "[--steps S] [--threads-per-rank T] [--serial] "
+                   "[--no-overlap] [--vtk out.vtk]\n");
+      return 2;
+    }
+  }
+
+  const auto jet = app::single_engine();
+  app::Simulation<common::Fp64>::Params params;
+  params.grid = mesh::Grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0},
+                           {0.0, 1.5});
+  params.cfg = jet.solver_config();
+  params.cfg.sigma_gauss_seidel = false;  // Jacobi: decomposition-exact
+  params.bc = jet.make_bc();
+  params.ranks = ranks;
+  params.dist = dist;
+
+  app::Simulation<common::Fp64> sim(params);
+  sim.init(jet.initial_condition(0.005));
+
+  std::printf("igrflow decomposed_jet: %dx%dx%d cells on %dx%dx%d ranks "
+              "(%s%s)\n",
+              params.grid.nx(), params.grid.ny(), params.grid.nz(), ranks[0],
+              ranks[1], ranks[2], dist.parallel ? "parallel" : "serial",
+              dist.parallel && dist.overlap_halo ? ", overlapped halos" : "");
+
+  for (int s = 0; s < steps; ++s) {
+    const double dt = sim.step();
+    if (s % 5 == 0 || s == steps - 1)
+      std::printf("  step %4d  t=%.5f  dt=%.3e\n", s, sim.time(), dt);
+  }
+
+  const auto d = sim.diagnostics();
+  std::printf("max Mach %.2f  min rho %.3e  kinetic energy %.4f\n",
+              d.max_mach, d.min_density, d.kinetic_energy);
+  if (sim.distributed()) {
+    std::printf("halo traffic: %.2f MB over %d steps (%.1f kB/step)\n",
+                1e-6 * static_cast<double>(sim.dist().comm().bytes_exchanged()),
+                steps,
+                1e-3 * static_cast<double>(
+                           sim.dist().comm().bytes_exchanged()) / steps);
+  }
+  if (!vtk.empty()) {
+    sim.write_vtk(vtk);
+    std::printf("wrote %s\n", vtk.c_str());
+  }
+  return 0;
+}

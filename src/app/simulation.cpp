@@ -10,7 +10,18 @@ namespace igr::app {
 template <class Policy>
 Simulation<Policy>::Simulation(Params params)
     : params_(std::move(params)), eos_(params_.cfg.gamma) {
-  if (params_.scheme == SchemeKind::kIgr) {
+  const auto& rk = params_.ranks;
+  if (rk[0] < 1 || rk[1] < 1 || rk[2] < 1)
+    throw std::invalid_argument("Simulation: rank counts must be positive");
+  if (rk[0] * rk[1] * rk[2] > 1) {
+    if (params_.scheme != SchemeKind::kIgr)
+      throw std::invalid_argument(
+          "Simulation: decomposed runs are IGR-only (the baseline has no "
+          "distributed driver)");
+    dist_ = std::make_unique<sim::DistributedIgr<Policy>>(
+        params_.grid, rk[0], rk[1], rk[2], params_.cfg, params_.bc,
+        params_.recon, params_.dist);
+  } else if (params_.scheme == SchemeKind::kIgr) {
     igr_ = std::make_unique<core::IgrSolver3D<Policy>>(
         params_.grid, params_.cfg, params_.bc, params_.recon);
   } else {
@@ -29,10 +40,14 @@ template <class Policy>
 void Simulation<Policy>::init(const core::PrimFn& prim) {
   if (igr_) igr_->init(prim);
   if (weno_) weno_->init(prim);
+  if (dist_) dist_->init(prim);
+  gathered_dirty_ = true;
 }
 
 template <class Policy>
 double Simulation<Policy>::step() {
+  gathered_dirty_ = true;
+  if (dist_) return dist_->step();
   return igr_ ? igr_->step() : weno_->step();
 }
 
@@ -52,24 +67,45 @@ void Simulation<Policy>::run_until(double t_end) {
 
 template <class Policy>
 double Simulation<Policy>::time() const {
+  if (dist_) return dist_->time();
   return igr_ ? igr_->time() : weno_->time();
 }
 
 template <class Policy>
 double Simulation<Policy>::grind_ns() const {
+  if (dist_) return dist_->grind_timer().grind_ns();
   return igr_ ? igr_->grind_timer().grind_ns()
               : weno_->grind_timer().grind_ns();
 }
 
 template <class Policy>
 std::size_t Simulation<Policy>::memory_bytes() const {
+  if (dist_) return dist_->memory_bytes();
   return igr_ ? igr_->memory_bytes() : weno_->memory_bytes();
 }
 
 template <class Policy>
 const common::StateField3<typename Policy::storage_t>&
 Simulation<Policy>::state() const {
+  if (dist_) {
+    if (gathered_dirty_) {
+      gathered_ = dist_->gather();
+      gathered_dirty_ = false;
+    }
+    return gathered_;
+  }
   return igr_ ? igr_->state() : weno_->state();
+}
+
+template <class Policy>
+sim::DistributedIgr<Policy>& Simulation<Policy>::dist() {
+  if (!dist_)
+    throw std::logic_error("Simulation::dist(): not a decomposed run");
+  // The caller can step the driver directly (e.g. step_fixed), which this
+  // facade cannot observe — treat any mutable access as invalidating the
+  // gathered-state cache.
+  gathered_dirty_ = true;
+  return *dist_;
 }
 
 template <class Policy>
@@ -112,6 +148,7 @@ void Simulation<Policy>::write_vtk(const std::string& path) const {
   writer.open(path);
   writer.add_state(state(), eos_);
   if (igr_) writer.add_scalar("entropic_pressure", igr_->sigma());
+  if (dist_) writer.add_scalar("entropic_pressure", dist_->gather_sigma());
   writer.close();
 }
 

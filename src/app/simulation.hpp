@@ -10,6 +10,7 @@
 #include "baseline/weno_hllc_solver3d.hpp"
 #include "core/igr_solver3d.hpp"
 #include "io/vtk_writer.hpp"
+#include "sim/distributed_igr.hpp"
 
 namespace igr::app {
 
@@ -38,6 +39,12 @@ class Simulation {
     fv::BcSpec bc{};
     SchemeKind scheme = SchemeKind::kIgr;
     fv::ReconScheme recon = fv::ReconScheme::kFifth;
+    /// Rank layout of the decomposed run ({1,1,1} = single-domain).  More
+    /// than one rank steps the domain through the rank-parallel
+    /// sim::DistributedIgr driver (IGR scheme only); `dist` tunes its
+    /// execution.
+    std::array<int, 3> ranks{1, 1, 1};
+    sim::DistOptions dist{};
   };
 
   explicit Simulation(Params params);
@@ -55,9 +62,14 @@ class Simulation {
   [[nodiscard]] double grind_ns() const;
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] FlowDiagnostics diagnostics() const;
+  /// Global conservative state.  For a decomposed run this gathers the rank
+  /// blocks into a cached global field (refreshed after a step).
   [[nodiscard]] const common::StateField3<S>& state() const;
   [[nodiscard]] const mesh::Grid& grid() const { return params_.grid; }
   [[nodiscard]] SchemeKind scheme() const { return params_.scheme; }
+  [[nodiscard]] bool distributed() const { return dist_ != nullptr; }
+  /// The decomposed driver (throws unless distributed()).
+  [[nodiscard]] sim::DistributedIgr<Policy>& dist();
 
   /// Write density/pressure/velocity-magnitude to a legacy VTK file.
   void write_vtk(const std::string& path) const;
@@ -67,6 +79,9 @@ class Simulation {
   eos::IdealGas eos_;
   std::unique_ptr<core::IgrSolver3D<Policy>> igr_;
   std::unique_ptr<baseline::WenoHllcSolver3D<Policy>> weno_;
+  std::unique_ptr<sim::DistributedIgr<Policy>> dist_;
+  mutable common::StateField3<S> gathered_;
+  mutable bool gathered_dirty_ = true;
 };
 
 /// FP16/32 storage is only supported by the IGR scheme (the baseline is

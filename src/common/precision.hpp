@@ -127,7 +127,6 @@ inline void store_line_strided(const typename Policy::compute_t* src,
                                typename Policy::storage_t* dst,
                                std::ptrdiff_t stride, std::size_t n) {
   using S = typename Policy::storage_t;
-  using C = typename Policy::compute_t;
   if (stride == 1) return store_line<Policy>(src, dst, n);
   if constexpr (std::is_same_v<S, half>) {
     constexpr std::size_t kChunk = 256;

@@ -216,10 +216,15 @@ template <class Policy>
 template <int Dir, class ReconOp>
 void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
                                      common::StateField3<S>& rhs,
-                                     ReconOp recon, bool overwrite) {
+                                     ReconOp recon, bool overwrite,
+                                     const CellRegion& reg) {
   constexpr int dir = Dir;
-  const int nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
-  const int n_dir = (dir == 0) ? nx : (dir == 1) ? ny : nz;
+  if (reg.empty()) return;
+  // The line segment runs along `dir` over the region's cells; everything
+  // below indexes relative to the segment start, so a restricted region
+  // performs the exact per-cell arithmetic of the full sweep.
+  const int s_lo = reg.lo[static_cast<std::size_t>(dir)];
+  const int n_dir = reg.hi[static_cast<std::size_t>(dir)] - s_lo;
   const C d_dir = static_cast<C>((dir == 0)   ? grid_.dx()
                                  : (dir == 1) ? grid_.dy()
                                               : grid_.dz());
@@ -238,8 +243,10 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
   // The two tangential axes of this sweep (the line runs along `dir`).
   const int axA = (dir == 0) ? 1 : 0;
   const int axB = (dir == 2) ? 1 : 2;
-  const int na = (dir == 0) ? ny : nx;
-  const int nb = (dir == 2) ? ny : nz;
+  const int a_lo = reg.lo[static_cast<std::size_t>(axA)];
+  const int a_hi = reg.hi[static_cast<std::size_t>(axA)];
+  const int b_lo = reg.lo[static_cast<std::size_t>(axB)];
+  const int b_hi = reg.hi[static_cast<std::size_t>(axB)];
   const std::array<C, 3> dd{static_cast<C>(grid_.dx()),
                             static_cast<C>(grid_.dy()),
                             static_cast<C>(grid_.dz())};
@@ -291,9 +298,9 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
     C* const rp = fprims.data() + 6 * fn;             // [c*fn + fi] right
 
 #pragma omp for collapse(2)
-    for (int lb = 0; lb < nb; ++lb) {
-      for (int la = 0; la < na; ++la) {
-        const auto c0 = cell(la, lb, 0);
+    for (int lb = b_lo; lb < b_hi; ++lb) {
+      for (int la = a_lo; la < a_hi; ++la) {
+        const auto c0 = cell(la, lb, s_lo);
         const std::size_t base = q[0].idx(c0[0], c0[1], c0[2]);
         for (int c = 0; c <= kNumVars; ++c) {
           const S* p = ((c < kNumVars) ? q[c].data() : sigma_.data()) + base;
@@ -574,7 +581,7 @@ void IgrSolver3D<Policy>::apply_domain_bc(common::StateField3<S>& q) {
 }
 
 template <class Policy>
-void IgrSolver3D<Policy>::sigma_sweep(common::StateField3<S>& q) {
+void IgrSolver3D<Policy>::sigma_sweep(common::StateField3<S>& /*q*/) {
   sigma_sweep_once<Policy>(sigma_, sigma_scratch_, sigma_src_, inv_rho_,
                            static_cast<C>(alpha_), static_cast<C>(grid_.dx()),
                            static_cast<C>(grid_.dy()),
@@ -593,7 +600,33 @@ template <class Policy>
 template <class ReconOp>
 void IgrSolver3D<Policy>::flux_sweep_all(common::StateField3<S>& q,
                                          common::StateField3<S>& rhs,
-                                         ReconOp recon) {
+                                         ReconOp recon,
+                                         const CellRegion& reg) {
+  // The dir==0 sweep overwrites rhs, folding the zero-fill into its
+  // write-back and saving one full 5N traversal per RK stage.  Regions
+  // partition the block, so every cell sees exactly one overwrite.
+  flux_sweep<0>(q, rhs, recon, /*overwrite=*/true, reg);
+  flux_sweep<1>(q, rhs, recon, /*overwrite=*/false, reg);
+  flux_sweep<2>(q, rhs, recon, /*overwrite=*/false, reg);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::prepare_flux_pass(common::StateField3<S>& q) {
+  // The viscous path reads the persistent reciprocal-density field; when
+  // the Sigma solve is disabled nobody has refreshed it this RHS, so do it
+  // here (once per RHS — the boundary pass of a split never repeats it).
+  // With Sigma active, build_sigma_source already recomputed it from the
+  // same ghost-filled state.
+  const bool viscous = (cfg_.mu > 0.0 || cfg_.zeta > 0.0);
+  const bool sigma_active = (alpha_ > 0.0 && cfg_.sigma_sweeps > 0);
+  if (viscous && !sigma_active) refresh_inv_rho(q);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_fluxes_region(common::StateField3<S>& q,
+                                                common::StateField3<S>& rhs,
+                                                const CellRegion& reg,
+                                                bool prepare) {
   // The sweeps reuse q[0]'s base offset and strides for rhs, Sigma, and
   // inv_rho; every field must share the solver's block shape (this held
   // implicitly before the pointer-based rewrite, now it is load-bearing).
@@ -601,32 +634,66 @@ void IgrSolver3D<Policy>::flux_sweep_all(common::StateField3<S>& q,
   assert(rhs.nx() == grid_.nx() && rhs.ny() == grid_.ny() &&
          rhs.nz() == grid_.nz());
   assert(q.ng() == sigma_.ng() && rhs.ng() == sigma_.ng());
-  // The viscous path reads the persistent reciprocal-density field; when the
-  // Sigma solve is disabled nobody has refreshed it this RHS, so do it here.
-  // (With Sigma active, build_sigma_source already recomputed it from the
-  // same ghost-filled state.)
-  const bool viscous = (cfg_.mu > 0.0 || cfg_.zeta > 0.0);
-  const bool sigma_active = (alpha_ > 0.0 && cfg_.sigma_sweeps > 0);
-  if (viscous && !sigma_active) refresh_inv_rho(q);
-
-  // The dir==0 sweep overwrites rhs, folding the zero-fill into its
-  // write-back and saving one full 5N traversal per RK stage.
-  flux_sweep<0>(q, rhs, recon, /*overwrite=*/true);
-  flux_sweep<1>(q, rhs, recon, /*overwrite=*/false);
-  flux_sweep<2>(q, rhs, recon, /*overwrite=*/false);
+  if (prepare) prepare_flux_pass(q);
+  fv::dispatch_recon(recon_,
+                     [&](auto recon) { flux_sweep_all(q, rhs, recon, reg); });
 }
 
 template <class Policy>
 void IgrSolver3D<Policy>::compute_fluxes(common::StateField3<S>& q,
                                          common::StateField3<S>& rhs) {
-  fv::dispatch_recon(recon_,
-                     [&](auto recon) { flux_sweep_all(q, rhs, recon); });
+  compute_fluxes_region(q, rhs, full_region(), /*prepare=*/true);
+}
+
+template <class Policy>
+CellRegion IgrSolver3D<Policy>::interior_flux_region(int axis) const {
+  // Only the split axis is shaved: a flux line reads ghost planes of an
+  // axis only through that axis' reconstruction stencil (tangential
+  // coordinates of every line stay interior), so cells at least one ghost
+  // depth away from the two `axis` faces touch no in-flight ghost.  The
+  // margin is the field ghost depth — the stencil radius it was sized for
+  // — so a deeper-ghosted future scheme keeps the no-ghost-read invariant
+  // automatically.
+  CellRegion r = full_region();
+  const auto as = static_cast<std::size_t>(axis);
+  const int margin = sigma_.ng();
+  const int n = r.hi[as];
+  r.lo[as] = std::min(margin, n);
+  r.hi[as] = std::max(n - margin, r.lo[as]);
+  return r;
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_fluxes_interior(common::StateField3<S>& q,
+                                                  common::StateField3<S>& rhs,
+                                                  int axis) {
+  compute_fluxes_region(q, rhs, interior_flux_region(axis),
+                        /*prepare=*/true);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::compute_fluxes_boundary(common::StateField3<S>& q,
+                                                  common::StateField3<S>& rhs,
+                                                  int axis) {
+  // The complement of the interior region: the two slabs hugging the
+  // `axis` faces, full extent on the other axes — disjoint from the
+  // interior and from each other (degenerate for thin blocks, where the
+  // low slab absorbs everything).
+  const CellRegion in = interior_flux_region(axis);
+  const auto as = static_cast<std::size_t>(axis);
+  CellRegion low = full_region();
+  low.hi[as] = in.lo[as];
+  CellRegion high = full_region();
+  high.lo[as] = in.hi[as];
+  if (!low.empty()) compute_fluxes_region(q, rhs, low, /*prepare=*/false);
+  if (!high.empty()) compute_fluxes_region(q, rhs, high, /*prepare=*/false);
 }
 
 template <class Policy>
 void IgrSolver3D<Policy>::compute_fluxes_runtime_dispatch(
     common::StateField3<S>& q, common::StateField3<S>& rhs) {
-  flux_sweep_all(q, rhs, fv::ReconRuntime{recon_});
+  prepare_flux_pass(q);
+  flux_sweep_all(q, rhs, fv::ReconRuntime{recon_}, full_region());
 }
 
 template <class Policy>

@@ -17,6 +17,7 @@
 /// before the dimensional sweeps — algebraically the same scheme (the
 /// x-direction additionally sees the freshly solved Sigma).
 
+#include <array>
 #include <functional>
 
 #include "common/config.hpp"
@@ -34,6 +35,19 @@ namespace igr::core {
 
 /// Initial condition: primitive state as a function of cell-center position.
 using PrimFn = std::function<common::Prim<double>(double, double, double)>;
+
+/// Half-open box of interior cells, [lo, hi) per axis.  The flux sweeps can
+/// be restricted to a region so distributed drivers may split a block into
+/// an interior (no ghost reads — computable while a halo exchange is in
+/// flight) and the complementary boundary shell.  Cell values are bitwise
+/// independent of how the block is partitioned into regions.
+struct CellRegion {
+  std::array<int, 3> lo{};
+  std::array<int, 3> hi{};
+  [[nodiscard]] bool empty() const {
+    return hi[0] <= lo[0] || hi[1] <= lo[1] || hi[2] <= lo[2];
+  }
+};
 
 template <class Policy>
 class IgrSolver3D {
@@ -105,6 +119,26 @@ class IgrSolver3D {
   /// and the distributed driver both do); with the Sigma solve disabled the
   /// cache is refreshed here.
   void compute_fluxes(common::StateField3<S>& q, common::StateField3<S>& rhs);
+  /// Interior part of compute_fluxes with respect to one axis: only cells
+  /// at least one ghost depth (3) away from the two block faces of `axis`,
+  /// which therefore read no ghost *plane along that axis* of `q` or Sigma
+  /// — safe to run while a halo exchange of exactly that axis is still in
+  /// flight (ghosts of the other axes must already be valid; the axis-x,y
+  /// exchanges complete before the overlapped axis-z one is posted).
+  /// Empty (a no-op) when the block is thinner than 2x the margin.  Shares
+  /// compute_fluxes' preconditions; when the viscous path must refresh the
+  /// reciprocal-density cache (Sigma solve inactive), this call does it —
+  /// always pair it with compute_fluxes_boundary afterwards.
+  void compute_fluxes_interior(common::StateField3<S>& q,
+                               common::StateField3<S>& rhs, int axis);
+  /// The complementary two boundary slabs of `axis` (needs valid ghosts on
+  /// `q` and Sigma).  interior + boundary update each interior cell exactly
+  /// once and are together bitwise identical to one compute_fluxes call.
+  void compute_fluxes_boundary(common::StateField3<S>& q,
+                               common::StateField3<S>& rhs, int axis);
+  /// The interior region used by the split above ([3, n-3) along `axis`,
+  /// clamped for thin blocks; full extent on the other axes).
+  [[nodiscard]] CellRegion interior_flux_region(int axis) const;
   /// Reference flux path: identical sweep body, but the reconstruction
   /// scheme is re-dispatched through the runtime switch per face — the
   /// pre-optimization structure.  Kept for the dispatch-equivalence tests
@@ -134,12 +168,26 @@ class IgrSolver3D {
   /// placement, and the reconstruction stencil all resolve at compile time,
   /// leaving no per-face dispatch.  `overwrite` folds the RHS zeroing into
   /// the first sweep's write-back.
+  /// All sweeps honor a cell region: only cells inside `reg` are written,
+  /// and only the stencil extent of `reg` is read.
   template <int Dir, class ReconOp>
   void flux_sweep(common::StateField3<S>& q, common::StateField3<S>& rhs,
-                  ReconOp recon, bool overwrite);
+                  ReconOp recon, bool overwrite, const CellRegion& reg);
   template <class ReconOp>
   void flux_sweep_all(common::StateField3<S>& q, common::StateField3<S>& rhs,
-                      ReconOp recon);
+                      ReconOp recon, const CellRegion& reg);
+  /// Dispatch + sweep over one region (refresh_inv_rho handling included
+  /// when `prepare` is set — exactly once per RHS evaluation).
+  void compute_fluxes_region(common::StateField3<S>& q,
+                             common::StateField3<S>& rhs,
+                             const CellRegion& reg, bool prepare);
+  /// The once-per-RHS flux precondition: the viscous path reads the
+  /// persistent reciprocal-density field, which nobody refreshed this RHS
+  /// when the Sigma solve is disabled.
+  void prepare_flux_pass(common::StateField3<S>& q);
+  [[nodiscard]] CellRegion full_region() const {
+    return {{0, 0, 0}, {grid_.nx(), grid_.ny(), grid_.nz()}};
+  }
 
   mesh::Grid grid_;
   common::SolverConfig cfg_;

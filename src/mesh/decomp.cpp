@@ -90,6 +90,21 @@ int Decomp::neighbor(int rank, Face face) const {
   return rank_of(c[0], c[1], c[2]);
 }
 
+int Decomp::owner_coord(int axis, int gcell) const {
+  const std::array<int, 3> dims{rx_, ry_, rz_};
+  const std::array<int, 3> cells{grid_->nx(), grid_->ny(), grid_->nz()};
+  const int n = cells[static_cast<std::size_t>(axis)];
+  const int p = dims[static_cast<std::size_t>(axis)];
+  if (gcell < 0 || gcell >= n)
+    throw std::invalid_argument("owner_coord: cell outside the global grid");
+  // Blocks of size base+1 for coords < rem, size base after.
+  const int base = n / p;
+  const int rem = n % p;
+  const int big_span = rem * (base + 1);
+  if (gcell < big_span) return gcell / (base + 1);
+  return rem + (gcell - big_span) / base;
+}
+
 std::size_t Decomp::halo_cells(int rank, Face face, int ng) const {
   const auto b = block(rank);
   const int axis = static_cast<int>(face) / 2;

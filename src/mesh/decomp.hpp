@@ -28,8 +28,12 @@ struct LocalBlock {
 /// Rank layout on a 3-D process grid.
 class Decomp {
  public:
-  /// Decompose `grid` over rx*ry*rz ranks; each axis must divide... it does
-  /// not need to divide evenly — remainder cells go to the low-index ranks.
+  /// Decompose `grid` over rx*ry*rz ranks.  An axis need not divide evenly:
+  /// with n cells split over p ranks, every rank gets floor(n/p) cells and
+  /// the remainder n mod p is handed out one extra cell each to the (n mod p)
+  /// lowest-coordinate ranks — so low-coordinate blocks are at most one cell
+  /// larger than high-coordinate ones.  Rank counts above the cell count of
+  /// an axis are rejected (a rank must own at least one cell).
   Decomp(const Grid& grid, int rx, int ry, int rz, bool periodic = true);
 
   /// Choose a near-cubic process grid for `ranks` ranks (factorization that
@@ -53,6 +57,13 @@ class Decomp {
 
   /// Halo message size in cells for one face exchange with `ng` ghost layers.
   [[nodiscard]] std::size_t halo_cells(int rank, Face face, int ng) const;
+
+  /// Process-grid coordinate along `axis` of the rank owning global cell
+  /// `gcell` (0 <= gcell < grid extent along that axis).  Inverts the
+  /// remainder-to-low-ranks split; halo exchange uses it to resolve the
+  /// owner of a ghost plane even when blocks are thinner than the ghost
+  /// depth (multi-hop halos).
+  [[nodiscard]] int owner_coord(int axis, int gcell) const;
 
  private:
   [[nodiscard]] static int split_lo(int n, int parts, int idx);

@@ -21,6 +21,24 @@ Grid Grid::cube(int n) {
   return Grid(n, n, n, {0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0});
 }
 
+Grid Grid::window(const Grid& parent, const std::array<int, 3>& lo,
+                  const std::array<int, 3>& n) {
+  if (n[0] < 1 || n[1] < 1 || n[2] < 1)
+    throw std::invalid_argument("Grid::window: cell counts must be positive");
+  if (lo[0] < 0 || lo[1] < 0 || lo[2] < 0 ||
+      lo[0] + n[0] > parent.nx_ || lo[1] + n[1] > parent.ny_ ||
+      lo[2] + n[2] > parent.nz_)
+    throw std::invalid_argument("Grid::window: block outside the parent");
+  Grid w = parent;
+  w.nx_ = n[0];
+  w.ny_ = n[1];
+  w.nz_ = n[2];
+  w.ox_ = parent.ox_ + lo[0];
+  w.oy_ = parent.oy_ + lo[1];
+  w.oz_ = parent.oz_ + lo[2];
+  return w;
+}
+
 double Grid::min_dx() const { return std::min({dx_, dy_, dz_}); }
 
 }  // namespace igr::mesh

@@ -20,6 +20,16 @@ class Grid {
   /// Convenience: unit cube with n^3 cells.
   static Grid cube(int n);
 
+  /// Window of `parent`: the block of `n` cells starting at global cell
+  /// `lo`.  The window shares the parent's spacing *bitwise* and evaluates
+  /// cell centers through the parent's origin and global indices, so
+  /// window.x(i) == parent.x(lo[0] + i) exactly — the property decomposed
+  /// bitwise-equivalence rests on.  (Recomputing a local origin and spacing
+  /// from extents rounds differently whenever the spacing is not exactly
+  /// representable.)
+  static Grid window(const Grid& parent, const std::array<int, 3>& lo,
+                     const std::array<int, 3>& n);
+
   [[nodiscard]] int nx() const { return nx_; }
   [[nodiscard]] int ny() const { return ny_; }
   [[nodiscard]] int nz() const { return nz_; }
@@ -33,13 +43,16 @@ class Grid {
   /// Smallest spacing; sets the IGR alpha = alpha_factor * min_dx^2.
   [[nodiscard]] double min_dx() const;
 
-  [[nodiscard]] double x(int i) const { return x0_ + (i + 0.5) * dx_; }
-  [[nodiscard]] double y(int j) const { return y0_ + (j + 0.5) * dy_; }
-  [[nodiscard]] double z(int k) const { return z0_ + (k + 0.5) * dz_; }
+  [[nodiscard]] double x(int i) const { return x0_ + (ox_ + i + 0.5) * dx_; }
+  [[nodiscard]] double y(int j) const { return y0_ + (oy_ + j + 0.5) * dy_; }
+  [[nodiscard]] double z(int k) const { return z0_ + (oz_ + k + 0.5) * dz_; }
 
-  [[nodiscard]] double x0() const { return x0_; }
-  [[nodiscard]] double y0() const { return y0_; }
-  [[nodiscard]] double z0() const { return z0_; }
+  /// Origin of this grid (for a window: the low corner of the block,
+  /// derived from the parent origin — display/output use; cell centers go
+  /// through x()/y()/z(), which are exact).
+  [[nodiscard]] double x0() const { return x0_ + ox_ * dx_; }
+  [[nodiscard]] double y0() const { return y0_ + oy_ * dy_; }
+  [[nodiscard]] double z0() const { return z0_ + oz_ * dz_; }
   [[nodiscard]] double lx() const { return nx_ * dx_; }
   [[nodiscard]] double ly() const { return ny_ * dy_; }
   [[nodiscard]] double lz() const { return nz_ * dz_; }
@@ -48,6 +61,9 @@ class Grid {
   int nx_ = 0, ny_ = 0, nz_ = 0;
   double x0_ = 0, y0_ = 0, z0_ = 0;
   double dx_ = 0, dy_ = 0, dz_ = 0;
+  /// Global-index offset of cell (0,0,0) within the parent grid (windows
+  /// only; 0 for a grid that is its own parent).
+  int ox_ = 0, oy_ = 0, oz_ = 0;
 };
 
 }  // namespace igr::mesh

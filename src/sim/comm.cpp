@@ -2,21 +2,73 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 namespace igr::sim {
 
 Comm::Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic)
-    : global_(global), decomp_(global_, rx, ry, rz, periodic) {}
+    : global_(global), decomp_(global_, rx, ry, rz, periodic) {
+  const std::size_t slots =
+      static_cast<std::size_t>(kNumChannels) * 3 *
+      static_cast<std::size_t>(decomp_.ranks());
+  epochs_ = std::make_unique<std::atomic<std::uint64_t>[]>(slots);
+  for (std::size_t s = 0; s < slots; ++s) epochs_[s].store(0);
+  buffers_.resize(slots);
+}
 
 mesh::Grid Comm::local_grid(int rank) const {
+  // A window shares the global spacing bitwise and evaluates cell centers
+  // at the global positions — recomputing local extents would round the
+  // spacing whenever dx is not exactly representable, silently breaking
+  // decomposed-vs-single-domain bitwise equivalence on non-power-of-two
+  // grids.
   const auto b = decomp_.block(rank);
-  const double x0 = global_.x0() + b.lo[0] * global_.dx();
-  const double y0 = global_.y0() + b.lo[1] * global_.dy();
-  const double z0 = global_.z0() + b.lo[2] * global_.dz();
-  return mesh::Grid(b.n[0], b.n[1], b.n[2],
-                    {x0, x0 + b.n[0] * global_.dx()},
-                    {y0, y0 + b.n[1] * global_.dy()},
-                    {z0, z0 + b.n[2] * global_.dz()});
+  return mesh::Grid::window(global_, b.lo, b.n);
+}
+
+void Comm::validate_driver_decomp(int ng) const {
+  if (ng > kMaxGhostDepth)
+    throw std::invalid_argument("Comm: ghost depth above kMaxGhostDepth "
+                                "unsupported");
+  if (decomp_.periodic()) return;  // multi-hop covers every interior plane
+  const int cells[3] = {global_.nx(), global_.ny(), global_.nz()};
+  const auto layout = decomp_.layout();
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int r = 0; r < decomp_.ranks(); ++r) {
+      const auto b = decomp_.block(r);
+      const int lo = b.lo[axis];
+      const int hi = lo + b.n[axis];
+      const int gap_hi = cells[axis] - hi;
+      if ((lo != 0 && lo < ng) || (gap_hi != 0 && gap_hi < ng)) {
+        throw std::invalid_argument(
+            "Comm: non-periodic decomposition places a block within " +
+            std::to_string(ng) + " cells of a physical boundary without " +
+            "touching it (axis " + std::to_string(axis) + ", layout " +
+            std::to_string(layout[0]) + "x" + std::to_string(layout[1]) +
+            "x" + std::to_string(layout[2]) +
+            "); its ghost planes would be neither exchanged nor BC-filled");
+      }
+    }
+  }
+}
+
+bool Comm::wait_epoch(std::size_t s, std::uint64_t target) const {
+  // Yield-spin rather than std::atomic::wait: an abort must wake waiters but
+  // does not change the epoch value, and a notify that lands between a
+  // waiter's abort check and its blocking wait would be lost.  Exchange
+  // waits are short (rank imbalance within one phase), so yielding is cheap
+  // and keeps oversubscribed single-core runs from burning the timeslice.
+  auto& e = epochs_[s];
+  while (e.load(std::memory_order_acquire) < target) {
+    if (abort_.load(std::memory_order_relaxed)) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+void Comm::abort_exchanges() const {
+  abort_.store(true, std::memory_order_relaxed);
 }
 
 double Comm::allreduce_min(const std::vector<double>& v) {

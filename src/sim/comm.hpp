@@ -9,8 +9,36 @@
 /// sim::DistributedIgr).  Performance at scale is the province of
 /// perf::ScalingModel; this class also meters exchanged bytes so the model's
 /// traffic terms can be cross-checked against an executed exchange.
+///
+/// Exchange structure mirrors a nonblocking MPI halo pipeline:
+///
+///   post_axis(rank, ...)      pack the rank's boundary slabs into per-rank
+///                             face buffers and publish them (release-store
+///                             an epoch counter) — the MPI_Isend analogue;
+///   complete_axis(rank, ...)  wait until every source rank of this rank's
+///                             ghost planes has published the current epoch,
+///                             then unpack into the ghost layers — the
+///                             MPI_Waitall + unpack analogue.
+///
+/// Between a rank's post and complete it can do interior work — that is how
+/// sim::DistributedIgr overlaps halo exchange with interior flux sweeps.
+/// Both calls touch only the calling rank's fields and buffers plus other
+/// ranks' *published* buffers, so different ranks may call them concurrently
+/// from different threads.  The collective `exchange*` entry points compose
+/// post+complete sequentially over all ranks (the lockstep schedule tests
+/// use).
+///
+/// Ghost planes are resolved by *global plane ownership*, not neighbor
+/// adjacency: a block thinner than the ghost depth publishes its whole
+/// interior and its neighbors' neighbors pull the planes they need
+/// (multi-hop halos), so 1-cell-thick rank blocks exchange correctly.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/field3.hpp"
@@ -21,6 +49,14 @@ namespace igr::sim {
 
 class Comm {
  public:
+  /// Independent buffer channels so concurrently scheduled exchanges of
+  /// different field families never alias (reposting a channel's buffers is
+  /// only safe after a schedule barrier — see DistributedIgr's phase plan).
+  enum Channel : int { kChanState = 0, kChanSigma = 1, kChanGeneral = 2 };
+  static constexpr int kNumChannels = 3;
+  /// Largest supported ghost depth (sizes the fixed per-face plane tables).
+  static constexpr int kMaxGhostDepth = 8;
+
   /// Decompose `global` over an rx*ry*rz rank layout.
   Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic);
 
@@ -30,6 +66,44 @@ class Comm {
 
   /// Local physical grid of `rank` (extents match its block).
   [[nodiscard]] mesh::Grid local_grid(int rank) const;
+
+  /// Throws unless every block is compatible with the per-axis boundary
+  /// masking distributed drivers use: on a non-periodic axis a block must
+  /// either touch the physical boundary or sit at least `ng` cells away from
+  /// it (otherwise some ghost planes would be neither exchanged nor
+  /// BC-filled).  Periodic axes support any block thickness, down to one
+  /// cell, via multi-hop halos.
+  void validate_driver_decomp(int ng) const;
+
+  // --- Nonblocking-style per-rank halo pipeline -------------------------
+
+  /// Pack `rank`'s published boundary slabs of `nfields` fields along
+  /// `axis` into this (channel, axis, rank) buffer and publish the epoch.
+  /// Tangential extents widen by the ghost depth on axes already exchanged
+  /// (x before y before z), matching the single-domain ghost-fill ordering.
+  template <class T>
+  void post_axis(int channel, int rank,
+                 const common::Field3<T>* const* fields, int nfields,
+                 int axis) const;
+
+  /// Wait for the source ranks of `rank`'s ghost planes along `axis` to
+  /// reach this rank's published epoch, then unpack their buffers into the
+  /// ghost layers.  Ghost planes outside a non-periodic domain are left
+  /// untouched (the BC fill owns them).  Returns false when the exchange
+  /// was aborted (a peer failed) — the caller should unwind.
+  template <class T>
+  bool complete_axis(int channel, int rank, common::Field3<T>* const* fields,
+                     int nfields, int axis) const;
+
+  /// Mark the exchange aborted (error unwind path: a rank that threw
+  /// cannot post, so its peers' epoch waits check this flag and give up
+  /// instead of spinning forever).
+  void abort_exchanges() const;
+  [[nodiscard]] bool aborted() const {
+    return abort_.load(std::memory_order_relaxed);
+  }
+
+  // --- Collective (lockstep) exchanges ----------------------------------
 
   /// Exchange ghost layers of one scalar field per rank.  Axes are swept in
   /// x,y,z order with widening tangential extents, matching the single-
@@ -42,71 +116,253 @@ class Comm {
   void exchange_state(std::vector<common::StateField3<T>*> states) const;
 
   /// Single-axis exchange (x=0, y=1, z=2) — the building block distributed
-  /// drivers interleave with per-axis physical-boundary fills.
+  /// drivers interleave with per-axis physical-boundary fills.  Posts every
+  /// rank, then completes every rank, through the general channel.
   template <class T>
   void exchange_axis(std::vector<common::Field3<T>*>& fields, int axis) const;
 
   /// Minimum across per-rank values (the dt allreduce).
   [[nodiscard]] static double allreduce_min(const std::vector<double>& v);
 
-  /// Total bytes moved by exchanges since construction.
-  [[nodiscard]] std::size_t bytes_exchanged() const { return bytes_; }
-  void reset_traffic() { bytes_ = 0; }
+  /// Total bytes moved by exchanges since construction (bytes unpacked into
+  /// ghost layers; thread-safe).
+  [[nodiscard]] std::size_t bytes_exchanged() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  void reset_traffic() const { bytes_.store(0, std::memory_order_relaxed); }
 
  private:
+  /// Planes a block of thickness `n` publishes per axis: `ng` per side, or
+  /// the whole interior when it is that thin (multi-hop sourcing).
+  [[nodiscard]] static int published_planes(int n, int ng) {
+    return (n <= 2 * ng) ? n : 2 * ng;
+  }
+  /// Local plane index published at buffer slot `pos` — THE definition of
+  /// the slab layout (pack iterates it; published_pos inverts it).
+  [[nodiscard]] static int published_plane(int pos, int n, int ng) {
+    return (n <= 2 * ng) ? pos : (pos < ng ? pos : n - 2 * ng + pos);
+  }
+  /// Buffer slot of local plane `li` within a published slab, or -1 for an
+  /// unpublished interior plane.  Derived from published_plane so the
+  /// layout has a single encoding (nplanes <= 2*kMaxGhostDepth, so the
+  /// scan is trivial).
+  [[nodiscard]] static int published_pos(int li, int n, int ng) {
+    const int np = published_planes(n, ng);
+    for (int pos = 0; pos < np; ++pos) {
+      if (published_plane(pos, n, ng) == li) return pos;
+    }
+    return -1;
+  }
+
+  [[nodiscard]] std::size_t slot(int channel, int axis, int rank) const {
+    if (channel < 0 || channel >= kNumChannels || axis < 0 || axis > 2)
+      throw std::invalid_argument("Comm: channel/axis out of range");
+    return (static_cast<std::size_t>(channel) * 3 +
+            static_cast<std::size_t>(axis)) *
+               static_cast<std::size_t>(ranks()) +
+           static_cast<std::size_t>(rank);
+  }
+
+  /// Block until epoch `slot` reaches `target`; false on abort.
+  bool wait_epoch(std::size_t s, std::uint64_t target) const;
+
   mesh::Grid global_;
   mesh::Decomp decomp_;
-  mutable std::size_t bytes_ = 0;
+  mutable std::atomic<std::size_t> bytes_{0};
+  mutable std::atomic<bool> abort_{false};
+  /// Published-epoch counter and pack buffer per (channel, axis, rank).
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> epochs_;
+  mutable std::vector<std::vector<unsigned char>> buffers_;
 };
 
 // ---- template implementations ----
 
+namespace detail {
+
+/// The two tangential axes of `axis`, lower-numbered first (the unit-stride
+/// x axis stays innermost whenever it is tangential).
+inline void tangential_axes(int axis, int& ta, int& tb) {
+  ta = (axis == 0) ? 1 : 0;
+  tb = (axis == 2) ? 1 : 2;
+}
+
+/// Tangential extent of a halo plane: widened into the ghost region for
+/// axes exchanged before `axis` (x,y,z order — the corner-consistency rule).
+inline void tangential_range(int t, int axis, int ng, const int nd[3],
+                             int& lo, int& hi) {
+  lo = (t < axis) ? -ng : 0;
+  hi = nd[t] + ((t < axis) ? ng : 0);
+}
+
+}  // namespace detail
+
 template <class T>
-void Comm::exchange_axis(std::vector<common::Field3<T>*>& fields,
-                         int axis) const {
-  const int R = ranks();
-  for (int r = 0; r < R; ++r) {
-    common::Field3<T>& dst = *fields[static_cast<std::size_t>(r)];
-    const int ng = dst.ng();
-    const int nd[3] = {dst.nx(), dst.ny(), dst.nz()};
+void Comm::post_axis(int channel, int rank,
+                     const common::Field3<T>* const* fields, int nfields,
+                     int axis) const {
+  const common::Field3<T>& f0 = *fields[0];
+  const int ng = f0.ng();
+  const int nd[3] = {f0.nx(), f0.ny(), f0.nz()};
+  const int n = nd[axis];
+  int ta, tb;
+  detail::tangential_axes(axis, ta, tb);
+  int lo_a, hi_a, lo_b, hi_b;
+  detail::tangential_range(ta, axis, ng, nd, lo_a, hi_a);
+  detail::tangential_range(tb, axis, ng, nd, lo_b, hi_b);
+  const std::size_t plane_area = static_cast<std::size_t>(hi_a - lo_a) *
+                                 static_cast<std::size_t>(hi_b - lo_b);
+  const int nplanes = published_planes(n, ng);
 
-    for (int side = 0; side < 2; ++side) {
-      const auto face = static_cast<mesh::Face>(2 * axis + side);
-      const int nb = decomp_.neighbor(r, face);
-      if (nb < 0) continue;  // physical boundary: left for BC fill
-      const common::Field3<T>& src = *fields[static_cast<std::size_t>(nb)];
-      const int ns[3] = {src.nx(), src.ny(), src.nz()};
+  auto& buf = buffers_[slot(channel, axis, rank)];
+  buf.resize(static_cast<std::size_t>(nfields) * nplanes * plane_area *
+             sizeof(T));
+  T* out = reinterpret_cast<T*>(buf.data());
 
-      // Tangential bounds: widened for axes already exchanged.
-      int lo[3], hi[3];
-      for (int a = 0; a < 3; ++a) {
-        lo[a] = (a < axis) ? -ng : 0;
-        hi[a] = (a < axis) ? nd[a] + ng : nd[a];
-      }
-
-      for (int g = 0; g < ng; ++g) {
-        // Ghost plane in dst and the matching interior plane in src.
-        const int gp = (side == 0) ? -ng + g : nd[axis] + g;
-        const int sp = (side == 0) ? ns[axis] - ng + g : g;
-
-        int i0 = lo[0], i1 = hi[0], j0 = lo[1], j1 = hi[1], k0 = lo[2],
-            k1 = hi[2];
-        if (axis == 0) { i0 = gp; i1 = gp + 1; }
-        if (axis == 1) { j0 = gp; j1 = gp + 1; }
-        if (axis == 2) { k0 = gp; k1 = gp + 1; }
-
-        for (int k = k0; k < k1; ++k) {
-          for (int j = j0; j < j1; ++j) {
-            for (int i = i0; i < i1; ++i) {
-              int s[3] = {i, j, k};
-              s[axis] = sp;
-              dst(i, j, k) = src(s[0], s[1], s[2]);
-              bytes_ += sizeof(T);
-            }
-          }
+  // Published plane list: the ng-deep slab on each side, or the whole
+  // interior for thin blocks (then each plane appears once).
+  for (int pos = 0; pos < nplanes; ++pos) {
+    const int li = published_plane(pos, n, ng);
+    for (int c = 0; c < nfields; ++c) {
+      const common::Field3<T>& f = *fields[c];
+      T* dst = out + (static_cast<std::size_t>(c) * nplanes + pos) *
+                         plane_area;
+      for (int b = lo_b; b < hi_b; ++b) {
+        for (int a = lo_a; a < hi_a; ++a) {
+          int cidx[3];
+          cidx[axis] = li;
+          cidx[ta] = a;
+          cidx[tb] = b;
+          *dst++ = f(cidx[0], cidx[1], cidx[2]);
         }
       }
     }
+  }
+
+  // Publish: everything packed above happens-before any reader that
+  // acquires the incremented epoch.  (Waiters yield-spin — see
+  // wait_epoch — so no notify is needed.)
+  epochs_[slot(channel, axis, rank)].fetch_add(1, std::memory_order_release);
+}
+
+template <class T>
+bool Comm::complete_axis(int channel, int rank,
+                         common::Field3<T>* const* fields, int nfields,
+                         int axis) const {
+  common::Field3<T>& f0 = *fields[0];
+  const int ng = f0.ng();
+  const int nd[3] = {f0.nx(), f0.ny(), f0.nz()};
+  const int N = (axis == 0)   ? global_.nx()
+                : (axis == 1) ? global_.ny()
+                              : global_.nz();
+  const auto blk = decomp_.block(rank);
+  const auto coords = decomp_.coords_of(rank);
+  int ta, tb;
+  detail::tangential_axes(axis, ta, tb);
+  int lo_a, hi_a, lo_b, hi_b;
+  detail::tangential_range(ta, axis, ng, nd, lo_a, hi_a);
+  detail::tangential_range(tb, axis, ng, nd, lo_b, hi_b);
+  const std::size_t plane_area = static_cast<std::size_t>(hi_a - lo_a) *
+                                 static_cast<std::size_t>(hi_b - lo_b);
+
+  // Resolve every ghost plane to (source rank, source local plane).
+  struct PlaneSrc {
+    int dst_plane;  // ghost-plane coordinate in this block
+    int src_rank;
+    int src_plane;  // interior plane in the source block
+  };
+  PlaneSrc planes[2 * kMaxGhostDepth];  // 2 sides x ng planes
+  if (ng > kMaxGhostDepth)
+    throw std::invalid_argument("Comm: ghost depth above kMaxGhostDepth "
+                                "unsupported");
+  int nplanes_needed = 0;
+  int src_ranks[2 * kMaxGhostDepth];
+  int nsrc = 0;
+  for (int side = 0; side < 2; ++side) {
+    for (int g = 0; g < ng; ++g) {
+      const int dp = (side == 0) ? -ng + g : nd[axis] + g;
+      int G = blk.lo[axis] + dp;
+      if (G < 0 || G >= N) {
+        if (!decomp_.periodic()) continue;  // physical ghost: BC fill owns it
+        G = ((G % N) + N) % N;
+      }
+      const int oc = decomp_.owner_coord(axis, G);
+      int scoord[3] = {coords[0], coords[1], coords[2]};
+      scoord[axis] = oc;
+      const int sr = decomp_.rank_of(scoord[0], scoord[1], scoord[2]);
+      PlaneSrc& p = planes[nplanes_needed++];
+      p.dst_plane = dp;
+      p.src_rank = sr;
+      const auto sblk = decomp_.block(sr);
+      p.src_plane = G - sblk.lo[axis];
+      bool seen = false;
+      for (int s = 0; s < nsrc; ++s) seen = seen || (src_ranks[s] == sr);
+      if (!seen) src_ranks[nsrc++] = sr;
+    }
+  }
+
+  // Wait for every source to publish this rank's current epoch (each rank
+  // posts exactly once per scheduled exchange, so its own counter is the
+  // schedule position).
+  const std::uint64_t target =
+      epochs_[slot(channel, axis, rank)].load(std::memory_order_relaxed);
+  for (int s = 0; s < nsrc; ++s) {
+    if (!wait_epoch(slot(channel, axis, src_ranks[s]), target)) return false;
+  }
+
+  std::size_t unpacked = 0;
+  for (int p = 0; p < nplanes_needed; ++p) {
+    const PlaneSrc& ps = planes[p];
+    const auto sblk = decomp_.block(ps.src_rank);
+    const int sn = sblk.n[axis];
+    const int pos = published_pos(ps.src_plane, sn, ng);
+    if (pos < 0)
+      throw std::logic_error("Comm: ghost plane maps to an unpublished "
+                             "interior plane (decomposition bug)");
+    const int snplanes = published_planes(sn, ng);
+    const T* in = reinterpret_cast<const T*>(
+        buffers_[slot(channel, axis, ps.src_rank)].data());
+    for (int c = 0; c < nfields; ++c) {
+      common::Field3<T>& f = *fields[c];
+      const T* src = in + (static_cast<std::size_t>(c) * snplanes + pos) *
+                              plane_area;
+      for (int b = lo_b; b < hi_b; ++b) {
+        for (int a = lo_a; a < hi_a; ++a) {
+          int cidx[3];
+          cidx[axis] = ps.dst_plane;
+          cidx[ta] = a;
+          cidx[tb] = b;
+          f(cidx[0], cidx[1], cidx[2]) = *src++;
+        }
+      }
+    }
+    unpacked += static_cast<std::size_t>(nfields) * plane_area * sizeof(T);
+  }
+  bytes_.fetch_add(unpacked, std::memory_order_relaxed);
+  return true;
+}
+
+template <class T>
+void Comm::exchange_axis(std::vector<common::Field3<T>*>& fields,
+                         int axis) const {
+  // The per-rank pipeline reports aborts through complete_axis's return
+  // value; the collective wrappers have no caller to hand that to, so a
+  // poisoned communicator must fail loudly rather than return with stale
+  // ghosts.
+  if (aborted())
+    throw std::runtime_error(
+        "Comm: exchange on an aborted communicator (a previous failure "
+        "poisoned it)");
+  const int R = ranks();
+  for (int r = 0; r < R; ++r) {
+    const common::Field3<T>* f = fields[static_cast<std::size_t>(r)];
+    post_axis(kChanGeneral, r, &f, 1, axis);
+  }
+  for (int r = 0; r < R; ++r) {
+    common::Field3<T>* f = fields[static_cast<std::size_t>(r)];
+    if (!complete_axis(kChanGeneral, r, &f, 1, axis))
+      throw std::runtime_error(
+          "Comm: exchange aborted mid-collective; ghost layers are "
+          "incomplete");
   }
 }
 

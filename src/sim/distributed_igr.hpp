@@ -1,43 +1,84 @@
 #pragma once
 /// \file distributed_igr.hpp
-/// Rank-decomposed IGR stepping over the simulated communicator.
+/// Rank-parallel decomposed IGR stepping over the simulated communicator.
 ///
-/// Each rank owns an IgrSolver3D on its block; the driver executes every
-/// phase of the RHS in lockstep across ranks, exchanging halos exactly where
+/// Each rank owns an IgrSolver3D on its block and runs on its own worker
+/// thread (sim::RankTeam); the driver executes every phase of the RHS as a
+/// barrier-delimited SPMD phase across ranks, exchanging halos exactly where
 /// a production MPI code would:
 ///   - state ghosts once per RK stage,
 ///   - Sigma ghosts before every relaxation sweep (the elliptic solve is the
 ///     only globally coupled kernel in the scheme),
 ///   - a dt allreduce per step.
+/// Within a phase, ranks synchronize pairwise through Comm's posted-epoch
+/// halo pipeline (post / compute / complete), and the final Sigma exchange
+/// of each RHS is overlapped with the interior flux sweeps: a rank posts its
+/// Sigma faces, computes every flux line that touches no ghost cell while
+/// the exchange is in flight, completes the exchange, then finishes the
+/// boundary shell.
 ///
 /// With Jacobi sweeps the decomposed run is *bitwise identical* to the
-/// single-domain run (each sweep consumes only previous-sweep values).  With
+/// single-domain run — independent of rank layout, of parallel vs. inline
+/// execution, and of the overlap split (test-enforced, including dt).  With
 /// Gauss–Seidel the block-local sweeps use previous-sweep halo values (block
 /// Gauss–Seidel), which converges to the same Sigma but is not bitwise equal
 /// — the same trade production codes make.
 
+#include <array>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "core/igr_solver3d.hpp"
 #include "fv/cfl.hpp"
 #include "sim/comm.hpp"
+#include "sim/rank_team.hpp"
 
 namespace igr::sim {
+
+/// Execution options for the rank-parallel driver.
+struct DistOptions {
+  /// One worker thread per rank with phase barriers (the production mode).
+  /// false: run every phase inline on the calling thread, rank by rank —
+  /// the lockstep reference schedule the concurrent one is validated
+  /// against bitwise.
+  bool parallel = true;
+  /// OpenMP threads each rank's kernels may use (0 = divide the hardware
+  /// evenly across ranks).  Scaling benches pin this to 1 so speedup
+  /// measures rank parallelism alone.  Applied by each worker thread, so
+  /// it has no effect in inline (parallel = false) mode — there the
+  /// kernels run under the calling thread's ambient OpenMP settings,
+  /// which this driver deliberately never mutates.
+  int threads_per_rank = 0;
+  /// Overlap interior flux sweeps with the in-flight final Sigma exchange
+  /// (parallel mode only; results are bitwise identical either way).
+  bool overlap_halo = true;
+};
 
 template <class Policy>
 class DistributedIgr {
  public:
   using S = typename Policy::storage_t;
+  static constexpr int kNg = 3;  ///< Ghost depth of every solver field.
 
   DistributedIgr(const mesh::Grid& global, int rx, int ry, int rz,
                  const common::SolverConfig& cfg, const fv::BcSpec& bc,
-                 fv::ReconScheme recon = fv::ReconScheme::kFifth)
-      : comm_(global, rx, ry, rz, is_periodic(bc)), cfg_(cfg), bc_(bc) {
+                 fv::ReconScheme recon = fv::ReconScheme::kFifth,
+                 DistOptions opts = {})
+      : comm_(global, rx, ry, rz, is_periodic(bc)),
+        cfg_(cfg),
+        bc_(bc),
+        opts_(opts) {
+    comm_.validate_driver_decomp(kNg);
     for (int r = 0; r < comm_.ranks(); ++r) {
       ranks_.emplace_back(std::make_unique<core::IgrSolver3D<Policy>>(
           comm_.local_grid(r), cfg, bc, recon));
     }
+    team_ = std::make_unique<RankTeam>(comm_.ranks(), opts_.parallel,
+                                       opts_.threads_per_rank);
+    dts_.resize(static_cast<std::size_t>(comm_.ranks()));
+    grind_.set_cells_per_step(comm_.global_grid().cells());
   }
 
   void init(const core::PrimFn& prim) {
@@ -46,41 +87,61 @@ class DistributedIgr {
 
   /// One step at the globally reduced CFL dt; returns dt.
   double step() {
-    std::vector<double> dts;
-    dts.reserve(ranks_.size());
-    for (auto& s : ranks_) {
-      dts.push_back(
-          fv::compute_dt(s->state(), s->grid(), s->eos(), s->config()));
-    }
-    const double dt = Comm::allreduce_min(dts);
+    run_phase([this](int r) {
+      auto& s = *ranks_[static_cast<std::size_t>(r)];
+      // Warm-start Sigma feeds the wave-speed bound, exactly as the
+      // single-domain step() does; the cell-wise max/min reductions inside
+      // compute_dt decompose exactly, so the allreduced dt is bitwise the
+      // single-domain dt under Jacobi sweeps.
+      dts_[static_cast<std::size_t>(r)] =
+          fv::compute_dt(s.state(), s.grid(), s.eos(), s.config(), &s.sigma());
+    });
+    const double dt = Comm::allreduce_min(dts_);
     step_fixed(dt);
     return dt;
   }
 
   void step_fixed(double dt) {
-    for (auto& s : ranks_) s->begin_step();
+    grind_.begin_step();
+    run_phase([this](int r) { ranks_[static_cast<std::size_t>(r)]->begin_step(); });
+    const bool sigma_active = cfg_.sigma_sweeps > 0 && cfg_.alpha_factor > 0.0;
     for (const auto& st : fv::kRk3Stages) {
       refresh_state_ghosts();
-      if (cfg_.sigma_sweeps > 0 && cfg_.alpha_factor > 0.0) {
-        for (auto& s : ranks_) s->build_sigma_source(s->stage_field());
+      if (sigma_active) {
+        run_phase([this](int r) {
+          auto& s = *ranks_[static_cast<std::size_t>(r)];
+          s.build_sigma_source(s.stage_field());
+        });
         for (int sw = 0; sw < cfg_.sigma_sweeps; ++sw) {
           refresh_sigma_ghosts();
-          for (auto& s : ranks_) s->sigma_sweep(s->stage_field());
+          run_phase([this](int r) {
+            auto& s = *ranks_[static_cast<std::size_t>(r)];
+            s.sigma_sweep(s.stage_field());
+          });
         }
-        refresh_sigma_ghosts();
+        final_sigma_and_fluxes();
+      } else {
+        run_phase([this](int r) {
+          auto& s = *ranks_[static_cast<std::size_t>(r)];
+          s.compute_fluxes(s.stage_field(), s.rhs_field());
+        });
       }
-      for (auto& s : ranks_) s->compute_fluxes(s->stage_field(), s->rhs_field());
-      for (auto& s : ranks_) s->rk_update(st, dt);
+      run_phase([this, &st, dt](int r) {
+        ranks_[static_cast<std::size_t>(r)]->rk_update(st, dt);
+      });
     }
-    for (auto& s : ranks_) s->finish_step(dt);
+    run_phase([this, dt](int r) {
+      ranks_[static_cast<std::size_t>(r)]->finish_step(dt);
+    });
     time_ += dt;
+    grind_.end_step();
   }
 
   /// Assemble the global conservative state (for comparison against a
   /// single-domain run and for output).
   [[nodiscard]] common::StateField3<S> gather() const {
     const auto& g = comm_.global_grid();
-    common::StateField3<S> out(g.nx(), g.ny(), g.nz(), 3);
+    common::StateField3<S> out(g.nx(), g.ny(), g.nz(), kNg);
     for (int r = 0; r < comm_.ranks(); ++r) {
       const auto b = comm_.decomp().block(r);
       const auto& q = ranks_[static_cast<std::size_t>(r)]->state();
@@ -94,10 +155,34 @@ class DistributedIgr {
     return out;
   }
 
+  /// Assemble the global Sigma field (output/diagnostics).
+  [[nodiscard]] common::Field3<S> gather_sigma() const {
+    const auto& g = comm_.global_grid();
+    common::Field3<S> out(g.nx(), g.ny(), g.nz(), kNg);
+    for (int r = 0; r < comm_.ranks(); ++r) {
+      const auto b = comm_.decomp().block(r);
+      const auto& sig = ranks_[static_cast<std::size_t>(r)]->sigma();
+      for (int k = 0; k < b.n[2]; ++k)
+        for (int j = 0; j < b.n[1]; ++j)
+          for (int i = 0; i < b.n[0]; ++i)
+            out(b.lo[0] + i, b.lo[1] + j, b.lo[2] + k) = sig(i, j, k);
+    }
+    return out;
+  }
+
   [[nodiscard]] const Comm& comm() const { return comm_; }
   [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] const DistOptions& options() const { return opts_; }
+  [[nodiscard]] common::GrindTimer& grind_timer() { return grind_; }
   [[nodiscard]] core::IgrSolver3D<Policy>& rank(int r) {
     return *ranks_[static_cast<std::size_t>(r)];
+  }
+  /// Persistent field storage summed over ranks (the §5.4 footprint metric
+  /// for the decomposed run).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t b = 0;
+    for (const auto& s : ranks_) b += s->memory_bytes();
+    return b;
   }
 
  private:
@@ -107,38 +192,150 @@ class DistributedIgr {
     return true;
   }
 
+  /// Run one SPMD phase over all ranks.  A rank that throws aborts the
+  /// communicator first so no peer waits forever on its unposted halos.
+  /// The abort latches: once any phase failed, exchanges (and hence ghost
+  /// contents) are undefined, so every later phase refuses loudly instead
+  /// of silently stepping on corrupt halos.
+  template <class Fn>
+  void run_phase(Fn&& fn) {
+    if (comm_.aborted())
+      throw std::runtime_error(
+          "DistributedIgr: a previous phase failed and poisoned the "
+          "communicator; the decomposed state is no longer consistent");
+    team_->run([this, &fn](int r) {
+      try {
+        fn(r);
+      } catch (...) {
+        comm_.abort_exchanges();
+        throw;
+      }
+    });
+  }
+
+  [[nodiscard]] std::array<common::Field3<S>*, common::kNumVars> state_comps(
+      int r) {
+    auto& q = ranks_[static_cast<std::size_t>(r)]->stage_field();
+    std::array<common::Field3<S>*, common::kNumVars> c{};
+    for (int v = 0; v < common::kNumVars; ++v) c[static_cast<std::size_t>(v)] = &q[v];
+    return c;
+  }
+
+  void fill_state_bc_axis(int r, int axis) {
+    auto& s = *ranks_[static_cast<std::size_t>(r)];
+    fv::apply_bc_axis(s.stage_field(), bc_, s.grid(), s.eos(), axis,
+                      physical_sides(r, axis));
+  }
+
+  void fill_sigma_bc_axis(int r, int axis) {
+    const auto sides = physical_sides(r, axis);
+    if (sides[0] || sides[1]) {
+      core::fill_sigma_ghosts_axis(
+          ranks_[static_cast<std::size_t>(r)]->sigma_field(),
+          core::SigmaBc::kNeumann, axis, sides);
+    }
+  }
+
   /// Physical-face fill + interior-face exchange, interleaved per axis in
   /// the same x,y,z order as the single-domain ghost fill.
   void refresh_state_ghosts() {
-    std::vector<common::StateField3<S>*> states;
-    for (auto& s : ranks_) states.push_back(&s->stage_field());
-    for (int axis = 0; axis < 3; ++axis) {
-      for (int r = 0; r < comm_.ranks(); ++r) {
-        auto& s = *ranks_[static_cast<std::size_t>(r)];
-        fv::apply_bc_axis(s.stage_field(), bc_, s.grid(), s.eos(), axis,
-                          physical_sides(r, axis));
-      }
-      for (int c = 0; c < common::kNumVars; ++c) {
-        std::vector<common::Field3<S>*> comp;
-        for (auto* st : states) comp.push_back(&(*st)[c]);
-        comm_.exchange_axis(comp, axis);
+    if (team_->parallel()) {
+      run_phase([this](int r) {
+        auto comps = state_comps(r);
+        for (int axis = 0; axis < 3; ++axis) {
+          fill_state_bc_axis(r, axis);
+          comm_.post_axis(Comm::kChanState, r, comps.data(),
+                          common::kNumVars, axis);
+          if (!comm_.complete_axis(Comm::kChanState, r, comps.data(),
+                                   common::kNumVars, axis))
+            return;
+        }
+      });
+    } else {
+      for (int axis = 0; axis < 3; ++axis) {
+        for (int r = 0; r < comm_.ranks(); ++r) fill_state_bc_axis(r, axis);
+        for (int r = 0; r < comm_.ranks(); ++r) {
+          auto comps = state_comps(r);
+          comm_.post_axis(Comm::kChanState, r, comps.data(),
+                          common::kNumVars, axis);
+        }
+        for (int r = 0; r < comm_.ranks(); ++r) {
+          auto comps = state_comps(r);
+          comm_.complete_axis(Comm::kChanState, r, comps.data(),
+                              common::kNumVars, axis);
+        }
       }
     }
   }
 
   void refresh_sigma_ghosts() {
-    std::vector<common::Field3<S>*> sig;
-    for (auto& s : ranks_) sig.push_back(&s->sigma_field());
+    if (team_->parallel()) {
+      run_phase([this](int r) { sigma_ghost_phase(r, /*axes=*/3); });
+    } else {
+      refresh_sigma_ghosts_lockstep();
+    }
+  }
+
+  void refresh_sigma_ghosts_lockstep() {
     for (int axis = 0; axis < 3; ++axis) {
+      for (int r = 0; r < comm_.ranks(); ++r) fill_sigma_bc_axis(r, axis);
+      for (int r = 0; r < comm_.ranks(); ++r) {
+        common::Field3<S>* sig =
+            &ranks_[static_cast<std::size_t>(r)]->sigma_field();
+        comm_.post_axis(Comm::kChanSigma, r, &sig, 1, axis);
+      }
+      for (int r = 0; r < comm_.ranks(); ++r) {
+        common::Field3<S>* sig =
+            &ranks_[static_cast<std::size_t>(r)]->sigma_field();
+        comm_.complete_axis(Comm::kChanSigma, r, &sig, 1, axis);
+      }
+    }
+  }
+
+  /// Sigma bc-fill + post + complete for axes [0, axes); returns false on
+  /// an aborted exchange.
+  bool sigma_ghost_phase(int r, int axes) {
+    common::Field3<S>* sig =
+        &ranks_[static_cast<std::size_t>(r)]->sigma_field();
+    for (int axis = 0; axis < axes; ++axis) {
+      fill_sigma_bc_axis(r, axis);
+      comm_.post_axis(Comm::kChanSigma, r, &sig, 1, axis);
+      if (!comm_.complete_axis(Comm::kChanSigma, r, &sig, 1, axis))
+        return false;
+    }
+    return true;
+  }
+
+  /// Final Sigma ghost refresh of an RHS evaluation, with the flux sweeps
+  /// overlapping the last axis' in-flight exchange: post the z faces, run
+  /// every interior flux line (no ghost reads), then complete and finish
+  /// the boundary shell.
+  void final_sigma_and_fluxes() {
+    if (team_->parallel()) {
+      run_phase([this](int r) {
+        auto& s = *ranks_[static_cast<std::size_t>(r)];
+        if (!sigma_ghost_phase(r, /*axes=*/2)) return;
+        common::Field3<S>* sig = &s.sigma_field();
+        fill_sigma_bc_axis(r, 2);
+        comm_.post_axis(Comm::kChanSigma, r, &sig, 1, 2);
+        if (opts_.overlap_halo) {
+          // Only the z exchange is in flight, so only z is shaved from the
+          // interior: every cell >= 3 planes off the z faces computes while
+          // the halo moves, and just the two z slabs wait for completion.
+          s.compute_fluxes_interior(s.stage_field(), s.rhs_field(), 2);
+          if (!comm_.complete_axis(Comm::kChanSigma, r, &sig, 1, 2)) return;
+          s.compute_fluxes_boundary(s.stage_field(), s.rhs_field(), 2);
+        } else {
+          if (!comm_.complete_axis(Comm::kChanSigma, r, &sig, 1, 2)) return;
+          s.compute_fluxes(s.stage_field(), s.rhs_field());
+        }
+      });
+    } else {
+      refresh_sigma_ghosts_lockstep();
       for (int r = 0; r < comm_.ranks(); ++r) {
         auto& s = *ranks_[static_cast<std::size_t>(r)];
-        const auto sides = physical_sides(r, axis);
-        if (sides[0] || sides[1]) {
-          core::fill_sigma_ghosts_axis(s.sigma_field(),
-                                       core::SigmaBc::kNeumann, axis, sides);
-        }
+        s.compute_fluxes(s.stage_field(), s.rhs_field());
       }
-      comm_.exchange_axis(sig, axis);
     }
   }
 
@@ -154,8 +351,12 @@ class DistributedIgr {
   Comm comm_;
   common::SolverConfig cfg_;
   fv::BcSpec bc_;
+  DistOptions opts_;
   double time_ = 0.0;
   std::vector<std::unique_ptr<core::IgrSolver3D<Policy>>> ranks_;
+  std::unique_ptr<RankTeam> team_;
+  std::vector<double> dts_;
+  common::GrindTimer grind_;
 };
 
 }  // namespace igr::sim

@@ -1,0 +1,67 @@
+#pragma once
+/// \file rank_team.hpp
+/// One persistent worker thread per simulated rank.
+///
+/// The distributed driver executes a step as a sequence of *phases*; each
+/// phase runs the same closure once per rank, concurrently, and completes
+/// only when every rank has finished (a barrier) — the in-process analogue
+/// of an MPI program's SPMD structure.  Inside a phase ranks synchronize
+/// pairwise through sim::Comm's posted-epoch halo pipeline, so a phase can
+/// contain a post / interior-compute / complete sequence and genuinely
+/// overlap communication with computation.
+///
+/// Workers pin their OpenMP team size on startup so R ranks x T threads
+/// never oversubscribe the machine (scaling benches run T = 1 to measure
+/// rank parallelism alone).  A team constructed with parallel = false runs
+/// every phase inline on the calling thread, rank by rank — the lockstep
+/// reference schedule the concurrent one is validated against bitwise.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace igr::sim {
+
+class RankTeam {
+ public:
+  /// Spawn `ranks` workers (parallel) or configure inline execution.
+  /// `threads_per_rank` caps each worker's OpenMP team; 0 divides the
+  /// hardware evenly (at least 1).
+  explicit RankTeam(int ranks, bool parallel = true, int threads_per_rank = 0);
+  ~RankTeam();
+
+  RankTeam(const RankTeam&) = delete;
+  RankTeam& operator=(const RankTeam&) = delete;
+
+  /// Execute `fn(rank)` for every rank and wait for all of them (phase
+  /// barrier).  Parallel mode runs each rank on its worker; inline mode
+  /// calls them sequentially in rank order.  The first exception thrown by
+  /// any rank is rethrown here after the phase completes.
+  void run(const std::function<void(int)>& fn);
+
+  [[nodiscard]] int ranks() const { return ranks_; }
+  [[nodiscard]] bool parallel() const { return !workers_.empty(); }
+  [[nodiscard]] int threads_per_rank() const { return threads_per_rank_; }
+
+ private:
+  void worker_main(int rank);
+
+  int ranks_ = 1;
+  int threads_per_rank_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* fn_ = nullptr;  // valid while a phase runs
+  std::uint64_t generation_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace igr::sim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "eos/ideal_gas.hpp"
 #include "fv/bc.hpp"
@@ -118,10 +119,20 @@ TEST(Comm, SingleRankSelfExchangeEqualsPeriodicFill) {
 
 TEST(Comm, DecomposedExchangeMatchesGlobalPeriodicFill) {
   // Scatter, exchange, and compare every ghost against the global wrap.
+  // Layouts cover even splits, uneven splits (12 over 5 ranks: 3,3,2,2,2),
+  // blocks thinner than the ghost depth (12 over 5 and 6), and fully
+  // 1-cell-thick pencils (12 over 12) whose halos must hop across several
+  // owner ranks per face.
   const auto g = Grid::cube(kN);
   for (auto [rx, ry, rz] : {std::array<int, 3>{2, 1, 1},
                             std::array<int, 3>{2, 2, 1},
-                            std::array<int, 3>{2, 2, 3}}) {
+                            std::array<int, 3>{2, 2, 3},
+                            std::array<int, 3>{5, 1, 1},
+                            std::array<int, 3>{1, 5, 2},
+                            std::array<int, 3>{6, 1, 2},
+                            std::array<int, 3>{12, 1, 1},
+                            std::array<int, 3>{1, 1, 12},
+                            std::array<int, 3>{4, 3, 2}}) {
     Comm comm(g, rx, ry, rz, true);
     auto blocks = scatter(comm);
     std::vector<Field3<double>*> ptrs;
@@ -169,6 +180,69 @@ TEST(Comm, TrafficMeteringCountsBytes) {
   // ng * (ny+2ng) * ... — just sanity-check nonzero and units of 8 bytes.
   EXPECT_GT(comm.bytes_exchanged(), 0u);
   EXPECT_EQ(comm.bytes_exchanged() % sizeof(double), 0u);
+}
+
+TEST(Comm, ByteMeteringCrossChecksDecompHaloCells) {
+  // The metering the scaling model's traffic terms are validated against:
+  // an x-axis exchange moves exactly ng * (tangential area) cells per face,
+  // which is what Decomp::halo_cells predicts (x goes first, so no
+  // tangential widening yet).
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 3, 2, 1, true);
+  auto blocks = scatter(comm);
+  std::vector<Field3<double>*> ptrs;
+  for (auto& b : blocks) ptrs.push_back(&b);
+  comm.reset_traffic();
+  comm.exchange_axis(ptrs, 0);
+  std::size_t expect = 0;
+  for (int r = 0; r < comm.ranks(); ++r) {
+    expect += comm.decomp().halo_cells(r, igr::mesh::Face::kXLo, kNg);
+    expect += comm.decomp().halo_cells(r, igr::mesh::Face::kXHi, kNg);
+  }
+  EXPECT_EQ(comm.bytes_exchanged(), expect * sizeof(double));
+}
+
+TEST(Comm, PostCompleteSplitMatchesCollectiveExchange) {
+  // The nonblocking-style pipeline: post every rank first, then complete in
+  // reverse order — same ghosts as the lockstep collective call.
+  const auto g = Grid::cube(kN);
+  Comm comm(g, 3, 1, 1, true);
+  auto split = scatter(comm);
+  auto coll = scatter(comm);
+  std::vector<Field3<double>*> cptrs;
+  for (auto& b : coll) cptrs.push_back(&b);
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int r = 0; r < comm.ranks(); ++r) {
+      const Field3<double>* f = &split[static_cast<std::size_t>(r)];
+      comm.post_axis(Comm::kChanState, r, &f, 1, axis);
+    }
+    for (int r = comm.ranks() - 1; r >= 0; --r) {
+      Field3<double>* f = &split[static_cast<std::size_t>(r)];
+      ASSERT_TRUE(comm.complete_axis(Comm::kChanState, r, &f, 1, axis));
+    }
+    comm.exchange_axis(cptrs, axis);
+  }
+  for (int r = 0; r < comm.ranks(); ++r) {
+    const auto b = comm.decomp().block(r);
+    for (int k = -kNg; k < b.n[2] + kNg; ++k)
+      for (int j = -kNg; j < b.n[1] + kNg; ++j)
+        for (int i = -kNg; i < b.n[0] + kNg; ++i)
+          ASSERT_EQ(split[static_cast<std::size_t>(r)](i, j, k),
+                    coll[static_cast<std::size_t>(r)](i, j, k));
+  }
+}
+
+TEST(Comm, ValidatesDriverDecompositions) {
+  const auto g = Grid::cube(kN);
+  // Periodic: any thickness is exchangeable (multi-hop halos).
+  EXPECT_NO_THROW(Comm(g, 12, 1, 1, true).validate_driver_decomp(kNg));
+  // Non-periodic, even 6+6 split: blocks touch a boundary or sit >= ng away.
+  EXPECT_NO_THROW(Comm(g, 2, 1, 1, false).validate_driver_decomp(kNg));
+  // Non-periodic, 12 over 5 (3,3,2,2,2): the second-to-last block ends 2
+  // cells from the x-high boundary — its outer ghost planes would be
+  // neither exchanged nor BC-filled.
+  EXPECT_THROW(Comm(g, 5, 1, 1, false).validate_driver_decomp(kNg),
+               std::invalid_argument);
 }
 
 TEST(Comm, AllreduceMin) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/igr_solver3d.hpp"
 #include "sim/distributed_igr.hpp"
@@ -78,7 +79,12 @@ INSTANTIATE_TEST_SUITE_P(Layouts, DistributedLayouts,
                                            std::array<int, 3>{1, 2, 1},
                                            std::array<int, 3>{1, 1, 2},
                                            std::array<int, 3>{2, 2, 1},
-                                           std::array<int, 3>{2, 2, 2}));
+                                           std::array<int, 3>{2, 2, 2},
+                                           // Uneven: 16 over 3 -> 6,5,5.
+                                           std::array<int, 3>{3, 2, 1},
+                                           std::array<int, 3>{1, 3, 3},
+                                           // Remainders on every axis.
+                                           std::array<int, 3>{3, 5, 3}));
 
 TEST(Distributed, GaussSeidelAgreesToIterationTolerance) {
   // Block Gauss-Seidel is not bitwise-identical but must agree to the
@@ -205,6 +211,169 @@ TEST(Distributed, JetInflowPatchesSpanRankBoundaries) {
         for (int i = 0; i < kN; ++i)
           ASSERT_EQ(single.state()[c](i, j, k), gathered[c](i, j, k))
               << c << " " << i << " " << j << " " << k;
+}
+
+TEST(Distributed, OneCellThickBlocksMatchSingleDomain) {
+  // Blocks thinner than the ghost depth: every halo face needs planes from
+  // ranks several hops away.  Periodic Jacobi stays bitwise-exact.
+  const auto g = Grid::cube(8);
+  const auto cfg = jacobi_cfg();
+  const auto bc = BcSpec::all_periodic();
+
+  IgrSolver3D<Fp64> single(g, cfg, bc);
+  single.init(smooth_ic());
+  for (auto [rx, ry, rz] :
+       {std::array<int, 3>{8, 1, 1}, std::array<int, 3>{1, 8, 2},
+        std::array<int, 3>{4, 2, 2}}) {
+    DistributedIgr<Fp64> dist(g, rx, ry, rz, cfg, bc);
+    dist.init(smooth_ic());
+    IgrSolver3D<Fp64> ref(g, cfg, bc);
+    ref.init(smooth_ic());
+    for (int step = 0; step < 2; ++step) {
+      ref.step_fixed(1e-3);
+      dist.step_fixed(1e-3);
+    }
+    const auto gathered = dist.gather();
+    for (int c = 0; c < kNumVars; ++c)
+      for (int k = 0; k < 8; ++k)
+        for (int j = 0; j < 8; ++j)
+          for (int i = 0; i < 8; ++i)
+            ASSERT_EQ(ref.state()[c](i, j, k), gathered[c](i, j, k))
+                << rx << "x" << ry << "x" << rz << " comp " << c << " cell "
+                << i << "," << j << "," << k;
+  }
+}
+
+TEST(Distributed, RejectsNonPeriodicThinBlockNearBoundary) {
+  // 16 over 5 along x -> 4,3,3,3,3: the fourth block ends 3 cells from the
+  // boundary (fine), but 16 over 6 -> 3,3,3,3,2,2 puts a block 2 cells from
+  // the x-high face without touching it; its ghost planes would be neither
+  // exchanged nor BC-filled, so the driver must refuse.
+  const auto cfg = jacobi_cfg();
+  const auto bc = BcSpec::all_outflow();
+  EXPECT_NO_THROW(
+      DistributedIgr<Fp64>(Grid::cube(kN), 5, 1, 1, cfg, bc));
+  EXPECT_THROW(DistributedIgr<Fp64>(Grid::cube(kN), 6, 1, 1, cfg, bc),
+               std::invalid_argument);
+}
+
+TEST(Distributed, SerialScheduleMatchesParallelSchedule) {
+  // The inline lockstep schedule is the reference the concurrent
+  // phase-barrier schedule must reproduce bitwise.
+  const auto g = Grid::cube(kN);
+  const auto cfg = jacobi_cfg();
+  const auto bc = BcSpec::all_periodic();
+
+  igr::sim::DistOptions serial;
+  serial.parallel = false;
+  DistributedIgr<Fp64> ds(g, 2, 2, 1, cfg, bc, igr::fv::ReconScheme::kFifth,
+                          serial);
+  DistributedIgr<Fp64> dp(g, 2, 2, 1, cfg, bc);
+  ds.init(smooth_ic());
+  dp.init(smooth_ic());
+  for (int step = 0; step < 3; ++step) {
+    ds.step_fixed(2e-3);
+    dp.step_fixed(2e-3);
+  }
+  const auto a = ds.gather();
+  const auto b = dp.gather();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < kN; ++k)
+      for (int j = 0; j < kN; ++j)
+        for (int i = 0; i < kN; ++i)
+          ASSERT_EQ(a[c](i, j, k), b[c](i, j, k));
+}
+
+TEST(Distributed, OverlapSplitDoesNotChangeBits) {
+  const auto g = Grid::cube(kN);
+  const auto cfg = jacobi_cfg();
+  const auto bc = BcSpec::all_periodic();
+
+  igr::sim::DistOptions no_overlap;
+  no_overlap.overlap_halo = false;
+  DistributedIgr<Fp64> da(g, 2, 1, 2, cfg, bc, igr::fv::ReconScheme::kFifth,
+                          no_overlap);
+  DistributedIgr<Fp64> db(g, 2, 1, 2, cfg, bc);  // overlap on (default)
+  da.init(smooth_ic());
+  db.init(smooth_ic());
+  for (int step = 0; step < 2; ++step) {
+    da.step_fixed(2e-3);
+    db.step_fixed(2e-3);
+  }
+  const auto a = da.gather();
+  const auto b = db.gather();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < kN; ++k)
+      for (int j = 0; j < kN; ++j)
+        for (int i = 0; i < kN; ++i)
+          ASSERT_EQ(a[c](i, j, k), b[c](i, j, k));
+}
+
+/// Rank-parallel vs single-domain bitwise equivalence under sustained
+/// concurrency, for one storage policy.  Run under ThreadSanitizer
+/// (`bench/run_sanitize.sh build-tsan tsan`, also a CI job) this doubles
+/// as the halo pipeline's race detector: every phase, epoch publish, and
+/// overlap split is exercised across 12 concurrently stepping ranks for
+/// several adaptive steps.
+template <class Policy>
+void stress_policy() {
+  const auto g = Grid::cube(12);
+  auto cfg = jacobi_cfg();
+  cfg.density_floor = 1e-6;
+  cfg.pressure_floor = 1e-6;
+  const auto bc = BcSpec::all_periodic();
+
+  IgrSolver3D<Policy> single(g, cfg, bc);
+  single.init(smooth_ic());
+  igr::sim::DistOptions opts;
+  opts.threads_per_rank = 1;
+  DistributedIgr<Policy> dist(g, 3, 2, 2, cfg, bc,
+                              igr::fv::ReconScheme::kFifth, opts);
+  dist.init(smooth_ic());
+
+  for (int step = 0; step < 4; ++step) {
+    const double dt_s = single.step();
+    const double dt_d = dist.step();
+    ASSERT_EQ(dt_s, dt_d) << "step " << step;
+  }
+  const auto gathered = dist.gather();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < 12; ++k)
+      for (int j = 0; j < 12; ++j)
+        for (int i = 0; i < 12; ++i)
+          ASSERT_EQ(static_cast<double>(single.state()[c](i, j, k)),
+                    static_cast<double>(gathered[c](i, j, k)))
+              << c << " " << i << " " << j << " " << k;
+}
+
+TEST(DistributedStress, Fp64TwelveRanksBitwise) { stress_policy<Fp64>(); }
+TEST(DistributedStress, Fp32TwelveRanksBitwise) { stress_policy<Fp32>(); }
+TEST(DistributedStress, Fp16x32TwelveRanksBitwise) {
+  stress_policy<igr::common::Fp16x32>();
+}
+
+TEST(Distributed, MultipleOmpThreadsPerRankKeepBits) {
+  // Kernel results must not depend on the OpenMP team size a rank uses.
+  const auto g = Grid::cube(kN);
+  const auto cfg = jacobi_cfg();
+  const auto bc = BcSpec::all_periodic();
+  igr::sim::DistOptions two;
+  two.threads_per_rank = 2;
+  DistributedIgr<Fp64> da(g, 2, 2, 1, cfg, bc, igr::fv::ReconScheme::kFifth,
+                          two);
+  IgrSolver3D<Fp64> single(g, cfg, bc);
+  da.init(smooth_ic());
+  single.init(smooth_ic());
+  for (int step = 0; step < 2; ++step) {
+    single.step_fixed(2e-3);
+    da.step_fixed(2e-3);
+  }
+  const auto a = da.gather();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < kN; ++k)
+      for (int j = 0; j < kN; ++j)
+        for (int i = 0; i < kN; ++i)
+          ASSERT_EQ(single.state()[c](i, j, k), a[c](i, j, k));
 }
 
 TEST(Distributed, TraffiqueMeteredDuringStep) {

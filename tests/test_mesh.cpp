@@ -124,6 +124,39 @@ TEST(Decomp, BalancedLayoutFactorizes) {
   EXPECT_EQ(l64, (std::array<int, 3>{4, 4, 4}));
 }
 
+TEST(Grid, WindowSharesSpacingAndCellCentersBitwise) {
+  // 12 cells on [0,1]: dx = 1/12 is not exactly representable, so any
+  // recomputation of spacing or origin from extents rounds differently.
+  // A window must reproduce the parent's spacing and cell centers bitwise
+  // — decomposed-vs-single-domain equivalence rests on it.
+  const auto g = Grid::cube(12);
+  const auto w = Grid::window(g, {5, 0, 7}, {4, 12, 5});
+  EXPECT_EQ(w.dx(), g.dx());
+  EXPECT_EQ(w.min_dx(), g.min_dx());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(w.x(i), g.x(5 + i));
+  for (int j = 0; j < 12; ++j) EXPECT_EQ(w.y(j), g.y(j));
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(w.z(k), g.z(7 + k));
+  EXPECT_EQ(w.nx(), 4);
+  // Windows of windows chain the index offsets.
+  const auto w2 = Grid::window(w, {2, 1, 0}, {2, 3, 5});
+  EXPECT_EQ(w2.x(0), g.x(7));
+  EXPECT_THROW(Grid::window(g, {10, 0, 0}, {4, 1, 1}), std::invalid_argument);
+}
+
+TEST(Decomp, OwnerCoordInvertsTheSplit) {
+  const auto g = Grid(13, 4, 4, {0, 1}, {0, 1}, {0, 1});
+  Decomp d(g, 5, 1, 1);  // 3,3,3,2,2
+  for (int c = 0; c < 5; ++c) {
+    const auto b = d.block(d.rank_of(c, 0, 0));
+    for (int i = 0; i < b.n[0]; ++i)
+      EXPECT_EQ(d.owner_coord(0, b.lo[0] + i), c);
+  }
+  EXPECT_THROW(static_cast<void>(d.owner_coord(0, 13)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(d.owner_coord(0, -1)),
+               std::invalid_argument);
+}
+
 TEST(Decomp, OppositeFaces) {
   using igr::mesh::opposite;
   EXPECT_EQ(opposite(Face::kXLo), Face::kXHi);

@@ -271,7 +271,8 @@ TEST(ScalingModel, ThrowsOnUseForUnstableConfigurations) {
   // The paper marks baseline FP16/32 numerically unstable -> no grind time.
   ScalingModel m(frontier(), Scheme::kBaselineWeno, Precision::kFp16x32,
                  MemMode::kInCore);
-  EXPECT_THROW(m.time_per_step(1e6, 8), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.time_per_step(1e6, 8)),
+               std::invalid_argument);
   m.set_grind_ns(50.0);  // caller-supplied estimate unblocks it
   EXPECT_GT(m.time_per_step(1e6, 8), 0.0);
 }

@@ -89,7 +89,9 @@ TEST_P(FluxSweep, RusanovDissipationActsAgainstTheJump) {
   for (int c = 0; c < 5; ++c) {
     const double diss = f[c] - 0.5 * (fl[c] + fr[c]);
     const double jump = qr[c] - ql[c];
-    if (std::abs(jump) > 1e-12) EXPECT_LE(diss * jump, 1e-12) << c;
+    if (std::abs(jump) > 1e-12) {
+      EXPECT_LE(diss * jump, 1e-12) << c;
+    }
   }
 }
 
