@@ -14,6 +14,7 @@
 /// --smoke shrinks the grid and step counts to a seconds-scale run for CI
 /// (ctest label `bench-smoke`); default sizes match the checked-in numbers.
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,8 @@ struct Row {
   std::string precision;
   std::string recon;
   double grind_ns = 0.0;
+  bool has_phases = false;
+  std::array<double, igr::common::PhaseProfile::kNumPhases> phase_ns{};
 };
 
 const char* recon_name(fv::ReconScheme r) {
@@ -54,10 +57,25 @@ Row run_one(SchemeKind scheme, fv::ReconScheme recon, int n, int warmup,
   r.precision = std::string(Policy::name);
   r.recon = recon_name(scheme == SchemeKind::kIgr ? recon
                                                   : fv::ReconScheme::kWeno5);
-  r.grind_ns = bench::measure_grind_ns<Policy>(scheme, n, warmup, steps, recon);
-  std::printf("  %-20s %-8s %-7s %10.1f ns/cell/step  (%.3g cells/s)\n",
+  const auto s = bench::measure_grind<Policy>(scheme, n, warmup, steps, recon);
+  r.grind_ns = s.grind_ns;
+  r.has_phases = s.has_phases;
+  r.phase_ns = s.phase_ns;
+  std::printf("  %-20s %-8s %-7s %10.1f ns/cell/step  (%.3g cells/s)",
               r.scheme.c_str(), r.precision.c_str(), r.recon.c_str(),
               r.grind_ns, 1.0e9 / r.grind_ns);
+  if (r.has_phases) {
+    std::printf("  [");
+    for (int p = 0; p < igr::common::PhaseProfile::kNumPhases; ++p) {
+      std::printf("%s%s %.0f",
+                  p ? " " : "",
+                  igr::common::PhaseProfile::name(
+                      static_cast<igr::common::PhaseProfile::Phase>(p)),
+                  r.phase_ns[static_cast<std::size_t>(p)]);
+    }
+    std::printf("]");
+  }
+  std::printf("\n");
   std::fflush(stdout);
   return r;
 }
@@ -75,6 +93,8 @@ void write_json(const std::string& path, const std::string& label, int n,
   std::fprintf(f, "  \"metric\": \"grind_ns_per_cell_step\",\n");
   std::fprintf(f, "  \"half_backend\": \"%s\",\n",
                std::string(common::half_batch::backend_name()).c_str());
+  std::fprintf(f, "  \"fused_rhs\": %s,\n",
+               bench::bench_overrides().fused_rhs ? "true" : "false");
   std::fprintf(f, "  \"grid\": [%d, %d, %d],\n", n, n, n + n / 2);
   std::fprintf(f, "  \"warmup_steps\": %d,\n", warmup);
   std::fprintf(f, "  \"timed_steps\": %d,\n", steps);
@@ -84,10 +104,22 @@ void write_json(const std::string& path, const std::string& label, int n,
     std::fprintf(f,
                  "    {\"scheme\": \"%s\", \"precision\": \"%s\", "
                  "\"recon\": \"%s\", \"grind_ns_per_cell_step\": %.2f, "
-                 "\"cells_per_sec\": %.0f}%s\n",
+                 "\"cells_per_sec\": %.0f",
                  r.scheme.c_str(), r.precision.c_str(), r.recon.c_str(),
-                 r.grind_ns, 1.0e9 / r.grind_ns,
-                 (i + 1 < rows.size()) ? "," : "");
+                 r.grind_ns, 1.0e9 / r.grind_ns);
+    if (r.has_phases) {
+      // Per-phase attribution (same unit as the headline figure; the
+      // remainder to grind_ns_per_cell_step is untimed orchestration).
+      std::fprintf(f, ", \"phase_ns_per_cell_step\": {");
+      for (int p = 0; p < igr::common::PhaseProfile::kNumPhases; ++p) {
+        std::fprintf(f, "%s\"%s\": %.2f", p ? ", " : "",
+                     igr::common::PhaseProfile::name(
+                         static_cast<igr::common::PhaseProfile::Phase>(p)),
+                     r.phase_ns[static_cast<std::size_t>(p)]);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", (i + 1 < rows.size()) ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -111,6 +143,10 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--smoke")) {
       smoke = true;
+    } else if (!std::strcmp(argv[i], "--phased")) {
+      bench::bench_overrides().fused_rhs = false;
+    } else if (!std::strcmp(argv[i], "--block")) {
+      bench::bench_overrides().fused_flux_block = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--n")) {
       n = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--warmup")) {

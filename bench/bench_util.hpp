@@ -4,13 +4,28 @@
 /// (single Mach-10 jet, §6.2), table formatting, and local grind-time
 /// measurement.
 
+#include <array>
 #include <cstdio>
 #include <string>
 
 #include "app/jet_config.hpp"
 #include "app/simulation.hpp"
+#include "common/timer.hpp"
 
 namespace igr::bench {
+
+/// Process-wide bench overrides (CLI-settable), applied by make_jet_sim:
+/// `fused_rhs` flips the IGR solver between the fused pipeline (default)
+/// and the phased reference — `bench_grind --phased` — so pre/post grind
+/// comparisons can alternate both schedules from one binary.
+struct BenchOverrides {
+  bool fused_rhs = true;
+  int fused_flux_block = 0;  ///< 0 = keep the SolverConfig default.
+};
+inline BenchOverrides& bench_overrides() {
+  static BenchOverrides o;
+  return o;
+}
 
 /// The paper's performance workload: "a representative three-dimensional
 /// simulation of the exhaust plume of a single Mach 10 jet" (§6.2), at a
@@ -24,6 +39,11 @@ app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32,
   params.grid = mesh::Grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0},
                            {0.0, 1.5});
   params.cfg = jet.solver_config();
+  // Per-phase attribution for the bench JSON (sub-0.5% sampling overhead).
+  params.cfg.phase_timing = true;
+  params.cfg.fused_rhs = bench_overrides().fused_rhs;
+  if (bench_overrides().fused_flux_block > 0)
+    params.cfg.fused_flux_block = bench_overrides().fused_flux_block;
   params.bc = jet.make_bc();
   params.scheme = scheme;
   params.recon = recon;
@@ -32,18 +52,46 @@ app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32,
   return sim;
 }
 
-/// Measure ns/cell/step over `steps` steps after `warmup` untimed ones.
+/// One grind measurement: wall ns/cell/step plus, for the single-domain IGR
+/// scheme, the per-phase attribution (same unit; phases don't sum to the
+/// wall figure exactly — step orchestration overhead is untimed).
+struct GrindSample {
+  double grind_ns = 0.0;
+  bool has_phases = false;
+  std::array<double, common::PhaseProfile::kNumPhases> phase_ns{};
+};
+
+/// Measure over `steps` steps after `warmup` untimed ones (the phase
+/// profile is reset after warmup so it covers exactly the timed window).
 template <class Policy>
-double measure_grind_ns(app::SchemeKind scheme, int n, int warmup, int steps,
-                        fv::ReconScheme recon = fv::ReconScheme::kFifth) {
+GrindSample measure_grind(app::SchemeKind scheme, int n, int warmup, int steps,
+                          fv::ReconScheme recon = fv::ReconScheme::kFifth) {
   auto sim = make_jet_sim<Policy>(scheme, n, recon);
   sim.run_steps(warmup);
+  if (auto* prof = sim.phase_profile()) prof->reset();
   common::WallTimer t;
   t.start();
   sim.run_steps(steps);
   t.stop();
   const double cells = static_cast<double>(sim.grid().cells());
-  return t.seconds() * 1.0e9 / (cells * steps);
+  GrindSample s;
+  s.grind_ns = t.seconds() * 1.0e9 / (cells * steps);
+  if (auto* prof = sim.phase_profile(); prof && prof->enabled()) {
+    s.has_phases = true;
+    for (int p = 0; p < common::PhaseProfile::kNumPhases; ++p) {
+      s.phase_ns[static_cast<std::size_t>(p)] =
+          prof->seconds(static_cast<common::PhaseProfile::Phase>(p)) * 1.0e9 /
+          (cells * steps);
+    }
+  }
+  return s;
+}
+
+/// Measure ns/cell/step over `steps` steps after `warmup` untimed ones.
+template <class Policy>
+double measure_grind_ns(app::SchemeKind scheme, int n, int warmup, int steps,
+                        fv::ReconScheme recon = fv::ReconScheme::kFifth) {
+  return measure_grind<Policy>(scheme, n, warmup, steps, recon).grind_ns;
 }
 
 inline void print_rule(int width = 78) {

@@ -79,6 +79,11 @@ double Simulation<Policy>::grind_ns() const {
 }
 
 template <class Policy>
+common::PhaseProfile* Simulation<Policy>::phase_profile() {
+  return igr_ ? &igr_->phase_profile() : nullptr;
+}
+
+template <class Policy>
 std::size_t Simulation<Policy>::memory_bytes() const {
   if (dist_) return dist_->memory_bytes();
   return igr_ ? igr_->memory_bytes() : weno_->memory_bytes();

@@ -60,6 +60,10 @@ class Simulation {
 
   [[nodiscard]] double time() const;
   [[nodiscard]] double grind_ns() const;
+  /// Per-phase wall-time breakdown of the single-domain IGR solver, or null
+  /// for the baseline scheme and decomposed runs.  Populated only when
+  /// cfg.phase_timing is on (the bench harness enables it).
+  [[nodiscard]] common::PhaseProfile* phase_profile();
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] FlowDiagnostics diagnostics() const;
   /// Global conservative state.  For a decomposed run this gathers the rank

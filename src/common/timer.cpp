@@ -9,6 +9,18 @@ void WallTimer::stop() {
   running_ = false;
 }
 
+const char* PhaseProfile::name(Phase p) {
+  switch (p) {
+    case kBc: return "bc";
+    case kSigmaSource: return "sigma_source";
+    case kSigmaSweeps: return "sigma_sweeps";
+    case kFlux: return "flux";
+    case kRkDt: return "rk_dt";
+    case kNumPhases: break;
+  }
+  return "?";
+}
+
 double GrindTimer::grind_ns() const {
   if (cells_ == 0 || steps_ == 0) return 0.0;
   return timer_.seconds() * 1.0e9 /

@@ -4,6 +4,7 @@
 /// time" — nanoseconds per grid cell per time step (§7.1) — as its primary
 /// single-device metric; GrindTimer accumulates exactly that.
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <string>
@@ -25,6 +26,62 @@ class WallTimer {
   clock::time_point t0_{};
   double acc_ = 0.0;
   bool running_ = false;
+};
+
+/// Wall-time breakdown of a solver step by RHS phase, so PERF.md tables can
+/// attribute a grind-time change to the phase that moved.  Sampling is off
+/// by default (SolverConfig::phase_timing turns it on; the bench harness
+/// does) — when disabled a PhaseScope is a pair of branch-predicted loads,
+/// so production steps pay nothing.  The fused pipeline attributes each
+/// plane/block slot to the phase the work belongs to, which makes the
+/// breakdown comparable between the fused and phased schedules.
+class PhaseProfile {
+ public:
+  enum Phase : int {
+    kBc = 0,       ///< Physical-boundary ghost fills of the state.
+    kSigmaSource,  ///< Reciprocal density + Sigma-equation source build.
+    kSigmaSweeps,  ///< Relaxation sweeps incl. their Sigma ghost fills.
+    kFlux,         ///< The three dimensional flux sweeps.
+    kRkDt,         ///< RK convex update + the CFL reduction for dt.
+    kNumPhases
+  };
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void add(Phase p, double sec) { acc_[static_cast<std::size_t>(p)] += sec; }
+  [[nodiscard]] double seconds(Phase p) const {
+    return acc_[static_cast<std::size_t>(p)];
+  }
+  /// Short machine-readable phase name (stable; used as the bench JSON key).
+  [[nodiscard]] static const char* name(Phase p);
+  void reset() { acc_.fill(0.0); }
+
+ private:
+  bool enabled_ = false;
+  std::array<double, kNumPhases> acc_{};
+};
+
+/// RAII sampler: adds the scope's wall time to one profile phase.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseProfile& profile, PhaseProfile::Phase phase)
+      : profile_(profile), phase_(phase) {
+    if (profile_.enabled()) t0_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseScope() {
+    if (profile_.enabled()) {
+      profile_.add(phase_, std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0_)
+                               .count());
+    }
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseProfile& profile_;
+  PhaseProfile::Phase phase_;
+  std::chrono::steady_clock::time_point t0_{};
 };
 
 /// Accumulates time-step work and reports ns per cell per step.

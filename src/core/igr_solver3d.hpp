@@ -12,10 +12,17 @@
 /// Note on kernel organization: the paper fuses reconstruction, both flux
 /// families, and the Sigma source into one GPU kernel with thread-local
 /// temporaries, interleaving the elliptic solve with the x-direction sweep
-/// (Algorithm 1).  On CPU we realize the same memory discipline with
-/// per-line scratch buffers, and solve the Sigma equation once per RHS
-/// before the dimensional sweeps — algebraically the same scheme (the
-/// x-direction additionally sees the freshly solved Sigma).
+/// (Algorithm 1).  The CPU port realizes the same traversal discipline with
+/// a fused, k-plane-streaming RHS pipeline (SolverConfig::fused_rhs, the
+/// default): per RK stage, a rolling window of planes flows once through
+/// the Sigma-source build, the ≤5 warm-started relaxation sweeps (pipelined
+/// across planes as a red–black/Jacobi wavefront where the Sigma boundary
+/// handling permits), and the three flux sweeps streamed in k-blocks, with
+/// the SSP-RK3 convex update trailing the flux front and the CFL reduction
+/// for the next step's dt folded into the final stage's write-back.  Every
+/// slot of the pipeline reads exactly the values the phased schedule would
+/// show it, so results — state *and* dt — are bitwise-identical to the
+/// phased reference path kept behind `fused_rhs = false`.
 
 #include <array>
 #include <functional>
@@ -27,6 +34,7 @@
 #include "core/sigma_solver.hpp"
 #include "eos/ideal_gas.hpp"
 #include "fv/bc.hpp"
+#include "fv/cfl.hpp"
 #include "fv/reconstruct.hpp"
 #include "fv/rk3.hpp"
 #include "mesh/grid.hpp"
@@ -69,7 +77,17 @@ class IgrSolver3D {
 
   /// RHS of the semi-discrete system for state `q` (ghosts are filled here).
   /// Public so tests can probe spatial accuracy and conservation directly.
+  /// This is the *phased* schedule — one full-grid pass per phase — kept as
+  /// the bitwise reference for the fused pipeline regardless of
+  /// cfg.fused_rhs (step_fixed is what dispatches on the toggle).
   void compute_rhs(common::StateField3<S>& q, common::StateField3<S>& rhs);
+
+  /// The fused plane-streaming evaluation of the same RHS: Sigma source →
+  /// pipelined relaxation wavefront → k-block-streamed flux sweeps, one
+  /// rolling pass over memory.  Bitwise-identical to compute_rhs (the RK/dt
+  /// folds live in the fused step path, not here).
+  void compute_rhs_fused(common::StateField3<S>& q,
+                         common::StateField3<S>& rhs);
 
   [[nodiscard]] common::StateField3<S>& state() { return q_; }
   [[nodiscard]] const common::StateField3<S>& state() const { return q_; }
@@ -86,6 +104,17 @@ class IgrSolver3D {
   [[nodiscard]] double storage_per_cell() const;
 
   [[nodiscard]] common::GrindTimer& grind_timer() { return grind_; }
+  /// Per-phase wall-time breakdown (populated when cfg.phase_timing is on).
+  [[nodiscard]] common::PhaseProfile& phase_profile() { return profile_; }
+  [[nodiscard]] const common::PhaseProfile& phase_profile() const {
+    return profile_;
+  }
+
+  /// The fused step caches the next step's CFL dt (its reduction is folded
+  /// into the final RK stage's traversal).  Mutating state()/sigma_field()
+  /// externally between steps invalidates that fold — call this afterwards
+  /// so the next step() rescans instead of using the stale cache.
+  void invalidate_dt_cache() { next_dt_valid_ = false; }
 
   /// Conserved totals (mass, momentum, energy) over the interior, in double.
   [[nodiscard]] common::Cons<double> conserved_totals() const;
@@ -157,10 +186,23 @@ class IgrSolver3D {
   void begin_step();
 
  private:
-  /// Reciprocal density over the full ghosted extent of `q` into inv_rho_:
-  /// one division per point, consumed multiplication-only by the Sigma
-  /// source, the relaxation sweeps, and the viscous flux path.
-  void refresh_inv_rho(common::StateField3<S>& q);
+  /// Reciprocal density over ghosted planes k ∈ [k0, k1) of `q` into
+  /// inv_rho_: one division per point, consumed multiplication-only by the
+  /// Sigma source, the relaxation sweeps, and the viscous flux path.
+  void refresh_inv_rho_planes(common::StateField3<S>& q, int k0, int k1);
+  void refresh_inv_rho(common::StateField3<S>& q) {
+    refresh_inv_rho_planes(q, -q.ng(), grid_.nz() + q.ng());
+  }
+  /// Sigma source over interior planes [k0, k1) (needs inv_rho through
+  /// planes k0-1..k1).  For the converting policy with batched lanes, each
+  /// thread streams its plane range through a rolling 3-plane ring of
+  /// velocity rows, so every momentum/inv_rho row is converted once per
+  /// visit instead of once per stencil position (five times).
+  void compute_sigma_source_planes(common::StateField3<S>& q, int k0, int k1);
+  /// Full-field source build: inv_rho refresh interleaved with the source
+  /// in k-chunks so the freshly written reciprocal planes are still
+  /// cache-resident when the source consumes them.  (Values are traversal-
+  /// order-independent; this is bitwise the old two-pass build.)
   void compute_sigma_source(common::StateField3<S>& q);
   /// One dimensional sweep, templated on the sweep axis and on the
   /// reconstruction operator (a fv::ReconFixed<R> for the hot path,
@@ -176,6 +218,18 @@ class IgrSolver3D {
   template <class ReconOp>
   void flux_sweep_all(common::StateField3<S>& q, common::StateField3<S>& rhs,
                       ReconOp recon, const CellRegion& reg);
+  /// Row-streaming form of one sweep: faces evaluated a unit-stride x-row
+  /// at a time straight from the fields (no line gather/scatter), with
+  /// rolling stencil/prim/flux rows for the transverse directions.
+  /// Bitwise-identical to flux_sweep; the hot path for every region
+  /// variant, while the runtime-dispatch reference keeps the line kernel.
+  template <int Dir, class ReconOp>
+  void flux_sweep_stream(common::StateField3<S>& q,
+                         common::StateField3<S>& rhs, ReconOp recon,
+                         bool overwrite, const CellRegion& reg);
+  template <class ReconOp>
+  void flux_stream_all(common::StateField3<S>& q, common::StateField3<S>& rhs,
+                       ReconOp recon, const CellRegion& reg);
   /// Dispatch + sweep over one region (refresh_inv_rho handling included
   /// when `prepare` is set — exactly once per RHS evaluation).
   void compute_fluxes_region(common::StateField3<S>& q,
@@ -188,6 +242,33 @@ class IgrSolver3D {
   [[nodiscard]] CellRegion full_region() const {
     return {{0, 0, 0}, {grid_.nx(), grid_.ny(), grid_.nz()}};
   }
+
+  // --- Fused plane-streaming pipeline (cfg.fused_rhs) ---
+  /// k-block thickness of the streamed flux stage.  At least the ghost
+  /// depth: the trailing RK update of block b-1 must not touch planes the
+  /// z-flux stencil of block b still reads.
+  [[nodiscard]] int flux_block() const;
+  /// Ghost fill + Sigma solve of one RHS evaluation, plane-pipelined where
+  /// the Sigma boundary handling permits (see the .cpp for the wavefront
+  /// schedule and its dependency argument).
+  void fused_sigma_phase(common::StateField3<S>& q);
+  /// Source + sweeps + boundary fill as one skewed plane wavefront
+  /// (Neumann Sigma ghosts only — a periodic wrap would need far-boundary
+  /// post-sweep values before the stream reaches them).
+  void fused_sigma_pipeline(common::StateField3<S>& q);
+  /// Streamed flux blocks with the RK update (and, on the final stage, the
+  /// CFL reduction) trailing one block behind the flux front.
+  void fused_flux_rk(common::StateField3<S>& q, common::StateField3<S>& rhs,
+                     const fv::Rk3Stage& st, double dt, bool first_stage,
+                     bool accumulate_dt);
+  /// RK update restricted to planes [k0, k1).
+  void rk_update_planes(const fv::Rk3Stage& st, double dt, int k0, int k1);
+  /// First-stage RK update reading q_ directly: qstage = q + dt * rhs.
+  /// Bitwise the phased `0*qn + 1*(qstage + dt*rhs)` with qstage a fresh
+  /// copy of q (±0*x + y == y for every y the copy construction can
+  /// produce), which lets the fused step skip begin_step's 5N copy.
+  void rk_stage1_planes(double dt, int k0, int k1);
+  void step_fixed_fused(double dt);
 
   mesh::Grid grid_;
   common::SolverConfig cfg_;
@@ -210,6 +291,15 @@ class IgrSolver3D {
   common::Field3<S> inv_rho_;
 
   common::GrindTimer grind_;
+  common::PhaseProfile profile_;
+
+  /// Next-step CFL cache: the fused final RK stage accumulates the CFL
+  /// extrema over the freshly written state and warm Sigma — the same
+  /// values the phased step() scans at the top of the next step — so
+  /// step() skips the dedicated 6N pass.
+  fv::CflRates dt_rates_{};
+  double next_dt_ = 0.0;
+  bool next_dt_valid_ = false;
 };
 
 }  // namespace igr::core

@@ -104,6 +104,20 @@ inline C relax_cell_rows(const C* b, std::size_t row_len, int i, C alpha,
   return (srcc[o] + alpha * off) / diag;
 }
 
+/// Tentative relax values for a whole gathered row: relax_cell_rows per
+/// lane, contiguous in i, so the loop (and its diagonal divide) vectorizes.
+/// Red–black callers keep only the updated color's lanes — bit-for-bit what
+/// the strided per-cell evaluation would have stored.
+template <class C>
+inline void relax_row_gathered(const C* b, std::size_t row_len, int nx,
+                               C alpha, C inv_dx2, C inv_dy2, C inv_dz2,
+                               C* out) {
+  for (int i = 0; i < nx; ++i) {
+    out[i] =
+        relax_cell_rows<C>(b, row_len, i, alpha, inv_dx2, inv_dy2, inv_dz2);
+  }
+}
+
 /// One full-field relaxation pass.  With `jacobi` true, reads `in` and
 /// writes `out` (distinct buffers, embarrassingly parallel); otherwise
 /// updates in place in the natural lexicographic Gauss–Seidel order, which
@@ -140,12 +154,62 @@ void sweep(common::Field3<typename Policy::storage_t>& out,
   }
 }
 
+/// Tentative relax values for a whole row.  Contiguous in i, no
+/// loop-carried dependence: the loop vectorizes, and in particular the
+/// per-cell diagonal division becomes a pipelined vector divide.  Each lane
+/// is the exact relax_cell expression, so a caller that keeps only some
+/// lanes stores the same bits the strided per-cell update would have.
+template <class C, class S>
+inline void relax_row(const S* pir, const S* psr, const S* ps, int nx,
+                      std::ptrdiff_t sy, std::ptrdiff_t sz, C alpha, C inv_dx2,
+                      C inv_dy2, C inv_dz2, C* __restrict out) {
+  // relax_cell with the stencil taps hoisted into per-row pointers and the
+  // expression inlined: the nine streams are then plain affine accesses the
+  // vectorizer handles (the relax_cell call form defeats it), and `out` is
+  // thread-private scratch, never an alias of the field rows.  Term order
+  // matches relax_cell exactly — each lane's bits are the per-cell result.
+  const S* irj_m = pir - sy;
+  const S* irj_p = pir + sy;
+  const S* irk_m = pir - sz;
+  const S* irk_p = pir + sz;
+  const S* sgj_m = ps - sy;
+  const S* sgj_p = ps + sy;
+  const S* sgk_m = ps - sz;
+  const S* sgk_p = ps + sz;
+  for (int i = 0; i < nx; ++i) {
+    const C ir0 = static_cast<C>(pir[i]);
+    const C cxm = C(0.5) * (ir0 + static_cast<C>(pir[i - 1]));
+    const C cxp = C(0.5) * (ir0 + static_cast<C>(pir[i + 1]));
+    const C cym = C(0.5) * (ir0 + static_cast<C>(irj_m[i]));
+    const C cyp = C(0.5) * (ir0 + static_cast<C>(irj_p[i]));
+    const C czm = C(0.5) * (ir0 + static_cast<C>(irk_m[i]));
+    const C czp = C(0.5) * (ir0 + static_cast<C>(irk_p[i]));
+
+    const C off = inv_dx2 * (static_cast<C>(ps[i + 1]) * cxp +
+                             static_cast<C>(ps[i - 1]) * cxm) +
+                  inv_dy2 * (static_cast<C>(sgj_p[i]) * cyp +
+                             static_cast<C>(sgj_m[i]) * cym) +
+                  inv_dz2 * (static_cast<C>(sgk_p[i]) * czp +
+                             static_cast<C>(sgk_m[i]) * czm);
+    const C diag = ir0 + alpha * (inv_dx2 * (cxp + cxm) +
+                                  inv_dy2 * (cyp + cym) +
+                                  inv_dz2 * (czp + czm));
+    out[i] = (static_cast<C>(psr[i]) + alpha * off) / diag;
+  }
+}
+
 /// One two-color (red–black) Gauss–Seidel pass, in place.  Cells of one
 /// color only couple to the other color through the 7-point stencil, so
-/// each half-pass is dependency-free: it parallelizes across k-planes and,
-/// within a row, the stride-2 updates pipeline (no loop-carried division
-/// chain like the lexicographic order).  Converges to the same fixed point
-/// as the serial sweep — tests/test_sigma_solver.cpp asserts this.
+/// each half-pass is dependency-free: it parallelizes across k-planes and
+/// vectorizes by relaxing whole rows and storing only the updated color —
+/// the discarded lanes read stale same-color values, which cannot leak into
+/// a stored bit.  Each color pass runs as two k-parity phases: the whole-row
+/// evaluation also *reads* (without keeping) the current color's elements of
+/// the k∓1 planes, so letting adjacent planes update concurrently would be a
+/// formal data race on those bytes; within one phase all written planes
+/// share a k parity while reads only cross to the other parity.  Converges
+/// to the same fixed point as the serial sweep — tests/test_sigma_solver.cpp
+/// asserts this.
 template <class Policy>
 void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
                      const common::Field3<typename Policy::storage_t>& src,
@@ -161,16 +225,22 @@ void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
   const std::ptrdiff_t sz = inv_rho.stride(2);
 
   for (int color = 0; color < 2; ++color) {
-#pragma omp parallel for
-    for (int k = 0; k < nz; ++k) {
-      for (int j = 0; j < ny; ++j) {
-        const S* pir = &inv_rho(0, j, k);
-        const S* psr = &src(0, j, k);
-        S* ps = &sigma(0, j, k);
-        for (int i = (color + j + k) & 1; i < nx; i += 2) {
-          ps[i] = static_cast<S>(relax_cell<C>(pir, psr, ps, i, sy, sz,
-                                               alpha, inv_dx2, inv_dy2,
-                                               inv_dz2));
+    for (int kphase = 0; kphase < 2; ++kphase) {
+#pragma omp parallel
+      {
+        std::vector<C> tmp(static_cast<std::size_t>(nx));
+#pragma omp for
+        for (int k = kphase; k < nz; k += 2) {
+          for (int j = 0; j < ny; ++j) {
+            const S* pir = &inv_rho(0, j, k);
+            const S* psr = &src(0, j, k);
+            S* ps = &sigma(0, j, k);
+            relax_row<C>(pir, psr, ps, nx, sy, sz, alpha, inv_dx2, inv_dy2,
+                         inv_dz2, tmp.data());
+            for (int i = (color + j + k) & 1; i < nx; i += 2) {
+              ps[i] = static_cast<S>(tmp[i]);
+            }
+          }
         }
       }
     }
@@ -209,18 +279,19 @@ void sweep_red_black_batched(
 #pragma omp parallel
       {
         std::vector<C> buf(11 * row_len);
+        std::vector<C> tmp(static_cast<std::size_t>(nx));
         std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
 #pragma omp for
         for (int k = kphase; k < nz; k += 2) {
           for (int j = 0; j < ny; ++j) {
             gather_stencil_rows<Policy>(sigma, src, inv_rho, j, k, row_len,
                                         buf.data());
+            // Whole-row tentative relax (vectorizes), keep the color lanes.
+            relax_row_gathered<C>(buf.data(), row_len, nx, alpha, inv_dx2,
+                                  inv_dy2, inv_dz2, tmp.data());
             const int i0 = (color + j + k) & 1;
             std::size_t m = 0;
-            for (int i = i0; i < nx; i += 2) {
-              vals[m++] = relax_cell_rows<C>(buf.data(), row_len, i, alpha,
-                                             inv_dx2, inv_dy2, inv_dz2);
-            }
+            for (int i = i0; i < nx; i += 2) vals[m++] = tmp[i];
             if (m > 0) {
               common::store_line_strided<Policy>(vals.data(),
                                                  &sigma(i0, j, k), 2, m);
@@ -269,9 +340,16 @@ void sweep_jacobi_batched(
 
 }  // namespace
 
+namespace {
+
+/// Shared body of the per-axis ghost fills.  For axes 0/1 the tangential k
+/// loop can be restricted to interior planes [kr0, kr1) — the per-plane rim
+/// fill of the fused pipeline; the full-extent fills pass [0, nz).  Axis 2
+/// ignores the range (its writes are whole ghost planes).
 template <class S>
-void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
-                            std::array<bool, 2> sides, int layers) {
+void fill_sigma_axis_krange(common::Field3<S>& sigma, SigmaBc bc, int axis,
+                            std::array<bool, 2> sides, int layers, int kr0,
+                            int kr1) {
   const int ng = (layers < 0 || layers > sigma.ng()) ? sigma.ng() : layers;
   const int n[3] = {sigma.nx(), sigma.ny(), sigma.nz()};
   {
@@ -279,6 +357,10 @@ void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
     for (int a = 0; a < 3; ++a) {
       lo[a] = (a < axis) ? -ng : 0;
       hi[a] = (a < axis) ? n[a] + ng : n[a];
+    }
+    if (axis < 2) {
+      lo[2] = kr0;
+      hi[2] = kr1;
     }
     for (int side = 0; side < 2; ++side) {
       if (!sides[static_cast<std::size_t>(side)]) continue;
@@ -306,6 +388,163 @@ void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
   }
 }
 
+}  // namespace
+
+template <class Policy>
+void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
+                        const common::Field3<typename Policy::storage_t>& src,
+                        const common::Field3<typename Policy::storage_t>& inv_rho,
+                        typename Policy::compute_t alpha,
+                        typename Policy::compute_t dx,
+                        typename Policy::compute_t dy,
+                        typename Policy::compute_t dz, int color, int k0,
+                        int k1, bool batch) {
+  using C = typename Policy::compute_t;
+  using S = typename Policy::storage_t;
+  const int nx = sigma.nx(), ny = sigma.ny();
+  const C inv_dx2 = C(1) / (dx * dx);
+  const C inv_dy2 = C(1) / (dy * dy);
+  const C inv_dz2 = C(1) / (dz * dz);
+
+  // Planes are walked serially (the pipelined caller orders them; the k∓1
+  // stencil taps therefore never see a concurrently written plane) and rows
+  // parallelize within a plane in two j-parity phases: the whole-row
+  // evaluation reads rows j∓1 at every column, so rows of the same parity
+  // may update concurrently while their reads only cross to the other
+  // parity.
+  if constexpr (common::converts_storage<Policy>) {
+    if (batch) {
+      const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
+      for (int k = k0; k < k1; ++k) {
+        for (int jphase = 0; jphase < 2; ++jphase) {
+#pragma omp parallel
+          {
+            std::vector<C> buf(11 * row_len);
+            std::vector<C> tmp(static_cast<std::size_t>(nx));
+            std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
+#pragma omp for
+            for (int j = jphase; j < ny; j += 2) {
+              gather_stencil_rows<Policy>(sigma, src, inv_rho, j, k, row_len,
+                                          buf.data());
+              relax_row_gathered<C>(buf.data(), row_len, nx, alpha, inv_dx2,
+                                    inv_dy2, inv_dz2, tmp.data());
+              const int i0 = (color + j + k) & 1;
+              std::size_t m = 0;
+              for (int i = i0; i < nx; i += 2) vals[m++] = tmp[i];
+              if (m > 0) {
+                common::store_line_strided<Policy>(vals.data(),
+                                                   &sigma(i0, j, k), 2, m);
+              }
+            }
+          }
+        }
+      }
+      return;
+    }
+  }
+
+  const std::ptrdiff_t sy = inv_rho.stride(1);
+  const std::ptrdiff_t sz = inv_rho.stride(2);
+  for (int k = k0; k < k1; ++k) {
+    for (int jphase = 0; jphase < 2; ++jphase) {
+#pragma omp parallel
+      {
+        std::vector<C> tmp(static_cast<std::size_t>(nx));
+#pragma omp for
+        for (int j = jphase; j < ny; j += 2) {
+          const S* pir = &inv_rho(0, j, k);
+          const S* psr = &src(0, j, k);
+          S* ps = &sigma(0, j, k);
+          relax_row<C>(pir, psr, ps, nx, sy, sz, alpha, inv_dx2, inv_dy2,
+                       inv_dz2, tmp.data());
+          for (int i = (color + j + k) & 1; i < nx; i += 2) {
+            ps[i] = static_cast<S>(tmp[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class Policy>
+void sigma_jacobi_planes(common::Field3<typename Policy::storage_t>& out,
+                         const common::Field3<typename Policy::storage_t>& in,
+                         const common::Field3<typename Policy::storage_t>& src,
+                         const common::Field3<typename Policy::storage_t>& inv_rho,
+                         typename Policy::compute_t alpha,
+                         typename Policy::compute_t dx,
+                         typename Policy::compute_t dy,
+                         typename Policy::compute_t dz, int k0, int k1,
+                         bool batch) {
+  using C = typename Policy::compute_t;
+  using S = typename Policy::storage_t;
+  const int nx = out.nx(), ny = out.ny();
+  const C inv_dx2 = C(1) / (dx * dx);
+  const C inv_dy2 = C(1) / (dy * dy);
+  const C inv_dz2 = C(1) / (dz * dz);
+
+  if constexpr (common::converts_storage<Policy>) {
+    if (batch) {
+      const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
+#pragma omp parallel
+      {
+        std::vector<C> buf(11 * row_len);
+        std::vector<C> vals(static_cast<std::size_t>(nx));
+#pragma omp for collapse(2)
+        for (int k = k0; k < k1; ++k) {
+          for (int j = 0; j < ny; ++j) {
+            gather_stencil_rows<Policy>(in, src, inv_rho, j, k, row_len,
+                                        buf.data());
+            for (int i = 0; i < nx; ++i) {
+              vals[static_cast<std::size_t>(i)] = relax_cell_rows<C>(
+                  buf.data(), row_len, i, alpha, inv_dx2, inv_dy2, inv_dz2);
+            }
+            common::store_line<Policy>(vals.data(), out.row(j, k),
+                                       static_cast<std::size_t>(nx));
+          }
+        }
+      }
+      return;
+    }
+  }
+
+  const std::ptrdiff_t sy = inv_rho.stride(1);
+  const std::ptrdiff_t sz = inv_rho.stride(2);
+#pragma omp parallel for collapse(2)
+  for (int k = k0; k < k1; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      const S* pir = &inv_rho(0, j, k);
+      const S* psr = &src(0, j, k);
+      const S* ps = &in(0, j, k);
+      S* po = &out(0, j, k);
+      for (int i = 0; i < nx; ++i) {
+        po[i] = static_cast<S>(relax_cell<C>(pir, psr, ps, i, sy, sz, alpha,
+                                             inv_dx2, inv_dy2, inv_dz2));
+      }
+    }
+  }
+}
+
+template <class S>
+void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
+                            std::array<bool, 2> sides, int layers) {
+  fill_sigma_axis_krange(sigma, bc, axis, sides, layers, 0, sigma.nz());
+}
+
+template <class S>
+void fill_sigma_rim(common::Field3<S>& sigma, SigmaBc bc, int k0, int k1,
+                    int layers) {
+  fill_sigma_axis_krange(sigma, bc, 0, {true, true}, layers, k0, k1);
+  fill_sigma_axis_krange(sigma, bc, 1, {true, true}, layers, k0, k1);
+}
+
+template <class S>
+void fill_sigma_zghosts(common::Field3<S>& sigma, SigmaBc bc, int side,
+                        int layers) {
+  fill_sigma_axis_krange(sigma, bc, 2,
+                         {side == 0, side == 1}, layers, 0, sigma.nz());
+}
+
 template <class S>
 void fill_sigma_ghosts(common::Field3<S>& sigma, SigmaBc bc, int layers) {
   for (int axis = 0; axis < 3; ++axis)
@@ -315,7 +554,9 @@ void fill_sigma_ghosts(common::Field3<S>& sigma, SigmaBc bc, int layers) {
 #define IGR_INSTANTIATE_SIGMA_GHOSTS(T)                                        \
   template void fill_sigma_ghosts<T>(common::Field3<T>&, SigmaBc, int);        \
   template void fill_sigma_ghosts_axis<T>(common::Field3<T>&, SigmaBc, int,    \
-                                          std::array<bool, 2>, int);
+                                          std::array<bool, 2>, int);           \
+  template void fill_sigma_rim<T>(common::Field3<T>&, SigmaBc, int, int, int); \
+  template void fill_sigma_zghosts<T>(common::Field3<T>&, SigmaBc, int, int);
 
 IGR_INSTANTIATE_SIGMA_GHOSTS(double)
 IGR_INSTANTIATE_SIGMA_GHOSTS(float)
@@ -494,7 +735,15 @@ using common::Fp64;
   template double sigma_residual<P>(                                           \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       const common::Field3<P::storage_t>&, P::compute_t, P::compute_t,         \
-      P::compute_t, P::compute_t);
+      P::compute_t, P::compute_t);                                             \
+  template void sigma_relax_planes<P>(                                         \
+      common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,      \
+      const common::Field3<P::storage_t>&, P::compute_t, P::compute_t,         \
+      P::compute_t, P::compute_t, int, int, int, bool);                        \
+  template void sigma_jacobi_planes<P>(                                        \
+      common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,      \
+      const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
+      P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, int, bool);
 
 IGR_INSTANTIATE_SIGMA(Fp64)
 IGR_INSTANTIATE_SIGMA(Fp32)

@@ -52,6 +52,60 @@ template <class S>
 void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
                             std::array<bool, 2> sides, int layers = -1);
 
+// --- Plane-streaming building blocks (the fused RHS pipeline) ---
+// A full sweep (ghost fill + both red–black colors, or one Jacobi pass)
+// decomposes into per-plane slots whose reads only ever see the values the
+// phased schedule would show them, so a k-skewed wavefront of these calls is
+// bitwise-identical to sigma_sweep_once.  See IgrSolver3D's fused pipeline
+// for the slot schedule and its dependency argument.
+
+/// x/y ghost-rim fill of interior planes k ∈ [k0, k1) only — the per-plane
+/// restriction of fill_sigma_ghosts' axis-0 then axis-1 passes (corner cells
+/// match: the axis-1 fill reads the axis-0 columns written just before).
+template <class S>
+void fill_sigma_rim(common::Field3<S>& sigma, SigmaBc bc, int k0, int k1,
+                    int layers = -1);
+
+/// z ghost-plane fill of one side (0 = low, 1 = high): whole-plane copies
+/// over the full x/y-extended extent, exactly the axis-2 pass of
+/// fill_sigma_ghosts restricted to one face.  The source plane's rim must
+/// already hold the values the phased fill would copy.
+template <class S>
+void fill_sigma_zghosts(common::Field3<S>& sigma, SigmaBc bc, int side,
+                        int layers = -1);
+
+/// One red–black half-pass updating parity (i+j+k) ≡ `color` (mod 2),
+/// restricted to planes k ∈ [k0, k1), in place.  Reads only the opposite
+/// parity (planes k0-1..k1) plus src/inv_rho, so the caller may schedule
+/// planes in any order that respects the sweep's cross-plane dependencies.
+/// No k-parity phasing is needed here (unlike the full-field batched pass):
+/// the caller serializes plane slots, so concurrent row gathers never span
+/// a plane another thread is writing.
+template <class Policy>
+void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
+                        const common::Field3<typename Policy::storage_t>& src,
+                        const common::Field3<typename Policy::storage_t>& inv_rho,
+                        typename Policy::compute_t alpha,
+                        typename Policy::compute_t dx,
+                        typename Policy::compute_t dy,
+                        typename Policy::compute_t dz, int color, int k0,
+                        int k1, bool batch = true);
+
+/// One Jacobi pass restricted to planes k ∈ [k0, k1): reads `in` (planes
+/// k0-1..k1 and the rim ghosts of [k0,k1)), writes `out`.  The caller owns
+/// the double-buffer bookkeeping (sigma_sweep_once swaps whole fields; a
+/// pipelined caller alternates buffers per sweep and swaps once at the end).
+template <class Policy>
+void sigma_jacobi_planes(common::Field3<typename Policy::storage_t>& out,
+                         const common::Field3<typename Policy::storage_t>& in,
+                         const common::Field3<typename Policy::storage_t>& src,
+                         const common::Field3<typename Policy::storage_t>& inv_rho,
+                         typename Policy::compute_t alpha,
+                         typename Policy::compute_t dx,
+                         typename Policy::compute_t dy,
+                         typename Policy::compute_t dz, int k0, int k1,
+                         bool batch = true);
+
 /// Relaxation sweeps for eq. (9).
 ///
 /// \param sigma    In: warm start (previous Sigma).  Out: updated solution.

@@ -11,12 +11,14 @@
 namespace igr::fv {
 
 template <class T>
-double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
-                  const eos::IdealGas& eos, const common::SolverConfig& cfg,
-                  const common::Field3<T>* sigma) {
-  const int nx = q.nx(), ny = q.ny(), nz = q.nz();
-  double max_rate = 1e-300;
-  double min_rho = 1e300;
+void accumulate_cfl_rates(const common::StateField3<T>& q,
+                          const mesh::Grid& grid, const eos::IdealGas& eos,
+                          const common::SolverConfig& cfg,
+                          const common::Field3<T>* sigma, int k0, int k1,
+                          CflRates& r) {
+  const int nx = q.nx(), ny = q.ny();
+  double max_rate = r.max_rate;
+  double min_rho = r.min_rho;
 
   // For binary16 storage, pull each row through the batched conversion
   // lanes once instead of 6 scalar conversions per cell.  The rate math
@@ -30,7 +32,7 @@ double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
 
 #pragma omp parallel for reduction(max : max_rate) reduction(min : min_rho) \
     firstprivate(row_buf)
-  for (int k = 0; k < nz; ++k) {
+  for (int k = k0; k < k1; ++k) {
     for (int j = 0; j < ny; ++j) {
       if constexpr (std::is_same_v<T, common::half>) {
         if (batch_rows) {
@@ -82,10 +84,16 @@ double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
     }
   }
 
-  double dt = cfg.cfl / max_rate;
+  r.max_rate = max_rate;
+  r.min_rho = min_rho;
+}
+
+double cfl_dt_from_rates(const CflRates& r, const mesh::Grid& grid,
+                         const common::SolverConfig& cfg) {
+  double dt = cfg.cfl / r.max_rate;
 
   // Explicit-diffusion stability when viscous terms are active.
-  const double nu = std::max(cfg.mu, cfg.zeta) / std::max(min_rho, 1e-300);
+  const double nu = std::max(cfg.mu, cfg.zeta) / std::max(r.min_rho, 1e-300);
   if (nu > 0.0) {
     const double inv2 = 1.0 / (grid.dx() * grid.dx()) +
                         1.0 / (grid.dy() * grid.dy()) +
@@ -95,18 +103,29 @@ double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
   return dt;
 }
 
-template double compute_dt<double>(const common::StateField3<double>&,
-                                   const mesh::Grid&, const eos::IdealGas&,
-                                   const common::SolverConfig&,
-                                   const common::Field3<double>*);
-template double compute_dt<float>(const common::StateField3<float>&,
-                                  const mesh::Grid&, const eos::IdealGas&,
-                                  const common::SolverConfig&,
-                                  const common::Field3<float>*);
-template double compute_dt<common::half>(
-    const common::StateField3<common::half>&, const mesh::Grid&,
-    const eos::IdealGas&, const common::SolverConfig&,
-    const common::Field3<common::half>*);
+template <class T>
+double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
+                  const eos::IdealGas& eos, const common::SolverConfig& cfg,
+                  const common::Field3<T>* sigma) {
+  CflRates r;
+  accumulate_cfl_rates(q, grid, eos, cfg, sigma, 0, q.nz(), r);
+  return cfl_dt_from_rates(r, grid, cfg);
+}
+
+#define IGR_INSTANTIATE_CFL(T)                                                 \
+  template void accumulate_cfl_rates<T>(                                       \
+      const common::StateField3<T>&, const mesh::Grid&, const eos::IdealGas&,  \
+      const common::SolverConfig&, const common::Field3<T>*, int, int,         \
+      CflRates&);                                                              \
+  template double compute_dt<T>(const common::StateField3<T>&,                 \
+                                const mesh::Grid&, const eos::IdealGas&,       \
+                                const common::SolverConfig&,                   \
+                                const common::Field3<T>*);
+
+IGR_INSTANTIATE_CFL(double)
+IGR_INSTANTIATE_CFL(float)
+IGR_INSTANTIATE_CFL(common::half)
+#undef IGR_INSTANTIATE_CFL
 
 double compute_dt_1d(const double* rho, const double* mom, const double* e,
                      int n, double dx, double gamma, double cfl) {

@@ -12,10 +12,38 @@
 
 namespace igr::fv {
 
+/// Running extrema of the CFL scan: the acoustic spectral-radius maximum and
+/// the density minimum (the latter feeds the explicit-diffusion limit).
+/// Both reductions are exact max/min — accumulation order cannot change the
+/// result — so a fused solver may fold the scan into any traversal that
+/// visits every interior cell once and still produce the bitwise dt of a
+/// dedicated pass.
+struct CflRates {
+  double max_rate = 1e-300;
+  double min_rho = 1e300;
+};
+
+/// Accumulate the CFL extrema over interior planes k ∈ [k0, k1) into `r`.
+/// Per-cell arithmetic is identical to compute_dt's (double regardless of
+/// storage precision; `sigma`, when given, augments the acoustic speed).
+template <class T>
+void accumulate_cfl_rates(const common::StateField3<T>& q,
+                          const mesh::Grid& grid, const eos::IdealGas& eos,
+                          const common::SolverConfig& cfg,
+                          const common::Field3<T>* sigma, int k0, int k1,
+                          CflRates& r);
+
+/// The dt the accumulated extrema imply (advective limit, plus the
+/// explicit-diffusion limit when viscosities are active).
+double cfl_dt_from_rates(const CflRates& r, const mesh::Grid& grid,
+                         const common::SolverConfig& cfg);
+
 /// Maximum stable dt for conservative state `q` on `grid`.
 /// Computed in double regardless of storage precision.  When `sigma` is
 /// given, the entropic pressure augments the acoustic speed (eqs. 7-8 add
 /// Sigma to p), tightening the bound for large regularization strengths.
+/// Composes accumulate_cfl_rates over the full interior with
+/// cfl_dt_from_rates.
 template <class T>
 double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
                   const eos::IdealGas& eos, const common::SolverConfig& cfg,

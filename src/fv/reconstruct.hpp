@@ -97,22 +97,34 @@ FacePair<T> reconstruct(ReconScheme scheme, const std::array<T, 6>& s) {
 /// coefficients: the array-based named operators above and the runtime
 /// `reconstruct(scheme, s)` all forward here, which also makes the two
 /// dispatch styles bitwise-identical (tests/test_flux_dispatch.cpp).
+/// Value form of the 6-point stencil operators: the single home of the
+/// stencil arithmetic.  The pointer form below forwards here, and the
+/// row-streaming flux kernel calls it with one value per stencil row — so a
+/// gathered line and six strided rows feed the exact same expressions and
+/// produce the exact same bits.
+template <ReconScheme R, class T>
+inline FacePair<T> reconstruct_vals(T s0, T s1, T s2, T s3, T s4, T s5) {
+  if constexpr (R == ReconScheme::kFirst) {
+    (void)s0; (void)s1; (void)s4; (void)s5;
+    return {s2, s3};
+  } else if constexpr (R == ReconScheme::kThird) {
+    (void)s0; (void)s5;
+    return {(-s1 + T(5) * s2 + T(2) * s3) / T(6),
+            (T(2) * s2 + T(5) * s3 - s4) / T(6)};
+  } else if constexpr (R == ReconScheme::kFifth) {
+    return {(T(2) * s0 - T(13) * s1 + T(47) * s2 + T(27) * s3 -
+             T(3) * s4) / T(60),
+            (-T(3) * s1 + T(27) * s2 + T(47) * s3 - T(13) * s4 +
+             T(2) * s5) / T(60)};
+  } else {
+    return {weno5_side(s0, s1, s2, s3, s4),
+            weno5_side(s5, s4, s3, s2, s1)};
+  }
+}
+
 template <ReconScheme R, class T>
 inline FacePair<T> reconstruct_fixed(const T* s) {
-  if constexpr (R == ReconScheme::kFirst) {
-    return {s[2], s[3]};
-  } else if constexpr (R == ReconScheme::kThird) {
-    return {(-s[1] + T(5) * s[2] + T(2) * s[3]) / T(6),
-            (T(2) * s[2] + T(5) * s[3] - s[4]) / T(6)};
-  } else if constexpr (R == ReconScheme::kFifth) {
-    return {(T(2) * s[0] - T(13) * s[1] + T(47) * s[2] + T(27) * s[3] -
-             T(3) * s[4]) / T(60),
-            (-T(3) * s[1] + T(27) * s[2] + T(47) * s[3] - T(13) * s[4] +
-             T(2) * s[5]) / T(60)};
-  } else {
-    return {weno5_side(s[0], s[1], s[2], s[3], s[4]),
-            weno5_side(s[5], s[4], s[3], s[2], s[1])};
-  }
+  return reconstruct_vals<R>(s[0], s[1], s[2], s[3], s[4], s[5]);
 }
 
 /// Runtime-dispatched pointer variant; the reference path.  Hot loops should
@@ -136,6 +148,11 @@ struct ReconFixed {
   template <class T>
   FacePair<T> operator()(const T* s) const {
     return reconstruct_fixed<R, T>(s);
+  }
+  /// Value form for row-streaming kernels (stencil rows, one value each).
+  template <class T>
+  FacePair<T> vals(T s0, T s1, T s2, T s3, T s4, T s5) const {
+    return reconstruct_vals<R, T>(s0, s1, s2, s3, s4, s5);
   }
 };
 

@@ -135,6 +135,49 @@ TEST(Distributed, NonPeriodicOutflowMatchesSingleDomain) {
               << c << " " << i << " " << j << " " << k;
 }
 
+TEST(Distributed, EightRankFusedMatchesSingleDomainBitwise) {
+  // Rank solvers built with the fused pipeline (the default): streamed
+  // flux blocks and the interleaved source build run inside every phase
+  // the driver orchestrates, while the single-domain side additionally
+  // runs the full fused step (plane-pipelined sweeps under the Neumann
+  // sigma boundary, RK fold, dt fold).  Jacobi sweeps keep the
+  // decomposition exact, so the 2x2x2 run must stay bitwise-identical to
+  // the single-domain fused solver — state and adaptive dt — and both must
+  // match the phased reference.
+  auto cfg = jacobi_cfg();
+  ASSERT_TRUE(cfg.fused_rhs);
+  const auto g = Grid::cube(kN);
+  const auto bc = BcSpec::all_outflow();
+
+  IgrSolver3D<Fp64> fused_single(g, cfg, bc);
+  fused_single.init(smooth_ic());
+  auto phased_cfg = cfg;
+  phased_cfg.fused_rhs = false;
+  IgrSolver3D<Fp64> phased_single(g, phased_cfg, bc);
+  phased_single.init(smooth_ic());
+  DistributedIgr<Fp64> dist(g, 2, 2, 2, cfg, bc);
+  dist.init(smooth_ic());
+
+  for (int step = 0; step < 2; ++step) {
+    const double dt_fused = fused_single.step();
+    const double dt_phased = phased_single.step();
+    const double dt_dist = dist.step();
+    ASSERT_EQ(dt_fused, dt_phased) << "step " << step;
+    ASSERT_EQ(dt_fused, dt_dist) << "step " << step;
+  }
+  const auto gathered = dist.gather();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < kN; ++k)
+      for (int j = 0; j < kN; ++j)
+        for (int i = 0; i < kN; ++i) {
+          ASSERT_EQ(fused_single.state()[c](i, j, k), gathered[c](i, j, k))
+              << "comp " << c << " cell " << i << "," << j << "," << k;
+          ASSERT_EQ(fused_single.state()[c](i, j, k),
+                    phased_single.state()[c](i, j, k))
+              << "comp " << c << " cell " << i << "," << j << "," << k;
+        }
+}
+
 TEST(Distributed, CflStepMatchesSingleDomainDt) {
   const auto g = Grid::cube(kN);
   const auto cfg = jacobi_cfg();

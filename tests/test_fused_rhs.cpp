@@ -1,0 +1,234 @@
+/// Fused-pipeline equivalence: the plane-streaming RHS schedule
+/// (SolverConfig::fused_rhs, the production default) must be *bitwise
+/// identical* — state, Sigma, RHS, and dt — to the phased reference
+/// schedule it replaces.  Every slot of the fused wavefront reads exactly
+/// the values the phased full-grid passes would show it (see the pipeline
+/// notes in igr_solver3d.cpp); any divergence is a scheduling bug, not
+/// roundoff.  Same discipline as the dispatch-equivalence and
+/// batch-conversion regression tests, and it relies on the same
+/// reproducibility flags pinned in CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "app/jet_config.hpp"
+#include "common/precision.hpp"
+#include "core/igr_solver3d.hpp"
+#include "fv/cfl.hpp"
+#include "mesh/grid.hpp"
+
+namespace {
+
+using igr::common::Fp16x32;
+using igr::common::Fp32;
+using igr::common::Fp64;
+using igr::common::kNumVars;
+using igr::core::IgrSolver3D;
+using igr::fv::BcSpec;
+using igr::fv::ReconScheme;
+using igr::mesh::Grid;
+
+template <class S>
+bool bits_equal(const S& a, const S& b) {
+  return std::memcmp(&a, &b, sizeof(S)) == 0;
+}
+
+/// The bench harness's Mach-10 jet at smoke size (outflow/inflow faces, so
+/// the Sigma boundary handling is Neumann and the sweep wavefront engages).
+template <class Policy>
+IgrSolver3D<Policy> make_jet(bool fused, ReconScheme recon,
+                             bool gauss_seidel = true, int block = 8,
+                             int n = 12) {
+  const auto jet = igr::app::single_engine();
+  auto cfg = jet.solver_config();
+  cfg.fused_rhs = fused;
+  cfg.fused_flux_block = block;
+  cfg.sigma_gauss_seidel = gauss_seidel;
+  const Grid grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0}, {0.0, 1.5});
+  IgrSolver3D<Policy> s(grid, cfg, jet.make_bc(), recon);
+  s.init(jet.initial_condition(0.005));
+  return s;
+}
+
+/// All-periodic variant: exercises the periodic-Sigma fallback (phased
+/// sweeps inside the fused schedule) plus the streamed flux/RK/dt folds.
+template <class Policy>
+IgrSolver3D<Policy> make_periodic(bool fused, ReconScheme recon, int n = 12) {
+  igr::common::SolverConfig cfg;
+  cfg.fused_rhs = fused;
+  const Grid grid = Grid::cube(n);
+  IgrSolver3D<Policy> s(grid, cfg, BcSpec::all_periodic(), recon);
+  s.init([](double x, double y, double z) {
+    igr::common::Prim<double> w;
+    w.rho = 1.0 + 0.3 * std::sin(2 * M_PI * x) * std::cos(2 * M_PI * y);
+    w.u = 0.4 * std::sin(2 * M_PI * y);
+    w.v = -0.2 * std::cos(2 * M_PI * z);
+    w.w = 0.1 * std::sin(2 * M_PI * (x + z));
+    w.p = 1.0 + 0.2 * std::cos(2 * M_PI * x);
+    return w;
+  });
+  return s;
+}
+
+template <class Policy>
+void expect_state_sigma_equal(const IgrSolver3D<Policy>& a,
+                              const IgrSolver3D<Policy>& b) {
+  const auto& g = a.grid();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < g.nz(); ++k)
+      for (int j = 0; j < g.ny(); ++j)
+        for (int i = 0; i < g.nx(); ++i)
+          ASSERT_TRUE(bits_equal(a.state()[c](i, j, k), b.state()[c](i, j, k)))
+              << "var " << c << " at (" << i << "," << j << "," << k << ")";
+  for (int k = 0; k < g.nz(); ++k)
+    for (int j = 0; j < g.ny(); ++j)
+      for (int i = 0; i < g.nx(); ++i)
+        ASSERT_TRUE(bits_equal(a.sigma()(i, j, k), b.sigma()(i, j, k)))
+            << "sigma at (" << i << "," << j << "," << k << ")";
+}
+
+template <class Policy>
+void expect_rhs_equal(IgrSolver3D<Policy>& a, IgrSolver3D<Policy>& b) {
+  const auto& g = a.grid();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < g.nz(); ++k)
+      for (int j = 0; j < g.ny(); ++j)
+        for (int i = 0; i < g.nx(); ++i)
+          ASSERT_TRUE(bits_equal(a.rhs_field()[c](i, j, k),
+                                 b.rhs_field()[c](i, j, k)))
+              << "rhs var " << c << " at (" << i << "," << j << "," << k
+              << ")";
+}
+
+const ReconScheme kRecons[] = {ReconScheme::kFirst, ReconScheme::kThird,
+                               ReconScheme::kFifth};
+
+template <class Policy>
+void run_compute_rhs_case() {
+  for (auto recon : kRecons) {
+    auto phased = make_jet<Policy>(/*fused=*/false, recon);
+    auto fused = make_jet<Policy>(/*fused=*/true, recon);
+    // Stir the state so Sigma and the fallback/floor paths are exercised.
+    phased.step_fixed(1e-4);
+    fused.step_fixed(1e-4);
+    phased.begin_step();
+    fused.begin_step();
+    phased.compute_rhs(phased.stage_field(), phased.rhs_field());
+    fused.compute_rhs_fused(fused.stage_field(), fused.rhs_field());
+    expect_rhs_equal(phased, fused);
+    expect_state_sigma_equal(phased, fused);
+  }
+}
+
+template <class Policy>
+void run_adaptive_steps_case(bool gauss_seidel) {
+  for (auto recon : kRecons) {
+    auto phased = make_jet<Policy>(/*fused=*/false, recon, gauss_seidel);
+    auto fused = make_jet<Policy>(/*fused=*/true, recon, gauss_seidel);
+    // Three adaptive steps: the first dt comes from the dedicated CFL scan
+    // on both sides; the later fused dts come from the reduction folded
+    // into the previous step's final RK stage.
+    for (int s = 0; s < 3; ++s) {
+      const double dt_p = phased.step();
+      const double dt_f = fused.step();
+      ASSERT_EQ(dt_p, dt_f) << "step " << s;
+    }
+    expect_state_sigma_equal(phased, fused);
+  }
+}
+
+TEST(FusedRhs, ComputeRhsBitwiseFp64) { run_compute_rhs_case<Fp64>(); }
+TEST(FusedRhs, ComputeRhsBitwiseFp32) { run_compute_rhs_case<Fp32>(); }
+TEST(FusedRhs, ComputeRhsBitwiseFp16x32) { run_compute_rhs_case<Fp16x32>(); }
+
+TEST(FusedRhs, AdaptiveJetStepsBitwiseFp64) {
+  run_adaptive_steps_case<Fp64>(/*gauss_seidel=*/true);
+}
+TEST(FusedRhs, AdaptiveJetStepsBitwiseFp32) {
+  run_adaptive_steps_case<Fp32>(/*gauss_seidel=*/true);
+}
+TEST(FusedRhs, AdaptiveJetStepsBitwiseFp16x32) {
+  run_adaptive_steps_case<Fp16x32>(/*gauss_seidel=*/true);
+}
+
+TEST(FusedRhs, AdaptiveJetStepsBitwiseJacobiFp64) {
+  // The Jacobi wavefront alternates buffers per plane slot instead of
+  // swapping whole fields per sweep; the final swap must land the same
+  // bits in the same field object.
+  run_adaptive_steps_case<Fp64>(/*gauss_seidel=*/false);
+}
+TEST(FusedRhs, AdaptiveJetStepsBitwiseJacobiFp16x32) {
+  run_adaptive_steps_case<Fp16x32>(/*gauss_seidel=*/false);
+}
+
+TEST(FusedRhs, PeriodicFallbackStepsBitwiseFp64) {
+  // All-periodic BCs: the sweep wavefront cannot cross the z wrap, so the
+  // fused schedule keeps phased sweeps — but still streams source, fluxes,
+  // RK, and the dt fold, which must stay bitwise.
+  auto phased = make_periodic<Fp64>(false, ReconScheme::kFifth);
+  auto fused = make_periodic<Fp64>(true, ReconScheme::kFifth);
+  for (int s = 0; s < 3; ++s) ASSERT_EQ(phased.step(), fused.step());
+  expect_state_sigma_equal(phased, fused);
+}
+
+TEST(FusedRhs, PeriodicFallbackStepsBitwiseFp16x32) {
+  auto phased = make_periodic<Fp16x32>(false, ReconScheme::kFifth);
+  auto fused = make_periodic<Fp16x32>(true, ReconScheme::kFifth);
+  for (int s = 0; s < 3; ++s) ASSERT_EQ(phased.step(), fused.step());
+  expect_state_sigma_equal(phased, fused);
+}
+
+TEST(FusedRhs, FluxBlockThicknessIsBitwiseFree) {
+  // The k-block seams of the streamed flux stage re-evaluate shared faces;
+  // every block thickness (clamped up to the stencil radius) must produce
+  // identical bits, including the degenerate one-block case.
+  for (int block : {1, 3, 4, 5, 18, 64}) {
+    auto ref = make_jet<Fp64>(/*fused=*/false, ReconScheme::kFifth);
+    auto fused =
+        make_jet<Fp64>(/*fused=*/true, ReconScheme::kFifth, true, block);
+    for (int s = 0; s < 2; ++s) ASSERT_EQ(fused.step(), ref.step());
+    expect_state_sigma_equal(ref, fused);
+  }
+}
+
+TEST(FusedRhs, RegionRestrictedFluxesMatchPhased) {
+  // The interior/boundary split DistributedIgr overlaps with halo traffic,
+  // run through the fused (k-block-streamed) flux path, must still union to
+  // the phased full-region sweep bitwise.
+  for (auto recon : kRecons) {
+    auto phased = make_jet<Fp64>(/*fused=*/false, recon);
+    auto fused = make_jet<Fp64>(/*fused=*/true, recon);
+    phased.step_fixed(1e-4);
+    fused.step_fixed(1e-4);
+    phased.begin_step();
+    fused.begin_step();
+    // Identical Sigma solve on both sides, then split vs whole fluxes.
+    phased.compute_rhs(phased.stage_field(), phased.rhs_field());
+    fused.apply_domain_bc(fused.stage_field());
+    fused.build_sigma_source(fused.stage_field());
+    for (int s = 0; s < fused.config().sigma_sweeps; ++s) {
+      igr::core::fill_sigma_ghosts(fused.sigma_field(),
+                                   igr::core::SigmaBc::kNeumann, 1);
+      fused.sigma_sweep(fused.stage_field());
+    }
+    fused.fill_sigma_boundary();
+    fused.compute_fluxes_interior(fused.stage_field(), fused.rhs_field(), 2);
+    fused.compute_fluxes_boundary(fused.stage_field(), fused.rhs_field(), 2);
+    expect_rhs_equal(phased, fused);
+  }
+}
+
+TEST(FusedRhs, StepFixedThenAdaptiveUsesFreshDtCache) {
+  // step_fixed refreshes the folded CFL cache too, so a mixed
+  // step_fixed/step sequence sees the dt a phased solver would compute.
+  auto phased = make_jet<Fp64>(/*fused=*/false, ReconScheme::kFifth);
+  auto fused = make_jet<Fp64>(/*fused=*/true, ReconScheme::kFifth);
+  phased.step_fixed(1e-4);
+  fused.step_fixed(1e-4);
+  ASSERT_EQ(phased.step(), fused.step());
+  expect_state_sigma_equal(phased, fused);
+}
+
+}  // namespace
