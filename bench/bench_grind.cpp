@@ -9,10 +9,14 @@
 ///
 /// Usage:
 ///   bench_grind [--smoke] [--n N] [--warmup W] [--steps S]
-///               [--label NAME] [--out PATH]
+///               [--case NAME]... [--label NAME] [--out PATH]
 ///
 /// --smoke shrinks the grid and step counts to a seconds-scale run for CI
 /// (ctest label `bench-smoke`); default sizes match the checked-in numbers.
+/// Each --case NAME (repeatable; see `run_case --list`) appends IGR grind
+/// rows for that registered scenario at every precision, so grind time is
+/// tracked per workload *shape* — BC mix, smooth vs shock-dominated —
+/// rather than jet-only.
 
 #include <array>
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cases/case.hpp"
 #include "common/half.hpp"
 #include "common/precision.hpp"
 
@@ -31,6 +36,7 @@ using namespace igr;
 using app::SchemeKind;
 
 struct Row {
+  std::string workload = "mach10_single_jet";
   std::string scheme;
   std::string precision;
   std::string recon;
@@ -49,21 +55,13 @@ const char* recon_name(fv::ReconScheme r) {
   return "?";
 }
 
-template <class Policy>
-Row run_one(SchemeKind scheme, fv::ReconScheme recon, int n, int warmup,
-            int steps) {
-  Row r;
-  r.scheme = (scheme == SchemeKind::kIgr) ? "igr" : "baseline_weno_hllc";
-  r.precision = std::string(Policy::name);
-  r.recon = recon_name(scheme == SchemeKind::kIgr ? recon
-                                                  : fv::ReconScheme::kWeno5);
-  const auto s = bench::measure_grind<Policy>(scheme, n, warmup, steps, recon);
+Row report_row(Row r, const igr::bench::GrindSample& s) {
   r.grind_ns = s.grind_ns;
   r.has_phases = s.has_phases;
   r.phase_ns = s.phase_ns;
-  std::printf("  %-20s %-8s %-7s %10.1f ns/cell/step  (%.3g cells/s)",
-              r.scheme.c_str(), r.precision.c_str(), r.recon.c_str(),
-              r.grind_ns, 1.0e9 / r.grind_ns);
+  std::printf("  %-18s %-20s %-8s %-7s %10.1f ns/cell/step  (%.3g cells/s)",
+              r.workload.c_str(), r.scheme.c_str(), r.precision.c_str(),
+              r.recon.c_str(), r.grind_ns, 1.0e9 / r.grind_ns);
   if (r.has_phases) {
     std::printf("  [");
     for (int p = 0; p < igr::common::PhaseProfile::kNumPhases; ++p) {
@@ -78,6 +76,32 @@ Row run_one(SchemeKind scheme, fv::ReconScheme recon, int n, int warmup,
   std::printf("\n");
   std::fflush(stdout);
   return r;
+}
+
+template <class Policy>
+Row run_one(SchemeKind scheme, fv::ReconScheme recon, int n, int warmup,
+            int steps) {
+  Row r;
+  r.scheme = (scheme == SchemeKind::kIgr) ? "igr" : "baseline_weno_hllc";
+  r.precision = std::string(Policy::name);
+  r.recon = recon_name(scheme == SchemeKind::kIgr ? recon
+                                                  : fv::ReconScheme::kWeno5);
+  return report_row(std::move(r),
+                    bench::measure_grind<Policy>(scheme, n, warmup, steps,
+                                                 recon));
+}
+
+template <class Policy>
+Row run_case_row(const igr::cases::CaseSpec& spec, int n, int warmup,
+                 int steps) {
+  Row r;
+  r.workload = spec.name;
+  r.scheme = "igr";
+  r.precision = std::string(Policy::name);
+  r.recon = recon_name(fv::ReconScheme::kFifth);
+  return report_row(std::move(r),
+                    bench::measure_case_grind<Policy>(
+                        spec, SchemeKind::kIgr, n, warmup, steps));
 }
 
 void write_json(const std::string& path, const std::string& label, int n,
@@ -102,11 +126,12 @@ void write_json(const std::string& path, const std::string& label, int n,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     std::fprintf(f,
-                 "    {\"scheme\": \"%s\", \"precision\": \"%s\", "
+                 "    {\"workload\": \"%s\", \"scheme\": \"%s\", "
+                 "\"precision\": \"%s\", "
                  "\"recon\": \"%s\", \"grind_ns_per_cell_step\": %.2f, "
                  "\"cells_per_sec\": %.0f",
-                 r.scheme.c_str(), r.precision.c_str(), r.recon.c_str(),
-                 r.grind_ns, 1.0e9 / r.grind_ns);
+                 r.workload.c_str(), r.scheme.c_str(), r.precision.c_str(),
+                 r.recon.c_str(), r.grind_ns, 1.0e9 / r.grind_ns);
     if (r.has_phases) {
       // Per-phase attribution (same unit as the headline figure; the
       // remainder to grind_ns_per_cell_step is untimed orchestration).
@@ -132,6 +157,7 @@ int main(int argc, char** argv) {
   int n = 32, warmup = 2, steps = 3;
   std::string out = "BENCH_grind.json";
   std::string label = "grind";
+  std::vector<std::string> case_names;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -153,6 +179,8 @@ int main(int argc, char** argv) {
       warmup = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--steps")) {
       steps = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--case")) {
+      case_names.emplace_back(next());
     } else if (!std::strcmp(argv[i], "--out")) {
       out = next();
     } else if (!std::strcmp(argv[i], "--label")) {
@@ -173,6 +201,19 @@ int main(int argc, char** argv) {
                  "bench_grind: need --n >= 8 (reconstruction stencil + "
                  "inflow patch), --steps >= 1, --warmup >= 0\n");
     return 2;
+  }
+
+  // Fail fast on a bad case name — before minutes of jet matrix are spent.
+  std::vector<const igr::cases::CaseSpec*> case_specs;
+  for (const auto& name : case_names) {
+    const auto* spec = igr::cases::find(name);
+    if (!spec) {
+      std::fprintf(stderr,
+                   "bench_grind: unknown case '%s' (see run_case --list)\n",
+                   name.c_str());
+      return 2;
+    }
+    case_specs.push_back(spec);
   }
 
   std::printf("igrflow bench_grind: n=%d warmup=%d steps=%d half_backend=%s\n",
@@ -199,6 +240,14 @@ int main(int argc, char** argv) {
                                fv::ReconScheme::kWeno5, n, warmup, steps));
   rows.push_back(run_one<Fp32>(SchemeKind::kBaselineWeno,
                                fv::ReconScheme::kWeno5, n, warmup, steps));
+
+  // Per-case grind rows (recon5, all IGR precisions): grind tracked per
+  // scenario shape, not jet-only.
+  for (const auto* spec : case_specs) {
+    rows.push_back(run_case_row<Fp64>(*spec, n, warmup, steps));
+    rows.push_back(run_case_row<Fp32>(*spec, n, warmup, steps));
+    rows.push_back(run_case_row<Fp16x32>(*spec, n, warmup, steps));
+  }
 
   write_json(out, label, n, warmup, steps, rows);
   return 0;

@@ -10,6 +10,7 @@
 
 #include "app/jet_config.hpp"
 #include "app/simulation.hpp"
+#include "cases/case.hpp"
 #include "common/timer.hpp"
 
 namespace igr::bench {
@@ -52,6 +53,30 @@ app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32,
   return sim;
 }
 
+/// Any registered case as a bench workload: the spec's own grid/BC/config/
+/// initial-condition builders at resolution `n`, with the bench overrides
+/// (fused/phased, flux block) and per-phase timing applied — the same
+/// treatment make_jet_sim gives the paper's jet workload.
+template <class Policy>
+app::Simulation<Policy> make_case_sim(const cases::CaseSpec& spec,
+                                      app::SchemeKind scheme, int n = 32,
+                                      fv::ReconScheme recon =
+                                          fv::ReconScheme::kFifth) {
+  typename app::Simulation<Policy>::Params params;
+  params.grid = spec.grid(n);
+  params.cfg = spec.config();
+  params.cfg.phase_timing = true;
+  params.cfg.fused_rhs = bench_overrides().fused_rhs;
+  if (bench_overrides().fused_flux_block > 0)
+    params.cfg.fused_flux_block = bench_overrides().fused_flux_block;
+  params.bc = spec.bc();
+  params.scheme = scheme;
+  params.recon = recon;
+  app::Simulation<Policy> sim(params);
+  sim.init(spec.initial());
+  return sim;
+}
+
 /// One grind measurement: wall ns/cell/step plus, for the single-domain IGR
 /// scheme, the per-phase attribution (same unit; phases don't sum to the
 /// wall figure exactly — step orchestration overhead is untimed).
@@ -61,12 +86,12 @@ struct GrindSample {
   std::array<double, common::PhaseProfile::kNumPhases> phase_ns{};
 };
 
-/// Measure over `steps` steps after `warmup` untimed ones (the phase
-/// profile is reset after warmup so it covers exactly the timed window).
+/// Measure an already-initialized simulation over `steps` steps after
+/// `warmup` untimed ones (the phase profile is reset after warmup so it
+/// covers exactly the timed window).
 template <class Policy>
-GrindSample measure_grind(app::SchemeKind scheme, int n, int warmup, int steps,
-                          fv::ReconScheme recon = fv::ReconScheme::kFifth) {
-  auto sim = make_jet_sim<Policy>(scheme, n, recon);
+GrindSample measure_sim_grind(app::Simulation<Policy>& sim, int warmup,
+                              int steps) {
   sim.run_steps(warmup);
   if (auto* prof = sim.phase_profile()) prof->reset();
   common::WallTimer t;
@@ -85,6 +110,25 @@ GrindSample measure_grind(app::SchemeKind scheme, int n, int warmup, int steps,
     }
   }
   return s;
+}
+
+/// Grind of the paper's jet workload (the historical bench rows).
+template <class Policy>
+GrindSample measure_grind(app::SchemeKind scheme, int n, int warmup, int steps,
+                          fv::ReconScheme recon = fv::ReconScheme::kFifth) {
+  auto sim = make_jet_sim<Policy>(scheme, n, recon);
+  return measure_sim_grind(sim, warmup, steps);
+}
+
+/// Grind of a registered case (`bench_grind --case`).
+template <class Policy>
+GrindSample measure_case_grind(const cases::CaseSpec& spec,
+                               app::SchemeKind scheme, int n, int warmup,
+                               int steps,
+                               fv::ReconScheme recon =
+                                   fv::ReconScheme::kFifth) {
+  auto sim = make_case_sim<Policy>(spec, scheme, n, recon);
+  return measure_sim_grind(sim, warmup, steps);
 }
 
 /// Measure ns/cell/step over `steps` steps after `warmup` untimed ones.

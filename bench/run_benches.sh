@@ -28,8 +28,11 @@ if [[ ! -x "$root/$build/bench_grind" ]]; then
   exit 1
 fi
 
-# Grind-time matrix (the primary perf-trajectory artifact).
+# Grind-time matrix (the primary perf-trajectory artifact), with per-case
+# rows for the two canonical non-jet workload shapes (full-size flow adds
+# `--case ...` the same way; see PERF.md).
 "$root/$build/bench_grind" --smoke --label "$label" \
+    --case sod-x --case taylor-green \
     --out "$root/BENCH_${label}.json"
 
 # Executed strong/weak rank scaling of the distributed driver (full-size

@@ -1,0 +1,275 @@
+/// \file run_case.cpp
+/// Unified CLI over the case library: run any registered scenario at any
+/// precision, scheme, reconstruction order, and rank layout.
+///
+///   $ ./run_case --list
+///   $ ./run_case --case sod-x --n 64 --t-end 0.2 --vtk sod.vtk
+///   $ ./run_case --case taylor-green --precision fp16x32 --steps 50
+///   $ ./run_case --case jet-single --ranks 2,2,1 --steps 20
+///   $ ./run_case --case all --smoke --json CASES_smoke.json
+///
+/// `--case all` sweeps every registered case (at golden/smoke sizing with
+/// `--smoke`) and, with `--json`, writes the per-case diagnostics report CI
+/// uploads as a workflow artifact.
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cases/runner.hpp"
+#include "mesh/decomp.hpp"
+
+namespace {
+
+using namespace igr;
+
+struct CliOptions {
+  std::string case_name;
+  cases::Precision precision = cases::Precision::kFp64;
+  cases::RunOptions run;
+  bool smoke = false;
+  std::string vtk;
+  std::string json;
+  std::string save_ckpt;
+  std::string restart_ckpt;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: run_case --case NAME|all [--list]\n"
+      "                [--n N] [--steps S | --t-end T] [--smoke]\n"
+      "                [--precision fp64|fp32|fp16x32] [--scheme igr|weno]\n"
+      "                [--recon 1|3|5] [--ranks rx,ry,rz|N] [--jacobi]\n"
+      "                [--phased] [--vtk out.vtk] [--json out.json]\n"
+      "                [--save ckpt.bin] [--restart ckpt.bin]\n");
+  std::exit(code);
+}
+
+void list_cases() {
+  std::printf("%zu registered cases:\n", cases::all_cases().size());
+  for (const auto& c : cases::all_cases())
+    std::printf("  %-18s %s\n", c.name.c_str(), c.title.c_str());
+}
+
+std::array<int, 3> parse_ranks(const char* arg) {
+  int rx = 0, ry = 0, rz = 0;
+  char junk = '\0';
+  if (std::strchr(arg, ',')) {
+    if (std::sscanf(arg, "%d,%d,%d%c", &rx, &ry, &rz, &junk) == 3 &&
+        rx >= 1 && ry >= 1 && rz >= 1)
+      return {rx, ry, rz};
+  } else if (std::sscanf(arg, "%d%c", &rx, &junk) == 1 && rx >= 1) {
+    return mesh::Decomp::balanced_layout(rx);
+  }
+  std::fprintf(stderr, "run_case: bad --ranks '%s' (rx,ry,rz or N)\n", arg);
+  std::exit(2);
+}
+
+void print_result(const cases::CaseSpec& spec, const char* precision,
+                  const cases::RunResult& r) {
+  std::printf("%-18s %-8s %4d steps  t=%.5f  %8.1f ns/cell/step\n",
+              spec.name.c_str(), precision, r.steps, r.time, r.grind_ns);
+  std::printf(
+      "  max Mach %.3f  rho [%.4g, %.4g]  min p %.4g  KE %.5g  "
+      "enstrophy %.5g\n",
+      r.diag.max_mach, r.diag.min_density, r.diag.max_density,
+      r.diag.min_pressure, r.diag.kinetic_energy, r.diag.enstrophy);
+  const double m0 = r.totals_initial.rho, m1 = r.totals_final.rho;
+  const double e0 = r.totals_initial.e, e1 = r.totals_final.e;
+  std::printf("  mass %.8g (drift %.2e)  energy %.8g (drift %.2e)\n", m1,
+              (m1 - m0) / (std::abs(m0) + 1e-300), e1,
+              (e1 - e0) / (std::abs(e0) + 1e-300));
+  if (r.l1_error >= 0.0)
+    std::printf("  error vs analytic: L1 %.3e  Linf %.3e\n", r.l1_error,
+                r.linf_error);
+  if (r.diag.nonpositive_pressure_cells > 0)
+    std::printf("  (%zu start-up transient cells with non-positive p)\n",
+                r.diag.nonpositive_pressure_cells);
+}
+
+void json_result(std::FILE* f, const cases::CaseSpec& spec,
+                 const char* precision, const cases::RunResult& r,
+                 bool last) {
+  std::fprintf(f,
+               "    {\"case\": \"%s\", \"precision\": \"%s\", "
+               "\"cells\": %zu, \"steps\": %d, \"time\": %.9g,\n"
+               "     \"grind_ns_per_cell_step\": %.2f,\n"
+               "     \"diagnostics\": {\"max_mach\": %.9g, "
+               "\"min_density\": %.9g, \"max_density\": %.9g, "
+               "\"min_pressure\": %.9g, \"kinetic_energy\": %.9g, "
+               "\"total_mass\": %.12g, \"total_energy\": %.12g, "
+               "\"enstrophy\": %.9g, \"nonpositive_pressure_cells\": %zu},\n"
+               "     \"mass_drift\": %.3e, \"energy_drift\": %.3e",
+               spec.name.c_str(), precision, r.cells, r.steps, r.time,
+               r.grind_ns, r.diag.max_mach, r.diag.min_density,
+               r.diag.max_density, r.diag.min_pressure, r.diag.kinetic_energy,
+               r.diag.total_mass, r.diag.total_energy, r.diag.enstrophy,
+               r.diag.nonpositive_pressure_cells,
+               (r.totals_final.rho - r.totals_initial.rho) /
+                   (std::abs(r.totals_initial.rho) + 1e-300),
+               (r.totals_final.e - r.totals_initial.e) /
+                   (std::abs(r.totals_initial.e) + 1e-300));
+  if (r.l1_error >= 0.0)
+    std::fprintf(f, ",\n     \"l1_error\": %.6e, \"linf_error\": %.6e",
+                 r.l1_error, r.linf_error);
+  std::fprintf(f, "}%s\n", last ? "" : ",");
+}
+
+/// Run one case; VTK/checkpoint options only apply to single-case mode.
+cases::RunResult run_one(const cases::CaseSpec& spec, const CliOptions& cli) {
+  cases::RunOptions opts = cli.run;
+  if (cli.smoke) {
+    if (opts.n == 0) opts.n = spec.golden_n;
+    if (opts.steps == 0 && opts.t_end < 0.0) opts.steps = spec.golden_steps;
+  }
+  // One stateful drive per precision; the VTK/checkpoint blocks are no-ops
+  // when those options are empty, so every flow shares this path.
+  auto drive = [&](auto policy_tag) {
+    using Policy = decltype(policy_tag);
+    cases::CaseRun<Policy> run(spec, opts);
+    if (!cli.restart_ckpt.empty()) run.load_checkpoint(cli.restart_ckpt);
+    auto r = run.run();
+    if (!cli.save_ckpt.empty()) {
+      run.save_checkpoint(cli.save_ckpt);
+      std::printf("checkpoint -> %s\n", cli.save_ckpt.c_str());
+    }
+    if (!cli.vtk.empty()) {
+      run.sim().write_vtk(cli.vtk);
+      std::printf("vtk -> %s\n", cli.vtk.c_str());
+    }
+    return r;
+  };
+  switch (cli.precision) {
+    case cases::Precision::kFp32: return drive(common::Fp32{});
+    case cases::Precision::kFp16x32: return drive(common::Fp16x32{});
+    case cases::Precision::kFp64: break;
+  }
+  return drive(common::Fp64{});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "run_case: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--list")) {
+      list_cases();
+      return 0;
+    } else if (!std::strcmp(argv[i], "--case")) {
+      cli.case_name = next();
+    } else if (!std::strcmp(argv[i], "--n")) {
+      cli.run.n = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--steps")) {
+      cli.run.steps = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--t-end")) {
+      cli.run.t_end = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      cli.smoke = true;
+    } else if (!std::strcmp(argv[i], "--precision")) {
+      const char* p = next();
+      if (!cases::parse_precision(p, &cli.precision)) {
+        std::fprintf(stderr, "run_case: bad --precision '%s'\n", p);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--scheme")) {
+      const std::string s = next();
+      if (s == "igr") cli.run.scheme = app::SchemeKind::kIgr;
+      else if (s == "weno") cli.run.scheme = app::SchemeKind::kBaselineWeno;
+      else {
+        std::fprintf(stderr, "run_case: bad --scheme '%s'\n", s.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--recon")) {
+      const std::string r = next();
+      if (r == "1") cli.run.recon = fv::ReconScheme::kFirst;
+      else if (r == "3") cli.run.recon = fv::ReconScheme::kThird;
+      else if (r == "5") cli.run.recon = fv::ReconScheme::kFifth;
+      else {
+        std::fprintf(stderr, "run_case: bad --recon '%s' (1, 3, or 5)\n",
+                     r.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--ranks")) {
+      cli.run.ranks = parse_ranks(next());
+    } else if (!std::strcmp(argv[i], "--jacobi")) {
+      cli.run.jacobi_sweeps = true;
+    } else if (!std::strcmp(argv[i], "--phased")) {
+      cli.run.fused_rhs = false;
+    } else if (!std::strcmp(argv[i], "--vtk")) {
+      cli.vtk = next();
+    } else if (!std::strcmp(argv[i], "--json")) {
+      cli.json = next();
+    } else if (!std::strcmp(argv[i], "--save")) {
+      cli.save_ckpt = next();
+    } else if (!std::strcmp(argv[i], "--restart")) {
+      cli.restart_ckpt = next();
+    } else {
+      usage(!std::strcmp(argv[i], "--help") ? 0 : 2);
+    }
+  }
+  if (cli.case_name.empty()) usage(2);
+
+  std::vector<const cases::CaseSpec*> selected;
+  if (cli.case_name == "all") {
+    // One output file / one checkpoint cannot serve 14 differently shaped
+    // cases — these flows are single-case only.
+    if (!cli.vtk.empty() || !cli.save_ckpt.empty() ||
+        !cli.restart_ckpt.empty()) {
+      std::fprintf(stderr,
+                   "run_case: --vtk/--save/--restart need a single --case, "
+                   "not 'all'\n");
+      return 2;
+    }
+    for (const auto& c : cases::all_cases()) selected.push_back(&c);
+  } else {
+    const auto* spec = cases::find(cli.case_name);
+    if (!spec) {
+      std::fprintf(stderr, "run_case: unknown case '%s' (try --list)\n",
+                   cli.case_name.c_str());
+      return 2;
+    }
+    selected.push_back(spec);
+  }
+
+  std::vector<cases::RunResult> results;
+  results.reserve(selected.size());
+  for (const auto* spec : selected) {
+    try {
+      results.push_back(run_one(*spec, cli));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "run_case: %s: %s\n", spec->name.c_str(),
+                   e.what());
+      return 1;
+    }
+    print_result(*spec, cases::precision_name(cli.precision), results.back());
+  }
+
+  if (!cli.json.empty()) {
+    std::FILE* f = std::fopen(cli.json.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "run_case: cannot open %s\n", cli.json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"cases\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i)
+      json_result(f, *selected[i], cases::precision_name(cli.precision),
+                  results[i], i + 1 == results.size());
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", cli.json.c_str());
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "app/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <type_traits>
+#include <vector>
 
 #include "common/half.hpp"
+#include "io/checkpoint.hpp"
 
 namespace igr::app {
 
@@ -120,10 +123,20 @@ FlowDiagnostics Simulation<Policy>::diagnostics() const {
   FlowDiagnostics d;
   d.min_density = 1e300;
   d.min_pressure = 1e300;
+  const int nx = g.nx(), ny = g.ny(), nz = g.nz();
   const double dv = g.dx() * g.dy() * g.dz();
-  for (int k = 0; k < g.nz(); ++k) {
-    for (int j = 0; j < g.ny(); ++j) {
-      for (int i = 0; i < g.nx(); ++i) {
+  // Cell velocities, kept for the curl stencil of the enstrophy integral.
+  const std::size_t ncell = g.cells();
+  std::vector<double> vel[3];
+  for (auto& v : vel) v.resize(ncell);
+  const auto at = [nx, ny](int i, int j, int k) {
+    return (static_cast<std::size_t>(k) * ny + static_cast<std::size_t>(j)) *
+               nx +
+           static_cast<std::size_t>(i);
+  };
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
         common::Cons<double> qc;
         for (int c = 0; c < common::kNumVars; ++c)
           qc[c] = static_cast<double>(q[c](i, j, k));
@@ -141,10 +154,86 @@ FlowDiagnostics Simulation<Policy>::diagnostics() const {
         d.max_density = std::max(d.max_density, w.rho);
         d.min_pressure = std::min(d.min_pressure, w.p);
         d.kinetic_energy += 0.5 * w.rho * w.speed2() * dv;
+        d.total_mass += w.rho * dv;
+        d.total_energy += qc.e * dv;
+        vel[0][at(i, j, k)] = w.u;
+        vel[1][at(i, j, k)] = w.v;
+        vel[2][at(i, j, k)] = w.w;
+      }
+    }
+  }
+  // Enstrophy: |curl u|^2 integrated with central differences, degraded to
+  // one-sided at the domain faces (no ghost data is consulted, so the
+  // integral is identical for gathered decomposed states).
+  const auto deriv = [&](int comp, int axis, int i, int j, int k) {
+    int c[3] = {i, j, k};
+    const int n[3] = {nx, ny, nz};
+    const double h[3] = {g.dx(), g.dy(), g.dz()};
+    int lo[3] = {i, j, k}, hi[3] = {i, j, k};
+    lo[axis] = std::max(c[axis] - 1, 0);
+    hi[axis] = std::min(c[axis] + 1, n[axis] - 1);
+    const double span = (hi[axis] - lo[axis]) * h[axis];
+    if (span <= 0.0) return 0.0;  // single-cell extent along `axis`
+    return (vel[comp][at(hi[0], hi[1], hi[2])] -
+            vel[comp][at(lo[0], lo[1], lo[2])]) /
+           span;
+  };
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double wx = deriv(2, 1, i, j, k) - deriv(1, 2, i, j, k);
+        const double wy = deriv(0, 2, i, j, k) - deriv(2, 0, i, j, k);
+        const double wz = deriv(1, 0, i, j, k) - deriv(0, 1, i, j, k);
+        d.enstrophy += (wx * wx + wy * wy + wz * wz) * dv;
       }
     }
   }
   return d;
+}
+
+template <class Policy>
+void Simulation<Policy>::save_checkpoint(const std::string& path) const {
+  if (dist_)
+    throw std::logic_error(
+        "Simulation::save_checkpoint: decomposed runs are not "
+        "checkpointable yet (gather/scatter restart is future work)");
+  if (igr_) {
+    io::write_checkpoint(path, igr_->state(), igr_->time());
+    io::write_checkpoint_field(path + ".sigma", igr_->sigma(), igr_->time());
+  } else {
+    io::write_checkpoint(path, weno_->state(), weno_->time());
+  }
+}
+
+template <class Policy>
+void Simulation<Policy>::load_checkpoint(const std::string& path) {
+  if (dist_)
+    throw std::logic_error(
+        "Simulation::load_checkpoint: decomposed runs are not "
+        "checkpointable yet (gather/scatter restart is future work)");
+  gathered_dirty_ = true;
+  if (igr_) {
+    // Both files are stamped by the same save; a mismatched sibling .sigma
+    // would silently break the bitwise-continuation contract.  Compare the
+    // headers *before* mutating any solver field so a caught throw leaves
+    // the simulation untouched.
+    const double t_state = io::read_checkpoint_header(path).time;
+    const double t_sigma = io::read_checkpoint_header(path + ".sigma").time;
+    if (t_sigma != t_state)
+      throw std::runtime_error(
+          "Simulation::load_checkpoint: " + path + " (t=" +
+          std::to_string(t_state) + ") and its .sigma (t=" +
+          std::to_string(t_sigma) + ") are from different saves");
+    const double t = io::read_checkpoint(path, igr_->state());
+    io::read_checkpoint_field(path + ".sigma", igr_->sigma_field());
+    igr_->set_time(t);
+    // The fused pipeline's cached next-step dt belongs to the pre-restore
+    // state; force the next step() to rescan (which reproduces the same
+    // bits the cache would have held for a matching state + Sigma).
+    igr_->invalidate_dt_cache();
+  } else {
+    weno_->set_time(io::read_checkpoint(path, weno_->state()));
+  }
 }
 
 template <class Policy>

@@ -23,6 +23,12 @@ struct FlowDiagnostics {
   double max_density = 0.0;
   double min_pressure = 0.0;
   double kinetic_energy = 0.0;  ///< Integrated 1/2 rho |u|^2.
+  double total_mass = 0.0;      ///< Integrated rho (conserved on closed domains).
+  double total_energy = 0.0;    ///< Integrated E (conserved on closed domains).
+  /// Integrated |curl u|^2 — the vortical-decay metric of the Taylor–Green
+  /// and Kelvin–Helmholtz cases.  Central differences on interior cells,
+  /// one-sided at the domain faces.
+  double enstrophy = 0.0;
   /// Cells whose pressure is non-positive (start-up transients at an
   /// impulsively started high-Mach inflow); excluded from max_mach.
   std::size_t nonpositive_pressure_cells = 0;
@@ -77,6 +83,16 @@ class Simulation {
 
   /// Write density/pressure/velocity-magnitude to a legacy VTK file.
   void write_vtk(const std::string& path) const;
+
+  /// Checkpoint the run to `path` (single-domain runs only; decomposed runs
+  /// throw).  For the IGR scheme the entropic pressure Sigma is written
+  /// alongside the state (`path` + ".sigma") so a restarted run resumes
+  /// with the same warm start — and therefore continues *bitwise* identical
+  /// to the uninterrupted run (test-enforced through the case runner).
+  void save_checkpoint(const std::string& path) const;
+  /// Restore a checkpoint written by save_checkpoint (shape/precision must
+  /// match this simulation's parameters).
+  void load_checkpoint(const std::string& path);
 
  private:
   Params params_;

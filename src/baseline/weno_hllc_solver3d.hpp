@@ -48,6 +48,8 @@ class WenoHllcSolver3D {
   [[nodiscard]] const common::StateField3<S>& state() const { return q_; }
   [[nodiscard]] const mesh::Grid& grid() const { return grid_; }
   [[nodiscard]] double time() const { return time_; }
+  /// Restore the simulated-time clock (checkpoint restart).
+  void set_time(double t) { time_ = t; }
 
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] double storage_per_cell() const;

@@ -1,0 +1,97 @@
+#pragma once
+/// \file case.hpp
+/// Declarative scenario registry — the case library.
+///
+/// The paper positions IGR as a *general* shock-capturing regularization;
+/// this subsystem turns that claim into an executable surface.  A CaseSpec
+/// bundles everything needed to run one canonical compressible-flow
+/// scenario — grid/BC/EOS/solver-configuration builders, the initial
+/// condition, an analytic solution where one exists, and the golden
+/// diagnostic bands the regression harness asserts — behind one name.
+/// `cases::find`/`cases::list` expose the static registry to the unified
+/// runner (src/cases/runner.hpp, examples/run_case.cpp), the golden tests
+/// (tests/test_cases.cpp), and the per-case bench (`bench_grind --case`).
+///
+/// Registered families: Sod and Lax shock tubes along each axis (uniform
+/// Dirichlet ends), a Sedov-type blast, the Taylor–Green vortex, isentropic
+/// vortex advection (analytic solution → error norms), a Kelvin–Helmholtz
+/// shear layer, a shock–bubble interaction, and the Mach-10 jet family
+/// re-registered through the same interface.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/state.hpp"
+#include "core/igr_solver3d.hpp"
+#include "fv/bc.hpp"
+#include "mesh/grid.hpp"
+
+namespace igr::cases {
+
+/// Closed interval a golden diagnostic must land in.  The default band is
+/// unbounded (no check).
+struct Band {
+  double lo = -1e300;
+  double hi = 1e300;
+  [[nodiscard]] bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// Expected diagnostics over the case's golden run (golden_n cells,
+/// golden_steps steps, FP64) — the regression contract every PR re-checks.
+struct GoldenBounds {
+  Band max_mach{};
+  Band min_density{};
+  Band max_density{};
+  Band min_pressure{};
+  Band enstrophy{};
+  /// Relative tolerance for mass *and* total-energy conservation over the
+  /// golden run (0 disables — open boundaries with through-flow).  Closed
+  /// domains (periodic, walls, quiescent Dirichlet/outflow far fields the
+  /// waves have not reached) conserve to round-off.
+  double conservation_rtol = 0.0;
+  /// Ceiling on the L1 density error against the analytic solution at
+  /// (golden_n, default_t_end); 0 disables (cases without `exact`).
+  double l1_error_max = 0.0;
+};
+
+/// One declaratively registered scenario.
+struct CaseSpec {
+  std::string name;   ///< Registry key (CLI `--case NAME`).
+  std::string title;  ///< One-line description.
+
+  /// Grid at resolution parameter `n` (cases map `n` to their own extents
+  /// and aspect ratio; spacing is uniform).
+  std::function<mesh::Grid(int n)> grid;
+  std::function<fv::BcSpec()> bc;
+  std::function<common::SolverConfig()> config;
+  /// Initial condition: primitive state at a cell center.
+  std::function<core::PrimFn()> initial;
+  /// Analytic solution at time `t`, or empty if none (enables L1/L∞ error
+  /// norms in the runner and the convergence-order regressions).
+  std::function<common::Prim<double>(double x, double y, double z, double t)>
+      exact;
+
+  int default_n = 32;          ///< CLI default resolution.
+  double default_t_end = 0.0;  ///< CLI default end time (0: steps-driven).
+  int golden_n = 16;           ///< Golden-run resolution (tests, smoke).
+  int golden_steps = 10;       ///< Golden-run step count.
+  GoldenBounds golden;
+  /// The WENO/HLLC baseline can run this case (FP64/FP32 only — FP16/32
+  /// storage is IGR-only globally).  The runner rejects `--scheme weno`
+  /// for cases that turn this off; every current case leaves it on.
+  bool supports_weno = true;
+};
+
+/// The static registry, built on first use.
+const std::vector<CaseSpec>& all_cases();
+
+/// Look up a case by name; nullptr when unknown.
+const CaseSpec* find(std::string_view name);
+
+/// Registered case names, in registration order.
+std::vector<std::string_view> list();
+
+}  // namespace igr::cases

@@ -1,0 +1,25 @@
+#pragma once
+/// \file case_builders.hpp
+/// Internal seams between the registry and the per-family case definition
+/// translation units (shock_cases / smooth_cases / jet_cases).  Not part of
+/// the public cases API — include cases/case.hpp instead.
+
+#include <vector>
+
+#include "cases/case.hpp"
+
+namespace igr::cases::detail {
+
+/// Shock-dominated family: Sod/Lax tubes (x/y/z), Sedov-type blast,
+/// shock–bubble interaction.
+std::vector<CaseSpec> make_shock_cases();
+
+/// Smooth/vortical family: Taylor–Green, isentropic vortex (analytic),
+/// Kelvin–Helmholtz shear layer.
+std::vector<CaseSpec> make_smooth_cases();
+
+/// The paper's Mach-10 jet workloads re-registered through the case
+/// interface (single engine, three-engine row, 33-engine array).
+std::vector<CaseSpec> make_jet_cases();
+
+}  // namespace igr::cases::detail

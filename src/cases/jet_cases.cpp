@@ -1,0 +1,67 @@
+/// \file jet_cases.cpp
+/// The paper's Mach-10 jet workloads (app::JetConfig) re-registered through
+/// the declarative case interface, so the performance workload (§6.2), the
+/// Fig. 5 three-engine row, and the Fig. 1 33-engine array are runnable,
+/// benchable, and regression-checked through the same registry as every
+/// other scenario.  `jet-single` reproduces the bench harness workload
+/// exactly: same grid aspect (n, n, 3n/2), same config, same seeded initial
+/// condition.
+
+#include "app/jet_config.hpp"
+#include "cases/case_builders.hpp"
+
+namespace igr::cases::detail {
+
+namespace {
+
+CaseSpec make_jet(const std::string& name, const std::string& title,
+                  app::JetConfig jet) {
+  CaseSpec c;
+  c.name = name;
+  c.title = title;
+  c.grid = [](int n) {
+    return mesh::Grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0}, {0.0, 1.5});
+  };
+  c.bc = [jet] { return jet.make_bc(); };
+  c.config = [jet] { return jet.solver_config(); };
+  c.initial = [jet]() -> core::PrimFn {
+    // The bench/Fig. 5 seeding: smooth deterministic noise at 0.5%.
+    return jet.initial_condition(0.005);
+  };
+  c.default_n = 32;
+  c.default_t_end = 0.0;  // step-driven by default (start-up transient)
+  c.golden_n = 16;
+  c.golden_steps = 8;
+  // Impulsively started Mach-10 inflow: the floor-guarded start-up
+  // transient dominates the golden window — positivity of density is the
+  // contract; pressure may transiently floor (tracked separately in
+  // FlowDiagnostics::nonpositive_pressure_cells).
+  c.golden.max_mach = {0.5, 40.0};
+  c.golden.min_density = {1e-7, 1.1};
+  c.golden.max_density = {1.0, 50.0};
+  return c;
+}
+
+}  // namespace
+
+std::vector<CaseSpec> make_jet_cases() {
+  std::vector<CaseSpec> v;
+  v.push_back(make_jet("jet-single",
+                       "Mach-10 single-engine jet (the bench workload, 6.2)",
+                       app::single_engine()));
+  v.push_back(make_jet("jet-three",
+                       "Mach-10 three-engine row (the Fig. 5 precision study)",
+                       app::three_engine_row()));
+  {
+    auto c = make_jet("jet-33",
+                      "33-engine Super-Heavy-inspired array (Fig. 1)",
+                      app::super_heavy_33());
+    // 0.03-radius nozzles need cell centers inside them: golden at n = 32.
+    c.golden_n = 32;
+    c.golden_steps = 6;
+    v.push_back(std::move(c));
+  }
+  return v;
+}
+
+}  // namespace igr::cases::detail

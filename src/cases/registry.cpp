@@ -1,0 +1,36 @@
+#include "cases/case.hpp"
+
+#include "cases/case_builders.hpp"
+
+namespace igr::cases {
+
+const std::vector<CaseSpec>& all_cases() {
+  // Built on first use (no static-initialization-order dependence between
+  // the family translation units).
+  static const std::vector<CaseSpec> registry = [] {
+    std::vector<CaseSpec> v;
+    for (auto maker : {detail::make_shock_cases, detail::make_smooth_cases,
+                       detail::make_jet_cases}) {
+      auto family = maker();
+      v.insert(v.end(), std::make_move_iterator(family.begin()),
+               std::make_move_iterator(family.end()));
+    }
+    return v;
+  }();
+  return registry;
+}
+
+const CaseSpec* find(std::string_view name) {
+  for (const auto& c : all_cases())
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+std::vector<std::string_view> list() {
+  std::vector<std::string_view> names;
+  names.reserve(all_cases().size());
+  for (const auto& c : all_cases()) names.emplace_back(c.name);
+  return names;
+}
+
+}  // namespace igr::cases

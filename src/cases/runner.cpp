@@ -1,0 +1,166 @@
+#include "cases/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/half.hpp"
+
+namespace igr::cases {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp64: return "fp64";
+    case Precision::kFp32: return "fp32";
+    case Precision::kFp16x32: return "fp16x32";
+  }
+  return "?";
+}
+
+bool parse_precision(std::string_view s, Precision* out) {
+  if (s == "fp64") *out = Precision::kFp64;
+  else if (s == "fp32") *out = Precision::kFp32;
+  else if (s == "fp16x32") *out = Precision::kFp16x32;
+  else return false;
+  return true;
+}
+
+namespace {
+
+/// Conserved totals of the (gathered) interior in double — the golden
+/// checksum quantity, scheme- and layout-independent.
+template <class S>
+common::Cons<double> totals_of(const common::StateField3<S>& q,
+                               const mesh::Grid& g) {
+  const double dv = g.dx() * g.dy() * g.dz();
+  common::Cons<double> tot{};
+  for (int k = 0; k < g.nz(); ++k)
+    for (int j = 0; j < g.ny(); ++j)
+      for (int i = 0; i < g.nx(); ++i)
+        for (int c = 0; c < common::kNumVars; ++c)
+          tot[c] += static_cast<double>(q[c](i, j, k)) * dv;
+  return tot;
+}
+
+}  // namespace
+
+template <class Policy>
+CaseRun<Policy>::CaseRun(const CaseSpec& spec, const RunOptions& opts)
+    : spec_(&spec), opts_(opts) {
+  if (opts_.scheme == app::SchemeKind::kBaselineWeno && !spec.supports_weno)
+    throw std::invalid_argument("case '" + spec.name +
+                                "' is registered IGR-only (supports_weno is "
+                                "off)");
+  const int n = opts_.n > 0 ? opts_.n : spec.default_n;
+  if (opts_.steps > 0) {
+    target_steps_ = opts_.steps;
+  } else if (opts_.t_end >= 0.0) {
+    t_end_ = opts_.t_end;
+  } else if (spec.default_t_end > 0.0) {
+    t_end_ = spec.default_t_end;
+  } else {
+    target_steps_ = spec.golden_steps;
+  }
+
+  typename app::Simulation<Policy>::Params params;
+  params.grid = spec.grid(n);
+  params.cfg = spec.config();
+  params.cfg.fused_rhs = opts_.fused_rhs;
+  params.cfg.phase_timing = opts_.phase_timing;
+  if (opts_.jacobi_sweeps) params.cfg.sigma_gauss_seidel = false;
+  params.bc = spec.bc();
+  params.scheme = opts_.scheme;
+  params.recon = opts_.recon;
+  params.ranks = opts_.ranks;
+  sim_ = std::make_unique<app::Simulation<Policy>>(std::move(params));
+  sim_->init(spec.initial());
+  totals_initial_ = totals_of(sim_->state(), sim_->grid());
+}
+
+template <class Policy>
+CaseRun<Policy>::~CaseRun() = default;
+
+template <class Policy>
+double CaseRun<Policy>::step() {
+  const double dt = sim_->step();
+  ++steps_;
+  return dt;
+}
+
+template <class Policy>
+RunResult CaseRun<Policy>::run() {
+  if (target_steps_ > 0) {
+    while (steps_ < target_steps_) step();
+  } else {
+    while (sim_->time() < t_end_ - 1e-14) step();
+  }
+  return result();
+}
+
+template <class Policy>
+RunResult CaseRun<Policy>::result() const {
+  RunResult r;
+  r.diag = sim_->diagnostics();
+  r.totals_initial = totals_initial_;
+  r.totals_final = totals_of(sim_->state(), sim_->grid());
+  r.time = sim_->time();
+  r.steps = steps_;
+  r.grind_ns = sim_->grind_ns();
+  r.cells = sim_->grid().cells();
+  r.memory_bytes = sim_->memory_bytes();
+  if (spec_->exact) {
+    const auto& q = sim_->state();
+    const auto& g = sim_->grid();
+    const double t = sim_->time();
+    double l1 = 0.0, linf = 0.0;
+    for (int k = 0; k < g.nz(); ++k) {
+      for (int j = 0; j < g.ny(); ++j) {
+        for (int i = 0; i < g.nx(); ++i) {
+          const double exact = spec_->exact(g.x(i), g.y(j), g.z(k), t).rho;
+          const double err = std::abs(
+              static_cast<double>(q[common::kRho](i, j, k)) - exact);
+          l1 += err;
+          linf = std::max(linf, err);
+        }
+      }
+    }
+    r.l1_error = l1 / static_cast<double>(g.cells());
+    r.linf_error = linf;
+  }
+  return r;
+}
+
+template <class Policy>
+void CaseRun<Policy>::save_checkpoint(const std::string& path) const {
+  sim_->save_checkpoint(path);
+}
+
+template <class Policy>
+void CaseRun<Policy>::load_checkpoint(const std::string& path) {
+  sim_->load_checkpoint(path);
+  steps_ = 0;  // step budget counts from the restart point
+}
+
+RunOptions golden_options(const CaseSpec& spec) {
+  RunOptions o;
+  o.n = spec.golden_n;
+  o.steps = spec.golden_steps;
+  return o;
+}
+
+template <class Policy>
+RunResult run_case(const CaseSpec& spec, const RunOptions& opts) {
+  CaseRun<Policy> run(spec, opts);
+  return run.run();
+}
+
+template class CaseRun<common::Fp64>;
+template class CaseRun<common::Fp32>;
+template class CaseRun<common::Fp16x32>;
+
+template RunResult run_case<common::Fp64>(const CaseSpec&, const RunOptions&);
+template RunResult run_case<common::Fp32>(const CaseSpec&, const RunOptions&);
+template RunResult run_case<common::Fp16x32>(const CaseSpec&,
+                                             const RunOptions&);
+
+}  // namespace igr::cases

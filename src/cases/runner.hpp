@@ -1,0 +1,108 @@
+#pragma once
+/// \file runner.hpp
+/// Unified execution of registered cases: one options struct drives any
+/// case through app::Simulation at any precision, scheme, reconstruction
+/// order, and rank layout, and reports diagnostics, conserved-quantity
+/// totals, and (for cases with an analytic solution) L1/L∞ error norms.
+/// The golden-regression tests, the `run_case` CLI, and `bench_grind
+/// --case` all run scenarios through this one seam.
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "app/simulation.hpp"
+#include "cases/case.hpp"
+
+namespace igr::cases {
+
+/// Runtime precision selector (the CLI's `--precision`).
+enum class Precision { kFp64, kFp32, kFp16x32 };
+
+[[nodiscard]] const char* precision_name(Precision p);
+/// Parse "fp64" / "fp32" / "fp16x32"; false on anything else.
+bool parse_precision(std::string_view s, Precision* out);
+
+/// How to run a case.  Zero-initialized fields defer to the CaseSpec's
+/// defaults.
+struct RunOptions {
+  int n = 0;           ///< Resolution parameter (0: spec.default_n).
+  int steps = 0;       ///< > 0: run exactly this many steps.
+  double t_end = -1.0; ///< >= 0 (and steps == 0): run to this time;
+                       ///< -1: spec.default_t_end, else golden_steps.
+  std::array<int, 3> ranks{1, 1, 1};  ///< Decomposed layout (IGR only).
+  app::SchemeKind scheme = app::SchemeKind::kIgr;
+  fv::ReconScheme recon = fv::ReconScheme::kFifth;
+  bool fused_rhs = true;
+  /// Jacobi Sigma sweeps (decomposition-exact: rank layout cannot change
+  /// the bits) instead of the default red–black Gauss–Seidel.
+  bool jacobi_sweeps = false;
+  bool phase_timing = false;
+};
+
+/// What a run produced.
+struct RunResult {
+  app::FlowDiagnostics diag;
+  common::Cons<double> totals_initial{};  ///< Conserved totals at t = 0.
+  common::Cons<double> totals_final{};    ///< Conserved totals now.
+  double l1_error = -1.0;    ///< Density L1 vs analytic (-1: no `exact`).
+  double linf_error = -1.0;  ///< Density L∞ vs analytic (-1: no `exact`).
+  double time = 0.0;
+  int steps = 0;
+  double grind_ns = 0.0;
+  std::size_t cells = 0;
+  std::size_t memory_bytes = 0;
+};
+
+/// A stateful case execution: step/run/inspect, checkpoint and restart.
+template <class Policy>
+class CaseRun {
+ public:
+  explicit CaseRun(const CaseSpec& spec, const RunOptions& opts = {});
+  ~CaseRun();
+  CaseRun(CaseRun&&) noexcept = default;
+  CaseRun& operator=(CaseRun&&) noexcept = default;
+
+  /// One CFL step; returns dt.
+  double step();
+  /// Run to completion per the options; returns result().
+  RunResult run();
+  /// Diagnostics + totals + error norms at the current state.
+  [[nodiscard]] RunResult result() const;
+
+  [[nodiscard]] app::Simulation<Policy>& sim() { return *sim_; }
+  [[nodiscard]] const CaseSpec& spec() const { return *spec_; }
+  /// Steps taken by *this object* (a restarted run counts from its load).
+  [[nodiscard]] int steps_taken() const { return steps_; }
+
+  /// Checkpoint/restart through the runner (single-domain runs; the IGR
+  /// scheme round-trips Sigma too, making the continuation bitwise).
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
+
+ private:
+  const CaseSpec* spec_;
+  RunOptions opts_;
+  int target_steps_ = 0;   ///< 0: time-driven.
+  double t_end_ = 0.0;
+  std::unique_ptr<app::Simulation<Policy>> sim_;
+  common::Cons<double> totals_initial_{};
+  int steps_ = 0;
+};
+
+/// Options for the case's golden run (golden_n cells, golden_steps steps) —
+/// what the regression tests and the `--smoke` CLI sweep execute.
+[[nodiscard]] RunOptions golden_options(const CaseSpec& spec);
+
+/// One-shot convenience: construct, run, report.  (Runtime precision
+/// selection is the caller's dispatch — see the `drive` lambda in
+/// examples/run_case.cpp for the idiom.)
+template <class Policy>
+RunResult run_case(const CaseSpec& spec, const RunOptions& opts = {});
+
+extern template class CaseRun<common::Fp64>;
+extern template class CaseRun<common::Fp32>;
+extern template class CaseRun<common::Fp16x32>;
+
+}  // namespace igr::cases

@@ -97,6 +97,9 @@ class IgrSolver3D {
   [[nodiscard]] const common::SolverConfig& config() const { return cfg_; }
   [[nodiscard]] double alpha() const { return alpha_; }
   [[nodiscard]] double time() const { return time_; }
+  /// Restore the simulated-time clock (checkpoint restart).  Callers that
+  /// also replace state()/sigma_field() must invalidate_dt_cache().
+  void set_time(double t) { time_ = t; }
 
   /// Bytes allocated in persistent field storage (the §5.4 footprint metric).
   [[nodiscard]] std::size_t memory_bytes() const;

@@ -1,6 +1,8 @@
 #include "core/sigma_solver.hpp"
 
 #include <algorithm>
+#include <array>
+#include <climits>
 #include <cmath>
 #include <cstddef>
 #include <utility>
@@ -42,79 +44,186 @@ inline C relax_cell(const S* pir, const S* psr, const S* ps, std::ptrdiff_t i,
   return (static_cast<C>(psr[i]) + alpha * off) / diag;
 }
 
-/// Row-gather for the batched sweeps of a converting (FP16/32) policy: pull
-/// the eleven rows the 7-point stencil reads for cell row (j, k) — sigma and
-/// reciprocal density at (j, k), (j∓1, k), (j, k∓1), plus the source row —
-/// through the batched conversion lanes into one compute-precision scratch
-/// block.  Each row spans i in [-1, nx] (`row_len` = nx + 2), so the i∓1
-/// taps of the center row are in-slab; neighbor rows only ever tap their
-/// center element.  Layout: 11 consecutive rows in the order sg_c, sg_jm,
-/// sg_jp, sg_km, sg_kp, ir_c, ir_jm, ir_jp, ir_km, ir_kp, src_c.
+/// The eleven compute-precision rows one relax row consumes: sigma and
+/// reciprocal density at (j, k), (j∓1, k), (j, k∓1), plus the source row.
+/// Every row spans i in [-1, nx] (`row_len` = nx + 2), so the i∓1 taps of
+/// the center rows are in-slab; neighbor rows only ever tap their center
+/// element.
+template <class C>
+struct StencilRows {
+  const C* sg_c;
+  const C* sg_jm;
+  const C* sg_jp;
+  const C* sg_km;
+  const C* sg_kp;
+  const C* ir_c;
+  const C* ir_jm;
+  const C* ir_jp;
+  const C* ir_km;
+  const C* ir_kp;
+  const C* src_c;
+};
+
+/// Per-plane conversion cache for the batched sweeps of a converting
+/// (FP16/32) policy — the PR 4 velocity-row-ring pattern applied to the
+/// sigma-sweep stencil gathers.  One get-or-convert slot per row of the
+/// *current plane* (j ∈ [-1, ny]) holds the plane's sigma and
+/// reciprocal-density rows at compute precision, so adjacent (j, k) visits
+/// reuse the rows they share: a serial j walk converts each plane row once
+/// instead of three times, and the fused pipeline's two j-parity phases
+/// share one cache — phase 1 reads every center-plane row phase 0 already
+/// converted.  The single-use rows — sigma/inv_rho at the k∓1 planes and
+/// the source — stay direct per-visit loads.  (Storage is small and
+/// streaming: 2 fields × (ny + 2) rows of scratch per thread, of which
+/// only the stencil's three rows are hot at a time.)
+///
+/// Red–black staleness note: the in-place color pass stores into rows this
+/// cache has already converted, so a cached row can be stale in the
+/// *updated* color's lanes relative to a fresh gather — including across
+/// the j-parity phase boundary, where phase 0 has written its rows' color
+/// lanes before phase 1 gathers them.  Those lanes are never consumed:
+/// every tap feeding a stored value reads the opposite parity ((i+j+k) of
+/// each stencil neighbor flips), which the color pass does not write — so
+/// the stored bits are identical to the per-visit-gather form
+/// (tests/test_mixed_precision_step.cpp asserts the end-to-end
+/// consequence).  A cache must never survive into the *next* color or
+/// sweep, whose taps do consume the previous pass's writes — every user
+/// constructs/resets per color pass.
 template <class Policy>
-inline void gather_stencil_rows(
+class PlaneRowCache {
+  using C = typename Policy::compute_t;
+  using S = typename Policy::storage_t;
+
+ public:
+  /// `ny` interior rows per plane; each cached row spans i ∈ [-1, nx].
+  PlaneRowCache(int ny, std::size_t row_len)
+      : num_rows_(static_cast<std::size_t>(ny) + 2),
+        row_len_(row_len),
+        held_(2 * num_rows_, kEmpty),
+        store_(2 * num_rows_ * row_len) {}
+
+  /// Switch to plane `k`, forgetting every cached row.
+  void reset(int k) {
+    k_ = k;
+    std::fill(held_.begin(), held_.end(), kEmpty);
+  }
+
+  const C* sigma_row(const common::Field3<S>& sigma, int j) {
+    return row(sigma, 0, j);
+  }
+  const C* inv_rho_row(const common::Field3<S>& inv_rho, int j) {
+    return row(inv_rho, 1, j);
+  }
+
+ private:
+  static constexpr int kEmpty = INT_MIN;
+
+  const C* row(const common::Field3<S>& f, int which, int j) {
+    const std::size_t slot = static_cast<std::size_t>(which) * num_rows_ +
+                             static_cast<std::size_t>(j + 1);
+    C* dst = store_.data() + slot * row_len_;
+    if (held_[slot] != j) {
+      common::load_line<Policy>(&f(-1, j, k_), dst, row_len_);
+      held_[slot] = j;
+    }
+    return dst;
+  }
+
+  std::size_t num_rows_;
+  std::size_t row_len_;
+  int k_ = 0;
+  std::vector<int> held_;
+  std::vector<C> store_;
+};
+
+/// Load the per-visit (single-use) rows into `aux` (5 consecutive rows) and
+/// point the StencilRows slots at them.
+template <class Policy>
+inline void load_transverse_rows(
     const common::Field3<typename Policy::storage_t>& sig_in,
     const common::Field3<typename Policy::storage_t>& src,
     const common::Field3<typename Policy::storage_t>& inv_rho, int j, int k,
-    std::size_t row_len, typename Policy::compute_t* buf) {
-  const int js[5] = {j, j - 1, j + 1, j, j};
-  const int ks[5] = {k, k, k, k - 1, k + 1};
-  for (int r = 0; r < 5; ++r) {
-    common::load_line<Policy>(&sig_in(-1, js[r], ks[r]), buf + r * row_len,
-                              row_len);
-    common::load_line<Policy>(&inv_rho(-1, js[r], ks[r]),
-                              buf + (5 + r) * row_len, row_len);
-  }
-  common::load_line<Policy>(&src(-1, j, k), buf + 10 * row_len, row_len);
+    std::size_t row_len, typename Policy::compute_t* aux,
+    StencilRows<typename Policy::compute_t>& rows) {
+  common::load_line<Policy>(&sig_in(-1, j, k - 1), aux, row_len);
+  common::load_line<Policy>(&sig_in(-1, j, k + 1), aux + row_len, row_len);
+  common::load_line<Policy>(&inv_rho(-1, j, k - 1), aux + 2 * row_len,
+                            row_len);
+  common::load_line<Policy>(&inv_rho(-1, j, k + 1), aux + 3 * row_len,
+                            row_len);
+  common::load_line<Policy>(&src(-1, j, k), aux + 4 * row_len, row_len);
+  rows.sg_km = aux;
+  rows.sg_kp = aux + row_len;
+  rows.ir_km = aux + 2 * row_len;
+  rows.ir_kp = aux + 3 * row_len;
+  rows.src_c = aux + 4 * row_len;
 }
 
-/// relax_cell against gathered compute-precision rows (`gather_stencil_rows`
-/// layout).  The expression mirrors relax_cell exactly, so with bitwise-
-/// identical conversion lanes the two paths produce bitwise-identical
-/// updates — tests/test_mixed_precision_step.cpp asserts this end to end.
-template <class C>
-inline C relax_cell_rows(const C* b, std::size_t row_len, int i, C alpha,
-                         C inv_dx2, C inv_dy2, C inv_dz2) {
-  const std::size_t o = static_cast<std::size_t>(i) + 1;  // rows start at -1
-  const C* sgc = b;
-  const C* sgjm = b + row_len;
-  const C* sgjp = b + 2 * row_len;
-  const C* sgkm = b + 3 * row_len;
-  const C* sgkp = b + 4 * row_len;
-  const C* irc = b + 5 * row_len;
-  const C* irjm = b + 6 * row_len;
-  const C* irjp = b + 7 * row_len;
-  const C* irkm = b + 8 * row_len;
-  const C* irkp = b + 9 * row_len;
-  const C* srcc = b + 10 * row_len;
-
-  const C ir0 = irc[o];
-  const C cxm = C(0.5) * (ir0 + irc[o - 1]);
-  const C cxp = C(0.5) * (ir0 + irc[o + 1]);
-  const C cym = C(0.5) * (ir0 + irjm[o]);
-  const C cyp = C(0.5) * (ir0 + irjp[o]);
-  const C czm = C(0.5) * (ir0 + irkm[o]);
-  const C czp = C(0.5) * (ir0 + irkp[o]);
-
-  const C off = inv_dx2 * (sgc[o + 1] * cxp + sgc[o - 1] * cxm) +
-                inv_dy2 * (sgjp[o] * cyp + sgjm[o] * cym) +
-                inv_dz2 * (sgkp[o] * czp + sgkm[o] * czm);
-  const C diag = ir0 + alpha * (inv_dx2 * (cxp + cxm) +
-                                inv_dy2 * (cyp + cym) +
-                                inv_dz2 * (czp + czm));
-  return (srcc[o] + alpha * off) / diag;
+/// Gather the full stencil for cell row (j, k): center-plane rows through
+/// the rolling cache, transverse rows direct.
+template <class Policy>
+inline StencilRows<typename Policy::compute_t> gather_rows(
+    PlaneRowCache<Policy>& cache,
+    const common::Field3<typename Policy::storage_t>& sig_in,
+    const common::Field3<typename Policy::storage_t>& src,
+    const common::Field3<typename Policy::storage_t>& inv_rho, int j, int k,
+    std::size_t row_len, typename Policy::compute_t* aux) {
+  StencilRows<typename Policy::compute_t> rows{};
+  rows.sg_c = cache.sigma_row(sig_in, j);
+  rows.sg_jm = cache.sigma_row(sig_in, j - 1);
+  rows.sg_jp = cache.sigma_row(sig_in, j + 1);
+  rows.ir_c = cache.inv_rho_row(inv_rho, j);
+  rows.ir_jm = cache.inv_rho_row(inv_rho, j - 1);
+  rows.ir_jp = cache.inv_rho_row(inv_rho, j + 1);
+  load_transverse_rows<Policy>(sig_in, src, inv_rho, j, k, row_len, aux,
+                               rows);
+  return rows;
 }
 
-/// Tentative relax values for a whole gathered row: relax_cell_rows per
-/// lane, contiguous in i, so the loop (and its diagonal divide) vectorizes.
-/// Red–black callers keep only the updated color's lanes — bit-for-bit what
-/// the strided per-cell evaluation would have stored.
+/// Tentative relax values for a whole row of gathered compute-precision
+/// rows.  Contiguous in i, so the loop (and its diagonal divide)
+/// vectorizes; the expression mirrors relax_cell exactly, so with bitwise-
+/// identical conversion lanes the paths produce bitwise-identical updates —
+/// tests/test_mixed_precision_step.cpp asserts this end to end.  Red–black
+/// callers keep only the updated color's lanes — bit-for-bit what the
+/// strided per-cell evaluation would have stored.
 template <class C>
-inline void relax_row_gathered(const C* b, std::size_t row_len, int nx,
-                               C alpha, C inv_dx2, C inv_dy2, C inv_dz2,
-                               C* out) {
+inline void relax_row_gathered(const StencilRows<C>& b, int nx, C alpha,
+                               C inv_dx2, C inv_dy2, C inv_dz2,
+                               C* __restrict out) {
+  // Eleven independent row pointers exceed the vectorizer's runtime
+  // alias-versioning budget; the rows are distinct scratch buffers by
+  // construction (cache slots + the per-visit aux block), so __restrict
+  // locals let the loop — and its diagonal divide — vectorize, exactly the
+  // treatment the PR 4 flux slices needed.  Offset by +1: rows start at
+  // i = -1.
+  const C* __restrict sgc = b.sg_c + 1;
+  const C* __restrict sgjm = b.sg_jm + 1;
+  const C* __restrict sgjp = b.sg_jp + 1;
+  const C* __restrict sgkm = b.sg_km + 1;
+  const C* __restrict sgkp = b.sg_kp + 1;
+  const C* __restrict irc = b.ir_c + 1;
+  const C* __restrict irjm = b.ir_jm + 1;
+  const C* __restrict irjp = b.ir_jp + 1;
+  const C* __restrict irkm = b.ir_km + 1;
+  const C* __restrict irkp = b.ir_kp + 1;
+  const C* __restrict srcc = b.src_c + 1;
   for (int i = 0; i < nx; ++i) {
-    out[i] =
-        relax_cell_rows<C>(b, row_len, i, alpha, inv_dx2, inv_dy2, inv_dz2);
+    const C ir0 = irc[i];
+    const C cxm = C(0.5) * (ir0 + irc[i - 1]);
+    const C cxp = C(0.5) * (ir0 + irc[i + 1]);
+    const C cym = C(0.5) * (ir0 + irjm[i]);
+    const C cyp = C(0.5) * (ir0 + irjp[i]);
+    const C czm = C(0.5) * (ir0 + irkm[i]);
+    const C czp = C(0.5) * (ir0 + irkp[i]);
+
+    const C off = inv_dx2 * (sgc[i + 1] * cxp + sgc[i - 1] * cxm) +
+                  inv_dy2 * (sgjp[i] * cyp + sgjm[i] * cym) +
+                  inv_dz2 * (sgkp[i] * czp + sgkm[i] * czm);
+    const C diag = ir0 + alpha * (inv_dx2 * (cxp + cxm) +
+                                  inv_dy2 * (cyp + cym) +
+                                  inv_dz2 * (czp + czm));
+    out[i] = (srcc[i] + alpha * off) / diag;
   }
 }
 
@@ -253,7 +362,10 @@ void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
 /// updated color's values are compacted, batch-converted, and scattered
 /// back with stride 2.  Only the updated color's cells are ever read by the
 /// relax expression's taps (opposite parity) and only they are written, so
-/// the result is bitwise-equal to the per-element ordering.
+/// the result is bitwise-equal to the per-element ordering.  The serial j
+/// walk within each plane streams through the rolling PlaneRowCache, so
+/// every center-plane sigma/inv_rho row converts once per plane visit
+/// instead of three times (eleven gathered rows per visit become seven).
 ///
 /// Each color pass runs as two k-parity phases: the whole-row gathers also
 /// *touch* (without using) the current color's elements of the k∓1 planes,
@@ -278,17 +390,19 @@ void sweep_red_black_batched(
     for (int kphase = 0; kphase < 2; ++kphase) {
 #pragma omp parallel
       {
-        std::vector<C> buf(11 * row_len);
+        PlaneRowCache<Policy> cache(ny, row_len);
+        std::vector<C> aux(5 * row_len);
         std::vector<C> tmp(static_cast<std::size_t>(nx));
         std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
 #pragma omp for
         for (int k = kphase; k < nz; k += 2) {
+          cache.reset(k);
           for (int j = 0; j < ny; ++j) {
-            gather_stencil_rows<Policy>(sigma, src, inv_rho, j, k, row_len,
-                                        buf.data());
+            const auto rows = gather_rows<Policy>(cache, sigma, src, inv_rho,
+                                                  j, k, row_len, aux.data());
             // Whole-row tentative relax (vectorizes), keep the color lanes.
-            relax_row_gathered<C>(buf.data(), row_len, nx, alpha, inv_dx2,
-                                  inv_dy2, inv_dz2, tmp.data());
+            relax_row_gathered<C>(rows, nx, alpha, inv_dx2, inv_dy2, inv_dz2,
+                                  tmp.data());
             const int i0 = (color + j + k) & 1;
             std::size_t m = 0;
             for (int i = i0; i < nx; i += 2) vals[m++] = tmp[i];
@@ -304,8 +418,10 @@ void sweep_red_black_batched(
 }
 
 /// Row-batched Jacobi pass for converting policies (reads `in`, writes
-/// `out`): whole rows are converted in, relaxed at compute precision, and
-/// converted back out in one batch store per row.
+/// `out`): whole rows are converted in through the rolling row cache (the
+/// read field is never written, so cached rows are trivially fresh),
+/// relaxed at compute precision, and converted back out in one batch store
+/// per row.
 template <class Policy>
 void sweep_jacobi_batched(
     common::Field3<typename Policy::storage_t>& out,
@@ -320,17 +436,17 @@ void sweep_jacobi_batched(
 
 #pragma omp parallel
   {
-    std::vector<C> buf(11 * row_len);
+    PlaneRowCache<Policy> cache(ny, row_len);
+    std::vector<C> aux(5 * row_len);
     std::vector<C> vals(static_cast<std::size_t>(nx));
 #pragma omp for
     for (int k = 0; k < nz; ++k) {
+      cache.reset(k);
       for (int j = 0; j < ny; ++j) {
-        gather_stencil_rows<Policy>(in, src, inv_rho, j, k, row_len,
-                                    buf.data());
-        for (int i = 0; i < nx; ++i) {
-          vals[static_cast<std::size_t>(i)] = relax_cell_rows<C>(
-              buf.data(), row_len, i, alpha, inv_dx2, inv_dy2, inv_dz2);
-        }
+        const auto rows = gather_rows<Policy>(cache, in, src, inv_rho, j, k,
+                                              row_len, aux.data());
+        relax_row_gathered<C>(rows, nx, alpha, inv_dx2, inv_dy2, inv_dz2,
+                              vals.data());
         common::store_line<Policy>(vals.data(), out.row(j, k),
                                    static_cast<std::size_t>(nx));
       }
@@ -414,20 +530,31 @@ void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
   // parity.
   if constexpr (common::converts_storage<Policy>) {
     if (batch) {
+      // One per-plane row cache shared by both j-parity phases: phase 0
+      // converts the rows it touches, phase 1's gathers then hit every
+      // center-plane row (its j∓1 neighbors were phase-0 centers, its
+      // centers were phase-0 neighbors).  Valid across the phase boundary
+      // by the parity argument at PlaneRowCache: the lanes phase 0 wrote
+      // are never consumed by any tap feeding a stored value.  The omp-for
+      // barrier between the phases keeps the race-freedom structure of the
+      // split parallel regions it replaces.
       const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
       for (int k = k0; k < k1; ++k) {
-        for (int jphase = 0; jphase < 2; ++jphase) {
 #pragma omp parallel
-          {
-            std::vector<C> buf(11 * row_len);
-            std::vector<C> tmp(static_cast<std::size_t>(nx));
-            std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
+        {
+          PlaneRowCache<Policy> cache(ny, row_len);
+          cache.reset(k);
+          std::vector<C> aux(5 * row_len);
+          std::vector<C> tmp(static_cast<std::size_t>(nx));
+          std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
+          for (int jphase = 0; jphase < 2; ++jphase) {
 #pragma omp for
             for (int j = jphase; j < ny; j += 2) {
-              gather_stencil_rows<Policy>(sigma, src, inv_rho, j, k, row_len,
-                                          buf.data());
-              relax_row_gathered<C>(buf.data(), row_len, nx, alpha, inv_dx2,
-                                    inv_dy2, inv_dz2, tmp.data());
+              const auto rows = gather_rows<Policy>(cache, sigma, src,
+                                                    inv_rho, j, k, row_len,
+                                                    aux.data());
+              relax_row_gathered<C>(rows, nx, alpha, inv_dx2, inv_dy2,
+                                    inv_dz2, tmp.data());
               const int i0 = (color + j + k) & 1;
               std::size_t m = 0;
               for (int i = i0; i < nx; i += 2) vals[m++] = tmp[i];
@@ -488,17 +615,21 @@ void sigma_jacobi_planes(common::Field3<typename Policy::storage_t>& out,
       const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
 #pragma omp parallel
       {
-        std::vector<C> buf(11 * row_len);
+        PlaneRowCache<Policy> cache(ny, row_len);
+        int cached_k = INT_MIN;
+        std::vector<C> aux(5 * row_len);
         std::vector<C> vals(static_cast<std::size_t>(nx));
 #pragma omp for collapse(2)
         for (int k = k0; k < k1; ++k) {
           for (int j = 0; j < ny; ++j) {
-            gather_stencil_rows<Policy>(in, src, inv_rho, j, k, row_len,
-                                        buf.data());
-            for (int i = 0; i < nx; ++i) {
-              vals[static_cast<std::size_t>(i)] = relax_cell_rows<C>(
-                  buf.data(), row_len, i, alpha, inv_dx2, inv_dy2, inv_dz2);
+            if (k != cached_k) {
+              cache.reset(k);
+              cached_k = k;
             }
+            const auto rows = gather_rows<Policy>(cache, in, src, inv_rho, j,
+                                                  k, row_len, aux.data());
+            relax_row_gathered<C>(rows, nx, alpha, inv_dx2, inv_dy2, inv_dz2,
+                                  vals.data());
             common::store_line<Policy>(vals.data(), out.row(j, k),
                                        static_cast<std::size_t>(nx));
           }

@@ -153,11 +153,14 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
 ///
 /// For the converting (FP16/32) policy, `batch` routes the red–black and
 /// Jacobi passes through per-row float scratch lines filled by the batched
-/// conversion lanes — once per row per pass instead of per stencil access —
-/// which is bitwise-identical to the per-element path (`batch = false`,
-/// kept as the reference).  Identity-storage policies ignore `batch`, and
-/// the lexicographic ordering is always per-element (its loop-carried
-/// dependence is the point of keeping it).
+/// conversion lanes, with the current plane's sigma/inv_rho rows streamed
+/// through a rolling 3-row ring (the PR 4 velocity-row-ring pattern) so
+/// adjacent (j, k) visits reuse the converted rows they share instead of
+/// re-converting them per stencil position — bitwise-identical to the
+/// per-element path (`batch = false`, kept as the reference).  Identity-
+/// storage policies ignore `batch`, and the lexicographic ordering is
+/// always per-element (its loop-carried dependence is the point of keeping
+/// it).
 template <class Policy>
 void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       common::Field3<typename Policy::storage_t>& scratch,

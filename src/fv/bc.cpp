@@ -1,5 +1,6 @@
 #include "fv/bc.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -62,8 +63,18 @@ void fill_axis(common::StateField3<T>& q, const BcSpec& spec,
   for (int side = 0; side < 2; ++side) {
     if (!sides[static_cast<std::size_t>(side)]) continue;
     const auto face = static_cast<mesh::Face>(2 * axis + side);
-    const BcKind kind = spec.face_kind(face);
+    const auto fidx = static_cast<std::size_t>(face);
+    BcKind kind = spec.face_kind(face);
+    // A Dirichlet face with no prescribed state extrapolates zero-gradient.
+    if (kind == BcKind::kDirichlet && !spec.dirichlet_set[fidx])
+      kind = BcKind::kOutflow;
     const auto& patches = spec.patches[static_cast<std::size_t>(face)];
+
+    // Prescribed conservative state of a uniform Dirichlet face, converted
+    // once per fill.
+    common::Cons<double> dirichlet_cons{};
+    if (kind == BcKind::kDirichlet)
+      dirichlet_cons = eos.to_cons(spec.dirichlet[fidx]);
 
     // Injected conservative state per patch, converted once per fill (the
     // per-cell form recomputed it for every ghost cell of every stage).
@@ -83,6 +94,30 @@ void fill_axis(common::StateField3<T>& q, const BcSpec& spec,
                             : (kind == BcKind::kOutflow) ? clamp
                                                          : mirror;
       const int nm = normal_mom(axis);
+
+      if (kind == BcKind::kDirichlet) {
+        // Uniform prescribed state: every ghost cell of the face takes one
+        // constant per component, so the fills are the same contiguous
+        // spans as the copy kinds — a column element per (j, k) row for the
+        // x axis, an x-row per k for the y axis, a whole plane for z.
+        for (int c = 0; c < kNumVars; ++c) {
+          const T dv = static_cast<T>(dirichlet_cons[c]);
+          if (axis == 0) {
+            for (int k = 0; k < n[2]; ++k)
+              for (int j = 0; j < n[1]; ++j) q[c].row(j, k)[ghost] = dv;
+          } else if (axis == 1) {
+            const std::size_t len = static_cast<std::size_t>(hi[0] - lo[0]);
+            for (int k = 0; k < n[2]; ++k)
+              std::fill_n(&q[c](lo[0], ghost, k), len, dv);
+          } else {
+            const std::size_t len =
+                static_cast<std::size_t>(hi[0] - lo[0]) *
+                static_cast<std::size_t>(hi[1] - lo[1]);
+            std::fill_n(&q[c](lo[0], lo[1], ghost), len, dv);
+          }
+        }
+        continue;
+      }
 
       if (axis == 0 && kind != BcKind::kInflowPatches) {
         // Ghost columns: one element per (j, k) row.

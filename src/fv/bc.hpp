@@ -3,9 +3,11 @@
 /// Boundary conditions on the ghost layers of a StateField3.
 ///
 /// Supported kinds: periodic, outflow (zero-gradient extrapolation),
-/// reflective slip wall, and Dirichlet inflow patches (how the paper models
-/// the rocket engines: "We model them through inflow boundary conditions",
-/// Fig. 1 caption).  Inflow patches are circles on a face with a prescribed
+/// reflective slip wall, uniform Dirichlet (a whole face held at one
+/// prescribed primitive state — shock-tube driver sections and planar
+/// inflows), and Dirichlet inflow patches (how the paper models the rocket
+/// engines: "We model them through inflow boundary conditions", Fig. 1
+/// caption).  Inflow patches are circles on a face with a prescribed
 /// primitive state; cells outside every patch fall back to the face's base
 /// kind (typically reflective — the rocket base plate).
 
@@ -20,7 +22,16 @@
 
 namespace igr::fv {
 
-enum class BcKind { kPeriodic, kOutflow, kReflective, kInflowPatches };
+enum class BcKind {
+  kPeriodic,
+  kOutflow,
+  kReflective,
+  kInflowPatches,
+  /// Whole face held at one prescribed primitive state (BcSpec::dirichlet).
+  /// A face marked kDirichlet without a prescribed state falls back to
+  /// zero-gradient extrapolation (identical to kOutflow).
+  kDirichlet,
+};
 
 /// Circular inflow patch on a z/y/x-face: engine nozzle exit.
 struct InflowPatch {
@@ -37,12 +48,25 @@ struct BcSpec {
       BcKind::kPeriodic, BcKind::kPeriodic, BcKind::kPeriodic};
   /// Patches per face (only consulted when kind == kInflowPatches).
   std::array<std::vector<InflowPatch>, mesh::kNumFaces> patches{};
+  /// Per-face uniform Dirichlet state (only consulted when kind ==
+  /// kDirichlet and the matching `dirichlet_set` flag is on; an unset
+  /// Dirichlet face extrapolates zero-gradient instead).
+  std::array<common::Prim<double>, mesh::kNumFaces> dirichlet{};
+  std::array<bool, mesh::kNumFaces> dirichlet_set{};
 
   static BcSpec all_periodic() { return {}; }
   static BcSpec all_outflow() {
     BcSpec b;
     b.kind.fill(BcKind::kOutflow);
     return b;
+  }
+
+  /// Mark `f` as a uniform Dirichlet face holding primitive state `w`.
+  void set_dirichlet(mesh::Face f, const common::Prim<double>& w) {
+    const auto s = static_cast<std::size_t>(f);
+    kind[s] = BcKind::kDirichlet;
+    dirichlet[s] = w;
+    dirichlet_set[s] = true;
   }
 
   [[nodiscard]] BcKind face_kind(mesh::Face f) const {

@@ -82,11 +82,68 @@ double read_checkpoint(const std::string& path, common::StateField3<T>& q) {
   return h.time;
 }
 
+template <class T>
+void write_checkpoint_field(const std::string& path,
+                            const common::Field3<T>& f, double time) {
+  std::ofstream out(path, std::ios::binary);
+  check(static_cast<bool>(out), "cannot open " + path + " for writing");
+
+  CheckpointHeader h;
+  h.storage_bytes = sizeof(T);
+  h.nx = f.nx();
+  h.ny = f.ny();
+  h.nz = f.nz();
+  h.ng = f.ng();
+  h.num_vars = 1;
+  h.time = time;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  std::vector<T> row(static_cast<std::size_t>(f.nx()));
+  for (int k = 0; k < f.nz(); ++k) {
+    for (int j = 0; j < f.ny(); ++j) {
+      for (int i = 0; i < f.nx(); ++i)
+        row[static_cast<std::size_t>(i)] = f(i, j, k);
+      out.write(reinterpret_cast<const char*>(row.data()),
+                static_cast<std::streamsize>(row.size() * sizeof(T)));
+    }
+  }
+  check(static_cast<bool>(out), "write failed for " + path);
+}
+
+template <class T>
+double read_checkpoint_field(const std::string& path, common::Field3<T>& f) {
+  const auto h = read_checkpoint_header(path);
+  check(h.storage_bytes == sizeof(T), "storage width mismatch in " + path);
+  check(h.nx == f.nx() && h.ny == f.ny() && h.nz == f.nz(),
+        "grid shape mismatch in " + path);
+  check(h.num_vars == 1, "not a scalar-field checkpoint: " + path);
+
+  std::ifstream in(path, std::ios::binary);
+  check(static_cast<bool>(in), "cannot open " + path);
+  in.seekg(sizeof(CheckpointHeader));
+
+  std::vector<T> row(static_cast<std::size_t>(f.nx()));
+  for (int k = 0; k < f.nz(); ++k) {
+    for (int j = 0; j < f.ny(); ++j) {
+      in.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(T)));
+      check(static_cast<bool>(in), "truncated data in " + path);
+      for (int i = 0; i < f.nx(); ++i)
+        f(i, j, k) = row[static_cast<std::size_t>(i)];
+    }
+  }
+  return h.time;
+}
+
 #define IGR_INSTANTIATE_CHECKPOINT(T)                                         \
   template void write_checkpoint<T>(const std::string&,                       \
                                     const common::StateField3<T>&, double);   \
   template double read_checkpoint<T>(const std::string&,                      \
-                                     common::StateField3<T>&);
+                                     common::StateField3<T>&);                \
+  template void write_checkpoint_field<T>(const std::string&,                 \
+                                          const common::Field3<T>&, double);  \
+  template double read_checkpoint_field<T>(const std::string&,                \
+                                           common::Field3<T>&);
 
 IGR_INSTANTIATE_CHECKPOINT(double)
 IGR_INSTANTIATE_CHECKPOINT(float)

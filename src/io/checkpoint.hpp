@@ -40,4 +40,16 @@ double read_checkpoint(const std::string& path, common::StateField3<T>& q);
 /// Peek at a checkpoint's header without loading the data.
 CheckpointHeader read_checkpoint_header(const std::string& path);
 
+/// Scalar-field flavor (num_vars = 1 in the header): the IGR solvers
+/// checkpoint the entropic pressure Sigma alongside the state so a restart
+/// resumes with the same warm start (and hence continues bitwise).
+template <class T>
+void write_checkpoint_field(const std::string& path,
+                            const common::Field3<T>& f, double time);
+
+/// Read a scalar-field checkpoint into `f` (shape must match); returns the
+/// stored simulated time.
+template <class T>
+double read_checkpoint_field(const std::string& path, common::Field3<T>& f);
+
 }  // namespace igr::io

@@ -151,6 +151,55 @@ TEST(Bc, MixedFacesIndependent) {
   EXPECT_EQ(q[kMomZ](4, 4, -1), -q[kMomZ](4, 4, 0));        // wall z
 }
 
+TEST(Bc, DirichletHoldsPrescribedStateOnEveryAxisForm) {
+  // One Dirichlet face per axis exercises all three span-fill forms
+  // (column elements, x-rows, whole planes).
+  auto q = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  BcSpec spec = BcSpec::all_outflow();
+  const igr::common::Prim<double> wx{1.0, 0.5, 0.0, 0.0, 2.0};
+  const igr::common::Prim<double> wy{0.5, 0.0, -1.0, 0.0, 1.0};
+  const igr::common::Prim<double> wz{2.0, 0.0, 0.0, 3.0, 4.0};
+  spec.set_dirichlet(Face::kXLo, wx);
+  spec.set_dirichlet(Face::kYHi, wy);
+  spec.set_dirichlet(Face::kZLo, wz);
+  apply_bc(q, spec, g, eos);
+
+  const auto cx = eos.to_cons(wx);
+  const auto cy = eos.to_cons(wy);
+  const auto cz = eos.to_cons(wz);
+  for (int gl = 1; gl <= 3; ++gl) {
+    for (int c = 0; c < kNumVars; ++c) {
+      EXPECT_EQ(q[c](-gl, 2, 5), cx[c]) << "x-lo c=" << c;
+      EXPECT_EQ(q[c](3, kN - 1 + gl, 5), cy[c]) << "y-hi c=" << c;
+      EXPECT_EQ(q[c](6, 1, -gl), cz[c]) << "z-lo c=" << c;
+    }
+  }
+  // Corner ghosts of later-filled axes take the later fill (z overwrites
+  // the x/y ghost columns it widens over), matching the x->y->z ordering.
+  EXPECT_EQ(q[kRho](-1, -1, -1), cz[kRho]);
+  // Non-Dirichlet faces keep their own kind (outflow here).
+  EXPECT_EQ(q[kRho](kN, 4, 4), q[kRho](kN - 1, 4, 4));
+}
+
+TEST(Bc, DirichletWithoutStateFallsBackToZeroGradient) {
+  auto q = make_state();
+  auto ref = make_state();
+  const auto g = Grid::cube(kN);
+  IdealGas eos(1.4);
+  BcSpec spec = BcSpec::all_outflow();
+  spec.kind[static_cast<std::size_t>(Face::kXLo)] = BcKind::kDirichlet;
+  spec.kind[static_cast<std::size_t>(Face::kZHi)] = BcKind::kDirichlet;
+  apply_bc(q, spec, g, eos);
+  apply_bc(ref, BcSpec::all_outflow(), g, eos);
+  for (int c = 0; c < kNumVars; ++c)
+    for (int gl = 1; gl <= 3; ++gl) {
+      EXPECT_EQ(q[c](-gl, 4, 4), ref[c](-gl, 4, 4));
+      EXPECT_EQ(q[c](4, 4, kN - 1 + gl), ref[c](4, 4, kN - 1 + gl));
+    }
+}
+
 TEST(Bc, FloatAndHalfInstantiations) {
   StateField3<float> qf(4, 4, 4, 3);
   StateField3<igr::common::half> qh(4, 4, 4, 3);

@@ -1,0 +1,267 @@
+/// Golden regressions over the case library: registry integrity, per-case
+/// diagnostic bands and conserved-quantity checksums at FP64, precision
+/// sweeps (FP32 / FP16x32), the isentropic-vortex convergence-order anchor,
+/// a distributed-vs-serial bitwise check through the registry, and bitwise
+/// checkpoint/restart continuation through the case runner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "cases/runner.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using igr::common::Fp16x32;
+using igr::common::Fp32;
+using igr::common::Fp64;
+using igr::common::kNumVars;
+namespace cases = igr::cases;
+
+void expect_in(const cases::Band& b, double v, const char* what) {
+  EXPECT_TRUE(b.contains(v))
+      << what << " = " << v << " outside [" << b.lo << ", " << b.hi << "]";
+}
+
+/// The full FP64 golden contract of one case.
+void check_golden(const cases::CaseSpec& spec, const cases::RunResult& r) {
+  EXPECT_TRUE(std::isfinite(r.diag.max_mach));
+  EXPECT_TRUE(std::isfinite(r.diag.kinetic_energy));
+  EXPECT_TRUE(std::isfinite(r.diag.enstrophy));
+  EXPECT_GT(r.diag.min_density, 0.0);
+  expect_in(spec.golden.max_mach, r.diag.max_mach, "max_mach");
+  expect_in(spec.golden.min_density, r.diag.min_density, "min_density");
+  expect_in(spec.golden.max_density, r.diag.max_density, "max_density");
+  expect_in(spec.golden.min_pressure, r.diag.min_pressure, "min_pressure");
+  expect_in(spec.golden.enstrophy, r.diag.enstrophy, "enstrophy");
+  if (spec.golden.conservation_rtol > 0.0) {
+    const double rtol = spec.golden.conservation_rtol;
+    EXPECT_NEAR(r.totals_final.rho, r.totals_initial.rho,
+                rtol * std::abs(r.totals_initial.rho))
+        << "mass checksum";
+    EXPECT_NEAR(r.totals_final.e, r.totals_initial.e,
+                rtol * std::abs(r.totals_initial.e))
+        << "energy checksum";
+  }
+  if (spec.golden.l1_error_max > 0.0) {
+    ASSERT_GE(r.l1_error, 0.0) << "case promises an analytic solution";
+    EXPECT_LT(r.l1_error, spec.golden.l1_error_max);
+  }
+}
+
+TEST(CaseRegistry, ExposesAtLeastEightWellFormedCases) {
+  const auto names = cases::list();
+  EXPECT_GE(names.size(), 8u);
+  for (const auto name : names) {
+    SCOPED_TRACE(std::string(name));
+    const auto* c = cases::find(name);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name, name);
+    ASSERT_TRUE(c->grid && c->bc && c->config && c->initial);
+    EXPECT_GE(c->golden_n, 8);
+    EXPECT_GE(c->golden_steps, 1);
+    EXPECT_GT(c->grid(c->golden_n).cells(), 0u);
+    EXPECT_NO_THROW(c->config().validate());
+    // The initial condition is evaluable at the domain's corner and center.
+    const auto g = c->grid(c->golden_n);
+    const auto ic = c->initial();
+    EXPECT_GT(ic(g.x(0), g.y(0), g.z(0)).rho, 0.0);
+    EXPECT_GT(
+        ic(g.x(g.nx() / 2), g.y(g.ny() / 2), g.z(g.nz() / 2)).rho, 0.0);
+  }
+  EXPECT_EQ(cases::find("no-such-case"), nullptr);
+}
+
+TEST(CaseRegistry, CanonicalFamiliesArePresent) {
+  for (const char* name :
+       {"sod-x", "sod-y", "sod-z", "lax-x", "sedov", "taylor-green",
+        "isentropic-vortex", "kelvin-helmholtz", "shock-bubble",
+        "jet-single", "jet-three", "jet-33"}) {
+    EXPECT_NE(cases::find(name), nullptr) << name;
+  }
+}
+
+TEST(CaseGolden, Fp64BandsAndChecksumsHoldForEveryCase) {
+  for (const auto& spec : cases::all_cases()) {
+    SCOPED_TRACE(spec.name);
+    const auto r = cases::run_case<Fp64>(spec, cases::golden_options(spec));
+    EXPECT_EQ(r.steps, spec.golden_steps);
+    check_golden(spec, r);
+  }
+}
+
+/// FP32 and FP16/32 storage run the same scenarios with positivity intact
+/// and diagnostics inside a 2x-widened band (storage rounding moves the
+/// extrema but must not change the physics).
+template <class Policy>
+void check_precision_sweep(const char* name) {
+  const auto* spec = cases::find(name);
+  ASSERT_NE(spec, nullptr);
+  const auto r = cases::run_case<Policy>(*spec, cases::golden_options(*spec));
+  EXPECT_GT(r.diag.min_density, 0.0);
+  EXPECT_TRUE(std::isfinite(r.diag.max_mach));
+  EXPECT_TRUE(std::isfinite(r.totals_final.e));
+  const auto widen = [](const cases::Band& b) {
+    return cases::Band{b.lo * 0.5, b.hi * 2.0};
+  };
+  expect_in(widen(spec->golden.max_mach), r.diag.max_mach, "max_mach");
+  expect_in(widen(spec->golden.min_density), r.diag.min_density,
+            "min_density");
+  expect_in(widen(spec->golden.max_density), r.diag.max_density,
+            "max_density");
+}
+
+TEST(CaseGolden, Fp32SweepShockTubeAndTaylorGreen) {
+  check_precision_sweep<Fp32>("sod-x");
+  check_precision_sweep<Fp32>("taylor-green");
+  check_precision_sweep<Fp32>("sedov");
+}
+
+TEST(CaseGolden, Fp16x32SweepShockTubeAndTaylorGreen) {
+  check_precision_sweep<Fp16x32>("sod-x");
+  check_precision_sweep<Fp16x32>("taylor-green");
+  check_precision_sweep<Fp16x32>("sedov");
+}
+
+TEST(CaseRegistry, RunnerRejectsWenoForIgrOnlyCases) {
+  auto spec = *cases::find("sod-x");  // copy; flip the gate
+  spec.supports_weno = false;
+  auto opts = cases::golden_options(spec);
+  opts.scheme = igr::app::SchemeKind::kBaselineWeno;
+  EXPECT_THROW((cases::CaseRun<Fp64>(spec, opts)), std::invalid_argument);
+  opts.scheme = igr::app::SchemeKind::kIgr;
+  EXPECT_NO_THROW((cases::CaseRun<Fp64>(spec, opts)));
+}
+
+TEST(CaseGolden, WenoBaselineRunsShockTube) {
+  const auto* spec = cases::find("sod-x");
+  ASSERT_NE(spec, nullptr);
+  auto opts = cases::golden_options(*spec);
+  opts.scheme = igr::app::SchemeKind::kBaselineWeno;
+  const auto r = cases::run_case<Fp64>(*spec, opts);
+  EXPECT_GT(r.diag.min_density, 0.0);
+  expect_in(spec->golden.max_mach, r.diag.max_mach, "max_mach");
+  expect_in(spec->golden.min_pressure, r.diag.min_pressure, "min_pressure");
+}
+
+TEST(CaseConvergence, IsentropicVortexErrorDropsUnderRefinement) {
+  const auto* spec = cases::find("isentropic-vortex");
+  ASSERT_NE(spec, nullptr);
+  cases::RunOptions coarse;
+  coarse.n = 24;
+  coarse.t_end = 0.5;
+  cases::RunOptions fine = coarse;
+  fine.n = 48;
+  const auto rc = cases::run_case<Fp64>(*spec, coarse);
+  const auto rf = cases::run_case<Fp64>(*spec, fine);
+  ASSERT_GE(rc.l1_error, 0.0);
+  ASSERT_GE(rf.l1_error, 0.0);
+  EXPECT_LT(rf.l1_error, rc.l1_error);
+  // Pre-asymptotic at these resolutions (alpha ~ h^2 perturbation); a
+  // solid monotone drop is the regression contract, full 5th order is not.
+  EXPECT_LT(rf.l1_error, 0.75 * rc.l1_error);
+}
+
+TEST(CaseDiagnostics, EnergyTotalsAgreeAndTaylorGreenEnstrophyIsAnalytic) {
+  const auto* spec = cases::find("taylor-green");
+  ASSERT_NE(spec, nullptr);
+  const auto r = cases::run_case<Fp64>(*spec, cases::golden_options(*spec));
+  // diagnostics() integrates E dv in its own loop; the runner's conserved
+  // totals must agree (summation order differs by rounding only).
+  EXPECT_NEAR(r.diag.total_energy, r.totals_final.e,
+              1e-12 * std::abs(r.totals_final.e));
+  EXPECT_NEAR(r.diag.total_mass, r.totals_final.rho,
+              1e-12 * std::abs(r.totals_final.rho));
+  // Initial enstrophy of the Taylor-Green field is 6*pi^3 ~ 186.04; the
+  // second-order curl stencil at n = 24 resolves it to a few percent and 8
+  // steps of this near-incompressible flow barely move it.
+  const double analytic = 6.0 * std::pow(3.14159265358979323846, 3);
+  EXPECT_NEAR(r.diag.enstrophy, analytic, 0.15 * analytic);
+}
+
+TEST(CaseDistributed, TaylorGreenDecomposedBitwiseEqualSerial) {
+  const auto* spec = cases::find("taylor-green");
+  ASSERT_NE(spec, nullptr);
+  cases::RunOptions opts;
+  opts.n = 12;
+  opts.steps = 4;
+  opts.jacobi_sweeps = true;  // decomposition-exact sweep flavor
+  auto dist_opts = opts;
+  dist_opts.ranks = {1, 2, 2};
+  cases::CaseRun<Fp64> serial(*spec, opts);
+  cases::CaseRun<Fp64> dist(*spec, dist_opts);
+  for (int s = 0; s < 4; ++s) {
+    const double dt_s = serial.step();
+    const double dt_d = dist.step();
+    ASSERT_EQ(dt_s, dt_d) << "step " << s;
+  }
+  const auto& qs = serial.sim().state();
+  const auto& qd = dist.sim().state();
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < 12; ++k)
+      for (int j = 0; j < 12; ++j)
+        for (int i = 0; i < 12; ++i)
+          ASSERT_EQ(qs[c](i, j, k), qd[c](i, j, k))
+              << "c=" << c << " @ " << i << "," << j << "," << k;
+}
+
+/// Interrupted-and-restarted == uninterrupted, bit for bit: the checkpoint
+/// round-trips the state *and* Sigma (the warm start), and the restarted
+/// step()'s dt rescan reproduces the fused pipeline's cached dt.
+template <class Policy>
+void check_restart_bitwise(const char* name) {
+  const auto* spec = cases::find(name);
+  ASSERT_NE(spec, nullptr);
+  cases::RunOptions opts;
+  opts.n = spec->golden_n;
+  opts.steps = 1;  // stepping is driven manually below
+
+  cases::CaseRun<Policy> straight(*spec, opts);
+  for (int s = 0; s < 8; ++s) straight.step();
+
+  cases::CaseRun<Policy> first(*spec, opts);
+  for (int s = 0; s < 4; ++s) first.step();
+  const auto path = (fs::temp_directory_path() /
+                     (std::string("igr_case_restart_") + name + "_" +
+                      std::to_string(sizeof(typename Policy::storage_t)) +
+                      ".bin"))
+                        .string();
+  first.save_checkpoint(path);
+
+  cases::CaseRun<Policy> resumed(*spec, opts);
+  resumed.load_checkpoint(path);
+  for (int s = 0; s < 4; ++s) {
+    const double dt_a = first.step();
+    const double dt_b = resumed.step();
+    ASSERT_EQ(dt_a, dt_b) << "restarted dt diverged at step " << s;
+  }
+  fs::remove(path);
+  fs::remove(path + ".sigma");
+
+  const auto& qa = straight.sim().state();
+  const auto& qb = resumed.sim().state();
+  const auto& g = straight.sim().grid();
+  ASSERT_EQ(straight.sim().time(), resumed.sim().time());
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < g.nz(); ++k)
+      for (int j = 0; j < g.ny(); ++j)
+        for (int i = 0; i < g.nx(); ++i)
+          ASSERT_EQ(static_cast<double>(qa[c](i, j, k)),
+                    static_cast<double>(qb[c](i, j, k)))
+              << "c=" << c << " @ " << i << "," << j << "," << k;
+}
+
+TEST(CaseCheckpoint, RestartContinuesBitwiseFp64) {
+  check_restart_bitwise<Fp64>("sod-x");
+  check_restart_bitwise<Fp64>("taylor-green");
+}
+
+TEST(CaseCheckpoint, RestartContinuesBitwiseFp16x32) {
+  check_restart_bitwise<Fp16x32>("sod-x");
+}
+
+}  // namespace
