@@ -32,6 +32,8 @@ struct CliOptions {
   std::string case_name;
   cases::Precision precision = cases::Precision::kFp64;
   cases::RunOptions run;
+  cases::GuardOptions guard;
+  bool guarded = false;  ///< Any fault-tolerance flag was given.
   bool smoke = false;
   std::string vtk;
   std::string json;
@@ -47,7 +49,13 @@ struct CliOptions {
       "                [--precision fp64|fp32|fp16x32] [--scheme igr|weno]\n"
       "                [--recon 1|3|5] [--ranks rx,ry,rz|N] [--jacobi]\n"
       "                [--phased] [--vtk out.vtk] [--json out.json]\n"
-      "                [--save ckpt.bin] [--restart ckpt.bin]\n");
+      "                [--save ckpt.bin] [--restart ckpt.bin]\n"
+      "  fault tolerance (single --case; see README 'Fault tolerance'):\n"
+      "                [--checkpoint-every N] [--ckpt-dir DIR] [--resume]\n"
+      "                [--keep K] [--max-retries R] [--cfl-backoff X]\n"
+      "                [--cfl-scale X] [--health-every N]\n"
+      "                [--strict-pressure] [--inject SPEC]\n"
+      "  SPEC: post=N,complete=N,phase=N@RANK,io=N,seed=S\n");
   std::exit(code);
 }
 
@@ -88,6 +96,8 @@ void print_result(const cases::CaseSpec& spec, const char* precision,
   if (r.l1_error >= 0.0)
     std::printf("  error vs analytic: L1 %.3e  Linf %.3e\n", r.l1_error,
                 r.linf_error);
+  std::printf("  state fnv1a 0x%016llx\n",
+              static_cast<unsigned long long>(r.state_fnv));
   if (r.diag.nonpositive_pressure_cells > 0)
     std::printf("  (%zu start-up transient cells with non-positive p)\n",
                 r.diag.nonpositive_pressure_cells);
@@ -118,6 +128,8 @@ void json_result(std::FILE* f, const cases::CaseSpec& spec,
   if (r.l1_error >= 0.0)
     std::fprintf(f, ",\n     \"l1_error\": %.6e, \"linf_error\": %.6e",
                  r.l1_error, r.linf_error);
+  std::fprintf(f, ",\n     \"state_fnv\": \"0x%016llx\"",
+               static_cast<unsigned long long>(r.state_fnv));
   std::fprintf(f, "}%s\n", last ? "" : ",");
 }
 
@@ -132,6 +144,26 @@ cases::RunResult run_one(const cases::CaseSpec& spec, const CliOptions& cli) {
   // when those options are empty, so every flow shares this path.
   auto drive = [&](auto policy_tag) {
     using Policy = decltype(policy_tag);
+    if (cli.guarded) {
+      // Fault-tolerance envelope: periodic crash-safe checkpoints with a
+      // manifest, resume-from-latest-valid, health-guarded rollback/retry.
+      auto rep = cases::run_case_guarded<Policy>(spec, opts, cli.guard);
+      std::printf(
+          "guard: %s  retries %d  checkpoints %d written, %d rejected, "
+          "%d failed writes%s  cfl-scale %.4g\n",
+          rep.completed ? "completed" : "FAILED", rep.retries,
+          rep.checkpoints_written, rep.checkpoints_rejected,
+          rep.checkpoint_failures,
+          rep.resumed_step >= 0
+              ? ("  (resumed at step " + std::to_string(rep.resumed_step) +
+                 ")")
+                    .c_str()
+              : "",
+          rep.final_cfl_scale);
+      if (!rep.completed)
+        throw std::runtime_error("guarded run failed: " + rep.failure);
+      return rep.result;
+    }
     cases::CaseRun<Policy> run(spec, opts);
     if (!cli.restart_ckpt.empty()) run.load_checkpoint(cli.restart_ckpt);
     auto r = run.run();
@@ -216,6 +248,41 @@ int main(int argc, char** argv) {
       cli.save_ckpt = next();
     } else if (!std::strcmp(argv[i], "--restart")) {
       cli.restart_ckpt = next();
+    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
+      cli.guard.checkpoint_every = std::atoi(next());
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--ckpt-dir")) {
+      cli.guard.dir = next();
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      cli.guard.resume = true;
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--keep")) {
+      cli.guard.keep = std::atoi(next());
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--max-retries")) {
+      cli.guard.max_retries = std::atoi(next());
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--cfl-backoff")) {
+      cli.guard.cfl_backoff = std::atof(next());
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--cfl-scale")) {
+      cli.run.cfl_scale = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--health-every")) {
+      cli.guard.health_every = std::atoi(next());
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--strict-pressure")) {
+      cli.guard.strict_pressure = true;
+      cli.guarded = true;
+    } else if (!std::strcmp(argv[i], "--inject")) {
+      try {
+        cli.run.faults = sim::FaultPlan::parse(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "run_case: %s\n", e.what());
+        return 2;
+      }
+      std::printf("fault plan: %s\n", cli.run.faults.describe().c_str());
+      cli.guarded = true;
     } else {
       usage(!std::strcmp(argv[i], "--help") ? 0 : 2);
     }
@@ -227,10 +294,10 @@ int main(int argc, char** argv) {
     // One output file / one checkpoint cannot serve 14 differently shaped
     // cases — these flows are single-case only.
     if (!cli.vtk.empty() || !cli.save_ckpt.empty() ||
-        !cli.restart_ckpt.empty()) {
+        !cli.restart_ckpt.empty() || cli.guarded) {
       std::fprintf(stderr,
-                   "run_case: --vtk/--save/--restart need a single --case, "
-                   "not 'all'\n");
+                   "run_case: --vtk/--save/--restart and the fault-tolerance "
+                   "flags need a single --case, not 'all'\n");
       return 2;
     }
     for (const auto& c : cases::all_cases()) selected.push_back(&c);

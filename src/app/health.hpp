@@ -1,0 +1,91 @@
+#pragma once
+/// \file health.hpp
+/// Cheap run-health scan over the conserved state.  Long campaigns fail
+/// through the field first — a NaN from an over-aggressive dt or a negative
+/// density from an under-resolved front — long before any I/O or comm layer
+/// notices.  The guarded runner (cases::run_case_guarded) scans every few
+/// steps and rolls back to the last checkpoint with a reduced CFL when the
+/// state goes bad.
+///
+/// Health policy: *nonfinite values and negative density are always fatal*.
+/// Nonpositive pressure is counted and reported but only fails a strict
+/// scan — the jet cases legitimately carry nonpositive-pressure cells
+/// through their impulsive start-up transient (see
+/// FlowDiagnostics::nonpositive_pressure_cells), and rolling those back
+/// would loop forever.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/field3.hpp"
+#include "eos/ideal_gas.hpp"
+
+namespace igr::app {
+
+struct SolverHealth {
+  std::size_t cells = 0;
+  std::size_t nonfinite_cells = 0;         ///< Any conserved var NaN/Inf.
+  std::size_t negative_density_cells = 0;  ///< rho <= 0 (finite).
+  std::size_t nonpositive_pressure_cells = 0;  ///< p <= 0 (finite state).
+  double min_density = std::numeric_limits<double>::infinity();
+  double min_pressure = std::numeric_limits<double>::infinity();
+
+  /// Fit to continue?  Strict mode additionally fails nonpositive pressure
+  /// (opt-in; see the file comment for why it is not the default).
+  [[nodiscard]] bool healthy(bool strict_pressure = false) const {
+    if (nonfinite_cells > 0 || negative_density_cells > 0) return false;
+    if (strict_pressure && nonpositive_pressure_cells > 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << nonfinite_cells << " nonfinite, " << negative_density_cells
+       << " negative-density, " << nonpositive_pressure_cells
+       << " nonpositive-pressure of " << cells
+       << " cells (min rho " << min_density << ", min p " << min_pressure
+       << ")";
+    return os.str();
+  }
+};
+
+/// Scan the interior of `q`.  One pass, no allocation — cheap enough to run
+/// every few steps on smoke-sized grids and every checkpoint on large ones.
+template <class T>
+[[nodiscard]] SolverHealth scan_health(const common::StateField3<T>& q,
+                                       const eos::IdealGas& eos) {
+  SolverHealth h;
+  h.cells = static_cast<std::size_t>(q.nx()) *
+            static_cast<std::size_t>(q.ny()) *
+            static_cast<std::size_t>(q.nz());
+  for (int k = 0; k < q.nz(); ++k) {
+    for (int j = 0; j < q.ny(); ++j) {
+      for (int i = 0; i < q.nx(); ++i) {
+        common::Cons<double> qc;
+        bool finite = true;
+        for (int c = 0; c < common::kNumVars; ++c) {
+          qc[c] = static_cast<double>(q[c](i, j, k));
+          finite = finite && std::isfinite(qc[c]);
+        }
+        if (!finite) {
+          ++h.nonfinite_cells;
+          continue;
+        }
+        if (qc.rho < h.min_density) h.min_density = qc.rho;
+        if (qc.rho <= 0.0) {
+          ++h.negative_density_cells;
+          continue;
+        }
+        const double p = eos.pressure(qc);
+        if (p < h.min_pressure) h.min_pressure = p;
+        if (p <= 0.0) ++h.nonpositive_pressure_cells;
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace igr::app

@@ -192,12 +192,37 @@ FlowDiagnostics Simulation<Policy>::diagnostics() const {
 }
 
 template <class Policy>
+SolverHealth Simulation<Policy>::health() const {
+  return scan_health(state(), eos_);
+}
+
+namespace {
+
+/// Both files are stamped by the same save; a mismatched sibling .sigma
+/// would silently break the bitwise-continuation contract.  Compare the
+/// headers *before* mutating any solver field so a caught throw leaves the
+/// simulation untouched.
+void check_sigma_sibling(const std::string& path) {
+  const double t_state = io::read_checkpoint_header(path).time;
+  const double t_sigma = io::read_checkpoint_header(path + ".sigma").time;
+  if (t_sigma != t_state)
+    throw std::runtime_error(
+        "Simulation::load_checkpoint: " + path + " (t=" +
+        std::to_string(t_state) + ") and its .sigma (t=" +
+        std::to_string(t_sigma) + ") are from different saves");
+}
+
+}  // namespace
+
+template <class Policy>
 void Simulation<Policy>::save_checkpoint(const std::string& path) const {
-  if (dist_)
-    throw std::logic_error(
-        "Simulation::save_checkpoint: decomposed runs are not "
-        "checkpointable yet (gather/scatter restart is future work)");
-  if (igr_) {
+  if (dist_) {
+    // Gather to the global interior so the file carries no trace of the
+    // rank layout — the restart side scatters over whatever layout it has.
+    io::write_checkpoint(path, dist_->gather(), dist_->time());
+    io::write_checkpoint_field(path + ".sigma", dist_->gather_sigma(),
+                               dist_->time());
+  } else if (igr_) {
     io::write_checkpoint(path, igr_->state(), igr_->time());
     io::write_checkpoint_field(path + ".sigma", igr_->sigma(), igr_->time());
   } else {
@@ -207,23 +232,21 @@ void Simulation<Policy>::save_checkpoint(const std::string& path) const {
 
 template <class Policy>
 void Simulation<Policy>::load_checkpoint(const std::string& path) {
-  if (dist_)
-    throw std::logic_error(
-        "Simulation::load_checkpoint: decomposed runs are not "
-        "checkpointable yet (gather/scatter restart is future work)");
   gathered_dirty_ = true;
-  if (igr_) {
-    // Both files are stamped by the same save; a mismatched sibling .sigma
-    // would silently break the bitwise-continuation contract.  Compare the
-    // headers *before* mutating any solver field so a caught throw leaves
-    // the simulation untouched.
-    const double t_state = io::read_checkpoint_header(path).time;
-    const double t_sigma = io::read_checkpoint_header(path + ".sigma").time;
-    if (t_sigma != t_state)
-      throw std::runtime_error(
-          "Simulation::load_checkpoint: " + path + " (t=" +
-          std::to_string(t_state) + ") and its .sigma (t=" +
-          std::to_string(t_sigma) + ") are from different saves");
+  if (dist_) {
+    check_sigma_sibling(path);
+    const auto& g = params_.grid;
+    common::StateField3<S> q(g.nx(), g.ny(), g.nz(),
+                             sim::DistributedIgr<Policy>::kNg);
+    common::Field3<S> sig(g.nx(), g.ny(), g.nz(),
+                          sim::DistributedIgr<Policy>::kNg);
+    const double t = io::read_checkpoint(path, q);
+    io::read_checkpoint_field(path + ".sigma", sig);
+    dist_->scatter(q);
+    dist_->scatter_sigma(sig);
+    dist_->set_time(t);
+  } else if (igr_) {
+    check_sigma_sibling(path);
     const double t = io::read_checkpoint(path, igr_->state());
     io::read_checkpoint_field(path + ".sigma", igr_->sigma_field());
     igr_->set_time(t);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "app/health.hpp"
 #include "baseline/weno_hllc_solver3d.hpp"
 #include "core/igr_solver3d.hpp"
 #include "io/vtk_writer.hpp"
@@ -72,6 +73,10 @@ class Simulation {
   [[nodiscard]] common::PhaseProfile* phase_profile();
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] FlowDiagnostics diagnostics() const;
+  /// Cheap NaN/Inf/negative-density/pressure scan of the (gathered) state —
+  /// the guard signal for rollback/retry (see app/health.hpp for the
+  /// health policy).
+  [[nodiscard]] SolverHealth health() const;
   /// Global conservative state.  For a decomposed run this gathers the rank
   /// blocks into a cached global field (refreshed after a step).
   [[nodiscard]] const common::StateField3<S>& state() const;
@@ -84,14 +89,18 @@ class Simulation {
   /// Write density/pressure/velocity-magnitude to a legacy VTK file.
   void write_vtk(const std::string& path) const;
 
-  /// Checkpoint the run to `path` (single-domain runs only; decomposed runs
-  /// throw).  For the IGR scheme the entropic pressure Sigma is written
-  /// alongside the state (`path` + ".sigma") so a restarted run resumes
-  /// with the same warm start — and therefore continues *bitwise* identical
-  /// to the uninterrupted run (test-enforced through the case runner).
+  /// Checkpoint the run to `path`.  For the IGR scheme the entropic
+  /// pressure Sigma is written alongside the state (`path` + ".sigma") so a
+  /// restarted run resumes with the same warm start — and therefore
+  /// continues *bitwise* identical to the uninterrupted run (test-enforced
+  /// through the case runner).  Decomposed runs gather to the global
+  /// interior first, so the file is *layout-agnostic*: save on 2x2x2,
+  /// restart on 1x2x1 or serial, and (under Jacobi sweeps) the continuation
+  /// is still bitwise including dt.
   void save_checkpoint(const std::string& path) const;
-  /// Restore a checkpoint written by save_checkpoint (shape/precision must
-  /// match this simulation's parameters).
+  /// Restore a checkpoint written by save_checkpoint (global shape and
+  /// precision must match this simulation's parameters; the rank layout
+  /// need not — the state is scattered over whatever layout this run uses).
   void load_checkpoint(const std::string& path);
 
  private:

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <vector>
 
 #include "common/half.hpp"
+#include "common/hash.hpp"
+#include "io/checkpoint.hpp"
 
 namespace igr::cases {
 
@@ -51,7 +55,6 @@ CaseRun<Policy>::CaseRun(const CaseSpec& spec, const RunOptions& opts)
     throw std::invalid_argument("case '" + spec.name +
                                 "' is registered IGR-only (supports_weno is "
                                 "off)");
-  const int n = opts_.n > 0 ? opts_.n : spec.default_n;
   if (opts_.steps > 0) {
     target_steps_ = opts_.steps;
   } else if (opts_.t_end >= 0.0) {
@@ -61,20 +64,38 @@ CaseRun<Policy>::CaseRun(const CaseSpec& spec, const RunOptions& opts)
   } else {
     target_steps_ = spec.golden_steps;
   }
+  if (opts_.faults.armed())
+    injector_ = std::make_unique<sim::FaultInjector>(opts_.faults);
+  build_sim();
+}
 
+template <class Policy>
+void CaseRun<Policy>::build_sim() {
+  const int n = opts_.n > 0 ? opts_.n : spec_->default_n;
   typename app::Simulation<Policy>::Params params;
-  params.grid = spec.grid(n);
-  params.cfg = spec.config();
+  params.grid = spec_->grid(n);
+  params.cfg = spec_->config();
   params.cfg.fused_rhs = opts_.fused_rhs;
   params.cfg.phase_timing = opts_.phase_timing;
+  params.cfg.cfl *= opts_.cfl_scale;
   if (opts_.jacobi_sweeps) params.cfg.sigma_gauss_seidel = false;
-  params.bc = spec.bc();
+  params.bc = spec_->bc();
   params.scheme = opts_.scheme;
   params.recon = opts_.recon;
   params.ranks = opts_.ranks;
+  params.dist.fault = injector_.get();
+  params.dist.comm_timeout_s = opts_.comm_timeout_s;
+  sim_.reset();  // a poisoned comm must die before its successor spawns
   sim_ = std::make_unique<app::Simulation<Policy>>(std::move(params));
-  sim_->init(spec.initial());
+  sim_->init(spec_->initial());
+  steps_ = 0;
   totals_initial_ = totals_of(sim_->state(), sim_->grid());
+}
+
+template <class Policy>
+void CaseRun<Policy>::rebuild(double cfl_scale) {
+  opts_.cfl_scale = cfl_scale;
+  build_sim();  // injector_ deliberately survives: counters keep growing
 }
 
 template <class Policy>
@@ -108,6 +129,7 @@ RunResult CaseRun<Policy>::result() const {
   r.grind_ns = sim_->grind_ns();
   r.cells = sim_->grid().cells();
   r.memory_bytes = sim_->memory_bytes();
+  r.state_fnv = common::state_fnv1a(sim_->state());
   if (spec_->exact) {
     const auto& q = sim_->state();
     const auto& g = sim_->grid();
@@ -154,6 +176,148 @@ RunResult run_case(const CaseSpec& spec, const RunOptions& opts) {
   return run.run();
 }
 
+namespace {
+
+/// Uninstalls the global torn-write hook on every exit path of the guarded
+/// runner (the hook references the run's injector, which dies with it).
+struct IoHookGuard {
+  ~IoHookGuard() { io::set_checkpoint_write_fault({}); }
+};
+
+}  // namespace
+
+template <class Policy>
+GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
+                             const GuardOptions& guard) {
+  GuardReport rep;
+  double cfl_scale = opts.cfl_scale;
+  rep.final_cfl_scale = cfl_scale;
+
+  CaseRun<Policy> run(spec, opts);
+  sim::FaultInjector* inj = run.injector();
+  IoHookGuard hook_guard;
+  if (inj && inj->plan().io_write_at > 0) {
+    io::set_checkpoint_write_fault(
+        [inj](const std::string&, std::size_t) { inj->on_io_write(); });
+  }
+
+  const std::string tag = guard.tag.empty() ? spec.name : guard.tag;
+  const std::string base = guard.dir + "/" + tag;
+  const std::string manifest_path = base + ".manifest";
+  const bool has_sigma = opts.scheme == app::SchemeKind::kIgr;
+
+  long step = 0;  ///< Absolute campaign step (survives rollback/resume).
+  std::vector<io::ManifestEntry> manifest;
+
+  // Restore the newest manifest entry whose files pass a full CRC scan;
+  // invalid or mismatched ones are skipped in favor of older entries.
+  const auto try_restore = [&]() -> bool {
+    for (auto it = manifest.rbegin(); it != manifest.rend(); ++it) {
+      const auto v = io::validate_checkpoint(it->path);
+      const auto vs = has_sigma
+                          ? io::validate_checkpoint(it->path + ".sigma")
+                          : io::CheckpointValidation{true, {}, {}};
+      if (!v.ok || !vs.ok) {
+        ++rep.checkpoints_rejected;
+        continue;
+      }
+      try {
+        run.load_checkpoint(it->path);
+      } catch (const std::exception&) {
+        ++rep.checkpoints_rejected;  // e.g. state/.sigma from different saves
+        continue;
+      }
+      step = it->step;
+      return true;
+    }
+    return false;
+  };
+
+  if (guard.resume) {
+    manifest = io::read_manifest(manifest_path);
+    if (try_restore()) rep.resumed_step = step;
+  }
+
+  // Rollback: rebuild the simulation (a faulted comm is poisoned by design
+  // and cannot be reused), back off the CFL, and restore the last valid
+  // checkpoint — or restart from the initial conditions if there is none.
+  const auto rollback = [&](const std::string& why) -> bool {
+    if (rep.retries >= guard.max_retries) {
+      rep.failure = why + " — retry budget (" +
+                    std::to_string(guard.max_retries) + ") exhausted";
+      return false;
+    }
+    ++rep.retries;
+    cfl_scale *= guard.cfl_backoff;
+    rep.final_cfl_scale = cfl_scale;
+    run.rebuild(cfl_scale);
+    step = 0;
+    try_restore();  // stays at the initial conditions when nothing is valid
+    return true;
+  };
+
+  const int target_steps = run.target_steps();
+  const double t_end = run.t_end();
+  const auto done = [&]() {
+    return target_steps > 0 ? step >= target_steps
+                            : run.sim().time() >= t_end - 1e-14;
+  };
+
+  while (!done()) {
+    try {
+      run.step();
+      ++step;
+    } catch (const std::exception& e) {
+      if (!rollback(std::string("step ") + std::to_string(step + 1) +
+                    " failed: " + e.what()))
+        return rep;
+      continue;
+    }
+
+    const bool ckpt_due =
+        guard.checkpoint_every > 0 && step % guard.checkpoint_every == 0;
+    const bool health_due =
+        guard.health_every > 0 &&
+        (step % guard.health_every == 0 || ckpt_due);
+    if (health_due) {
+      const auto h = run.sim().health();
+      if (!h.healthy(guard.strict_pressure)) {
+        if (!rollback("unhealthy state at step " + std::to_string(step) +
+                      ": " + h.describe()))
+          return rep;
+        continue;  // never checkpoint a state the scan just condemned
+      }
+    }
+    if (ckpt_due) {
+      const std::string path = base + ".ckpt" + std::to_string(step);
+      try {
+        run.save_checkpoint(path);
+        manifest.push_back({step, run.sim().time(), path});
+        while (static_cast<int>(manifest.size()) > std::max(1, guard.keep)) {
+          std::remove(manifest.front().path.c_str());
+          if (has_sigma)
+            std::remove((manifest.front().path + ".sigma").c_str());
+          manifest.erase(manifest.begin());
+        }
+        io::write_manifest(manifest_path, manifest);
+        ++rep.checkpoints_written;
+      } catch (const std::exception&) {
+        // A save that dies mid-write leaves a torn `.tmp` and never touches
+        // the final path or the manifest — the run itself is unharmed, so
+        // count it and keep stepping (the next cadence retries).
+        ++rep.checkpoint_failures;
+      }
+    }
+  }
+
+  rep.completed = true;
+  rep.result = run.result();
+  // The absolute campaign step is what the report should carry, not the
+  // rebuilt CaseRun's local count.
+  rep.result.steps = static_cast<int>(step);
+  return rep;
+}
+
 template class CaseRun<common::Fp64>;
 template class CaseRun<common::Fp32>;
 template class CaseRun<common::Fp16x32>;
@@ -162,5 +326,12 @@ template RunResult run_case<common::Fp64>(const CaseSpec&, const RunOptions&);
 template RunResult run_case<common::Fp32>(const CaseSpec&, const RunOptions&);
 template RunResult run_case<common::Fp16x32>(const CaseSpec&,
                                              const RunOptions&);
+
+template GuardReport run_case_guarded<common::Fp64>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
+template GuardReport run_case_guarded<common::Fp32>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
+template GuardReport run_case_guarded<common::Fp16x32>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
 
 }  // namespace igr::cases

@@ -8,12 +8,14 @@
 /// --case` all run scenarios through this one seam.
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "app/simulation.hpp"
 #include "cases/case.hpp"
+#include "sim/fault.hpp"
 
 namespace igr::cases {
 
@@ -39,6 +41,17 @@ struct RunOptions {
   /// the bits) instead of the default red–black Gauss–Seidel.
   bool jacobi_sweeps = false;
   bool phase_timing = false;
+  /// Multiplier on the case's CFL number (1 = as registered).  The guarded
+  /// runner shrinks this on rollback (cfl_backoff); tests crank it up to
+  /// provoke an instability the health guard must catch.
+  double cfl_scale = 1.0;
+  /// Fault plan injected into the distributed driver's comm and phase
+  /// callbacks (disarmed by default; single-domain runs ignore comm/phase
+  /// triggers — only io applies, via the guarded runner's write hook).
+  sim::FaultPlan faults{};
+  /// Halo-wait bound handed to the distributed driver (seconds; <= 0
+  /// disables).
+  double comm_timeout_s = 60.0;
 };
 
 /// What a run produced.
@@ -53,6 +66,10 @@ struct RunResult {
   double grind_ns = 0.0;
   std::size_t cells = 0;
   std::size_t memory_bytes = 0;
+  /// Canonical FNV-1a fingerprint of the conserved state (see
+  /// common::state_fnv1a) — the golden *field* checksum: any bit of any
+  /// interior value changing changes this.
+  std::uint64_t state_fnv = 0;
 };
 
 /// A stateful case execution: step/run/inspect, checkpoint and restart.
@@ -75,17 +92,33 @@ class CaseRun {
   [[nodiscard]] const CaseSpec& spec() const { return *spec_; }
   /// Steps taken by *this object* (a restarted run counts from its load).
   [[nodiscard]] int steps_taken() const { return steps_; }
+  /// Step budget resolved from the options (0: time-driven to t_end()).
+  [[nodiscard]] int target_steps() const { return target_steps_; }
+  [[nodiscard]] double t_end() const { return t_end_; }
+  /// The fault injector backing opts.faults (null when disarmed).  Owned
+  /// here and kept across rebuild() so one-shot faults do not re-fire
+  /// during a retry.
+  [[nodiscard]] sim::FaultInjector* injector() { return injector_.get(); }
 
-  /// Checkpoint/restart through the runner (single-domain runs; the IGR
+  /// Tear down and reconstruct the simulation from the initial conditions
+  /// (same options except `cfl_scale`, which the caller may have backed
+  /// off).  Required for rollback after a comm fault: an aborted
+  /// communicator is poisoned by design and cannot be reused.
+  void rebuild(double cfl_scale);
+
+  /// Checkpoint/restart through the runner (any rank layout; the IGR
   /// scheme round-trips Sigma too, making the continuation bitwise).
   void save_checkpoint(const std::string& path) const;
   void load_checkpoint(const std::string& path);
 
  private:
+  void build_sim();
+
   const CaseSpec* spec_;
   RunOptions opts_;
   int target_steps_ = 0;   ///< 0: time-driven.
   double t_end_ = 0.0;
+  std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<app::Simulation<Policy>> sim_;
   common::Cons<double> totals_initial_{};
   int steps_ = 0;
@@ -101,8 +134,63 @@ class CaseRun {
 template <class Policy>
 RunResult run_case(const CaseSpec& spec, const RunOptions& opts = {});
 
+// --- Guarded execution: checkpoints + health + rollback/retry ------------
+
+/// Fault-tolerance envelope around a case run.
+struct GuardOptions {
+  /// Checkpoint cadence in steps (0: never).  Files land at
+  /// `<dir>/<tag>.ckpt<step>` (+ ".sigma") with a `<dir>/<tag>.manifest`
+  /// listing restart points oldest-first.
+  int checkpoint_every = 0;
+  std::string dir = ".";
+  std::string tag;  ///< Defaults to the case name.
+  /// Resume from the newest *valid* manifest entry (corrupt checkpoints
+  /// are CRC-detected and skipped in favor of the previous valid one).
+  bool resume = false;
+  int keep = 3;  ///< Checkpoints retained on disk (older ones deleted).
+  /// Health-scan cadence in steps (0: never scan).
+  int health_every = 4;
+  bool strict_pressure = false;  ///< Fail nonpositive pressure too.
+  /// Rollback budget: on an unhealthy state or a comm/phase fault, reload
+  /// the last valid checkpoint (or restart from t=0) with the CFL scaled
+  /// by `cfl_backoff`, at most `max_retries` times — then fail cleanly.
+  int max_retries = 2;
+  double cfl_backoff = 0.5;
+};
+
+/// What the guarded run lived through.
+struct GuardReport {
+  RunResult result{};        ///< Valid when completed.
+  bool completed = false;
+  std::string failure;       ///< Why it gave up (completed == false).
+  int retries = 0;           ///< Rollbacks performed.
+  long resumed_step = -1;    ///< Step restored by --resume (-1: fresh).
+  int checkpoints_written = 0;
+  int checkpoints_rejected = 0;  ///< Invalid manifest entries skipped.
+  int checkpoint_failures = 0;   ///< Saves that died mid-write (torn temp;
+                                 ///< the previous checkpoint survives).
+  double final_cfl_scale = 1.0;  ///< After any backoff.
+};
+
+/// Run `spec` under the fault-tolerance envelope: periodic crash-safe
+/// checkpoints + manifest, optional resume from the latest valid one,
+/// periodic health scans, and bounded rollback/retry with CFL backoff on
+/// faults or unhealthy states.  Injected comm/phase faults (opts.faults)
+/// surface here as a rollback, proving the abort path unwinds rather than
+/// deadlocks; injected IO faults tear a temp file and are survived.
+template <class Policy>
+GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
+                             const GuardOptions& guard);
+
 extern template class CaseRun<common::Fp64>;
 extern template class CaseRun<common::Fp32>;
 extern template class CaseRun<common::Fp16x32>;
+
+extern template GuardReport run_case_guarded<common::Fp64>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
+extern template GuardReport run_case_guarded<common::Fp32>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
+extern template GuardReport run_case_guarded<common::Fp16x32>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
 
 }  // namespace igr::cases

@@ -1,0 +1,110 @@
+#pragma once
+/// \file hash.hpp
+/// Checksum primitives for the fault-tolerance layer:
+///
+///   - CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-component
+///     payload checksums of the v2 checkpoint format (src/io/checkpoint.hpp).
+///     Detects torn writes and bit corruption before a restart consumes bad
+///     data.
+///   - FNV-1a 64-bit — the canonical conserved-state field checksum recorded
+///     per case by the golden-regression suite (cases::RunResult::state_fnv).
+///
+/// Both are incremental (streaming) so large fields hash row-by-row without
+/// staging a copy.  The canonical state hash walks the interior in
+/// (component, k, j, i) order over double-cast values, making it a
+/// precision-independent *encoding* (the hashed values themselves still carry
+/// the storage precision, so FP64 and FP16/32 runs hash differently — as they
+/// must: the hash is a bitwise fingerprint of the computed state).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/field3.hpp"
+
+namespace igr::common {
+
+namespace detail {
+
+constexpr std::uint32_t crc32_entry(std::uint32_t i) {
+  std::uint32_t c = i;
+  for (int k = 0; k < 8; ++k)
+    c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+  return c;
+}
+
+struct Crc32Table {
+  std::uint32_t t[256];
+  constexpr Crc32Table() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) t[i] = crc32_entry(i);
+  }
+};
+
+inline constexpr Crc32Table kCrc32Table{};
+
+}  // namespace detail
+
+/// Streaming CRC32 (IEEE).  value() may be read at any point; update may
+/// continue afterwards.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < n; ++i)
+      c = detail::kCrc32Table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    state_ = c;
+  }
+  [[nodiscard]] std::uint32_t value() const { return ~state_; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n) {
+  Crc32 c;
+  c.update(data, n);
+  return c.value();
+}
+
+/// Streaming FNV-1a (64-bit).
+class Fnv1a64 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001B3ull;
+    }
+    state_ = h;
+  }
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xCBF29CE484222325ull;
+};
+
+/// Canonical conserved-state fingerprint: FNV-1a over the interior values,
+/// double-cast, in (component, k, j, i) order.  Identical state bits =>
+/// identical hash, independent of storage layout, ghost depth, or rank
+/// decomposition of the run that produced the state.
+template <class T>
+[[nodiscard]] std::uint64_t state_fnv1a(const StateField3<T>& q) {
+  Fnv1a64 h;
+  for (int c = 0; c < kNumVars; ++c) {
+    for (int k = 0; k < q.nz(); ++k) {
+      for (int j = 0; j < q.ny(); ++j) {
+        for (int i = 0; i < q.nx(); ++i) {
+          const double v = static_cast<double>(q[c](i, j, k));
+          unsigned char bytes[sizeof(double)];
+          std::memcpy(bytes, &v, sizeof(double));
+          h.update(bytes, sizeof(double));
+        }
+      }
+    }
+  }
+  return h.value();
+}
+
+}  // namespace igr::common

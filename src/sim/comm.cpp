@@ -1,9 +1,12 @@
 #include "sim/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <thread>
+
+#include "sim/fault.hpp"
 
 namespace igr::sim {
 
@@ -59,16 +62,56 @@ bool Comm::wait_epoch(std::size_t s, std::uint64_t target) const {
   // waiter's abort check and its blocking wait would be lost.  Exchange
   // waits are short (rank imbalance within one phase), so yielding is cheap
   // and keeps oversubscribed single-core runs from burning the timeslice.
+  //
+  // A configured wait timeout bounds the spin: a peer that died without its
+  // unwind reaching abort_exchanges (or an external kill) would otherwise
+  // hang every waiter forever.  The clock is consulted only every 1024
+  // yields so the healthy path stays a pair of atomic loads.
   auto& e = epochs_[s];
+  const double bound = wait_timeout_s_;
+  std::chrono::steady_clock::time_point deadline{};
+  bool deadline_set = false;
+  int spins = 0;
   while (e.load(std::memory_order_acquire) < target) {
     if (abort_.load(std::memory_order_relaxed)) return false;
+    if (bound > 0.0 && ++spins >= 1024) {
+      spins = 0;
+      const auto now = std::chrono::steady_clock::now();
+      if (!deadline_set) {
+        deadline = now + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(bound));
+        deadline_set = true;
+      } else if (now >= deadline) {
+        abort_exchanges("halo wait exceeded " + std::to_string(bound) +
+                        "s (peer rank never posted — dead or wedged)");
+        return false;
+      }
+    }
     std::this_thread::yield();
   }
   return true;
 }
 
-void Comm::abort_exchanges() const {
+void Comm::abort_exchanges(const std::string& reason) const {
+  if (!reason.empty()) {
+    std::lock_guard<std::mutex> lock(reason_mu_);
+    if (abort_reason_.empty()) abort_reason_ = reason;  // first reason wins
+  }
   abort_.store(true, std::memory_order_relaxed);
+}
+
+std::string Comm::abort_reason() const {
+  std::lock_guard<std::mutex> lock(reason_mu_);
+  return abort_reason_;
+}
+
+void Comm::fault_on_post() const {
+  if (fault_) fault_->on_comm_post();
+}
+
+void Comm::fault_on_complete() const {
+  if (fault_) fault_->on_comm_complete();
 }
 
 double Comm::allreduce_min(const std::vector<double>& v) {

@@ -38,7 +38,9 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/field3.hpp"
@@ -46,6 +48,8 @@
 #include "mesh/grid.hpp"
 
 namespace igr::sim {
+
+class FaultInjector;
 
 class Comm {
  public:
@@ -97,11 +101,29 @@ class Comm {
 
   /// Mark the exchange aborted (error unwind path: a rank that threw
   /// cannot post, so its peers' epoch waits check this flag and give up
-  /// instead of spinning forever).
-  void abort_exchanges() const;
+  /// instead of spinning forever).  The first non-empty `reason` is latched
+  /// and surfaces in later poisoned-communicator errors.
+  void abort_exchanges(const std::string& reason = {}) const;
   [[nodiscard]] bool aborted() const {
     return abort_.load(std::memory_order_relaxed);
   }
+  /// Why the communicator was poisoned (empty if not aborted or no reason
+  /// was recorded).
+  [[nodiscard]] std::string abort_reason() const;
+
+  // --- Fault tolerance hooks --------------------------------------------
+
+  /// Install a fault injector (nullptr disarms): post_axis / complete_axis
+  /// then consult it and propagate its InjectedFault.  The injector must
+  /// outlive the communicator.
+  void set_fault_injector(FaultInjector* f) const { fault_ = f; }
+
+  /// Bound every epoch wait: a peer that never posts (dead rank without a
+  /// reaching abort) trips the timeout, which aborts the exchange with a
+  /// reason instead of deadlocking.  <= 0 disables (the default driver
+  /// installs its own bound — see DistOptions::comm_timeout_s).
+  void set_wait_timeout(double seconds) const { wait_timeout_s_ = seconds; }
+  [[nodiscard]] double wait_timeout() const { return wait_timeout_s_; }
 
   // --- Collective (lockstep) exchanges ----------------------------------
 
@@ -163,13 +185,22 @@ class Comm {
            static_cast<std::size_t>(rank);
   }
 
-  /// Block until epoch `slot` reaches `target`; false on abort.
+  /// Block until epoch `slot` reaches `target`; false on abort or timeout.
   bool wait_epoch(std::size_t s, std::uint64_t target) const;
+
+  /// Non-template fault taps (keep the FaultInjector type out of the
+  /// template bodies; defined in comm.cpp).
+  void fault_on_post() const;
+  void fault_on_complete() const;
 
   mesh::Grid global_;
   mesh::Decomp decomp_;
   mutable std::atomic<std::size_t> bytes_{0};
   mutable std::atomic<bool> abort_{false};
+  mutable FaultInjector* fault_ = nullptr;
+  mutable double wait_timeout_s_ = 0.0;
+  mutable std::mutex reason_mu_;
+  mutable std::string abort_reason_;
   /// Published-epoch counter and pack buffer per (channel, axis, rank).
   mutable std::unique_ptr<std::atomic<std::uint64_t>[]> epochs_;
   mutable std::vector<std::vector<unsigned char>> buffers_;
@@ -200,6 +231,7 @@ template <class T>
 void Comm::post_axis(int channel, int rank,
                      const common::Field3<T>* const* fields, int nfields,
                      int axis) const {
+  fault_on_post();
   const common::Field3<T>& f0 = *fields[0];
   const int ng = f0.ng();
   const int nd[3] = {f0.nx(), f0.ny(), f0.nz()};
@@ -248,6 +280,7 @@ template <class T>
 bool Comm::complete_axis(int channel, int rank,
                          common::Field3<T>* const* fields, int nfields,
                          int axis) const {
+  fault_on_complete();
   common::Field3<T>& f0 = *fields[0];
   const int ng = f0.ng();
   const int nd[3] = {f0.nx(), f0.ny(), f0.nz()};
@@ -348,10 +381,14 @@ void Comm::exchange_axis(std::vector<common::Field3<T>*>& fields,
   // value; the collective wrappers have no caller to hand that to, so a
   // poisoned communicator must fail loudly rather than return with stale
   // ghosts.
-  if (aborted())
-    throw std::runtime_error(
+  if (aborted()) {
+    std::string msg =
         "Comm: exchange on an aborted communicator (a previous failure "
-        "poisoned it)");
+        "poisoned it)";
+    const std::string why = abort_reason();
+    if (!why.empty()) msg += ": " + why;
+    throw std::runtime_error(msg);
+  }
   const int R = ranks();
   for (int r = 0; r < R; ++r) {
     const common::Field3<T>* f = fields[static_cast<std::size_t>(r)];

@@ -33,6 +33,7 @@
 #include "core/igr_solver3d.hpp"
 #include "fv/cfl.hpp"
 #include "sim/comm.hpp"
+#include "sim/fault.hpp"
 #include "sim/rank_team.hpp"
 
 namespace igr::sim {
@@ -54,6 +55,14 @@ struct DistOptions {
   /// Overlap interior flux sweeps with the in-flight final Sigma exchange
   /// (parallel mode only; results are bitwise identical either way).
   bool overlap_halo = true;
+  /// Fault injector wired into the communicator and every phase callback
+  /// (nullptr: no injection).  Must outlive the driver — the case runner
+  /// keeps one injector across rollback rebuilds so counters persist.
+  FaultInjector* fault = nullptr;
+  /// Bound on any single halo wait before the exchange self-aborts (a peer
+  /// that dies without unwinding would otherwise deadlock its neighbors).
+  /// <= 0 disables the bound.
+  double comm_timeout_s = 60.0;
 };
 
 template <class Policy>
@@ -71,6 +80,8 @@ class DistributedIgr {
         bc_(bc),
         opts_(opts) {
     comm_.validate_driver_decomp(kNg);
+    comm_.set_fault_injector(opts_.fault);
+    comm_.set_wait_timeout(opts_.comm_timeout_s);
     for (int r = 0; r < comm_.ranks(); ++r) {
       ranks_.emplace_back(std::make_unique<core::IgrSolver3D<Policy>>(
           comm_.local_grid(r), cfg, bc, recon));
@@ -170,6 +181,50 @@ class DistributedIgr {
     return out;
   }
 
+  /// Distribute a global conservative state over the rank blocks — the
+  /// restart inverse of gather().  Only interiors are written; ghosts are
+  /// refilled by the next step's exchange + BC fill, exactly as after
+  /// init().  Each rank's cached dt is invalidated (the cache belonged to
+  /// the pre-scatter state).
+  void scatter(const common::StateField3<S>& global) {
+    check_global_shape(global.nx(), global.ny(), global.nz(), "scatter");
+    for (int r = 0; r < comm_.ranks(); ++r) {
+      const auto b = comm_.decomp().block(r);
+      auto& s = *ranks_[static_cast<std::size_t>(r)];
+      auto& q = s.state();
+      for (int c = 0; c < common::kNumVars; ++c) {
+        for (int k = 0; k < b.n[2]; ++k)
+          for (int j = 0; j < b.n[1]; ++j)
+            for (int i = 0; i < b.n[0]; ++i)
+              q[c](i, j, k) = global[c](b.lo[0] + i, b.lo[1] + j, b.lo[2] + k);
+      }
+      s.invalidate_dt_cache();
+    }
+  }
+
+  /// Distribute a global Sigma field (restart warm start) — inverse of
+  /// gather_sigma().
+  void scatter_sigma(const common::Field3<S>& global) {
+    check_global_shape(global.nx(), global.ny(), global.nz(),
+                       "scatter_sigma");
+    for (int r = 0; r < comm_.ranks(); ++r) {
+      const auto b = comm_.decomp().block(r);
+      auto& s = *ranks_[static_cast<std::size_t>(r)];
+      auto& sig = s.sigma_field();
+      for (int k = 0; k < b.n[2]; ++k)
+        for (int j = 0; j < b.n[1]; ++j)
+          for (int i = 0; i < b.n[0]; ++i)
+            sig(i, j, k) = global(b.lo[0] + i, b.lo[1] + j, b.lo[2] + k);
+      s.invalidate_dt_cache();
+    }
+  }
+
+  /// Reset simulated time on the driver and every rank (restart).
+  void set_time(double t) {
+    time_ = t;
+    for (auto& s : ranks_) s->set_time(t);
+  }
+
   [[nodiscard]] const Comm& comm() const { return comm_; }
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] const DistOptions& options() const { return opts_; }
@@ -186,6 +241,14 @@ class DistributedIgr {
   }
 
  private:
+  void check_global_shape(int nx, int ny, int nz, const char* what) const {
+    const auto& g = comm_.global_grid();
+    if (nx != g.nx() || ny != g.ny() || nz != g.nz())
+      throw std::invalid_argument(
+          std::string("DistributedIgr::") + what +
+          ": global field shape does not match the decomposed grid");
+  }
+
   static bool is_periodic(const fv::BcSpec& bc) {
     for (auto k : bc.kind)
       if (k != fv::BcKind::kPeriodic) return false;
@@ -199,13 +262,21 @@ class DistributedIgr {
   /// of silently stepping on corrupt halos.
   template <class Fn>
   void run_phase(Fn&& fn) {
-    if (comm_.aborted())
-      throw std::runtime_error(
+    if (comm_.aborted()) {
+      std::string msg =
           "DistributedIgr: a previous phase failed and poisoned the "
-          "communicator; the decomposed state is no longer consistent");
+          "communicator; the decomposed state is no longer consistent";
+      const std::string why = comm_.abort_reason();
+      if (!why.empty()) msg += " (" + why + ")";
+      throw std::runtime_error(msg);
+    }
     team_->run([this, &fn](int r) {
       try {
+        if (opts_.fault) opts_.fault->on_phase(r);
         fn(r);
+      } catch (const std::exception& e) {
+        comm_.abort_exchanges(e.what());
+        throw;
       } catch (...) {
         comm_.abort_exchanges();
         throw;

@@ -1,0 +1,104 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic fault injection for the simulated-MPI layer and checkpoint
+/// IO.  At the paper's scale (up to 11k nodes, 16-hour campaigns) node loss
+/// and torn writes are routine, so the recovery paths — Comm's latched abort,
+/// the runner's rollback/retry loop, the crash-safe checkpoint protocol —
+/// need to be *provably* exercised, not just present.  A FaultPlan names one
+/// fault and the exact call at which it fires; a FaultInjector counts the
+/// instrumented call sites and throws InjectedFault at the trigger.
+///
+/// Determinism: triggers are call-ordinal, not time- or randomness-based.
+/// The injector's counters are atomic and *monotonic across simulation
+/// rebuilds* — the runner keeps one injector alive through rollback, so a
+/// one-shot fault that fired before the rollback does not re-fire during the
+/// retry (the counter is already past the trigger).
+///
+/// Seeded plans (`from_seed`) derive the fault kind and trigger ordinal from
+/// a splitmix64 stream, giving fuzz-style coverage that is still perfectly
+/// reproducible from the seed alone.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace igr::sim {
+
+/// The exception every injected fault throws — distinct from genuine errors
+/// so tests can assert the failure they caused is the failure they saw.
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One planned fault.  At most one trigger is typically armed; arming
+/// several fires each at its own ordinal.  All ordinals are 1-based counts
+/// of the instrumented calls ("post=3" = the 3rd halo post anywhere);
+/// 0 disables that trigger.
+struct FaultPlan {
+  long comm_post_at = 0;      ///< Fail the Nth Comm::post_axis.
+  long comm_complete_at = 0;  ///< Fail the Nth Comm::complete_axis.
+  long phase_at = 0;          ///< Fail `phase_rank`'s Nth phase callback.
+  int phase_rank = 0;         ///< Rank whose worker dies (phase_at > 0).
+  long io_write_at = 0;       ///< Kill the checkpoint writer at its Nth
+                              ///< payload chunk (torn temp file).
+  std::uint64_t seed = 0;     ///< Provenance when derived from a seed.
+
+  [[nodiscard]] bool armed() const {
+    return comm_post_at > 0 || comm_complete_at > 0 || phase_at > 0 ||
+           io_write_at > 0;
+  }
+
+  /// Human-readable summary ("comm-post@3", "phase@2 rank 1", "disarmed").
+  [[nodiscard]] std::string describe() const;
+
+  /// Derive a plan from a seed (splitmix64): the kind cycles through
+  /// comm-post / comm-complete / phase / io-write and the trigger ordinal
+  /// lands in [1, 24] — early enough to fire in smoke-sized runs.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed);
+
+  /// Parse a comma-separated spec: `post=N`, `complete=N`, `phase=N@R`
+  /// (rank R's Nth phase callback), `io=N`, `seed=S` (expands via
+  /// from_seed; later explicit keys override it).  Throws
+  /// std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+};
+
+/// Thread-safe trigger engine for one FaultPlan.  Instrumented call sites
+/// invoke the `on_*` hooks; the hook whose counter hits its plan ordinal
+/// throws InjectedFault (exactly once — counters only grow).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  void on_comm_post();
+  void on_comm_complete();
+  void on_phase(int rank);
+  void on_io_write();
+
+  /// Did any trigger fire yet?  (Tests assert the planned fault actually
+  /// happened rather than the run passing vacuously.)
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  /// Total instrumented calls seen, per hook (diagnostics).
+  [[nodiscard]] long comm_posts() const { return posts_.load(); }
+  [[nodiscard]] long comm_completes() const { return completes_.load(); }
+  [[nodiscard]] long phases() const { return phases_.load(); }
+  [[nodiscard]] long io_writes() const { return io_writes_.load(); }
+
+ private:
+  void fire(const std::string& what);
+
+  FaultPlan plan_{};
+  std::atomic<long> posts_{0};
+  std::atomic<long> completes_{0};
+  std::atomic<long> phases_{0};  ///< Counts only plan_.phase_rank's calls.
+  std::atomic<long> io_writes_{0};
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace igr::sim

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
+#include <iterator>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "cases/runner.hpp"
 
@@ -262,6 +266,100 @@ TEST(CaseCheckpoint, RestartContinuesBitwiseFp64) {
 
 TEST(CaseCheckpoint, RestartContinuesBitwiseFp16x32) {
   check_restart_bitwise<Fp16x32>("sod-x");
+}
+
+// --- Layout-agnostic restart + golden field fingerprints -----------------
+
+/// A checkpoint saved from a decomposed run restarts on *any* rank layout
+/// (serial included) and continues bitwise — state, Sigma warm start, and
+/// every subsequent dt.  Jacobi sweeps make the sweep flavor itself
+/// decomposition-exact, so the uninterrupted serial run is the single
+/// reference for all layouts.
+TEST(CaseCheckpoint, RestartIsLayoutAgnosticAndBitwise) {
+  const auto* spec = cases::find("taylor-green");
+  ASSERT_NE(spec, nullptr);
+  cases::RunOptions opts;
+  opts.n = 12;
+  opts.steps = 1;  // stepping is driven manually below
+  opts.jacobi_sweeps = true;
+
+  cases::CaseRun<Fp64> straight(*spec, opts);
+  std::vector<double> dts;
+  for (int s = 0; s < 12; ++s) dts.push_back(straight.step());
+  const std::uint64_t want_fnv = straight.result().state_fnv;
+
+  // Save at step 6 from a 2x2x2-decomposed run (the writer gathers to one
+  // layout-independent global file).
+  auto save_opts = opts;
+  save_opts.ranks = {2, 2, 2};
+  cases::CaseRun<Fp64> saver(*spec, save_opts);
+  for (int s = 0; s < 6; ++s)
+    ASSERT_EQ(saver.step(), dts[static_cast<std::size_t>(s)]) << "step " << s;
+  const auto path =
+      (fs::temp_directory_path() / "igr_case_layout_restart.bin").string();
+  saver.save_checkpoint(path);
+
+  for (const std::array<int, 3> ranks :
+       {std::array<int, 3>{1, 1, 1}, std::array<int, 3>{1, 2, 1}}) {
+    SCOPED_TRACE("restart ranks " + std::to_string(ranks[0]) + "x" +
+                 std::to_string(ranks[1]) + "x" + std::to_string(ranks[2]));
+    auto restart_opts = opts;
+    restart_opts.ranks = ranks;
+    cases::CaseRun<Fp64> resumed(*spec, restart_opts);
+    resumed.load_checkpoint(path);
+    ASSERT_EQ(resumed.sim().time(), saver.sim().time());
+    for (int s = 6; s < 12; ++s)
+      ASSERT_EQ(resumed.step(), dts[static_cast<std::size_t>(s)])
+          << "restarted dt diverged at step " << s;
+    EXPECT_EQ(resumed.result().state_fnv, want_fnv);
+    EXPECT_EQ(resumed.sim().time(), straight.sim().time());
+  }
+  fs::remove(path);
+  fs::remove(path + ".sigma");
+}
+
+/// Golden FNV-1a fingerprints of the conserved state after each case's
+/// golden run (golden_n, golden_steps, FP64, defaults otherwise).  Any bit
+/// of any interior value changing changes these — the tightest regression
+/// net the suite has.  The FP-reproducibility flags the build pins
+/// (-ffp-contract=off, SLP vectorization off) are what make them stable
+/// across rebuilds and rank layouts.
+///
+/// Re-record after an *intentional* numerics change with
+///   ./run_case --case all --smoke --json /tmp/cases.json
+/// and copy each case's "state_fnv".
+TEST(CaseGolden, StateFingerprintsAreBitStable) {
+  const struct {
+    const char* name;
+    std::uint64_t fnv;
+  } kGolden[] = {
+      {"sod-x", 0x741047f609b73c02ull},
+      {"sod-y", 0x6d604b1b90fe910eull},
+      {"sod-z", 0xe8a6b3b34932b278ull},
+      {"lax-x", 0x4fc4c360eb2a39fdull},
+      {"lax-y", 0xe2a63b896b838220ull},
+      {"lax-z", 0x6e76acd52fef906cull},
+      {"sedov", 0x1f1bc47afe75ddf1ull},
+      {"shock-bubble", 0x2c98df5e0d4328f9ull},
+      {"taylor-green", 0x406b98d0b3c81562ull},
+      {"isentropic-vortex", 0x26285f28467a6fddull},
+      {"kelvin-helmholtz", 0xa5544ae0c4cad4c7ull},
+      {"jet-single", 0x709213cc98a6a1e8ull},
+      {"jet-three", 0x69bd0b0b7f8f3232ull},
+      {"jet-33", 0x885c6e9797502e1aull},
+  };
+  // Every registered case must carry a fingerprint — adding a case without
+  // recording one fails here, on purpose.
+  EXPECT_EQ(std::size(kGolden), cases::all_cases().size());
+  for (const auto& gold : kGolden) {
+    SCOPED_TRACE(gold.name);
+    const auto* spec = cases::find(gold.name);
+    ASSERT_NE(spec, nullptr);
+    const auto r = cases::run_case<Fp64>(*spec, cases::golden_options(*spec));
+    EXPECT_EQ(r.state_fnv, gold.fnv)
+        << "state drifted: run produced 0x" << std::hex << r.state_fnv
+        << ", golden table has 0x" << gold.fnv;
+  }
 }
 
 }  // namespace

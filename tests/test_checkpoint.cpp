@@ -140,4 +140,196 @@ TEST(Checkpoint, RestartedRunMatchesStraightThrough) {
                     1e-6);
 }
 
+// --- v2 format: compatibility, corruption detection, crash safety --------
+
+/// Substring assertion on the error a callable throws.
+template <class Fn>
+void expect_throw_containing(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected a throw mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error was: " << e.what();
+  }
+}
+
+/// Hand-roll a v1 file (no CRC section) for the old-format compatibility
+/// test: header with version = 1, then the raw row-major interior.
+template <class T>
+void write_v1_checkpoint(const std::string& path, const StateField3<T>& q,
+                         double time) {
+  igr::io::CheckpointHeader h;
+  h.version = 1;
+  h.storage_bytes = sizeof(T);
+  h.nx = q.nx();
+  h.ny = q.ny();
+  h.nz = q.nz();
+  h.ng = q.ng();
+  h.num_vars = kNumVars;
+  h.time = time;
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < q.nz(); ++k)
+      for (int j = 0; j < q.ny(); ++j)
+        for (int i = 0; i < q.nx(); ++i) {
+          const T v = q[c](i, j, k);
+          out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+        }
+}
+
+TEST(CheckpointV2, V1FilesStillLoad) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_v1.bin";
+  const auto q = make_state<double>(6);
+  write_v1_checkpoint(path.string(), q, 2.5);
+  EXPECT_EQ(igr::io::read_checkpoint_header(path.string()).version, 1u);
+
+  StateField3<double> r(6, 6, 6, 3);
+  EXPECT_DOUBLE_EQ(igr::io::read_checkpoint(path.string(), r), 2.5);
+  for (int c = 0; c < kNumVars; ++c)
+    for (int k = 0; k < 6; ++k)
+      for (int j = 0; j < 6; ++j)
+        for (int i = 0; i < 6; ++i)
+          ASSERT_EQ(q[c](i, j, k), r[c](i, j, k));
+
+  // v1 carries no checksums: validation is structural only, and passes.
+  EXPECT_TRUE(igr::io::validate_checkpoint(path.string()).ok);
+  fs::remove(path);
+}
+
+TEST(CheckpointV2, CrcCatchesSingleFlippedPayloadByte) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_flip.bin";
+  igr::io::write_checkpoint(path.string(), make_state<double>(6), 0.0);
+
+  // Flip one byte deep in the payload (well past header + CRC table).
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(-1, std::ios::cur);
+    b = static_cast<char>(b ^ 0x10);
+    f.write(&b, 1);
+  }
+
+  StateField3<double> r(6, 6, 6, 3);
+  expect_throw_containing(
+      [&] { igr::io::read_checkpoint(path.string(), r); }, "CRC mismatch");
+  const auto v = igr::io::validate_checkpoint(path.string());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("CRC mismatch"), std::string::npos) << v.error;
+  fs::remove(path);
+}
+
+TEST(CheckpointV2, CrcCatchesCorruptHeader) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_hdrflip.bin";
+  igr::io::write_checkpoint(path.string(), make_state<double>(6), 0.0);
+  {
+    // Corrupt the stored time (bytes 40..47 of the header): dims stay
+    // plausible, so only the header CRC can catch it.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    const char junk = 0x5A;
+    f.write(&junk, 1);
+  }
+  expect_throw_containing(
+      [&] { igr::io::read_checkpoint_header(path.string()); },
+      "header CRC mismatch");
+  EXPECT_FALSE(igr::io::validate_checkpoint(path.string()).ok);
+  fs::remove(path);
+}
+
+TEST(CheckpointV2, TruncatedFileRejectedWithLocation) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_trunc.bin";
+  igr::io::write_checkpoint(path.string(), make_state<double>(6), 0.0);
+  fs::resize_file(path, fs::file_size(path) * 2 / 3);
+
+  StateField3<double> r(6, 6, 6, 3);
+  expect_throw_containing(
+      [&] { igr::io::read_checkpoint(path.string(), r); }, "truncated");
+  const auto v = igr::io::validate_checkpoint(path.string());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("truncated"), std::string::npos) << v.error;
+  fs::remove(path);
+}
+
+TEST(CheckpointV2, MismatchErrorsReportExpectedVsFound) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_msgs.bin";
+  igr::io::write_checkpoint(path.string(), make_state<double>(6), 0.0);
+
+  StateField3<double> wrong_shape(8, 8, 8, 3);
+  expect_throw_containing(
+      [&] { igr::io::read_checkpoint(path.string(), wrong_shape); },
+      "file interior is 6x6x6 (ghost depth 3), target expects 8x8x8");
+
+  StateField3<float> wrong_prec(6, 6, 6, 3);
+  expect_throw_containing(
+      [&] { igr::io::read_checkpoint(path.string(), wrong_prec); },
+      "file stores 8-byte values (fp64), target expects 4-byte (fp32)");
+
+  // A 1-component field target against the 5-component state file.
+  igr::common::Field3<double> scalar(6, 6, 6, 3);
+  expect_throw_containing(
+      [&] { igr::io::read_checkpoint_field(path.string(), scalar); },
+      "file has 5 component(s), target expects 1");
+  fs::remove(path);
+}
+
+TEST(CheckpointV2, UnsupportedVersionRejected) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_badver.bin";
+  igr::io::write_checkpoint(path.string(), make_state<double>(6), 0.0);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);  // version field follows the 8-byte magic
+    const std::uint32_t v = 99;
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  expect_throw_containing(
+      [&] { igr::io::read_checkpoint_header(path.string()); },
+      "unsupported version 99");
+  fs::remove(path);
+}
+
+TEST(CheckpointV2, TornWriteNeverTouchesTheFinalPath) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt_torn.bin";
+  const auto q = make_state<double>(6);
+  igr::io::write_checkpoint(path.string(), q, 1.0);  // the "previous" save
+
+  // Kill the writer partway through the payload of the next save.
+  igr::io::set_checkpoint_write_fault(
+      [](const std::string&, std::size_t bytes) {
+        if (bytes > 500) throw std::runtime_error("simulated writer death");
+      });
+  EXPECT_THROW(igr::io::write_checkpoint(path.string(), q, 2.0),
+               std::runtime_error);
+  igr::io::set_checkpoint_write_fault({});
+
+  // The final path still holds the previous, fully valid save; the debris
+  // is confined to the temp file.
+  const auto v = igr::io::validate_checkpoint(path.string());
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_DOUBLE_EQ(v.header.time, 1.0);
+  EXPECT_TRUE(fs::exists(path.string() + ".tmp"));
+  fs::remove(path);
+  fs::remove(path.string() + ".tmp");
+}
+
+TEST(CheckpointV2, ManifestRoundTripAndMissingFile) {
+  const auto path = fs::temp_directory_path() / "igr_ckpt.manifest";
+  EXPECT_TRUE(igr::io::read_manifest(path.string()).empty());
+
+  std::vector<igr::io::ManifestEntry> entries{
+      {5, 0.1234567890123456789, "/tmp/a.ckpt5"},
+      {10, 0.25, "/tmp/a.ckpt10"},
+  };
+  igr::io::write_manifest(path.string(), entries);
+  const auto back = igr::io::read_manifest(path.string());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].step, 5);
+  EXPECT_DOUBLE_EQ(back[0].time, entries[0].time);  // %.17g round-trips
+  EXPECT_EQ(back[1].path, "/tmp/a.ckpt10");
+  fs::remove(path);
+}
+
 }  // namespace
