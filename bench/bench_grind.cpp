@@ -220,6 +220,7 @@ int main(int argc, char** argv) {
               n, warmup, steps,
               std::string(common::half_batch::backend_name()).c_str());
   std::vector<Row> rows;
+  using common::Bf16x32;
   using common::Fp16x32;
   using common::Fp32;
   using common::Fp64;
@@ -234,6 +235,9 @@ int main(int argc, char** argv) {
   for (auto recon : kAll)
     rows.push_back(
         run_one<Fp16x32>(SchemeKind::kIgr, recon, n, warmup, steps));
+  for (auto recon : kAll)
+    rows.push_back(
+        run_one<Bf16x32>(SchemeKind::kIgr, recon, n, warmup, steps));
   // Baseline: WENO5+HLLC at FP64 (the state of the art the paper beats) and
   // FP32 (timing-only; unstable below FP64 per §4.3).
   rows.push_back(run_one<Fp64>(SchemeKind::kBaselineWeno,
@@ -247,6 +251,7 @@ int main(int argc, char** argv) {
     rows.push_back(run_case_row<Fp64>(*spec, n, warmup, steps));
     rows.push_back(run_case_row<Fp32>(*spec, n, warmup, steps));
     rows.push_back(run_case_row<Fp16x32>(*spec, n, warmup, steps));
+    rows.push_back(run_case_row<Bf16x32>(*spec, n, warmup, steps));
   }
 
   write_json(out, label, n, warmup, steps, rows);

@@ -12,6 +12,12 @@
 ///   bench_scaling [--smoke] [--n N] [--weak-n M] [--ranks 1,2,4,8]
 ///                 [--warmup W] [--steps S] [--mode strong|weak|both]
 ///                 [--threads-per-rank T] [--label NAME] [--out PATH]
+///                 [--precision fp64|fp32|fp16x32|bf16x32] [--wire full|half]
+///
+/// --wire half narrows the state and Sigma halo payloads to binary16 on the
+/// wire (Comm::WirePrecision::kHalf); the halo_mb_per_step column measures
+/// the reduction directly (2x for fp32, 4x for fp64; 16-bit storage already
+/// moves 2-byte halos, so half wire is a bitwise no-op there).
 ///
 /// Strong: fixed N x N x 1.5N global jet, growing rank counts.
 /// Weak:   fixed M^3 cells per rank, domain resolution grows with ranks.
@@ -59,15 +65,17 @@ common::SolverConfig scaling_cfg() {
 }
 
 /// Time `steps` CFL steps of the decomposed jet; returns seconds per step.
-Point run_case(const char* mode, const mesh::Grid& grid,
-               std::array<int, 3> layout, int warmup, int steps,
-               int threads_per_rank) {
+template <class Policy>
+Point run_case_t(const char* mode, const mesh::Grid& grid,
+                 std::array<int, 3> layout, int warmup, int steps,
+                 int threads_per_rank, sim::Comm::WirePrecision wire) {
   const auto jet = app::single_engine();
   sim::DistOptions opts;
   opts.threads_per_rank = threads_per_rank;
-  sim::DistributedIgr<common::Fp64> d(grid, layout[0], layout[1], layout[2],
-                                      scaling_cfg(), jet.make_bc(),
-                                      fv::ReconScheme::kFifth, opts);
+  opts.halo_wire = wire;
+  sim::DistributedIgr<Policy> d(grid, layout[0], layout[1], layout[2],
+                                scaling_cfg(), jet.make_bc(),
+                                fv::ReconScheme::kFifth, opts);
   d.init(jet.initial_condition(0.005));
   for (int s = 0; s < warmup; ++s) d.step();
   d.comm().reset_traffic();
@@ -95,8 +103,26 @@ Point run_case(const char* mode, const mesh::Grid& grid,
   return p;
 }
 
+Point run_case(const char* mode, const mesh::Grid& grid,
+               std::array<int, 3> layout, int warmup, int steps,
+               int threads_per_rank, const std::string& precision,
+               sim::Comm::WirePrecision wire) {
+  if (precision == "fp32")
+    return run_case_t<common::Fp32>(mode, grid, layout, warmup, steps,
+                                    threads_per_rank, wire);
+  if (precision == "fp16x32")
+    return run_case_t<common::Fp16x32>(mode, grid, layout, warmup, steps,
+                                       threads_per_rank, wire);
+  if (precision == "bf16x32")
+    return run_case_t<common::Bf16x32>(mode, grid, layout, warmup, steps,
+                                       threads_per_rank, wire);
+  return run_case_t<common::Fp64>(mode, grid, layout, warmup, steps,
+                                  threads_per_rank, wire);
+}
+
 void write_json(const std::string& path, const std::string& label, int warmup,
                 int steps, int threads_per_rank,
+                const std::string& precision, const std::string& wire,
                 const std::vector<Point>& pts) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -108,6 +134,8 @@ void write_json(const std::string& path, const std::string& label, int warmup,
   std::fprintf(f, "  \"workload\": \"mach10_single_jet_distributed\",\n");
   std::fprintf(f, "  \"metric\": \"time_per_step_s\",\n");
   std::fprintf(f, "  \"sigma_sweeps\": \"jacobi\",\n");
+  std::fprintf(f, "  \"precision\": \"%s\",\n", precision.c_str());
+  std::fprintf(f, "  \"halo_wire\": \"%s\",\n", wire.c_str());
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"threads_per_rank\": %d,\n", threads_per_rank);
@@ -160,6 +188,8 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_scaling.json";
   std::string label = "scaling";
   std::string mode = "both";
+  std::string precision = "fp64";
+  std::string wire = "full";
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -185,6 +215,10 @@ int main(int argc, char** argv) {
       threads_per_rank = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--mode")) {
       mode = next();
+    } else if (!std::strcmp(argv[i], "--precision")) {
+      precision = next();
+    } else if (!std::strcmp(argv[i], "--wire")) {
+      wire = next();
     } else if (!std::strcmp(argv[i], "--label")) {
       label = next();
     } else if (!std::strcmp(argv[i], "--out")) {
@@ -206,6 +240,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_scaling: --mode must be strong|weak|both\n");
     return 2;
   }
+  if (precision != "fp64" && precision != "fp32" && precision != "fp16x32" &&
+      precision != "bf16x32") {
+    std::fprintf(stderr,
+                 "bench_scaling: --precision must be "
+                 "fp64|fp32|fp16x32|bf16x32\n");
+    return 2;
+  }
+  if (wire != "full" && wire != "half") {
+    std::fprintf(stderr, "bench_scaling: --wire must be full|half\n");
+    return 2;
+  }
+  const auto wire_mode = (wire == "half") ? sim::Comm::WirePrecision::kHalf
+                                          : sim::Comm::WirePrecision::kFull;
   if (n < 8 || weak_n < 4 || steps < 1 || warmup < 0 || threads_per_rank < 0) {
     std::fprintf(stderr, "bench_scaling: need --n >= 8, --weak-n >= 4, "
                          "--steps >= 1, --warmup >= 0\n");
@@ -213,9 +260,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("igrflow bench_scaling: n=%d weak-n=%d warmup=%d steps=%d "
-              "threads/rank=%d hw_concurrency=%u\n",
-              n, weak_n, warmup, steps, threads_per_rank,
-              std::thread::hardware_concurrency());
+              "threads/rank=%d precision=%s wire=%s hw_concurrency=%u\n",
+              n, weak_n, warmup, steps, threads_per_rank, precision.c_str(),
+              wire.c_str(), std::thread::hardware_concurrency());
   std::vector<Point> pts;
 
   if (mode != "weak") {
@@ -227,7 +274,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < rank_counts.size(); ++i) {
       const int R = rank_counts[i];
       auto p = run_case("strong", grid, mesh::Decomp::balanced_layout(R),
-                        warmup, steps, threads_per_rank);
+                        warmup, steps, threads_per_rank, precision,
+                        wire_mode);
       if (i == 0) {
         t_base = p.time_per_step_s;
         r_base = R;
@@ -250,7 +298,8 @@ int main(int argc, char** argv) {
       const mesh::Grid grid(weak_n * lay[0], weak_n * lay[1],
                             weak_n * lay[2], {0.0, 1.0}, {0.0, 1.0},
                             {0.0, 1.0});
-      auto p = run_case("weak", grid, lay, warmup, steps, threads_per_rank);
+      auto p = run_case("weak", grid, lay, warmup, steps, threads_per_rank,
+                        precision, wire_mode);
       if (i == 0) t_base = p.time_per_step_s;
       p.speedup = t_base / p.time_per_step_s;
       p.efficiency = p.speedup;  // fixed work per rank: ideal is flat time
@@ -261,6 +310,7 @@ int main(int argc, char** argv) {
                 100.0 * last.efficiency, last.ranks);
   }
 
-  write_json(out, label, warmup, steps, threads_per_rank, pts);
+  write_json(out, label, warmup, steps, threads_per_rank, precision, wire,
+             pts);
   return 0;
 }

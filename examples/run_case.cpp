@@ -46,7 +46,7 @@ struct CliOptions {
       stderr,
       "usage: run_case --case NAME|all [--list]\n"
       "                [--n N] [--steps S | --t-end T] [--smoke]\n"
-      "                [--precision fp64|fp32|fp16x32] [--scheme igr|weno]\n"
+      "                [--precision fp64|fp32|fp16x32|bf16x32] [--scheme igr|weno]\n"
       "                [--recon 1|3|5] [--ranks rx,ry,rz|N] [--jacobi]\n"
       "                [--phased] [--vtk out.vtk] [--json out.json]\n"
       "                [--save ckpt.bin] [--restart ckpt.bin]\n"
@@ -180,6 +180,7 @@ cases::RunResult run_one(const cases::CaseSpec& spec, const CliOptions& cli) {
   switch (cli.precision) {
     case cases::Precision::kFp32: return drive(common::Fp32{});
     case cases::Precision::kFp16x32: return drive(common::Fp16x32{});
+    case cases::Precision::kBf16x32: return drive(common::Bf16x32{});
     case cases::Precision::kFp64: break;
   }
   return drive(common::Fp64{});

@@ -28,10 +28,11 @@ Simulation<Policy>::Simulation(Params params)
     igr_ = std::make_unique<core::IgrSolver3D<Policy>>(
         params_.grid, params_.cfg, params_.bc, params_.recon);
   } else {
-    if constexpr (std::is_same_v<Policy, common::Fp16x32>) {
+    if constexpr (std::is_same_v<Policy, common::Fp16x32> ||
+                  std::is_same_v<Policy, common::Bf16x32>) {
       throw std::invalid_argument(
           "Simulation: the WENO/HLLC baseline is numerically unstable below "
-          "FP64 (paper §4.3); FP16/32 storage is IGR-only");
+          "FP64 (paper §4.3); 16-bit storage is IGR-only");
     } else {
       weno_ = std::make_unique<baseline::WenoHllcSolver3D<Policy>>(
           params_.grid, params_.cfg, params_.bc);
@@ -272,5 +273,6 @@ void Simulation<Policy>::write_vtk(const std::string& path) const {
 template class Simulation<common::Fp64>;
 template class Simulation<common::Fp32>;
 template class Simulation<common::Fp16x32>;
+template class Simulation<common::Bf16x32>;
 
 }  // namespace igr::app

@@ -113,10 +113,12 @@ class Simulation {
   mutable bool gathered_dirty_ = true;
 };
 
-/// FP16/32 storage is only supported by the IGR scheme (the baseline is
-/// numerically unstable below FP64, §4.3); requesting it throws.
+/// 16-bit storage (FP16/32, BF16/32) is only supported by the IGR scheme
+/// (the baseline is numerically unstable below FP64, §4.3); requesting it
+/// throws.
 extern template class Simulation<common::Fp64>;
 extern template class Simulation<common::Fp32>;
 extern template class Simulation<common::Fp16x32>;
+extern template class Simulation<common::Bf16x32>;
 
 }  // namespace igr::app

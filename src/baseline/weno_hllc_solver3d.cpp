@@ -291,5 +291,6 @@ template class WenoHllcSolver3D<common::Fp32>;
 // Instantiated so the generic Simulation driver links; the driver refuses to
 // construct it (WENO/HLLC is numerically unstable below FP64, §4.3).
 template class WenoHllcSolver3D<common::Fp16x32>;
+template class WenoHllcSolver3D<common::Bf16x32>;
 
 }  // namespace igr::baseline

@@ -17,6 +17,7 @@ const char* precision_name(Precision p) {
     case Precision::kFp64: return "fp64";
     case Precision::kFp32: return "fp32";
     case Precision::kFp16x32: return "fp16x32";
+    case Precision::kBf16x32: return "bf16x32";
   }
   return "?";
 }
@@ -25,6 +26,7 @@ bool parse_precision(std::string_view s, Precision* out) {
   if (s == "fp64") *out = Precision::kFp64;
   else if (s == "fp32") *out = Precision::kFp32;
   else if (s == "fp16x32") *out = Precision::kFp16x32;
+  else if (s == "bf16x32") *out = Precision::kBf16x32;
   else return false;
   return true;
 }
@@ -321,10 +323,13 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
 template class CaseRun<common::Fp64>;
 template class CaseRun<common::Fp32>;
 template class CaseRun<common::Fp16x32>;
+template class CaseRun<common::Bf16x32>;
 
 template RunResult run_case<common::Fp64>(const CaseSpec&, const RunOptions&);
 template RunResult run_case<common::Fp32>(const CaseSpec&, const RunOptions&);
 template RunResult run_case<common::Fp16x32>(const CaseSpec&,
+                                             const RunOptions&);
+template RunResult run_case<common::Bf16x32>(const CaseSpec&,
                                              const RunOptions&);
 
 template GuardReport run_case_guarded<common::Fp64>(
@@ -332,6 +337,8 @@ template GuardReport run_case_guarded<common::Fp64>(
 template GuardReport run_case_guarded<common::Fp32>(
     const CaseSpec&, const RunOptions&, const GuardOptions&);
 template GuardReport run_case_guarded<common::Fp16x32>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
+template GuardReport run_case_guarded<common::Bf16x32>(
     const CaseSpec&, const RunOptions&, const GuardOptions&);
 
 }  // namespace igr::cases

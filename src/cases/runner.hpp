@@ -20,7 +20,7 @@
 namespace igr::cases {
 
 /// Runtime precision selector (the CLI's `--precision`).
-enum class Precision { kFp64, kFp32, kFp16x32 };
+enum class Precision { kFp64, kFp32, kFp16x32, kBf16x32 };
 
 [[nodiscard]] const char* precision_name(Precision p);
 /// Parse "fp64" / "fp32" / "fp16x32"; false on anything else.
@@ -185,12 +185,15 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
 extern template class CaseRun<common::Fp64>;
 extern template class CaseRun<common::Fp32>;
 extern template class CaseRun<common::Fp16x32>;
+extern template class CaseRun<common::Bf16x32>;
 
 extern template GuardReport run_case_guarded<common::Fp64>(
     const CaseSpec&, const RunOptions&, const GuardOptions&);
 extern template GuardReport run_case_guarded<common::Fp32>(
     const CaseSpec&, const RunOptions&, const GuardOptions&);
 extern template GuardReport run_case_guarded<common::Fp16x32>(
+    const CaseSpec&, const RunOptions&, const GuardOptions&);
+extern template GuardReport run_case_guarded<common::Bf16x32>(
     const CaseSpec&, const RunOptions&, const GuardOptions&);
 
 }  // namespace igr::cases

@@ -45,13 +45,9 @@ common::SolverConfig shock_config(double floors = 0.0) {
 /// — the states the waves never reach over a standard run.  `ul`/`ur` are
 /// the velocities *along the tube axis*.
 ///
-/// Sigma-BC note (applies to every mixed-BC case here): the solver picks
-/// ONE Sigma ghost kind globally — Neumann as soon as any state face is
-/// non-periodic (igr_solver3d.cpp) — so the periodic transverse faces see
-/// zero-gradient Sigma ghosts.  For these extruded tubes that is *exact*
-/// (no transverse gradients by symmetry); for cases with transverse
-/// structure near a periodic face it is an approximation (see the
-/// shock-bubble note and the ROADMAP per-face SigmaBc item).
+/// Sigma ghosts follow the state BC per face (sigma_bc_from): the periodic
+/// transverse faces wrap Sigma, the tube ends clamp it.  For these extruded
+/// tubes wrap and clamp coincide (no transverse gradients by symmetry).
 CaseSpec make_tube(const std::string& name, const std::string& title,
                    int axis, const Prim<double>& left,
                    const Prim<double>& right, double t_end) {
@@ -182,11 +178,8 @@ std::vector<CaseSpec> make_shock_cases() {
                         {0.0, n * h});
     };
     c.bc = [post] {
-      // Periodic transverse faces; note the global-SigmaBc caveat at
-      // make_tube — the bubble is centered, Sigma decays exponentially
-      // away from the shock, and the golden window keeps the interaction
-      // near the axis, so the zero-gradient Sigma ghosts at the periodic
-      // faces are a benign approximation here.
+      // Periodic transverse faces; Sigma wraps across them per face
+      // (sigma_bc_from), consistent with the state.
       fv::BcSpec bc;
       bc.set_dirichlet(mesh::Face::kXLo, post);
       bc.kind[static_cast<std::size_t>(mesh::Face::kXHi)] =

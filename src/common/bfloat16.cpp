@@ -1,0 +1,104 @@
+#include "common/bfloat16.hpp"
+
+#include <bit>
+
+namespace igr::common {
+
+namespace {
+std::uint32_t f32_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float bits_f32(std::uint32_t u) { return std::bit_cast<float>(u); }
+}  // namespace
+
+std::uint16_t bfloat16::from_float(float f) {
+  const std::uint32_t x = f32_bits(f);
+  if ((x & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: truncate the payload to 7 bits, keep the sign, set the quiet bit
+    // (the rounding add below would carry a small-payload NaN into +/-inf).
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  }
+  // Round to nearest-even in one add: 0x7fff is just below the rounding
+  // midpoint of the discarded 16 bits, and the low bit of the kept mantissa
+  // breaks exact ties upward to the even pattern.  Shared exponent fields
+  // mean this single expression also covers subnormals (float subnormals
+  // quantize onto bfloat16 subnormals) and overflow (the carry walks a
+  // too-large finite value into the +/-inf encoding).
+  return static_cast<std::uint16_t>((x + 0x7fffu + ((x >> 16) & 1u)) >> 16);
+}
+
+float bfloat16::to_float(std::uint16_t b) {
+  // Exact widening: bfloat16 is the top half of the binary32 encoding.
+  return bits_f32(static_cast<std::uint32_t>(b) << 16);
+}
+
+namespace bf16_batch {
+
+void to_float_reference(const std::uint16_t* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = bfloat16::to_float(src[i]);
+}
+
+void from_float_reference(const float* src, std::uint16_t* dst,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = bfloat16::from_float(src[i]);
+}
+
+namespace {
+
+/// Branch-free float -> bfloat16: both the RNE add and the NaN
+/// truncate-and-quieten are computed unconditionally and selected by one
+/// compare mask, so the loop auto-vectorizes.
+inline std::uint16_t from_float_bits_bf16(std::uint32_t x) {
+  const std::uint32_t rne = (x + 0x7fffu + ((x >> 16) & 1u)) >> 16;
+  const std::uint32_t nan = (x >> 16) | 0x0040u;
+  return static_cast<std::uint16_t>(
+      ((x & 0x7fffffffu) > 0x7f800000u) ? nan : rne);
+}
+
+}  // namespace
+
+void to_float_bitwise(const std::uint16_t* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = bits_f32(static_cast<std::uint32_t>(src[i]) << 16);
+}
+
+void from_float_bitwise(const float* src, std::uint16_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = from_float_bits_bf16(f32_bits(src[i]));
+}
+
+Backend active_backend() {
+#if defined(IGR_HALF_BACKEND_SCALAR)
+  return Backend::kScalar;
+#else
+  return Backend::kBitwise;
+#endif
+}
+
+std::string_view backend_name() {
+  switch (active_backend()) {
+    case Backend::kBitwise: return "bitwise";
+    case Backend::kScalar: return "scalar";
+  }
+  return "?";
+}
+
+}  // namespace bf16_batch
+
+void convert_to_float(const bfloat16* src, float* dst, std::size_t n) {
+  const auto* bits = reinterpret_cast<const std::uint16_t*>(src);
+#if defined(IGR_HALF_BACKEND_SCALAR)
+  bf16_batch::to_float_reference(bits, dst, n);
+#else
+  bf16_batch::to_float_bitwise(bits, dst, n);
+#endif
+}
+
+void convert_from_float(const float* src, bfloat16* dst, std::size_t n) {
+  auto* bits = reinterpret_cast<std::uint16_t*>(dst);
+#if defined(IGR_HALF_BACKEND_SCALAR)
+  bf16_batch::from_float_reference(src, bits, n);
+#else
+  bf16_batch::from_float_bitwise(src, bits, n);
+#endif
+}
+
+}  // namespace igr::common

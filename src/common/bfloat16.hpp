@@ -1,0 +1,134 @@
+#pragma once
+/// \file bfloat16.hpp
+/// Software bfloat16 ("brain float") storage type and batched conversion
+/// lanes — the range-over-precision sibling of common::half.
+///
+/// bfloat16 is the top 16 bits of IEEE 754 binary32: 8 exponent bits (the
+/// full binary32 range, so Sedov/jet-style dynamic-range workloads never
+/// saturate) and 7 mantissa bits (unit roundoff 2^-8, ~16x coarser than
+/// binary16's 2^-11).  That layout makes both conversions trivial:
+///
+///  - bfloat16 -> float is an exact 16-bit left shift for *every* pattern,
+///    including subnormals, infinities, and NaNs (payload and signaling bit
+///    pass through untouched — this is what ARM BFCVT and AVX-512 BF16
+///    widening do).
+///  - float -> bfloat16 rounds to nearest-even with a single integer add:
+///    because bfloat16 shares binary32's exponent field there is no
+///    subnormal quantization or overflow-rebias special case — float
+///    subnormals land on bfloat16 subnormals and values above the largest
+///    finite bfloat16 round to +/-inf through the same add.  Only NaN needs
+///    care: the payload is truncated to 7 bits and the quiet bit is set
+///    (mirroring the half contract, so a signaling NaN never silently
+///    becomes +/-inf).
+///
+/// ## Batched conversion lanes
+///
+/// `convert_to_float` / `convert_from_float` overloads convert contiguous
+/// spans, following the `IGR_HALF_BACKEND` pattern (CMakeLists.txt): the
+/// SCALAR backend selects the per-element reference converters, everything
+/// else (AUTO/F16C/BITWISE) the branch-free bitwise kernel the compiler
+/// auto-vectorizes.  There is no hardware lane — F16C converts binary16
+/// only — so unlike half the bitwise kernel *is* the fast path everywhere.
+/// All backends are bitwise identical on all 2^16 patterns
+/// (tests/test_bfloat16.cpp asserts exactly that).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace igr::common {
+
+/// bfloat16 value (sign[15] | exponent[14:7] | mantissa[6:0]).  Conversions
+/// round to nearest-even; storage-only type like half — arithmetic promotes
+/// to float.
+class bfloat16 {
+ public:
+  bfloat16() = default;
+
+  /// Round-to-nearest-even conversion from binary32.
+  explicit bfloat16(float f) : bits_(from_float(f)) {}
+  explicit bfloat16(double d) : bits_(from_float(static_cast<float>(d))) {}
+
+  /// Exact widening conversion to binary32 (a 16-bit shift).
+  operator float() const { return to_float(bits_); }
+
+  /// Raw bit pattern (the top half of the binary32 encoding).
+  [[nodiscard]] std::uint16_t bits() const { return bits_; }
+  static bfloat16 from_bits(std::uint16_t b) {
+    bfloat16 v;
+    v.bits_ = b;
+    return v;
+  }
+
+  bfloat16& operator+=(float rhs) {
+    return *this = bfloat16(float(*this) + rhs);
+  }
+  bfloat16& operator-=(float rhs) {
+    return *this = bfloat16(float(*this) - rhs);
+  }
+  bfloat16& operator*=(float rhs) {
+    return *this = bfloat16(float(*this) * rhs);
+  }
+  bfloat16& operator/=(float rhs) {
+    return *this = bfloat16(float(*this) / rhs);
+  }
+
+  friend bool operator==(bfloat16 a, bfloat16 b) {
+    return float(a) == float(b);
+  }
+  friend bool operator!=(bfloat16 a, bfloat16 b) {
+    return float(a) != float(b);
+  }
+  friend bool operator<(bfloat16 a, bfloat16 b) { return float(a) < float(b); }
+  friend bool operator>(bfloat16 a, bfloat16 b) { return float(a) > float(b); }
+  friend bool operator<=(bfloat16 a, bfloat16 b) {
+    return float(a) <= float(b);
+  }
+  friend bool operator>=(bfloat16 a, bfloat16 b) {
+    return float(a) >= float(b);
+  }
+
+  static std::uint16_t from_float(float f);
+  static float to_float(std::uint16_t b);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(bfloat16) == 2, "bfloat16 must be 2 bytes");
+
+/// Largest finite bfloat16 value (0x7f7f widened).
+inline constexpr float kBf16Max = 3.3895313892515355e+38f;
+/// Smallest positive normal bfloat16 value (2^-126, same as binary32).
+inline constexpr float kBf16MinNormal = 1.1754943508222875e-38f;
+/// Unit roundoff of bfloat16 storage (2^-8).
+inline constexpr float kBf16Eps = 3.90625e-03f;
+
+/// Convert `n` bfloat16 values to floats through the configured backend.
+/// Exact for every pattern (NaN payloads included).
+void convert_to_float(const bfloat16* src, float* dst, std::size_t n);
+/// Convert `n` floats to bfloat16 (round-to-nearest-even) through the
+/// configured backend.
+void convert_from_float(const float* src, bfloat16* dst, std::size_t n);
+
+/// Individual conversion backends, mirroring half_batch: `reference` is the
+/// per-element converter the others are tested against, `bitwise` the
+/// branch-free auto-vectorizing kernel that every non-SCALAR configure
+/// selects.
+namespace bf16_batch {
+
+enum class Backend { kScalar, kBitwise };
+
+/// The configure-time-selected backend behind the `convert_*` entry points.
+Backend active_backend();
+std::string_view backend_name();
+
+void to_float_reference(const std::uint16_t* src, float* dst, std::size_t n);
+void from_float_reference(const float* src, std::uint16_t* dst,
+                          std::size_t n);
+void to_float_bitwise(const std::uint16_t* src, float* dst, std::size_t n);
+void from_float_bitwise(const float* src, std::uint16_t* dst, std::size_t n);
+
+}  // namespace bf16_batch
+
+}  // namespace igr::common

@@ -7,18 +7,20 @@
 /// Besides the per-element `load`/`store`, policies expose *batch* line
 /// hooks: `load_line`/`store_line` convert whole contiguous (or strided)
 /// spans between storage and compute precision.  For FP64 and FP32 these are
-/// identity pass-throughs (a memcpy / strided copy); for FP16/32 they hit
-/// the batched binary16 conversion lanes in common::half, which is what
-/// makes mixed-precision storage competitive on CPUs (see PERF.md).  The
-/// batch hooks are element-wise bitwise-identical to the per-element
-/// `load`/`store` — solver hot paths may pick either form freely (the mixed-
-/// precision regression test asserts the whole-solver consequence of this).
+/// identity pass-throughs (a memcpy / strided copy); for FP16/32 and
+/// BF16/32 they hit the batched conversion lanes in common::half /
+/// common::bfloat16, which is what makes mixed-precision storage
+/// competitive on CPUs (see PERF.md).  The batch hooks are element-wise
+/// bitwise-identical to the per-element `load`/`store` — solver hot paths
+/// may pick either form freely (the mixed-precision regression test asserts
+/// the whole-solver consequence of this).
 
 #include <cstddef>
 #include <cstring>
 #include <string_view>
 #include <type_traits>
 
+#include "common/bfloat16.hpp"
 #include "common/half.hpp"
 
 namespace igr::common {
@@ -46,6 +48,22 @@ struct Fp16x32 {
   static constexpr std::string_view name = "FP16/32";
 };
 
+/// Mixed mode: bfloat16 storage, binary32 compute.  Trades binary16's 11
+/// mantissa bits for binary32's full exponent range — the right end of the
+/// range-vs-precision axis for blast/jet workloads whose pressures span
+/// decades (Sedov, the Mach-10 jet family).
+struct Bf16x32 {
+  using storage_t = bfloat16;
+  using compute_t = float;
+  static constexpr std::string_view name = "BF16/32";
+};
+
+/// Storage types whose batch span converters live in a dedicated conversion
+/// lane (common::half / common::bfloat16) rather than a cast loop.
+template <class S>
+inline constexpr bool has_conversion_lane =
+    std::is_same_v<S, half> || std::is_same_v<S, bfloat16>;
+
 /// Load a stored value at compute precision.
 template <class Policy>
 typename Policy::compute_t load(typename Policy::storage_t v) {
@@ -72,7 +90,7 @@ inline void load_line(const typename Policy::storage_t* src,
   using C = typename Policy::compute_t;
   if constexpr (std::is_same_v<S, C>) {
     std::memcpy(dst, src, n * sizeof(C));
-  } else if constexpr (std::is_same_v<S, half>) {
+  } else if constexpr (has_conversion_lane<S>) {
     convert_to_float(src, dst, n);
   } else {
     for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<C>(src[i]);
@@ -87,7 +105,7 @@ inline void store_line(const typename Policy::compute_t* src,
   using C = typename Policy::compute_t;
   if constexpr (std::is_same_v<S, C>) {
     std::memcpy(dst, src, n * sizeof(S));
-  } else if constexpr (std::is_same_v<S, half>) {
+  } else if constexpr (has_conversion_lane<S>) {
     convert_from_float(src, dst, n);
   } else {
     for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<S>(src[i]);
@@ -105,9 +123,9 @@ inline void load_line_strided(const typename Policy::storage_t* src,
   using S = typename Policy::storage_t;
   using C = typename Policy::compute_t;
   if (stride == 1) return load_line<Policy>(src, dst, n);
-  if constexpr (std::is_same_v<S, half>) {
+  if constexpr (has_conversion_lane<S>) {
     constexpr std::size_t kChunk = 256;
-    half tmp[kChunk];
+    S tmp[kChunk];
     for (std::size_t base = 0; base < n; base += kChunk) {
       const std::size_t m = (n - base < kChunk) ? (n - base) : kChunk;
       const S* s = src + static_cast<std::ptrdiff_t>(base) * stride;
@@ -128,9 +146,9 @@ inline void store_line_strided(const typename Policy::compute_t* src,
                                std::ptrdiff_t stride, std::size_t n) {
   using S = typename Policy::storage_t;
   if (stride == 1) return store_line<Policy>(src, dst, n);
-  if constexpr (std::is_same_v<S, half>) {
+  if constexpr (has_conversion_lane<S>) {
     constexpr std::size_t kChunk = 256;
-    half tmp[kChunk];
+    S tmp[kChunk];
     for (std::size_t base = 0; base < n; base += kChunk) {
       const std::size_t m = (n - base < kChunk) ? (n - base) : kChunk;
       convert_from_float(src + base, tmp, m);

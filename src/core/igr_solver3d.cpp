@@ -21,6 +21,16 @@
 
 namespace igr::core {
 
+SigmaBcSpec sigma_bc_from(const fv::BcSpec& bc) {
+  SigmaBcSpec spec;
+  for (std::size_t f = 0; f < bc.kind.size(); ++f) {
+    spec.face[f] = (bc.kind[f] == fv::BcKind::kPeriodic)
+                       ? SigmaBc::kPeriodic
+                       : SigmaBc::kNeumann;
+  }
+  return spec;
+}
+
 namespace {
 
 using common::kEnergy;
@@ -29,13 +39,6 @@ using common::kMomY;
 using common::kMomZ;
 using common::kNumVars;
 using common::kRho;
-
-bool all_periodic(const fv::BcSpec& bc) {
-  for (auto k : bc.kind) {
-    if (k != fv::BcKind::kPeriodic) return false;
-  }
-  return true;
-}
 
 /// Primitive slices from one row of conservative values, each slice its
 /// own restrict parameter so the vectorizer needs no runtime alias
@@ -275,7 +278,7 @@ IgrSolver3D<Policy>::IgrSolver3D(const mesh::Grid& grid,
       inv_rho_(grid.nx(), grid.ny(), grid.nz(), 3) {
   cfg_.validate();
   profile_.enable(cfg_.phase_timing);
-  sigma_bc_ = all_periodic(bc_) ? SigmaBc::kPeriodic : SigmaBc::kNeumann;
+  sigma_bc_ = sigma_bc_from(bc_);
   if (!cfg_.sigma_gauss_seidel) {
     sigma_scratch_ =
         common::Field3<S>(grid.nx(), grid.ny(), grid.nz(), 3);
@@ -506,6 +509,25 @@ void IgrSolver3D<Policy>::compute_sigma_source(common::StateField3<S>& q) {
     compute_sigma_source_planes(q, c0, c1);
   }
   ensure_ir(nz + ng);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::build_sigma_source_interior(
+    common::StateField3<S>& q) {
+  const int nz = grid_.nz();
+  refresh_inv_rho_planes(q, 0, nz);
+  if (nz > 2) compute_sigma_source_planes(q, 1, nz - 1);
+}
+
+template <class Policy>
+void IgrSolver3D<Policy>::build_sigma_source_boundary(
+    common::StateField3<S>& q) {
+  const int nz = grid_.nz();
+  const int ng = q.ng();
+  refresh_inv_rho_planes(q, -ng, 0);
+  refresh_inv_rho_planes(q, nz, nz + ng);
+  compute_sigma_source_planes(q, 0, std::min(1, nz));
+  if (nz > 1) compute_sigma_source_planes(q, nz - 1, nz);
 }
 
 template <class Policy>
@@ -1370,11 +1392,15 @@ void IgrSolver3D<Policy>::fused_sigma_phase(common::StateField3<S>& q) {
     sigma_.fill(S{});
     return;
   }
-  if (sigma_bc_ != SigmaBc::kNeumann) {
-    // A periodic Sigma wrap makes plane 0's sweep s read plane nz-1's
-    // post-sweep-(s-1) values — which an ascending plane stream has not
-    // produced yet when its front is near 0.  Sweeps stay phased here; the
-    // interleaved source build and the streamed flux/RK stages still apply.
+  if (sigma_bc_.side(2, 0) == SigmaBc::kPeriodic ||
+      sigma_bc_.side(2, 1) == SigmaBc::kPeriodic) {
+    // A periodic Sigma wrap *along z* makes plane 0's sweep s read plane
+    // nz-1's post-sweep-(s-1) values — which an ascending plane stream has
+    // not produced yet when its front is near 0.  Sweeps stay phased here;
+    // the interleaved source build and the streamed flux/RK stages still
+    // apply.  Periodic x/y faces are no obstacle: their wraps are per-plane
+    // rim fills reading the same plane's post-previous-sweep interior,
+    // exactly the snapshot the phased fill takes.
     {
       common::PhaseScope t(profile_, common::PhaseProfile::kSigmaSource);
       build_sigma_source(q);
@@ -1441,8 +1467,9 @@ void IgrSolver3D<Policy>::fused_sigma_pipeline(common::StateField3<S>& q) {
       ir_hi = upto;
     }
   };
-  // Per-sweep ghost fills of one plane: the one-layer rim plus, on the
-  // boundary planes, the Neumann z ghost snapshot.
+  // Per-sweep ghost fills of one plane: the one-layer rim (wrapping or
+  // clamping per x/y face) plus, on the boundary planes, the Neumann z
+  // ghost snapshot (the pipeline gate guarantees both z faces clamp).
   auto sweep_ghosts = [&](common::Field3<S>& sig, int p, int layers) {
     fill_sigma_rim(sig, sigma_bc_, p, p + 1, layers);
     if (p == 0) fill_sigma_zghosts(sig, sigma_bc_, 0, layers);
@@ -1753,5 +1780,6 @@ common::Cons<double> IgrSolver3D<Policy>::conserved_totals() const {
 template class IgrSolver3D<common::Fp64>;
 template class IgrSolver3D<common::Fp32>;
 template class IgrSolver3D<common::Fp16x32>;
+template class IgrSolver3D<common::Bf16x32>;
 
 }  // namespace igr::core

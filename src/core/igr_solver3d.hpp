@@ -57,6 +57,12 @@ struct CellRegion {
   }
 };
 
+/// Per-face Sigma ghost kinds implied by the state BCs: Sigma wraps across
+/// periodic state faces and clamps (zero-gradient) across everything else.
+/// Shared by IgrSolver3D's constructor and the distributed driver's
+/// physical-face Sigma fill so both derive identical specs.
+[[nodiscard]] SigmaBcSpec sigma_bc_from(const fv::BcSpec& bc);
+
 template <class Policy>
 class IgrSolver3D {
  public:
@@ -133,6 +139,17 @@ class IgrSolver3D {
   void build_sigma_source(common::StateField3<S>& q) {
     compute_sigma_source(q);
   }
+  /// Interior part of build_sigma_source with respect to the z axis: the
+  /// reciprocal-density refresh over interior planes plus the source over
+  /// planes [1, nz-1).  Reads no z ghost plane of `q`, so it is safe to run
+  /// while the z halo exchange of `q` is still in flight (x/y ghosts must
+  /// already be valid).  Pair with build_sigma_source_boundary; together
+  /// they are bitwise one build_sigma_source call (per-point maps over
+  /// disjoint plane sets).
+  void build_sigma_source_interior(common::StateField3<S>& q);
+  /// The z-boundary complement: ghost-plane reciprocal-density refresh and
+  /// the source at planes 0 and nz-1 (needs valid z ghosts of `q`).
+  void build_sigma_source_boundary(common::StateField3<S>& q);
   /// One relaxation pass with the current Sigma ghosts.
   void sigma_sweep(common::StateField3<S>& q);
   /// Ghost fill of Sigma at physical boundaries (distributed drivers then
@@ -280,7 +297,7 @@ class IgrSolver3D {
   eos::IdealGas eos_;
   double alpha_;
   double time_ = 0.0;
-  SigmaBc sigma_bc_ = SigmaBc::kPeriodic;
+  SigmaBcSpec sigma_bc_{};  // derived per face from bc_ (sigma_bc_from)
 
   common::StateField3<S> q_;       // current state
   common::StateField3<S> qstage_;  // RK register

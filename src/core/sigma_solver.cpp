@@ -463,9 +463,9 @@ namespace {
 /// fill of the fused pipeline; the full-extent fills pass [0, nz).  Axis 2
 /// ignores the range (its writes are whole ghost planes).
 template <class S>
-void fill_sigma_axis_krange(common::Field3<S>& sigma, SigmaBc bc, int axis,
-                            std::array<bool, 2> sides, int layers, int kr0,
-                            int kr1) {
+void fill_sigma_axis_krange(common::Field3<S>& sigma, SigmaBcSpec bc,
+                            int axis, std::array<bool, 2> sides, int layers,
+                            int kr0, int kr1) {
   const int ng = (layers < 0 || layers > sigma.ng()) ? sigma.ng() : layers;
   const int n[3] = {sigma.nx(), sigma.ny(), sigma.nz()};
   {
@@ -480,9 +480,10 @@ void fill_sigma_axis_krange(common::Field3<S>& sigma, SigmaBc bc, int axis,
     }
     for (int side = 0; side < 2; ++side) {
       if (!sides[static_cast<std::size_t>(side)]) continue;
+      const SigmaBc face_bc = bc.side(axis, side);
       for (int g = 1; g <= ng; ++g) {
         const int ghost = (side == 0) ? -g : n[axis] + g - 1;
-        const int src = (bc == SigmaBc::kPeriodic)
+        const int src = (face_bc == SigmaBc::kPeriodic)
                             ? ((side == 0) ? n[axis] - g : g - 1)
                             : ((side == 0) ? 0 : n[axis] - 1);
         int i0 = lo[0], i1 = hi[0], j0 = lo[1], j1 = hi[1], k0 = lo[2],
@@ -657,41 +658,44 @@ void sigma_jacobi_planes(common::Field3<typename Policy::storage_t>& out,
 }
 
 template <class S>
-void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
-                            std::array<bool, 2> sides, int layers) {
+void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBcSpec bc,
+                            int axis, std::array<bool, 2> sides, int layers) {
   fill_sigma_axis_krange(sigma, bc, axis, sides, layers, 0, sigma.nz());
 }
 
 template <class S>
-void fill_sigma_rim(common::Field3<S>& sigma, SigmaBc bc, int k0, int k1,
+void fill_sigma_rim(common::Field3<S>& sigma, SigmaBcSpec bc, int k0, int k1,
                     int layers) {
   fill_sigma_axis_krange(sigma, bc, 0, {true, true}, layers, k0, k1);
   fill_sigma_axis_krange(sigma, bc, 1, {true, true}, layers, k0, k1);
 }
 
 template <class S>
-void fill_sigma_zghosts(common::Field3<S>& sigma, SigmaBc bc, int side,
+void fill_sigma_zghosts(common::Field3<S>& sigma, SigmaBcSpec bc, int side,
                         int layers) {
   fill_sigma_axis_krange(sigma, bc, 2,
                          {side == 0, side == 1}, layers, 0, sigma.nz());
 }
 
 template <class S>
-void fill_sigma_ghosts(common::Field3<S>& sigma, SigmaBc bc, int layers) {
+void fill_sigma_ghosts(common::Field3<S>& sigma, SigmaBcSpec bc, int layers) {
   for (int axis = 0; axis < 3; ++axis)
     fill_sigma_ghosts_axis(sigma, bc, axis, {true, true}, layers);
 }
 
 #define IGR_INSTANTIATE_SIGMA_GHOSTS(T)                                        \
-  template void fill_sigma_ghosts<T>(common::Field3<T>&, SigmaBc, int);        \
-  template void fill_sigma_ghosts_axis<T>(common::Field3<T>&, SigmaBc, int,    \
-                                          std::array<bool, 2>, int);           \
-  template void fill_sigma_rim<T>(common::Field3<T>&, SigmaBc, int, int, int); \
-  template void fill_sigma_zghosts<T>(common::Field3<T>&, SigmaBc, int, int);
+  template void fill_sigma_ghosts<T>(common::Field3<T>&, SigmaBcSpec, int);    \
+  template void fill_sigma_ghosts_axis<T>(common::Field3<T>&, SigmaBcSpec,     \
+                                          int, std::array<bool, 2>, int);      \
+  template void fill_sigma_rim<T>(common::Field3<T>&, SigmaBcSpec, int, int,   \
+                                  int);                                        \
+  template void fill_sigma_zghosts<T>(common::Field3<T>&, SigmaBcSpec, int,    \
+                                      int);
 
 IGR_INSTANTIATE_SIGMA_GHOSTS(double)
 IGR_INSTANTIATE_SIGMA_GHOSTS(float)
 IGR_INSTANTIATE_SIGMA_GHOSTS(common::half)
+IGR_INSTANTIATE_SIGMA_GHOSTS(common::bfloat16)
 #undef IGR_INSTANTIATE_SIGMA_GHOSTS
 
 template <class Policy>
@@ -767,7 +771,7 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, SweepKind kind, SigmaBc bc, bool batch) {
+                 int sweeps, SweepKind kind, SigmaBcSpec bc, bool batch) {
   for (int s = 0; s < sweeps; ++s) {
     // Sweeps consume a single ghost layer.
     fill_sigma_ghosts(sigma, bc, 1);
@@ -787,7 +791,7 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, bool gauss_seidel, SigmaBc bc) {
+                 int sweeps, bool gauss_seidel, SigmaBcSpec bc) {
   sigma_solve<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz, sweeps,
                       gauss_seidel ? SweepKind::kRedBlack : SweepKind::kJacobi,
                       bc);
@@ -838,7 +842,8 @@ double sigma_residual(const common::Field3<typename Policy::storage_t>& sigma,
   return res;
 }
 
-// Explicit instantiations for the three precision policies.
+// Explicit instantiations for the four precision policies.
+using common::Bf16x32;
 using common::Fp16x32;
 using common::Fp32;
 using common::Fp64;
@@ -857,12 +862,12 @@ using common::Fp64;
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, bool,       \
-      SigmaBc);                                                                \
+      SigmaBcSpec);                                                            \
   template void sigma_solve<P>(                                                \
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, SweepKind,  \
-      SigmaBc, bool);                                                          \
+      SigmaBcSpec, bool);                                                      \
   template double sigma_residual<P>(                                           \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       const common::Field3<P::storage_t>&, P::compute_t, P::compute_t,         \
@@ -879,6 +884,7 @@ using common::Fp64;
 IGR_INSTANTIATE_SIGMA(Fp64)
 IGR_INSTANTIATE_SIGMA(Fp32)
 IGR_INSTANTIATE_SIGMA(Fp16x32)
+IGR_INSTANTIATE_SIGMA(Bf16x32)
 #undef IGR_INSTANTIATE_SIGMA
 
 }  // namespace igr::core

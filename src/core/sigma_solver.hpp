@@ -24,6 +24,33 @@ namespace igr::core {
 /// Boundary handling for Sigma's ghost layers during sweeps/reconstruction.
 enum class SigmaBc { kPeriodic, kNeumann };
 
+/// Per-face Sigma ghost kinds, ordered like mesh::Face (xlo, xhi, ylo, yhi,
+/// zlo, zhi; face index = 2*axis + side).  Mixed-BC cases wrap Sigma across
+/// their periodic state faces and clamp (zero-gradient) everywhere else —
+/// the per-face refinement of the historical one-global-SigmaBc scheme.
+/// Implicitly constructible from a single SigmaBc so uniform-BC call sites
+/// (and the existing test suite) read unchanged.
+struct SigmaBcSpec {
+  std::array<SigmaBc, 6> face{};
+
+  SigmaBcSpec() : SigmaBcSpec(SigmaBc::kPeriodic) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): uniform broadcast is the
+  // intended shorthand (`fill_sigma_ghosts(f, SigmaBc::kNeumann)`).
+  SigmaBcSpec(SigmaBc uniform) { face.fill(uniform); }
+
+  [[nodiscard]] SigmaBc side(int axis, int s) const {
+    return face[static_cast<std::size_t>(2 * axis + s)];
+  }
+  [[nodiscard]] bool all(SigmaBc b) const {
+    for (const SigmaBc f : face)
+      if (f != b) return false;
+    return true;
+  }
+  friend bool operator==(const SigmaBcSpec& a, const SigmaBcSpec& b) {
+    return a.face == b.face;
+  }
+};
+
 /// Relaxation orderings for the eq. (9) sweeps.
 enum class SweepKind {
   /// Double-buffered simultaneous update.  Embarrassingly parallel and
@@ -44,13 +71,15 @@ enum class SweepKind {
 /// `layers` limits the fill depth: relaxation sweeps only consume one ghost
 /// layer, while the final reconstruction needs all of them.
 template <class S>
-void fill_sigma_ghosts(common::Field3<S>& sigma, SigmaBc bc, int layers = -1);
+void fill_sigma_ghosts(common::Field3<S>& sigma, SigmaBcSpec bc,
+                       int layers = -1);
 
 /// Per-axis, side-maskable variant for distributed drivers (physical faces
 /// only; interior faces come from halo exchange).
 template <class S>
-void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
-                            std::array<bool, 2> sides, int layers = -1);
+void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBcSpec bc,
+                            int axis, std::array<bool, 2> sides,
+                            int layers = -1);
 
 // --- Plane-streaming building blocks (the fused RHS pipeline) ---
 // A full sweep (ghost fill + both red–black colors, or one Jacobi pass)
@@ -63,15 +92,15 @@ void fill_sigma_ghosts_axis(common::Field3<S>& sigma, SigmaBc bc, int axis,
 /// restriction of fill_sigma_ghosts' axis-0 then axis-1 passes (corner cells
 /// match: the axis-1 fill reads the axis-0 columns written just before).
 template <class S>
-void fill_sigma_rim(common::Field3<S>& sigma, SigmaBc bc, int k0, int k1,
-                    int layers = -1);
+void fill_sigma_rim(common::Field3<S>& sigma, SigmaBcSpec bc, int k0,
+                    int k1, int layers = -1);
 
 /// z ghost-plane fill of one side (0 = low, 1 = high): whole-plane copies
 /// over the full x/y-extended extent, exactly the axis-2 pass of
 /// fill_sigma_ghosts restricted to one face.  The source plane's rim must
 /// already hold the values the phased fill would copy.
 template <class S>
-void fill_sigma_zghosts(common::Field3<S>& sigma, SigmaBc bc, int side,
+void fill_sigma_zghosts(common::Field3<S>& sigma, SigmaBcSpec bc, int side,
                         int layers = -1);
 
 /// One red–black half-pass updating parity (i+j+k) ≡ `color` (mod 2),
@@ -125,7 +154,7 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, SweepKind kind, SigmaBc bc, bool batch = true);
+                 int sweeps, SweepKind kind, SigmaBcSpec bc, bool batch = true);
 
 /// Back-compat flavor selector: `gauss_seidel` picks the parallel red–black
 /// ordering (the production Gauss–Seidel), false picks Jacobi.
@@ -138,7 +167,7 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, bool gauss_seidel, SigmaBc bc);
+                 int sweeps, bool gauss_seidel, SigmaBcSpec bc);
 
 /// A single relaxation pass using the *current* ghost values of `sigma`
 /// (no internal ghost fill).  Distributed drivers call this in lockstep with

@@ -231,6 +231,7 @@ void apply_bc_axis(common::StateField3<T>& q, const BcSpec& spec,
 IGR_INSTANTIATE_BC(double)
 IGR_INSTANTIATE_BC(float)
 IGR_INSTANTIATE_BC(common::half)
+IGR_INSTANTIATE_BC(common::bfloat16)
 #undef IGR_INSTANTIATE_BC
 
 }  // namespace igr::fv

@@ -6,6 +6,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/bfloat16.hpp"
 #include "common/half.hpp"
 
 namespace igr::fv {
@@ -125,6 +126,7 @@ double compute_dt(const common::StateField3<T>& q, const mesh::Grid& grid,
 IGR_INSTANTIATE_CFL(double)
 IGR_INSTANTIATE_CFL(float)
 IGR_INSTANTIATE_CFL(common::half)
+IGR_INSTANTIATE_CFL(common::bfloat16)
 #undef IGR_INSTANTIATE_CFL
 
 double compute_dt_1d(const double* rho, const double* mom, const double* e,

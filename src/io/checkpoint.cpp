@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #define IGR_HAVE_FSYNC 1
 #endif
 
+#include "common/bfloat16.hpp"
 #include "common/hash.hpp"
 
 namespace igr::io {
@@ -24,11 +26,22 @@ void check(bool ok, const std::string& what) {
   if (!ok) throw std::runtime_error("checkpoint: " + what);
 }
 
-const char* precision_of(std::uint32_t bytes) {
-  switch (bytes) {
+/// Storage tag written into CheckpointHeader::storage_bytes.  The low byte
+/// is always the element size (so size math on old readers keeps working);
+/// the high byte disambiguates 2-byte encodings — binary16 and bfloat16
+/// files must never cross-load, their bit patterns mean different values.
+template <class T>
+constexpr std::uint32_t storage_code() {
+  if constexpr (std::is_same_v<T, common::bfloat16>) return 0x0102u;
+  return sizeof(T);
+}
+
+const char* precision_of(std::uint32_t tag) {
+  switch (tag) {
     case 2: return "fp16";
     case 4: return "fp32";
     case 8: return "fp64";
+    case 0x0102: return "bf16";
   }
   return "unknown";
 }
@@ -150,7 +163,7 @@ void write_impl(const std::string& path, int nx, int ny, int nz, int ng,
   AtomicWriter out(path);
 
   CheckpointHeader h;
-  h.storage_bytes = sizeof(T);
+  h.storage_bytes = storage_code<T>();
   h.nx = nx;
   h.ny = ny;
   h.nz = nz;
@@ -199,12 +212,12 @@ double read_impl(const std::string& path, int nx, int ny, int nz,
   const HeaderInfo info = read_header_info(in, path);
   const CheckpointHeader& h = info.h;
 
-  if (h.storage_bytes != sizeof(T)) {
+  if (h.storage_bytes != storage_code<T>()) {
     std::ostringstream os;
     os << "storage precision mismatch in " << path << ": file stores "
-       << h.storage_bytes << "-byte values (" << precision_of(h.storage_bytes)
-       << "), target expects " << sizeof(T) << "-byte ("
-       << precision_of(sizeof(T)) << ")";
+       << (h.storage_bytes & 0xffu) << "-byte values ("
+       << precision_of(h.storage_bytes) << "), target expects " << sizeof(T)
+       << "-byte (" << precision_of(storage_code<T>()) << ")";
     throw std::runtime_error("checkpoint: " + os.str());
   }
   if (h.nx != nx || h.ny != ny || h.nz != nz) {
@@ -306,8 +319,10 @@ CheckpointValidation validate_checkpoint(const std::string& path) {
     const HeaderInfo info = read_header_info(in, path);
     v.header = info.h;
 
+    // Low byte of the storage tag is the element size (high byte only
+    // disambiguates same-size encodings, e.g. bf16 vs fp16).
     const std::size_t row_bytes =
-        static_cast<std::size_t>(info.h.nx) * info.h.storage_bytes;
+        static_cast<std::size_t>(info.h.nx) * (info.h.storage_bytes & 0xffu);
     const std::size_t rows_per_comp =
         static_cast<std::size_t>(info.h.ny) *
         static_cast<std::size_t>(info.h.nz);
@@ -389,6 +404,7 @@ std::vector<ManifestEntry> read_manifest(const std::string& path) {
 IGR_INSTANTIATE_CHECKPOINT(double)
 IGR_INSTANTIATE_CHECKPOINT(float)
 IGR_INSTANTIATE_CHECKPOINT(common::half)
+IGR_INSTANTIATE_CHECKPOINT(common::bfloat16)
 #undef IGR_INSTANTIATE_CHECKPOINT
 
 }  // namespace igr::io

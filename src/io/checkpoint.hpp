@@ -40,7 +40,10 @@ namespace igr::io {
 struct CheckpointHeader {
   std::uint64_t magic = 0x49475246'4C4F5731ull;  // "IGRF" "LOW1"
   std::uint32_t version = 2;
-  std::uint32_t storage_bytes = 0;  ///< 2, 4, or 8.
+  /// Storage tag: low byte is the element size (2, 4, or 8); high byte
+  /// disambiguates same-size encodings (0x0102 = bfloat16, plain 2 =
+  /// binary16).  Old files carry the bare size and read unchanged.
+  std::uint32_t storage_bytes = 0;
   std::int32_t nx = 0, ny = 0, nz = 0, ng = 0;
   std::int32_t num_vars = 0;
   double time = 0.0;

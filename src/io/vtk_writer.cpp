@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/bfloat16.hpp"
 #include "common/half.hpp"
 #include "common/state.hpp"
 
@@ -85,5 +86,9 @@ template void VtkWriter::add_state<float>(const common::StateField3<float>&,
                                           const eos::IdealGas&);
 template void VtkWriter::add_state<common::half>(
     const common::StateField3<common::half>&, const eos::IdealGas&);
+template void VtkWriter::add_scalar<common::bfloat16>(
+    const std::string&, const common::Field3<common::bfloat16>&);
+template void VtkWriter::add_state<common::bfloat16>(
+    const common::StateField3<common::bfloat16>&, const eos::IdealGas&);
 
 }  // namespace igr::io

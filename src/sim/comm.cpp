@@ -18,6 +18,7 @@ Comm::Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic)
   epochs_ = std::make_unique<std::atomic<std::uint64_t>[]>(slots);
   for (std::size_t s = 0; s < slots; ++s) epochs_[s].store(0);
   buffers_.resize(slots);
+  scratch_.resize(slots);
 }
 
 mesh::Grid Comm::local_grid(int rank) const {

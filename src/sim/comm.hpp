@@ -33,6 +33,7 @@
 /// interior and its neighbors' neighbors pull the planes they need
 /// (multi-hop halos), so 1-cell-thick rank blocks exchange correctly.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -41,9 +42,11 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/field3.hpp"
+#include "common/half.hpp"
 #include "mesh/decomp.hpp"
 #include "mesh/grid.hpp"
 
@@ -60,6 +63,16 @@ class Comm {
   static constexpr int kNumChannels = 3;
   /// Largest supported ghost depth (sizes the fixed per-face plane tables).
   static constexpr int kMaxGhostDepth = 8;
+
+  /// Wire encoding of a channel's halo payload.  kFull moves storage-width
+  /// values (bitwise-identical to the field contents — the default and the
+  /// reference).  kHalf narrows >2-byte elements to binary16 at pack time
+  /// through the batched conversion lanes and widens at unpack, halving
+  /// (FP32) or quartering (FP64, via a float intermediate) the bytes per
+  /// ghost cell; 2-byte storage (FP16/32, BF16/32) is already at wire
+  /// width and passes through untouched, so kHalf is bitwise-identical to
+  /// kFull there.  The byte meter counts *wire* bytes.
+  enum class WirePrecision { kFull, kHalf };
 
   /// Decompose `global` over an rx*ry*rz rank layout.
   Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic);
@@ -125,6 +138,20 @@ class Comm {
   void set_wait_timeout(double seconds) const { wait_timeout_s_ = seconds; }
   [[nodiscard]] double wait_timeout() const { return wait_timeout_s_; }
 
+  /// Select the wire encoding of `channel` (all channels default to kFull).
+  /// Poster and completer read the same setting, so flip it only at setup —
+  /// never between a post and its complete.
+  void set_wire(int channel, WirePrecision w) const {
+    if (channel < 0 || channel >= kNumChannels)
+      throw std::invalid_argument("Comm::set_wire: channel out of range");
+    wire_[static_cast<std::size_t>(channel)] = w;
+  }
+  [[nodiscard]] WirePrecision wire(int channel) const {
+    if (channel < 0 || channel >= kNumChannels)
+      throw std::invalid_argument("Comm::wire: channel out of range");
+    return wire_[static_cast<std::size_t>(channel)];
+  }
+
   // --- Collective (lockstep) exchanges ----------------------------------
 
   /// Exchange ghost layers of one scalar field per rank.  Axes are swept in
@@ -146,8 +173,9 @@ class Comm {
   /// Minimum across per-rank values (the dt allreduce).
   [[nodiscard]] static double allreduce_min(const std::vector<double>& v);
 
-  /// Total bytes moved by exchanges since construction (bytes unpacked into
-  /// ghost layers; thread-safe).
+  /// Total *wire* bytes moved by exchanges since construction (bytes of
+  /// packed payload unpacked into ghost layers, at each channel's wire
+  /// width; thread-safe).
   [[nodiscard]] std::size_t bytes_exchanged() const {
     return bytes_.load(std::memory_order_relaxed);
   }
@@ -204,6 +232,10 @@ class Comm {
   /// Published-epoch counter and pack buffer per (channel, axis, rank).
   mutable std::unique_ptr<std::atomic<std::uint64_t>[]> epochs_;
   mutable std::vector<std::vector<unsigned char>> buffers_;
+  /// Per-slot float staging for narrowing packs (only the posting rank's
+  /// thread touches its slot, like buffers_).
+  mutable std::vector<std::vector<float>> scratch_;
+  mutable std::array<WirePrecision, kNumChannels> wire_{};
 };
 
 // ---- template implementations ----
@@ -245,29 +277,49 @@ void Comm::post_axis(int channel, int rank,
                                  static_cast<std::size_t>(hi_b - lo_b);
   const int nplanes = published_planes(n, ng);
 
+  const bool narrow =
+      sizeof(T) > sizeof(common::half) &&
+      wire_[static_cast<std::size_t>(channel)] == WirePrecision::kHalf;
+  const std::size_t elems =
+      static_cast<std::size_t>(nfields) * nplanes * plane_area;
   auto& buf = buffers_[slot(channel, axis, rank)];
-  buf.resize(static_cast<std::size_t>(nfields) * nplanes * plane_area *
-             sizeof(T));
-  T* out = reinterpret_cast<T*>(buf.data());
+  buf.resize(elems * (narrow ? sizeof(common::half) : sizeof(T)));
 
   // Published plane list: the ng-deep slab on each side, or the whole
-  // interior for thin blocks (then each plane appears once).
-  for (int pos = 0; pos < nplanes; ++pos) {
-    const int li = published_plane(pos, n, ng);
-    for (int c = 0; c < nfields; ++c) {
-      const common::Field3<T>& f = *fields[c];
-      T* dst = out + (static_cast<std::size_t>(c) * nplanes + pos) *
-                         plane_area;
-      for (int b = lo_b; b < hi_b; ++b) {
-        for (int a = lo_a; a < hi_a; ++a) {
-          int cidx[3];
-          cidx[axis] = li;
-          cidx[ta] = a;
-          cidx[tb] = b;
-          *dst++ = f(cidx[0], cidx[1], cidx[2]);
+  // interior for thin blocks (then each plane appears once).  `out` is
+  // either the wire buffer itself (full width) or the float staging the
+  // batched narrowing lane consumes afterwards.
+  auto pack_planes = [&](auto* out) {
+    using U = std::remove_reference_t<decltype(*out)>;
+    for (int pos = 0; pos < nplanes; ++pos) {
+      const int li = published_plane(pos, n, ng);
+      for (int c = 0; c < nfields; ++c) {
+        const common::Field3<T>& f = *fields[c];
+        U* dst = out + (static_cast<std::size_t>(c) * nplanes + pos) *
+                           plane_area;
+        for (int b = lo_b; b < hi_b; ++b) {
+          for (int a = lo_a; a < hi_a; ++a) {
+            int cidx[3];
+            cidx[axis] = li;
+            cidx[ta] = a;
+            cidx[tb] = b;
+            *dst++ = static_cast<U>(f(cidx[0], cidx[1], cidx[2]));
+          }
         }
       }
     }
+  };
+  if (narrow) {
+    // Narrowing wire: stage at float (FP64 payloads narrow through a float
+    // intermediate), then one batched float->binary16 conversion into the
+    // published buffer.
+    auto& stage = scratch_[slot(channel, axis, rank)];
+    stage.resize(elems);
+    pack_planes(stage.data());
+    common::convert_from_float(
+        stage.data(), reinterpret_cast<common::half*>(buf.data()), elems);
+  } else {
+    pack_planes(reinterpret_cast<T*>(buf.data()));
   }
 
   // Publish: everything packed above happens-before any reader that
@@ -342,6 +394,28 @@ bool Comm::complete_axis(int channel, int rank,
     if (!wait_epoch(slot(channel, axis, src_ranks[s]), target)) return false;
   }
 
+  const bool narrow =
+      sizeof(T) > sizeof(common::half) &&
+      wire_[static_cast<std::size_t>(channel)] == WirePrecision::kHalf;
+  const std::size_t wire_bytes =
+      narrow ? sizeof(common::half) : sizeof(T);
+  std::vector<float> widened;
+  if (narrow) widened.resize(plane_area);
+
+  // Scatter one unpacked plane span into the ghost layer.
+  auto scatter_plane = [&](common::Field3<T>& f, const auto* src,
+                           int dst_plane) {
+    for (int b = lo_b; b < hi_b; ++b) {
+      for (int a = lo_a; a < hi_a; ++a) {
+        int cidx[3];
+        cidx[axis] = dst_plane;
+        cidx[ta] = a;
+        cidx[tb] = b;
+        f(cidx[0], cidx[1], cidx[2]) = static_cast<T>(*src++);
+      }
+    }
+  };
+
   std::size_t unpacked = 0;
   for (int p = 0; p < nplanes_needed; ++p) {
     const PlaneSrc& ps = planes[p];
@@ -352,23 +426,25 @@ bool Comm::complete_axis(int channel, int rank,
       throw std::logic_error("Comm: ghost plane maps to an unpublished "
                              "interior plane (decomposition bug)");
     const int snplanes = published_planes(sn, ng);
-    const T* in = reinterpret_cast<const T*>(
-        buffers_[slot(channel, axis, ps.src_rank)].data());
+    const unsigned char* in =
+        buffers_[slot(channel, axis, ps.src_rank)].data();
     for (int c = 0; c < nfields; ++c) {
       common::Field3<T>& f = *fields[c];
-      const T* src = in + (static_cast<std::size_t>(c) * snplanes + pos) *
-                              plane_area;
-      for (int b = lo_b; b < hi_b; ++b) {
-        for (int a = lo_a; a < hi_a; ++a) {
-          int cidx[3];
-          cidx[axis] = ps.dst_plane;
-          cidx[ta] = a;
-          cidx[tb] = b;
-          f(cidx[0], cidx[1], cidx[2]) = *src++;
-        }
+      const std::size_t span =
+          (static_cast<std::size_t>(c) * snplanes + pos) * plane_area;
+      if (narrow) {
+        // Batched binary16 -> float widening, then a float -> T scatter
+        // (identity for FP32; a widening cast for FP64).
+        common::convert_to_float(
+            reinterpret_cast<const common::half*>(in) + span,
+            widened.data(), plane_area);
+        scatter_plane(f, widened.data(), ps.dst_plane);
+      } else {
+        scatter_plane(f, reinterpret_cast<const T*>(in) + span,
+                      ps.dst_plane);
       }
     }
-    unpacked += static_cast<std::size_t>(nfields) * plane_area * sizeof(T);
+    unpacked += static_cast<std::size_t>(nfields) * plane_area * wire_bytes;
   }
   bytes_.fetch_add(unpacked, std::memory_order_relaxed);
   return true;

@@ -11,11 +11,14 @@
 ///     only globally coupled kernel in the scheme),
 ///   - a dt allreduce per step.
 /// Within a phase, ranks synchronize pairwise through Comm's posted-epoch
-/// halo pipeline (post / compute / complete), and the final Sigma exchange
-/// of each RHS is overlapped with the interior flux sweeps: a rank posts its
-/// Sigma faces, computes every flux line that touches no ghost cell while
-/// the exchange is in flight, completes the exchange, then finishes the
-/// boundary shell.
+/// halo pipeline (post / compute / complete), and both ends of each RHS
+/// hide a halo behind compute: the state z-exchange overlaps the interior
+/// Sigma-source build (DistOptions::overlap_state), and the final Sigma
+/// exchange overlaps the interior flux sweeps (DistOptions::overlap_halo) —
+/// a rank posts its faces, computes every line that touches no in-flight
+/// ghost, completes the exchange, then finishes the boundary shell.  The
+/// state and Sigma channels can additionally narrow their wire payload to
+/// binary16 (DistOptions::halo_wire), halving FP32 halo bytes.
 ///
 /// With Jacobi sweeps the decomposed run is *bitwise identical* to the
 /// single-domain run — independent of rank layout, of parallel vs. inline
@@ -55,6 +58,16 @@ struct DistOptions {
   /// Overlap interior flux sweeps with the in-flight final Sigma exchange
   /// (parallel mode only; results are bitwise identical either way).
   bool overlap_halo = true;
+  /// Overlap each RK stage's final (z) state exchange with the interior
+  /// Sigma-source build — the source at planes 1..nz-2 reads no z ghost, so
+  /// it computes while the halo moves (parallel mode only; bitwise
+  /// identical either way, test-enforced).
+  bool overlap_state = true;
+  /// Wire encoding of the state and Sigma halo channels (see
+  /// Comm::WirePrecision).  kHalf halves FP32 halo traffic and quarters
+  /// FP64's; 16-bit storage is already at wire width, so there it is a
+  /// bitwise no-op.
+  Comm::WirePrecision halo_wire = Comm::WirePrecision::kFull;
   /// Fault injector wired into the communicator and every phase callback
   /// (nullptr: no injection).  Must outlive the driver — the case runner
   /// keeps one injector across rollback rebuilds so counters persist.
@@ -78,10 +91,13 @@ class DistributedIgr {
       : comm_(global, rx, ry, rz, is_periodic(bc)),
         cfg_(cfg),
         bc_(bc),
+        sigma_bc_(core::sigma_bc_from(bc)),
         opts_(opts) {
     comm_.validate_driver_decomp(kNg);
     comm_.set_fault_injector(opts_.fault);
     comm_.set_wait_timeout(opts_.comm_timeout_s);
+    comm_.set_wire(Comm::kChanState, opts_.halo_wire);
+    comm_.set_wire(Comm::kChanSigma, opts_.halo_wire);
     for (int r = 0; r < comm_.ranks(); ++r) {
       ranks_.emplace_back(std::make_unique<core::IgrSolver3D<Policy>>(
           comm_.local_grid(r), cfg, bc, recon));
@@ -117,12 +133,8 @@ class DistributedIgr {
     run_phase([this](int r) { ranks_[static_cast<std::size_t>(r)]->begin_step(); });
     const bool sigma_active = cfg_.sigma_sweeps > 0 && cfg_.alpha_factor > 0.0;
     for (const auto& st : fv::kRk3Stages) {
-      refresh_state_ghosts();
       if (sigma_active) {
-        run_phase([this](int r) {
-          auto& s = *ranks_[static_cast<std::size_t>(r)];
-          s.build_sigma_source(s.stage_field());
-        });
+        refresh_state_and_build_source();
         for (int sw = 0; sw < cfg_.sigma_sweeps; ++sw) {
           refresh_sigma_ghosts();
           run_phase([this](int r) {
@@ -132,6 +144,7 @@ class DistributedIgr {
         }
         final_sigma_and_fluxes();
       } else {
+        refresh_state_ghosts();
         run_phase([this](int r) {
           auto& s = *ranks_[static_cast<std::size_t>(r)];
           s.compute_fluxes(s.stage_field(), s.rhs_field());
@@ -301,9 +314,13 @@ class DistributedIgr {
   void fill_sigma_bc_axis(int r, int axis) {
     const auto sides = physical_sides(r, axis);
     if (sides[0] || sides[1]) {
+      // Per-face kinds derived from the state BC: Sigma wraps across the
+      // periodic faces and clamps elsewhere, matching the single-domain
+      // solver's sigma_bc_from(bc_) exactly (decomposition cannot change
+      // the ghost kind a face sees).
       core::fill_sigma_ghosts_axis(
-          ranks_[static_cast<std::size_t>(r)]->sigma_field(),
-          core::SigmaBc::kNeumann, axis, sides);
+          ranks_[static_cast<std::size_t>(r)]->sigma_field(), sigma_bc_,
+          axis, sides);
     }
   }
 
@@ -336,6 +353,43 @@ class DistributedIgr {
                               common::kNumVars, axis);
         }
       }
+    }
+  }
+
+  /// State ghost refresh + Sigma source build, with the z exchange of the
+  /// state overlapped by the source build's interior planes (which read no
+  /// z ghost).  The non-overlapped composition — full refresh, then full
+  /// build — is the bitwise reference: interior and boundary builds are
+  /// pure per-point maps over disjoint plane sets, so the split cannot
+  /// change a bit (test-enforced).
+  void refresh_state_and_build_source() {
+    if (team_->parallel() && opts_.overlap_state) {
+      run_phase([this](int r) {
+        auto& s = *ranks_[static_cast<std::size_t>(r)];
+        auto comps = state_comps(r);
+        for (int axis = 0; axis < 2; ++axis) {
+          fill_state_bc_axis(r, axis);
+          comm_.post_axis(Comm::kChanState, r, comps.data(),
+                          common::kNumVars, axis);
+          if (!comm_.complete_axis(Comm::kChanState, r, comps.data(),
+                                   common::kNumVars, axis))
+            return;
+        }
+        fill_state_bc_axis(r, 2);
+        comm_.post_axis(Comm::kChanState, r, comps.data(), common::kNumVars,
+                        2);
+        s.build_sigma_source_interior(s.stage_field());
+        if (!comm_.complete_axis(Comm::kChanState, r, comps.data(),
+                                 common::kNumVars, 2))
+          return;
+        s.build_sigma_source_boundary(s.stage_field());
+      });
+    } else {
+      refresh_state_ghosts();
+      run_phase([this](int r) {
+        auto& s = *ranks_[static_cast<std::size_t>(r)];
+        s.build_sigma_source(s.stage_field());
+      });
     }
   }
 
@@ -422,6 +476,7 @@ class DistributedIgr {
   Comm comm_;
   common::SolverConfig cfg_;
   fv::BcSpec bc_;
+  core::SigmaBcSpec sigma_bc_;
   DistOptions opts_;
   double time_ = 0.0;
   std::vector<std::unique_ptr<core::IgrSolver3D<Policy>>> ranks_;

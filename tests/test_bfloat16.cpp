@@ -1,0 +1,290 @@
+/// Conformance tests for the software bfloat16 storage type, mirroring
+/// tests/test_half.cpp: value semantics, every branch of the round-to-
+/// nearest-even narrowing (normal ties, subnormal quantization, overflow to
+/// infinity), the exact-shift widening, the NaN truncate-and-quieten
+/// contract, and the batched conversion lanes (reference vs. bitwise,
+/// asserted bitwise-identical on all 2^16 patterns and a float sweep).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bfloat16.hpp"
+
+namespace {
+
+using igr::common::bfloat16;
+using igr::common::kBf16Eps;
+using igr::common::kBf16Max;
+using igr::common::kBf16MinNormal;
+namespace bf16_batch = igr::common::bf16_batch;
+
+float f32_from_bits(std::uint32_t u) { return std::bit_cast<float>(u); }
+std::uint32_t f32_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+bool is_nan_pattern(std::uint16_t b) {
+  return (b & 0x7f80u) == 0x7f80u && (b & 0x007fu) != 0;
+}
+
+TEST(Bfloat16, RoundTripsSmallIntegers) {
+  // 8 mantissa bits of significand: integers through 256 are exact.
+  for (int i = -256; i <= 256; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(float(bfloat16(f)), f) << "i=" << i;
+  }
+}
+
+TEST(Bfloat16, RoundTripsPowersOfTwo) {
+  // Full binary32 exponent range — the point of the format.
+  for (int e = -126; e <= 127; ++e) {
+    const float f = std::ldexp(1.0f, e);
+    EXPECT_EQ(float(bfloat16(f)), f) << "e=" << e;
+  }
+}
+
+TEST(Bfloat16, ZeroAndSignedZero) {
+  EXPECT_EQ(bfloat16(0.0f).bits(), 0u);
+  EXPECT_EQ(bfloat16(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(float(bfloat16(-0.0f)), 0.0f);
+}
+
+TEST(Bfloat16, MaxFiniteValue) {
+  EXPECT_EQ(bfloat16(kBf16Max).bits(), 0x7f7fu);
+  EXPECT_EQ(float(bfloat16(kBf16Max)), kBf16Max);
+  EXPECT_TRUE(std::isinf(float(bfloat16(std::numeric_limits<float>::max()))));
+}
+
+TEST(Bfloat16, OverflowThreshold) {
+  // Values strictly below the midpoint between 0x7f7f and +inf round down;
+  // the midpoint itself ties to even (the +inf pattern has mantissa 0, which
+  // is "even"), so it and everything above saturate.
+  const float max_bf = f32_from_bits(0x7f7f0000u);
+  const float midpoint = f32_from_bits(0x7f7f8000u);
+  const float below_mid = f32_from_bits(0x7f7f7fffu);
+  EXPECT_EQ(bfloat16(max_bf).bits(), 0x7f7fu);
+  EXPECT_EQ(bfloat16(below_mid).bits(), 0x7f7fu);
+  EXPECT_EQ(bfloat16(midpoint).bits(), 0x7f80u);  // +inf
+  EXPECT_TRUE(std::isinf(float(bfloat16(midpoint))));
+}
+
+TEST(Bfloat16, SubnormalsRepresented) {
+  // bfloat16 subnormals are binary32 subnormals with a 7-bit mantissa;
+  // the smallest positive bfloat16 is 2^-133.
+  const float tiny = std::ldexp(1.0f, -133);
+  EXPECT_EQ(bfloat16(tiny).bits(), 0x0001u);
+  EXPECT_EQ(float(bfloat16(tiny)), tiny);
+  EXPECT_EQ(float(bfloat16(kBf16MinNormal)), kBf16MinNormal);
+}
+
+TEST(Bfloat16, TinyValuesFlushToSignedZero) {
+  const float below_half_min = std::ldexp(1.0f, -135);  // < 2^-134
+  EXPECT_EQ(bfloat16(below_half_min).bits(), 0x0000u);
+  EXPECT_EQ(bfloat16(-below_half_min).bits(), 0x8000u);
+}
+
+TEST(Bfloat16, SubnormalHalfwayTiesToEven) {
+  // 2^-134 is exactly halfway between 0 (even) and the smallest subnormal
+  // 2^-133 (odd): ties to zero.  1.5 * 2^-133 is halfway between the first
+  // and second subnormal: ties to the even (second) pattern.
+  EXPECT_EQ(bfloat16(std::ldexp(1.0f, -134)).bits(), 0x0000u);
+  EXPECT_EQ(bfloat16(std::ldexp(1.5f, -133)).bits(), 0x0002u);
+}
+
+TEST(Bfloat16, NormalRoundToNearestEven) {
+  // With 7 mantissa bits the ulp at 1.0 is 2^-7.  1 + 2^-8 is exactly
+  // halfway between 1.0 (mantissa 0x00, even) and 1 + 2^-7 (mantissa 0x01,
+  // odd): ties to 1.0.  1 + 3*2^-8 is halfway between 0x01 and 0x02: ties
+  // to 0x02.
+  EXPECT_EQ(bfloat16(1.0f + std::ldexp(1.0f, -8)).bits(), 0x3f80u);
+  EXPECT_EQ(bfloat16(1.0f + 3.0f * std::ldexp(1.0f, -8)).bits(), 0x3f82u);
+  // Just above a midpoint rounds up, just below rounds down.
+  EXPECT_EQ(bfloat16(std::nextafter(1.0f + std::ldexp(1.0f, -8), 2.0f)).bits(),
+            0x3f81u);
+  EXPECT_EQ(bfloat16(std::nextafter(1.0f + std::ldexp(1.0f, -8), 0.0f)).bits(),
+            0x3f80u);
+}
+
+TEST(Bfloat16, InfinityPropagates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bfloat16(inf).bits(), 0x7f80u);
+  EXPECT_EQ(bfloat16(-inf).bits(), 0xff80u);
+  EXPECT_TRUE(std::isinf(float(bfloat16(inf))));
+}
+
+TEST(Bfloat16, NanTruncatesPayloadAndQuietens) {
+  // Narrowing truncates the payload to 7 bits and sets the quiet bit, so a
+  // signaling NaN with a small payload can never fall into the +/-inf
+  // encoding (the half contract, adapted to the bf16 layout).
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(is_nan_pattern(bfloat16(qnan).bits()));
+  // A signaling-style payload that truncation alone would erase:
+  const float snan = f32_from_bits(0x7f800001u);
+  const std::uint16_t b = bfloat16(snan).bits();
+  EXPECT_TRUE(is_nan_pattern(b));
+  EXPECT_EQ(b & 0x0040u, 0x0040u);  // quiet bit set
+  EXPECT_TRUE(std::isnan(float(bfloat16(snan))));
+  // Sign survives.
+  EXPECT_EQ(bfloat16(f32_from_bits(0xffc00000u)).bits() & 0x8000u, 0x8000u);
+}
+
+TEST(Bfloat16, WideningIsExactShiftForEveryPattern) {
+  // bfloat16 -> float is the raw 16-bit shift: NaN payloads and the
+  // signaling bit pass through untouched.
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const float f = float(bfloat16::from_bits(bits));
+    EXPECT_EQ(f32_bits(f), static_cast<std::uint32_t>(bits) << 16) << b;
+  }
+}
+
+TEST(Bfloat16, ExhaustiveRoundTripAllPatterns) {
+  // Every non-NaN pattern survives bfloat16 -> float -> bfloat16 exactly;
+  // NaN patterns come back with the quiet bit ORed in (the payload already
+  // fits, so truncation changes nothing).
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const std::uint16_t back = bfloat16(float(bfloat16::from_bits(bits))).bits();
+    if (is_nan_pattern(bits)) {
+      EXPECT_EQ(back, bits | 0x0040u) << "bits=" << b;
+    } else {
+      EXPECT_EQ(back, bits) << "bits=" << b;
+    }
+  }
+}
+
+TEST(Bfloat16, ExhaustiveMonotonicity) {
+  // Widened values are strictly increasing over each sign's finite range.
+  float prev = float(bfloat16::from_bits(0x0000u));
+  for (std::uint16_t b = 1; b <= 0x7f80u; ++b) {
+    const float cur = float(bfloat16::from_bits(b));
+    EXPECT_LT(prev, cur) << "bits=" << b;
+    prev = cur;
+  }
+  prev = float(bfloat16::from_bits(0x8000u));
+  for (std::uint32_t b = 0x8001u; b <= 0xff80u; ++b) {
+    const float cur = float(bfloat16::from_bits(static_cast<std::uint16_t>(b)));
+    EXPECT_GT(prev, cur) << "bits=" << b;
+    prev = cur;
+  }
+}
+
+TEST(Bfloat16, RoundingNeverOffByMoreThanHalfUlp) {
+  // Sweep floats across several binades; the narrowed value must be one of
+  // the two bracketing bfloat16 values, never further.
+  for (std::uint32_t step = 0; step < 5000; ++step) {
+    const float f =
+        std::ldexp(1.0f + static_cast<float>(step) / 5000.0f,
+                   static_cast<int>(step % 40) - 20);
+    const float r = float(bfloat16(f));
+    // kBf16Eps (2^-8) is the half-ulp of f's binade relative to 2^ilogb(f).
+    const float half_ulp = std::ldexp(kBf16Eps, std::ilogb(f));
+    EXPECT_LE(std::abs(r - f), half_ulp) << "f=" << f;
+  }
+}
+
+TEST(Bfloat16, RelativeErrorBoundedByEps) {
+  for (float f : {1.0f, 3.14159f, 1.0e-30f, 1.0e30f, 7.77e-4f, 123456.0f}) {
+    const float r = float(bfloat16(f));
+    EXPECT_LE(std::abs(r - f) / f, kBf16Eps) << "f=" << f;
+  }
+}
+
+TEST(Bfloat16, ComparisonsPromoteToFloat) {
+  EXPECT_TRUE(bfloat16(1.0f) < bfloat16(2.0f));
+  EXPECT_TRUE(bfloat16(2.0f) > bfloat16(1.0f));
+  EXPECT_TRUE(bfloat16(1.0f) == bfloat16(1.0f));
+  EXPECT_TRUE(bfloat16(1.0f) != bfloat16(2.0f));
+  EXPECT_TRUE(bfloat16(1.0f) <= bfloat16(1.0f));
+  EXPECT_TRUE(bfloat16(1.0f) >= bfloat16(1.0f));
+  // NaN compares false with everything, including itself.
+  const bfloat16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(nan != nan);
+  EXPECT_FALSE(nan < nan);
+}
+
+TEST(Bfloat16, CompoundAssignmentRoundsEachStep) {
+  bfloat16 v(1.0f);
+  v += 1.0f;
+  EXPECT_EQ(float(v), 2.0f);
+  v *= 3.0f;
+  EXPECT_EQ(float(v), 6.0f);
+  v -= 2.0f;
+  EXPECT_EQ(float(v), 4.0f);
+  v /= 8.0f;
+  EXPECT_EQ(float(v), 0.5f);
+  // Each step re-rounds into storage: adding half an ulp of 256 leaves it.
+  bfloat16 w(256.0f);
+  w += 0.5f;
+  EXPECT_EQ(float(w), 256.0f);
+}
+
+TEST(Bfloat16, BitsRoundTrip) {
+  for (std::uint32_t b : {0x0000u, 0x8000u, 0x3f80u, 0x7f7fu, 0x7f80u,
+                          0x0001u, 0xffc0u}) {
+    EXPECT_EQ(bfloat16::from_bits(static_cast<std::uint16_t>(b)).bits(), b);
+  }
+}
+
+// --- Batched conversion lanes -------------------------------------------
+
+TEST(Bfloat16Batch, BackendsAgreeOnAllWideningPatterns) {
+  std::vector<std::uint16_t> src(1u << 16);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::uint16_t>(i);
+  std::vector<float> ref(src.size()), fast(src.size());
+  bf16_batch::to_float_reference(src.data(), ref.data(), src.size());
+  bf16_batch::to_float_bitwise(src.data(), fast.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    ASSERT_EQ(f32_bits(ref[i]), f32_bits(fast[i])) << "bits=" << i;
+}
+
+TEST(Bfloat16Batch, BackendsAgreeOnNarrowingSweep) {
+  // Every widened bf16 pattern plus the floats halfway between neighbors
+  // and the nextafter values on each side — all the rounding branch points.
+  std::vector<float> src;
+  src.reserve(4u << 16);
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const float f = f32_from_bits(b << 16);
+    src.push_back(f);
+    src.push_back(f32_from_bits((b << 16) | 0x8000u));  // midpoint
+    src.push_back(f32_from_bits((b << 16) | 0x7fffu));  // just below
+    src.push_back(f32_from_bits((b << 16) | 0x8001u));  // just above
+  }
+  std::vector<std::uint16_t> ref(src.size()), fast(src.size());
+  bf16_batch::from_float_reference(src.data(), ref.data(), src.size());
+  bf16_batch::from_float_bitwise(src.data(), fast.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    ASSERT_EQ(ref[i], fast[i]) << "i=" << i;
+}
+
+TEST(Bfloat16Batch, SpanConvertersMatchScalarOps) {
+  std::vector<float> src;
+  for (int i = -1000; i <= 1000; ++i)
+    src.push_back(static_cast<float>(i) * 0.37f);
+  std::vector<bfloat16> stored(src.size());
+  igr::common::convert_from_float(src.data(), stored.data(), src.size());
+  std::vector<float> widened(src.size());
+  igr::common::convert_to_float(stored.data(), widened.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(stored[i].bits(), bfloat16(src[i]).bits()) << i;
+    EXPECT_EQ(f32_bits(widened[i]), f32_bits(float(bfloat16(src[i])))) << i;
+  }
+}
+
+TEST(Bfloat16Batch, BackendNameMatchesActiveBackend) {
+  switch (bf16_batch::active_backend()) {
+    case bf16_batch::Backend::kScalar:
+      EXPECT_EQ(bf16_batch::backend_name(), "scalar");
+      break;
+    case bf16_batch::Backend::kBitwise:
+      EXPECT_EQ(bf16_batch::backend_name(), "bitwise");
+      break;
+  }
+}
+
+}  // namespace
