@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "app/jet_config.hpp"
 #include "bench_util.hpp"
 #include "core/igr_solver1d.hpp"
 #include "fv/exact_riemann.hpp"

@@ -9,24 +9,28 @@
 ///
 /// Usage:
 ///   bench_grind [--smoke] [--n N] [--warmup W] [--steps S]
-///               [--case NAME]... [--label NAME] [--out PATH]
+///               [--threads T1,T2,...] [--case NAME]... [--label NAME]
+///               [--out PATH]
 ///
 /// --smoke shrinks the grid and step counts to a seconds-scale run for CI
 /// (ctest label `bench-smoke`); default sizes match the checked-in numbers.
 /// Each --case NAME (repeatable; see `run_case --list`) appends IGR grind
 /// rows for that registered scenario at every precision, so grind time is
 /// tracked per workload *shape* — BC mix, smooth vs shock-dominated —
-/// rather than jet-only.
+/// rather than jet-only.  --threads re-runs the IGR matrix at each listed
+/// exec-space width (the fused-wavefront multi-core scaling table; 0 =
+/// ambient); the baseline rows run once, ambient — the WENO baseline does
+/// not go through the exec-space layer.
 
 #include <array>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "cases/case.hpp"
+#include "common/cli.hpp"
 #include "common/half.hpp"
 #include "common/precision.hpp"
 
@@ -40,6 +44,7 @@ struct Row {
   std::string scheme;
   std::string precision;
   std::string recon;
+  int threads = 0;  ///< Exec-space width the row ran at (0 = ambient).
   double grind_ns = 0.0;
   bool has_phases = false;
   std::array<double, igr::common::PhaseProfile::kNumPhases> phase_ns{};
@@ -56,12 +61,14 @@ const char* recon_name(fv::ReconScheme r) {
 }
 
 Row report_row(Row r, const igr::bench::GrindSample& s) {
+  r.threads = igr::bench::bench_overrides().exec_threads;
   r.grind_ns = s.grind_ns;
   r.has_phases = s.has_phases;
   r.phase_ns = s.phase_ns;
-  std::printf("  %-18s %-20s %-8s %-7s %10.1f ns/cell/step  (%.3g cells/s)",
+  std::printf("  %-18s %-20s %-8s %-7s t=%d %10.1f ns/cell/step  "
+              "(%.3g cells/s)",
               r.workload.c_str(), r.scheme.c_str(), r.precision.c_str(),
-              r.recon.c_str(), r.grind_ns, 1.0e9 / r.grind_ns);
+              r.recon.c_str(), r.threads, r.grind_ns, 1.0e9 / r.grind_ns);
   if (r.has_phases) {
     std::printf("  [");
     for (int p = 0; p < igr::common::PhaseProfile::kNumPhases; ++p) {
@@ -128,10 +135,11 @@ void write_json(const std::string& path, const std::string& label, int n,
     std::fprintf(f,
                  "    {\"workload\": \"%s\", \"scheme\": \"%s\", "
                  "\"precision\": \"%s\", "
-                 "\"recon\": \"%s\", \"grind_ns_per_cell_step\": %.2f, "
+                 "\"recon\": \"%s\", \"threads\": %d, "
+                 "\"grind_ns_per_cell_step\": %.2f, "
                  "\"cells_per_sec\": %.0f",
                  r.workload.c_str(), r.scheme.c_str(), r.precision.c_str(),
-                 r.recon.c_str(), r.grind_ns, 1.0e9 / r.grind_ns);
+                 r.recon.c_str(), r.threads, r.grind_ns, 1.0e9 / r.grind_ns);
     if (r.has_phases) {
       // Per-phase attribution (same unit as the headline figure; the
       // remainder to grind_ns_per_cell_step is untimed orchestration).
@@ -154,40 +162,37 @@ void write_json(const std::string& path, const std::string& label, int n,
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace ccli = igr::common::cli;
   int n = 32, warmup = 2, steps = 3;
   std::string out = "BENCH_grind.json";
   std::string label = "grind";
   std::vector<std::string> case_names;
+  std::vector<int> thread_widths;  ///< Empty: one ambient-width pass.
   bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "bench_grind: %s needs a value\n", argv[i]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--smoke")) {
+  ccli::Args args("bench_grind", argc, argv);
+  while (args.next()) {
+    if (args.is("--smoke")) {
       smoke = true;
-    } else if (!std::strcmp(argv[i], "--phased")) {
+    } else if (args.is("--phased")) {
       bench::bench_overrides().fused_rhs = false;
-    } else if (!std::strcmp(argv[i], "--block")) {
-      bench::bench_overrides().fused_flux_block = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--n")) {
-      n = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--warmup")) {
-      warmup = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--steps")) {
-      steps = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--case")) {
-      case_names.emplace_back(next());
-    } else if (!std::strcmp(argv[i], "--out")) {
-      out = next();
-    } else if (!std::strcmp(argv[i], "--label")) {
-      label = next();
+    } else if (args.is("--block")) {
+      bench::bench_overrides().fused_flux_block = args.int_value(1);
+    } else if (args.is("--n")) {
+      n = args.int_value(1);
+    } else if (args.is("--warmup")) {
+      warmup = args.int_value(0);
+    } else if (args.is("--steps")) {
+      steps = args.int_value(1);
+    } else if (args.is("--threads")) {
+      thread_widths = args.int_list_value(1);
+    } else if (args.is("--case")) {
+      case_names.emplace_back(args.value());
+    } else if (args.is("--out")) {
+      out = args.value();
+    } else if (args.is("--label")) {
+      label = args.value();
     } else {
-      std::fprintf(stderr, "bench_grind: unknown arg %s\n", argv[i]);
-      return 2;
+      args.die(std::string("unknown arg ") + args.flag());
     }
   }
   if (smoke) {
@@ -227,32 +232,44 @@ int main(int argc, char** argv) {
   const auto kAll = {fv::ReconScheme::kFirst, fv::ReconScheme::kThird,
                      fv::ReconScheme::kFifth};
   // IGR: every precision × reconstruction order (Table 3's rows, extended
-  // with the recon sweep so dispatch-level regressions are visible).
-  for (auto recon : kAll)
-    rows.push_back(run_one<Fp64>(SchemeKind::kIgr, recon, n, warmup, steps));
-  for (auto recon : kAll)
-    rows.push_back(run_one<Fp32>(SchemeKind::kIgr, recon, n, warmup, steps));
-  for (auto recon : kAll)
-    rows.push_back(
-        run_one<Fp16x32>(SchemeKind::kIgr, recon, n, warmup, steps));
-  for (auto recon : kAll)
-    rows.push_back(
-        run_one<Bf16x32>(SchemeKind::kIgr, recon, n, warmup, steps));
+  // with the recon sweep so dispatch-level regressions are visible) — once
+  // per requested exec-space width (one ambient pass without --threads).
+  const auto igr_rows = [&](int threads) {
+    bench::bench_overrides().exec_threads = threads;
+    for (auto recon : kAll)
+      rows.push_back(run_one<Fp64>(SchemeKind::kIgr, recon, n, warmup,
+                                   steps));
+    for (auto recon : kAll)
+      rows.push_back(run_one<Fp32>(SchemeKind::kIgr, recon, n, warmup,
+                                   steps));
+    for (auto recon : kAll)
+      rows.push_back(
+          run_one<Fp16x32>(SchemeKind::kIgr, recon, n, warmup, steps));
+    for (auto recon : kAll)
+      rows.push_back(
+          run_one<Bf16x32>(SchemeKind::kIgr, recon, n, warmup, steps));
+    // Per-case grind rows (recon5, all IGR precisions): grind tracked per
+    // scenario shape, not jet-only.
+    for (const auto* spec : case_specs) {
+      rows.push_back(run_case_row<Fp64>(*spec, n, warmup, steps));
+      rows.push_back(run_case_row<Fp32>(*spec, n, warmup, steps));
+      rows.push_back(run_case_row<Fp16x32>(*spec, n, warmup, steps));
+      rows.push_back(run_case_row<Bf16x32>(*spec, n, warmup, steps));
+    }
+  };
+  if (thread_widths.empty()) {
+    igr_rows(0);
+  } else {
+    for (const int t : thread_widths) igr_rows(t);
+  }
   // Baseline: WENO5+HLLC at FP64 (the state of the art the paper beats) and
-  // FP32 (timing-only; unstable below FP64 per §4.3).
+  // FP32 (timing-only; unstable below FP64 per §4.3).  Always ambient: the
+  // baseline does not go through the exec-space layer.
+  bench::bench_overrides().exec_threads = 0;
   rows.push_back(run_one<Fp64>(SchemeKind::kBaselineWeno,
                                fv::ReconScheme::kWeno5, n, warmup, steps));
   rows.push_back(run_one<Fp32>(SchemeKind::kBaselineWeno,
                                fv::ReconScheme::kWeno5, n, warmup, steps));
-
-  // Per-case grind rows (recon5, all IGR precisions): grind tracked per
-  // scenario shape, not jet-only.
-  for (const auto* spec : case_specs) {
-    rows.push_back(run_case_row<Fp64>(*spec, n, warmup, steps));
-    rows.push_back(run_case_row<Fp32>(*spec, n, warmup, steps));
-    rows.push_back(run_case_row<Fp16x32>(*spec, n, warmup, steps));
-    rows.push_back(run_case_row<Bf16x32>(*spec, n, warmup, steps));
-  }
 
   write_json(out, label, n, warmup, steps, rows);
   return 0;

@@ -29,12 +29,12 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "app/jet_config.hpp"
+#include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "mesh/decomp.hpp"
 #include "sim/distributed_igr.hpp"
@@ -160,29 +160,10 @@ void write_json(const std::string& path, const std::string& label, int warmup,
   std::printf("wrote %s\n", path.c_str());
 }
 
-std::vector<int> parse_rank_list(const char* arg) {
-  std::vector<int> out;
-  const char* p = arg;
-  while (*p) {
-    char* end = nullptr;
-    const long v = std::strtol(p, &end, 10);
-    if (end == p || v < 1) {
-      std::fprintf(stderr, "bench_scaling: bad --ranks list '%s'\n", arg);
-      std::exit(2);
-    }
-    out.push_back(static_cast<int>(v));
-    p = (*end == ',') ? end + 1 : end;
-  }
-  if (out.empty()) {
-    std::fprintf(stderr, "bench_scaling: empty --ranks list\n");
-    std::exit(2);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace ccli = igr::common::cli;
   int n = 32, weak_n = 16, warmup = 1, steps = 3, threads_per_rank = 1;
   std::vector<int> rank_counts{1, 2, 4, 8};
   std::string out = "BENCH_scaling.json";
@@ -191,41 +172,38 @@ int main(int argc, char** argv) {
   std::string precision = "fp64";
   std::string wire = "full";
   bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "bench_scaling: %s needs a value\n", argv[i]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--smoke")) {
+  ccli::Args args("bench_scaling", argc, argv);
+  while (args.next()) {
+    if (args.is("--smoke")) {
       smoke = true;
-    } else if (!std::strcmp(argv[i], "--n")) {
-      n = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--weak-n")) {
-      weak_n = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--ranks")) {
-      rank_counts = parse_rank_list(next());
-    } else if (!std::strcmp(argv[i], "--warmup")) {
-      warmup = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--steps")) {
-      steps = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--threads-per-rank")) {
-      threads_per_rank = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--mode")) {
-      mode = next();
-    } else if (!std::strcmp(argv[i], "--precision")) {
-      precision = next();
-    } else if (!std::strcmp(argv[i], "--wire")) {
-      wire = next();
-    } else if (!std::strcmp(argv[i], "--label")) {
-      label = next();
-    } else if (!std::strcmp(argv[i], "--out")) {
-      out = next();
+    } else if (args.is("--n")) {
+      n = args.int_value(1);
+    } else if (args.is("--weak-n")) {
+      weak_n = args.int_value(1);
+    } else if (args.is("--ranks")) {
+      rank_counts = args.int_list_value(1);
+    } else if (args.is("--warmup")) {
+      warmup = args.int_value(0);
+    } else if (args.is("--steps")) {
+      steps = args.int_value(1);
+    } else if (args.is("--threads-per-rank")) {
+      threads_per_rank = args.int_value(0);
+    } else if (args.is("--mode")) {
+      constexpr const char* kModes[] = {"strong", "weak", "both"};
+      mode = kModes[args.choice_value({"strong", "weak", "both"})];
+    } else if (args.is("--precision")) {
+      constexpr const char* kPrec[] = {"fp64", "fp32", "fp16x32", "bf16x32"};
+      precision =
+          kPrec[args.choice_value({"fp64", "fp32", "fp16x32", "bf16x32"})];
+    } else if (args.is("--wire")) {
+      constexpr const char* kWires[] = {"full", "half"};
+      wire = kWires[args.choice_value({"full", "half"})];
+    } else if (args.is("--label")) {
+      label = args.value();
+    } else if (args.is("--out")) {
+      out = args.value();
     } else {
-      std::fprintf(stderr, "bench_scaling: unknown arg %s\n", argv[i]);
-      return 2;
+      args.die(std::string("unknown arg ") + args.flag());
     }
   }
   if (smoke) {
@@ -235,21 +213,6 @@ int main(int argc, char** argv) {
     steps = 2;
     rank_counts = {1, 2, 4};
     if (label == "scaling") label = "scaling_smoke";
-  }
-  if (mode != "strong" && mode != "weak" && mode != "both") {
-    std::fprintf(stderr, "bench_scaling: --mode must be strong|weak|both\n");
-    return 2;
-  }
-  if (precision != "fp64" && precision != "fp32" && precision != "fp16x32" &&
-      precision != "bf16x32") {
-    std::fprintf(stderr,
-                 "bench_scaling: --precision must be "
-                 "fp64|fp32|fp16x32|bf16x32\n");
-    return 2;
-  }
-  if (wire != "full" && wire != "half") {
-    std::fprintf(stderr, "bench_scaling: --wire must be full|half\n");
-    return 2;
   }
   const auto wire_mode = (wire == "half") ? sim::Comm::WirePrecision::kHalf
                                           : sim::Comm::WirePrecision::kFull;

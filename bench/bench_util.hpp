@@ -6,75 +6,72 @@
 
 #include <array>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
-#include "app/jet_config.hpp"
 #include "app/simulation.hpp"
 #include "cases/case.hpp"
+#include "cases/runner.hpp"
 #include "common/timer.hpp"
 
 namespace igr::bench {
 
-/// Process-wide bench overrides (CLI-settable), applied by make_jet_sim:
-/// `fused_rhs` flips the IGR solver between the fused pipeline (default)
-/// and the phased reference — `bench_grind --phased` — so pre/post grind
-/// comparisons can alternate both schedules from one binary.
+/// Process-wide bench overrides (CLI-settable), applied by make_case_sim /
+/// make_jet_sim: `fused_rhs` flips the IGR solver between the fused
+/// pipeline (default) and the phased reference — `bench_grind --phased` —
+/// so pre/post grind comparisons can alternate both schedules from one
+/// binary; `exec_threads` widens the in-rank kernel teams (`bench_grind
+/// --threads`).
 struct BenchOverrides {
   bool fused_rhs = true;
   int fused_flux_block = 0;  ///< 0 = keep the SolverConfig default.
+  int exec_threads = 0;      ///< Exec-space width (0 = ambient).
 };
 inline BenchOverrides& bench_overrides() {
   static BenchOverrides o;
   return o;
 }
 
-/// The paper's performance workload: "a representative three-dimensional
-/// simulation of the exhaust plume of a single Mach 10 jet" (§6.2), at a
-/// laptop-scale resolution.
-template <class Policy>
-app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32,
-                                     fv::ReconScheme recon =
-                                         fv::ReconScheme::kFifth) {
-  const auto jet = app::single_engine();
-  typename app::Simulation<Policy>::Params params;
-  params.grid = mesh::Grid(n, n, n + n / 2, {0.0, 1.0}, {0.0, 1.0},
-                           {0.0, 1.5});
-  params.cfg = jet.solver_config();
-  // Per-phase attribution for the bench JSON (sub-0.5% sampling overhead).
-  params.cfg.phase_timing = true;
-  params.cfg.fused_rhs = bench_overrides().fused_rhs;
-  if (bench_overrides().fused_flux_block > 0)
-    params.cfg.fused_flux_block = bench_overrides().fused_flux_block;
-  params.bc = jet.make_bc();
-  params.scheme = scheme;
-  params.recon = recon;
-  app::Simulation<Policy> sim(params);
-  sim.init(jet.initial_condition(0.005));
-  return sim;
-}
-
-/// Any registered case as a bench workload: the spec's own grid/BC/config/
-/// initial-condition builders at resolution `n`, with the bench overrides
-/// (fused/phased, flux block) and per-phase timing applied — the same
-/// treatment make_jet_sim gives the paper's jet workload.
+/// Any registered case as a bench workload, built through the front-door
+/// options layer: a cases::RunOptions request (bench overrides folded in)
+/// lowered by RunOptions::to_params, plus the bench-only knobs the options
+/// layer deliberately does not carry (per-phase timing, the fused flux
+/// block-size sweep).
 template <class Policy>
 app::Simulation<Policy> make_case_sim(const cases::CaseSpec& spec,
                                       app::SchemeKind scheme, int n = 32,
                                       fv::ReconScheme recon =
                                           fv::ReconScheme::kFifth) {
-  typename app::Simulation<Policy>::Params params;
-  params.grid = spec.grid(n);
-  params.cfg = spec.config();
-  params.cfg.phase_timing = true;
-  params.cfg.fused_rhs = bench_overrides().fused_rhs;
+  cases::RunOptions opts;
+  opts.n = n;
+  opts.scheme = scheme;
+  opts.recon = recon;
+  opts.fused_rhs = bench_overrides().fused_rhs;
+  opts.threads = bench_overrides().exec_threads;
+  // Per-phase attribution for the bench JSON (sub-0.5% sampling overhead).
+  opts.phase_timing = true;
+  auto params = opts.to_params<Policy>(spec);
   if (bench_overrides().fused_flux_block > 0)
     params.cfg.fused_flux_block = bench_overrides().fused_flux_block;
-  params.bc = spec.bc();
-  params.scheme = scheme;
-  params.recon = recon;
-  app::Simulation<Policy> sim(params);
+  app::Simulation<Policy> sim(std::move(params));
   sim.init(spec.initial());
   return sim;
+}
+
+/// The paper's performance workload: "a representative three-dimensional
+/// simulation of the exhaust plume of a single Mach 10 jet" (§6.2), at a
+/// laptop-scale resolution.  The registered `jet-single` case reproduces
+/// the historical bench workload exactly (same grid aspect, config, and
+/// seeded initial condition), so the jet rows route through the same
+/// options seam as every `--case` row.
+template <class Policy>
+app::Simulation<Policy> make_jet_sim(app::SchemeKind scheme, int n = 32,
+                                     fv::ReconScheme recon =
+                                         fv::ReconScheme::kFifth) {
+  const cases::CaseSpec* spec = cases::find("jet-single");
+  if (!spec) throw std::logic_error("case registry lost 'jet-single'");
+  return make_case_sim<Policy>(*spec, scheme, n, recon);
 }
 
 /// One grind measurement: wall ns/cell/step plus, for the single-domain IGR

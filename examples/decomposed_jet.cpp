@@ -13,65 +13,40 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "app/jet_config.hpp"
 #include "app/simulation.hpp"
+#include "common/cli.hpp"
 #include "mesh/decomp.hpp"
-
-namespace {
-
-/// "rx,ry,rz" or a bare rank count (balanced layout).
-std::array<int, 3> parse_ranks(const char* arg) {
-  int rx = 0, ry = 0, rz = 0;
-  char junk = '\0';
-  if (std::strchr(arg, ',')) {
-    // A comma commits the caller to a full explicit layout: a partial
-    // "2,2" or trailing garbage ("2,2,1,4") must not silently pass.
-    if (std::sscanf(arg, "%d,%d,%d%c", &rx, &ry, &rz, &junk) == 3 &&
-        rx >= 1 && ry >= 1 && rz >= 1)
-      return {rx, ry, rz};
-  } else if (std::sscanf(arg, "%d%c", &rx, &junk) == 1 && rx >= 1) {
-    return igr::mesh::Decomp::balanced_layout(rx);
-  }
-  std::fprintf(stderr, "decomposed_jet: bad --ranks '%s' (rx,ry,rz or N)\n",
-               arg);
-  std::exit(2);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace igr;
+  namespace ccli = common::cli;
 
   std::array<int, 3> ranks{2, 2, 1};
   int n = 24;
   int steps = 10;
   sim::DistOptions dist;
   std::string vtk;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "decomposed_jet: %s needs a value\n", argv[i]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--ranks")) {
-      ranks = parse_ranks(next());
-    } else if (!std::strcmp(argv[i], "--n")) {
-      n = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--steps")) {
-      steps = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--threads-per-rank")) {
-      dist.threads_per_rank = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--serial")) {
+  ccli::Args args("decomposed_jet", argc, argv);
+  while (args.next()) {
+    if (args.is("--ranks")) {
+      const auto rs = args.ranks_value();
+      ranks = rs.balanced ? mesh::Decomp::balanced_layout(rs.count)
+                          : rs.layout;
+    } else if (args.is("--n")) {
+      n = args.int_value(1);
+    } else if (args.is("--steps")) {
+      steps = args.int_value(0);
+    } else if (args.is("--threads-per-rank")) {
+      dist.threads_per_rank = args.int_value(0);
+    } else if (args.is("--serial")) {
       dist.parallel = false;
-    } else if (!std::strcmp(argv[i], "--no-overlap")) {
+    } else if (args.is("--no-overlap")) {
       dist.overlap_halo = false;
-    } else if (!std::strcmp(argv[i], "--vtk")) {
-      vtk = next();
+    } else if (args.is("--vtk")) {
+      vtk = args.value();
     } else {
       std::fprintf(stderr,
                    "usage: decomposed_jet [--ranks rx,ry,rz|N] [--n N] "

@@ -17,11 +17,11 @@
 #include <cstdio>
 #include <exception>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "cases/runner.hpp"
+#include "common/cli.hpp"
 #include "mesh/decomp.hpp"
 
 namespace {
@@ -48,6 +48,7 @@ struct CliOptions {
       "                [--n N] [--steps S | --t-end T] [--smoke]\n"
       "                [--precision fp64|fp32|fp16x32|bf16x32] [--scheme igr|weno]\n"
       "                [--recon 1|3|5] [--ranks rx,ry,rz|N] [--jacobi]\n"
+      "                [--exec serial|openmp] [--threads T]\n"
       "                [--phased] [--vtk out.vtk] [--json out.json]\n"
       "                [--save ckpt.bin] [--restart ckpt.bin]\n"
       "  fault tolerance (single --case; see README 'Fault tolerance'):\n"
@@ -63,20 +64,6 @@ void list_cases() {
   std::printf("%zu registered cases:\n", cases::all_cases().size());
   for (const auto& c : cases::all_cases())
     std::printf("  %-18s %s\n", c.name.c_str(), c.title.c_str());
-}
-
-std::array<int, 3> parse_ranks(const char* arg) {
-  int rx = 0, ry = 0, rz = 0;
-  char junk = '\0';
-  if (std::strchr(arg, ',')) {
-    if (std::sscanf(arg, "%d,%d,%d%c", &rx, &ry, &rz, &junk) == 3 &&
-        rx >= 1 && ry >= 1 && rz >= 1)
-      return {rx, ry, rz};
-  } else if (std::sscanf(arg, "%d%c", &rx, &junk) == 1 && rx >= 1) {
-    return mesh::Decomp::balanced_layout(rx);
-  }
-  std::fprintf(stderr, "run_case: bad --ranks '%s' (rx,ry,rz or N)\n", arg);
-  std::exit(2);
 }
 
 void print_result(const cases::CaseSpec& spec, const char* precision,
@@ -189,95 +176,88 @@ cases::RunResult run_one(const cases::CaseSpec& spec, const CliOptions& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace ccli = common::cli;
   CliOptions cli;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "run_case: %s needs a value\n", argv[i]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--list")) {
+  ccli::Args args("run_case", argc, argv);
+  while (args.next()) {
+    if (args.is("--list")) {
       list_cases();
       return 0;
-    } else if (!std::strcmp(argv[i], "--case")) {
-      cli.case_name = next();
-    } else if (!std::strcmp(argv[i], "--n")) {
-      cli.run.n = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--steps")) {
-      cli.run.steps = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--t-end")) {
-      cli.run.t_end = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--smoke")) {
+    } else if (args.is("--case")) {
+      cli.case_name = args.value();
+    } else if (args.is("--n")) {
+      cli.run.n = args.int_value(0);
+    } else if (args.is("--steps")) {
+      cli.run.steps = args.int_value(0);
+    } else if (args.is("--t-end")) {
+      cli.run.t_end = args.double_value();
+    } else if (args.is("--smoke")) {
       cli.smoke = true;
-    } else if (!std::strcmp(argv[i], "--precision")) {
-      const char* p = next();
-      if (!cases::parse_precision(p, &cli.precision)) {
-        std::fprintf(stderr, "run_case: bad --precision '%s'\n", p);
-        return 2;
-      }
-    } else if (!std::strcmp(argv[i], "--scheme")) {
-      const std::string s = next();
-      if (s == "igr") cli.run.scheme = app::SchemeKind::kIgr;
-      else if (s == "weno") cli.run.scheme = app::SchemeKind::kBaselineWeno;
-      else {
-        std::fprintf(stderr, "run_case: bad --scheme '%s'\n", s.c_str());
-        return 2;
-      }
-    } else if (!std::strcmp(argv[i], "--recon")) {
-      const std::string r = next();
-      if (r == "1") cli.run.recon = fv::ReconScheme::kFirst;
-      else if (r == "3") cli.run.recon = fv::ReconScheme::kThird;
-      else if (r == "5") cli.run.recon = fv::ReconScheme::kFifth;
-      else {
-        std::fprintf(stderr, "run_case: bad --recon '%s' (1, 3, or 5)\n",
-                     r.c_str());
-        return 2;
-      }
-    } else if (!std::strcmp(argv[i], "--ranks")) {
-      cli.run.ranks = parse_ranks(next());
-    } else if (!std::strcmp(argv[i], "--jacobi")) {
+    } else if (args.is("--precision")) {
+      const char* p = args.value();
+      if (!cases::parse_precision(p, &cli.precision))
+        args.die(std::string("bad --precision '") + p +
+                 "' (expected fp64|fp32|fp16x32|bf16x32)");
+    } else if (args.is("--scheme")) {
+      cli.run.scheme = args.choice_value({"igr", "weno"}) == 0
+                           ? app::SchemeKind::kIgr
+                           : app::SchemeKind::kBaselineWeno;
+    } else if (args.is("--recon")) {
+      constexpr fv::ReconScheme kOrders[] = {fv::ReconScheme::kFirst,
+                                             fv::ReconScheme::kThird,
+                                             fv::ReconScheme::kFifth};
+      cli.run.recon = kOrders[args.choice_value({"1", "3", "5"})];
+    } else if (args.is("--ranks")) {
+      const auto rs = args.ranks_value();
+      cli.run.ranks = rs.balanced ? mesh::Decomp::balanced_layout(rs.count)
+                                  : rs.layout;
+    } else if (args.is("--exec")) {
+      cli.run.exec = args.choice_value({"serial", "openmp"}) == 0
+                         ? common::ExecBackend::kSerial
+                         : common::ExecBackend::kOpenMP;
+    } else if (args.is("--threads")) {
+      cli.run.threads = args.int_value(0, 4096);
+    } else if (args.is("--jacobi")) {
       cli.run.jacobi_sweeps = true;
-    } else if (!std::strcmp(argv[i], "--phased")) {
+    } else if (args.is("--phased")) {
       cli.run.fused_rhs = false;
-    } else if (!std::strcmp(argv[i], "--vtk")) {
-      cli.vtk = next();
-    } else if (!std::strcmp(argv[i], "--json")) {
-      cli.json = next();
-    } else if (!std::strcmp(argv[i], "--save")) {
-      cli.save_ckpt = next();
-    } else if (!std::strcmp(argv[i], "--restart")) {
-      cli.restart_ckpt = next();
-    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
-      cli.guard.checkpoint_every = std::atoi(next());
+    } else if (args.is("--vtk")) {
+      cli.vtk = args.value();
+    } else if (args.is("--json")) {
+      cli.json = args.value();
+    } else if (args.is("--save")) {
+      cli.save_ckpt = args.value();
+    } else if (args.is("--restart")) {
+      cli.restart_ckpt = args.value();
+    } else if (args.is("--checkpoint-every")) {
+      cli.guard.checkpoint_every = args.int_value(0);
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--ckpt-dir")) {
-      cli.guard.dir = next();
+    } else if (args.is("--ckpt-dir")) {
+      cli.guard.dir = args.value();
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--resume")) {
+    } else if (args.is("--resume")) {
       cli.guard.resume = true;
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--keep")) {
-      cli.guard.keep = std::atoi(next());
+    } else if (args.is("--keep")) {
+      cli.guard.keep = args.int_value(1);
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--max-retries")) {
-      cli.guard.max_retries = std::atoi(next());
+    } else if (args.is("--max-retries")) {
+      cli.guard.max_retries = args.int_value(0);
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--cfl-backoff")) {
-      cli.guard.cfl_backoff = std::atof(next());
+    } else if (args.is("--cfl-backoff")) {
+      cli.guard.cfl_backoff = args.double_value();
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--cfl-scale")) {
-      cli.run.cfl_scale = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--health-every")) {
-      cli.guard.health_every = std::atoi(next());
+    } else if (args.is("--cfl-scale")) {
+      cli.run.cfl_scale = args.double_value();
+    } else if (args.is("--health-every")) {
+      cli.guard.health_every = args.int_value(0);
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--strict-pressure")) {
+    } else if (args.is("--strict-pressure")) {
       cli.guard.strict_pressure = true;
       cli.guarded = true;
-    } else if (!std::strcmp(argv[i], "--inject")) {
+    } else if (args.is("--inject")) {
       try {
-        cli.run.faults = sim::FaultPlan::parse(next());
+        cli.run.faults = sim::FaultPlan::parse(args.value());
       } catch (const std::exception& e) {
         std::fprintf(stderr, "run_case: %s\n", e.what());
         return 2;
@@ -285,7 +265,7 @@ int main(int argc, char** argv) {
       std::printf("fault plan: %s\n", cli.run.faults.describe().c_str());
       cli.guarded = true;
     } else {
-      usage(!std::strcmp(argv[i], "--help") ? 0 : 2);
+      usage(args.is("--help") ? 0 : 2);
     }
   }
   if (cli.case_name.empty()) usage(2);

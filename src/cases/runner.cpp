@@ -72,23 +72,32 @@ CaseRun<Policy>::CaseRun(const CaseSpec& spec, const RunOptions& opts)
 }
 
 template <class Policy>
-void CaseRun<Policy>::build_sim() {
-  const int n = opts_.n > 0 ? opts_.n : spec_->default_n;
+typename app::Simulation<Policy>::Params RunOptions::to_params(
+    const CaseSpec& spec, sim::FaultInjector* fault) const {
   typename app::Simulation<Policy>::Params params;
-  params.grid = spec_->grid(n);
-  params.cfg = spec_->config();
-  params.cfg.fused_rhs = opts_.fused_rhs;
-  params.cfg.phase_timing = opts_.phase_timing;
-  params.cfg.cfl *= opts_.cfl_scale;
-  if (opts_.jacobi_sweeps) params.cfg.sigma_gauss_seidel = false;
-  params.bc = spec_->bc();
-  params.scheme = opts_.scheme;
-  params.recon = opts_.recon;
-  params.ranks = opts_.ranks;
-  params.dist.fault = injector_.get();
-  params.dist.comm_timeout_s = opts_.comm_timeout_s;
+  params.grid = spec.grid(n > 0 ? n : spec.default_n);
+  params.cfg = spec.config();
+  params.cfg.fused_rhs = fused_rhs;
+  params.cfg.phase_timing = phase_timing;
+  params.cfg.cfl *= cfl_scale;
+  if (jacobi_sweeps) params.cfg.sigma_gauss_seidel = false;
+  params.cfg.exec_backend = exec;
+  params.cfg.exec_threads = threads;
+  params.bc = spec.bc();
+  params.scheme = scheme;
+  params.recon = recon;
+  params.ranks = ranks;
+  params.dist.threads_per_rank = threads;
+  params.dist.fault = fault;
+  params.dist.comm_timeout_s = comm_timeout_s;
+  return params;
+}
+
+template <class Policy>
+void CaseRun<Policy>::build_sim() {
   sim_.reset();  // a poisoned comm must die before its successor spawns
-  sim_ = std::make_unique<app::Simulation<Policy>>(std::move(params));
+  sim_ = std::make_unique<app::Simulation<Policy>>(
+      opts_.to_params<Policy>(*spec_, injector_.get()));
   sim_->init(spec_->initial());
   steps_ = 0;
   totals_initial_ = totals_of(sim_->state(), sim_->grid());
@@ -319,6 +328,19 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
   rep.result.steps = static_cast<int>(step);
   return rep;
 }
+
+template typename app::Simulation<common::Fp64>::Params
+RunOptions::to_params<common::Fp64>(const CaseSpec&,
+                                    sim::FaultInjector*) const;
+template typename app::Simulation<common::Fp32>::Params
+RunOptions::to_params<common::Fp32>(const CaseSpec&,
+                                    sim::FaultInjector*) const;
+template typename app::Simulation<common::Fp16x32>::Params
+RunOptions::to_params<common::Fp16x32>(const CaseSpec&,
+                                       sim::FaultInjector*) const;
+template typename app::Simulation<common::Bf16x32>::Params
+RunOptions::to_params<common::Bf16x32>(const CaseSpec&,
+                                       sim::FaultInjector*) const;
 
 template class CaseRun<common::Fp64>;
 template class CaseRun<common::Fp32>;

@@ -15,6 +15,7 @@
 
 #include "app/simulation.hpp"
 #include "cases/case.hpp"
+#include "common/exec.hpp"
 #include "sim/fault.hpp"
 
 namespace igr::cases {
@@ -28,6 +29,19 @@ bool parse_precision(std::string_view s, Precision* out);
 
 /// How to run a case.  Zero-initialized fields defer to the CaseSpec's
 /// defaults.
+///
+/// This is THE user-facing request layer.  The layering is strictly
+/// one-way:
+///
+///   cases::RunOptions            what the user asked for (this struct)
+///     └─ to_params()             documented lowering, never round-tripped
+///        └─ app::Simulation::Params   the assembled run description
+///             ├─ common::SolverConfig   derived kernel/precision knobs
+///             └─ sim::DistOptions       derived decomposed-driver tuning
+///
+/// Mutate RunOptions and re-lower rather than editing the derived layers;
+/// run_case, the golden regressions, and the bench harnesses all build
+/// their simulations through this seam.
 struct RunOptions {
   int n = 0;           ///< Resolution parameter (0: spec.default_n).
   int steps = 0;       ///< > 0: run exactly this many steps.
@@ -52,6 +66,23 @@ struct RunOptions {
   /// Halo-wait bound handed to the distributed driver (seconds; <= 0
   /// disables).
   double comm_timeout_s = 60.0;
+  /// Execution-space backend of the in-rank kernels (see common/exec.hpp):
+  /// kOpenMP teams the per-plane/per-row kernel layer over OpenMP (or a
+  /// std::thread pool when built without it); kSerial is the bitwise
+  /// reference every backend is validated against.
+  common::ExecBackend exec = common::ExecBackend::kOpenMP;
+  /// Exec-space width per rank (0 = ambient).  Lowered into both
+  /// SolverConfig::exec_threads and DistOptions::threads_per_rank, so one
+  /// knob sets the kernel team width wherever the kernels run.
+  int threads = 0;
+
+  /// One-way lowering of this request (plus the case's registered
+  /// defaults) into the app::Simulation parameter block — the only place
+  /// RunOptions fields are translated into SolverConfig/DistOptions.
+  /// `fault` is wired into the decomposed driver (may be null).
+  template <class Policy>
+  [[nodiscard]] typename app::Simulation<Policy>::Params to_params(
+      const CaseSpec& spec, sim::FaultInjector* fault = nullptr) const;
 };
 
 /// What a run produced.

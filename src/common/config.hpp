@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/exec.hpp"
+
 namespace igr::common {
 
 /// Fluid and scheme parameters.  Defaults model the paper's air-like working
@@ -52,6 +54,25 @@ struct SolverConfig {
   /// Record the per-phase wall-time breakdown (common::PhaseProfile).  Off
   /// by default; the bench harness enables it for its JSON report.
   bool phase_timing = false;
+
+  // --- Execution space (where the kernel bodies run) ---
+  /// Backend for every parallel kernel body (flux row sweeps, relax rows,
+  /// Sigma source, RK update, CFL fold).  All kernels are partition-
+  /// invariant by construction — disjoint writes or parity-phased updates,
+  /// exact max/min reductions — so this is purely a scheduling choice:
+  /// results (state *and* dt) are bitwise-identical across backends and
+  /// team widths (test-enforced).  The default reproduces the historical
+  /// ambient-OpenMP schedule exactly.
+  ExecBackend exec_backend = ExecBackend::kOpenMP;
+  /// Team width for the kOpenMP backend; 0 = ambient (the configured
+  /// OpenMP team size, or one member without an OpenMP runtime).  The
+  /// distributed driver sets this per rank from DistOptions::
+  /// threads_per_rank.  Ignored by kSerial.
+  int exec_threads = 0;
+  /// The execution space the two fields above select.
+  [[nodiscard]] ExecSpace exec() const {
+    return ExecSpace(exec_backend, exec_threads);
+  }
 
   // --- Robustness floors (0 disables) ---
   /// Optional positivity floors applied when converting reconstructed face

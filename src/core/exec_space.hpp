@@ -1,0 +1,15 @@
+#pragma once
+/// \file exec_space.hpp
+/// core-namespace names for the execution-space layer.  The
+/// implementation lives in common/exec.hpp — below core in the layering —
+/// because the fv/ kernels (the CFL fold) need it too; this header gives
+/// solver-facing code the `core::ExecSpace` spelling.
+
+#include "common/exec.hpp"
+
+namespace igr::core {
+
+using ExecBackend = common::ExecBackend;
+using ExecSpace = common::ExecSpace;
+
+}  // namespace igr::core

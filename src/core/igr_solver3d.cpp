@@ -7,13 +7,10 @@
 #include <utility>
 #include <vector>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 #include "common/half.hpp"
 #include "common/math.hpp"
 #include "common/state.hpp"
+#include "core/exec_space.hpp"
 #include "fv/cfl.hpp"
 #include "fv/riemann.hpp"
 #include "fv/rk3.hpp"
@@ -310,16 +307,18 @@ void IgrSolver3D<Policy>::refresh_inv_rho_planes(common::StateField3<S>& q,
   const int nx = grid_.nx(), ny = grid_.ny();
   const int ng = q.ng();
   const std::size_t row_len = static_cast<std::size_t>(nx) + 2 * ng;
+  const common::ExecSpace exec = cfg_.exec();
   if constexpr (common::converts_storage<Policy>) {
     if (cfg_.batch_half_conversion) {
       // Whole ghosted rows through the batched conversion lanes: one batch
       // load, a vector reciprocal, one batch store — same per-element values
       // as the scalar path below.
-#pragma omp parallel
-      {
+      exec.run_team([&](const common::ExecSpace::Team& t) {
         std::vector<C> row(row_len);
-#pragma omp for
-        for (int k = k0; k < k1; ++k) {
+        long cb, ce;
+        t.chunk(k1 - k0, cb, ce);
+        for (long kk = cb; kk < ce; ++kk) {
+          const int k = k0 + static_cast<int>(kk);
           for (int j = -ng; j < ny + ng; ++j) {
             common::load_line<Policy>(&q[kRho](-ng, j, k), row.data(),
                                       row_len);
@@ -328,12 +327,12 @@ void IgrSolver3D<Policy>::refresh_inv_rho_planes(common::StateField3<S>& q,
                                        row_len);
           }
         }
-      }
+      });
       return;
     }
   }
-#pragma omp parallel for
-  for (int k = k0; k < k1; ++k) {
+  exec.for_each(k1 - k0, [&](long kk) {
+    const int k = k0 + static_cast<int>(kk);
     for (int j = -ng; j < ny + ng; ++j) {
       const S* pr = &q[kRho](-ng, j, k);
       S* pir = &inv_rho_(-ng, j, k);
@@ -341,7 +340,7 @@ void IgrSolver3D<Policy>::refresh_inv_rho_planes(common::StateField3<S>& q,
         pir[i] = static_cast<S>(C(1) / static_cast<C>(pr[i]));
       }
     }
-  }
+  });
 }
 
 template <class Policy>
@@ -371,8 +370,8 @@ void IgrSolver3D<Policy>::compute_sigma_source_planes(
       const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
       const std::size_t rows_per_plane = static_cast<std::size_t>(ny) + 2;
       const std::size_t plane_elems = 3 * rows_per_plane * row_len;
-#pragma omp parallel
-      {
+      const common::ExecSpace exec = cfg_.exec();
+      exec.run_team([&](const common::ExecSpace::Team& t) {
         std::vector<C> ring(3 * plane_elems);
         std::vector<C> ir_row(row_len), mom_row(row_len);
         std::vector<C> src_row(static_cast<std::size_t>(nx));
@@ -398,17 +397,12 @@ void IgrSolver3D<Policy>::compute_sigma_source_planes(
             }
           }
         };
-        // Contiguous per-thread plane chunks (the ring needs an ascending
-        // serial walk); remainder planes go to the low threads.
-        int nth = 1, tid = 0;
-#ifdef _OPENMP
-        nth = omp_get_num_threads();
-        tid = omp_get_thread_num();
-#endif
-        const int n_planes = k1 - k0;
-        const int base = n_planes / nth, rem = n_planes % nth;
-        const int c0 = k0 + tid * base + std::min(tid, rem);
-        const int c1 = c0 + base + (tid < rem ? 1 : 0);
+        // Contiguous per-member plane chunks (the ring needs an ascending
+        // serial walk); remainder planes go to the low tids.
+        long cb, ce;
+        t.chunk(k1 - k0, cb, ce);
+        const int c0 = k0 + static_cast<int>(cb);
+        const int c1 = k0 + static_cast<int>(ce);
         if (c0 < c1) {
           fill_plane(c0 - 1);
           fill_plane(c0);
@@ -438,15 +432,15 @@ void IgrSolver3D<Policy>::compute_sigma_source_planes(
             }
           }
         }
-      }
+      });
       return;
     }
   }
 
   // Stencil taps hoisted into per-row stream pointers (the indexed-offset
   // form defeats the vectorizer); same products, same bits.
-#pragma omp parallel for
-  for (int k = k0; k < k1; ++k) {
+  cfg_.exec().for_each(k1 - k0, [&](long kk) {
+    const int k = k0 + static_cast<int>(kk);
     for (int j = 0; j < ny; ++j) {
       const S* pir = &inv_rho_(0, j, k);
       const S* mx_ = &q[kMomX](0, j, k);
@@ -481,7 +475,7 @@ void IgrSolver3D<Policy>::compute_sigma_source_planes(
         psrc[i] = static_cast<S>(al * (g.tr_sq() + d * d));
       }
     }
-  }
+  });
 }
 
 template <class Policy>
@@ -585,9 +579,14 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
   const std::ptrdiff_t stA = q[0].stride(axA);
   const std::ptrdiff_t stB = q[0].stride(axB);
 
-#pragma omp parallel
-  {
-    // Per-thread line buffers — the CPU analogue of the paper's
+  const common::ExecSpace exec = cfg_.exec();
+  // Flattened (lb, la) line index space, statically chunked per member —
+  // the collapse(2) replacement; every line writes a disjoint RHS segment.
+  const long n_lines =
+      static_cast<long>(b_hi - b_lo) * static_cast<long>(a_hi - a_lo);
+  const long na = a_hi - a_lo;
+  exec.run_team([&](const common::ExecSpace::Team& team) {
+    // Per-member line buffers — the CPU analogue of the paper's
     // thread-local temporaries (§5.4).  Each line of cells (with ghosts) is
     // gathered once into contiguous storage: the 5 conservative variables
     // and Sigma, then the primitive line (1/rho, u, v, w, p) computed once
@@ -615,9 +614,12 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
     C* const lp = fprims.data();                      // [c*fn + fi] left
     C* const rp = fprims.data() + 6 * fn;             // [c*fn + fi] right
 
-#pragma omp for collapse(2)
-    for (int lb = b_lo; lb < b_hi; ++lb) {
-      for (int la = a_lo; la < a_hi; ++la) {
+    long lb0, lb1;
+    team.chunk(n_lines, lb0, lb1);
+    for (long lidx = lb0; lidx < lb1; ++lidx) {
+      {
+        const int lb = b_lo + static_cast<int>(lidx / na);
+        const int la = a_lo + static_cast<int>(lidx % na);
         const auto c0 = cell(la, lb, s_lo);
         const std::size_t base = q[0].idx(c0[0], c0[1], c0[2]);
         for (int c = 0; c <= kNumVars; ++c) {
@@ -870,7 +872,7 @@ void IgrSolver3D<Policy>::flux_sweep(common::StateField3<S>& q,
         }
       }
     }
-  }
+  });
 }
 
 /// Row-streaming form of one dimensional sweep: instead of gathering each
@@ -939,8 +941,11 @@ void IgrSolver3D<Policy>::flux_sweep_stream(common::StateField3<S>& q,
     const std::size_t pspan = fn + 1;       // prim cells  x0-1 .. x0+nxr
     const int b_lo = reg.lo[2], b_hi = reg.hi[2];
     const int a_lo = reg.lo[1], a_hi = reg.hi[1];
-#pragma omp parallel
-    {
+    const common::ExecSpace exec = cfg_.exec();
+    const long n_rows =
+        static_cast<long>(b_hi - b_lo) * static_cast<long>(a_hi - a_lo);
+    const long na = a_hi - a_lo;
+    exec.run_team([&](const common::ExecSpace::Team& team) {
       std::vector<C> conv;  // converted stencil rows (FP16/32 only)
       if constexpr (common::converts_storage<Policy>) {
         conv.resize(static_cast<std::size_t>(kNumVars + 1) * span);
@@ -952,9 +957,12 @@ void IgrSolver3D<Policy>::flux_sweep_stream(common::StateField3<S>& q,
       std::vector<unsigned char> fallback(fn);
       std::vector<C> flux(kNumVars * fn);
       std::vector<C> out_row(static_cast<std::size_t>(nxr));
-#pragma omp for collapse(2)
-      for (int k = b_lo; k < b_hi; ++k) {
-        for (int j = a_lo; j < a_hi; ++j) {
+      long rb0, rb1;
+      team.chunk(n_rows, rb0, rb1);
+      for (long ridx = rb0; ridx < rb1; ++ridx) {
+        {
+          const int k = b_lo + static_cast<int>(ridx / na);
+          const int j = a_lo + static_cast<int>(ridx % na);
           const C* sc[kNumVars + 1][6];
           for (int c = 0; c <= kNumVars; ++c) {
             const S* row = field_row(c, j, k) + (x0 - 3);
@@ -1027,7 +1035,7 @@ void IgrSolver3D<Policy>::flux_sweep_stream(common::StateField3<S>& q,
           }
         }
       }
-    }
+    });
     return;
   } else {
     // Transverse sweep (Dir = 1 or 2): stream face rows along the sweep
@@ -1040,8 +1048,8 @@ void IgrSolver3D<Policy>::flux_sweep_stream(common::StateField3<S>& q,
     const int s_hi = reg.hi[static_cast<std::size_t>(dir)];
     const int o_lo = (Dir == 1) ? reg.lo[2] : reg.lo[1];
     const int o_hi = (Dir == 1) ? reg.hi[2] : reg.hi[1];
-#pragma omp parallel
-    {
+    const common::ExecSpace exec = cfg_.exec();
+    exec.run_team([&](const common::ExecSpace::Team& team) {
       std::vector<C> ring;  // [c][slot] rows (FP16/32 only)
       if constexpr (common::converts_storage<Policy>) {
         ring.resize(static_cast<std::size_t>(kNumVars + 1) * 6 * fn);
@@ -1053,8 +1061,10 @@ void IgrSolver3D<Policy>::flux_sweep_stream(common::StateField3<S>& q,
       std::vector<unsigned char> fallback(fn);
       std::vector<C> flux2(2 * kNumVars * fn);  // rolling flux-row pair
       std::vector<C> out_row(fn);
-#pragma omp for
-      for (int oc = o_lo; oc < o_hi; ++oc) {
+      long ob, oe;
+      team.chunk(o_hi - o_lo, ob, oe);
+      for (long oo = ob; oo < oe; ++oo) {
+        const int oc = o_lo + static_cast<int>(oo);
         const int j_of = (Dir == 1) ? -1 : oc;   // -1 marks "varies"
         const int k_of = (Dir == 1) ? oc : -1;
         // Compute-precision row of variable c at sweep coordinate sc_i.
@@ -1181,7 +1191,7 @@ void IgrSolver3D<Policy>::flux_sweep_stream(common::StateField3<S>& q,
           }
         }
       }
-    }
+    });
   }
 }
 
@@ -1211,7 +1221,7 @@ void IgrSolver3D<Policy>::sigma_sweep(common::StateField3<S>& /*q*/) {
                            static_cast<C>(grid_.dz()),
                            cfg_.sigma_gauss_seidel ? SweepKind::kRedBlack
                                                    : SweepKind::kJacobi,
-                           cfg_.batch_half_conversion);
+                           cfg_.batch_half_conversion, cfg_.exec());
 }
 
 template <class Policy>
@@ -1493,12 +1503,14 @@ void IgrSolver3D<Policy>::fused_sigma_pipeline(common::StateField3<S>& q) {
         if (p0 >= 0 && p0 < nz) {
           sweep_ghosts(sigma_, p0, 1);
           sigma_relax_planes<Policy>(sigma_, sigma_src_, inv_rho_, al, dx, dy,
-                                     dz, /*color=*/0, p0, p0 + 1, batch);
+                                     dz, /*color=*/0, p0, p0 + 1, batch,
+                                     cfg_.exec());
         }
         const int p1 = f - (2 * s - 1);
         if (p1 >= 0 && p1 < nz) {
           sigma_relax_planes<Policy>(sigma_, sigma_src_, inv_rho_, al, dx, dy,
-                                     dz, /*color=*/1, p1, p1 + 1, batch);
+                                     dz, /*color=*/1, p1, p1 + 1, batch,
+                                     cfg_.exec());
         }
       } else {
         const int p = f - (s - 1);
@@ -1510,7 +1522,7 @@ void IgrSolver3D<Policy>::fused_sigma_pipeline(common::StateField3<S>& q) {
           auto& out = (s % 2 == 1) ? sigma_scratch_ : sigma_;
           sweep_ghosts(in, p, 1);
           sigma_jacobi_planes<Policy>(out, in, sigma_src_, inv_rho_, al, dx,
-                                      dy, dz, p, p + 1, batch);
+                                      dy, dz, p, p + 1, batch, cfg_.exec());
         }
       }
     }
@@ -1540,11 +1552,12 @@ void IgrSolver3D<Policy>::rk_update_planes(const fv::Rk3Stage& st, double dt,
       // Row-batched update: 3 batch loads + 1 batch store per component row
       // replace 3 scalar conversions + 1 round-trip per element.
       const std::size_t nxs = static_cast<std::size_t>(nx);
-#pragma omp parallel
-      {
+      cfg_.exec().run_team([&](const common::ExecSpace::Team& t) {
         std::vector<C> qn_row(nxs), qs_row(nxs), r_row(nxs);
-#pragma omp for
-        for (int k = k0; k < k1; ++k) {
+        long cb, ce;
+        t.chunk(k1 - k0, cb, ce);
+        for (long kk = cb; kk < ce; ++kk) {
+          const int k = k0 + static_cast<int>(kk);
           for (int j = 0; j < ny; ++j) {
             for (int c = 0; c < kNumVars; ++c) {
               common::load_line<Policy>(q_[c].row(j, k), qn_row.data(), nxs);
@@ -1558,15 +1571,15 @@ void IgrSolver3D<Policy>::rk_update_planes(const fv::Rk3Stage& st, double dt,
             }
           }
         }
-      }
+      });
       return;
     }
   }
   // Row-pointer form (restrict: the three fields never alias) so the
   // update vectorizes; the per-element expression is unchanged and cells
   // are independent, so the c-outer order writes the same bits.
-#pragma omp parallel for
-  for (int k = k0; k < k1; ++k) {
+  cfg_.exec().for_each(k1 - k0, [&](long kk) {
+    const int k = k0 + static_cast<int>(kk);
     for (int j = 0; j < ny; ++j) {
       for (int c = 0; c < kNumVars; ++c) {
         const S* __restrict qn_row = q_[c].row(j, k);
@@ -1580,7 +1593,7 @@ void IgrSolver3D<Policy>::rk_update_planes(const fv::Rk3Stage& st, double dt,
         }
       }
     }
-  }
+  });
 }
 
 template <class Policy>
@@ -1595,11 +1608,12 @@ void IgrSolver3D<Policy>::rk_stage1_planes(double dt, int k0, int k1) {
   if constexpr (common::converts_storage<Policy>) {
     if (cfg_.batch_half_conversion) {
       const std::size_t nxs = static_cast<std::size_t>(nx);
-#pragma omp parallel
-      {
+      cfg_.exec().run_team([&](const common::ExecSpace::Team& t) {
         std::vector<C> qn_row(nxs), r_row(nxs);
-#pragma omp for
-        for (int k = k0; k < k1; ++k) {
+        long cb, ce;
+        t.chunk(k1 - k0, cb, ce);
+        for (long kk = cb; kk < ce; ++kk) {
+          const int k = k0 + static_cast<int>(kk);
           for (int j = 0; j < ny; ++j) {
             for (int c = 0; c < kNumVars; ++c) {
               common::load_line<Policy>(q_[c].row(j, k), qn_row.data(), nxs);
@@ -1611,12 +1625,12 @@ void IgrSolver3D<Policy>::rk_stage1_planes(double dt, int k0, int k1) {
             }
           }
         }
-      }
+      });
       return;
     }
   }
-#pragma omp parallel for
-  for (int k = k0; k < k1; ++k) {
+  cfg_.exec().for_each(k1 - k0, [&](long kk) {
+    const int k = k0 + static_cast<int>(kk);
     for (int j = 0; j < ny; ++j) {
       for (int c = 0; c < kNumVars; ++c) {
         const S* __restrict qn_row = q_[c].row(j, k);
@@ -1629,7 +1643,7 @@ void IgrSolver3D<Policy>::rk_stage1_planes(double dt, int k0, int k1) {
         }
       }
     }
-  }
+  });
 }
 
 template <class Policy>

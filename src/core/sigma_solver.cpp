@@ -228,9 +228,10 @@ inline void relax_row_gathered(const StencilRows<C>& b, int nx, C alpha,
 }
 
 /// One full-field relaxation pass.  With `jacobi` true, reads `in` and
-/// writes `out` (distinct buffers, embarrassingly parallel); otherwise
-/// updates in place in the natural lexicographic Gauss–Seidel order, which
-/// is inherently serial (kept as the reference ordering).
+/// writes `out` (distinct buffers, embarrassingly parallel across the
+/// execution space); otherwise updates in place in the natural
+/// lexicographic Gauss–Seidel order, which is inherently serial (kept as
+/// the reference ordering — it ignores `exec`).
 template <class Policy>
 void sweep(common::Field3<typename Policy::storage_t>& out,
            const common::Field3<typename Policy::storage_t>& in,
@@ -239,7 +240,8 @@ void sweep(common::Field3<typename Policy::storage_t>& out,
            typename Policy::compute_t alpha,
            typename Policy::compute_t inv_dx2,
            typename Policy::compute_t inv_dy2,
-           typename Policy::compute_t inv_dz2, bool jacobi) {
+           typename Policy::compute_t inv_dz2, bool jacobi,
+           const common::ExecSpace& exec) {
   using C = typename Policy::compute_t;
   using S = typename Policy::storage_t;
   const int nx = out.nx(), ny = out.ny(), nz = out.nz();
@@ -248,8 +250,7 @@ void sweep(common::Field3<typename Policy::storage_t>& out,
   const std::ptrdiff_t sz = inv_rho.stride(2);
   const common::Field3<S>& sin_f = jacobi ? in : out;
 
-#pragma omp parallel for if (jacobi)
-  for (int k = 0; k < nz; ++k) {
+  auto relax_plane = [&](int k) {
     for (int j = 0; j < ny; ++j) {
       const S* pir = &inv_rho(0, j, k);
       const S* psr = &src(0, j, k);
@@ -260,6 +261,11 @@ void sweep(common::Field3<typename Policy::storage_t>& out,
                                              inv_dx2, inv_dy2, inv_dz2));
       }
     }
+  };
+  if (jacobi) {
+    exec.for_each(nz, [&](long k) { relax_plane(static_cast<int>(k)); });
+  } else {
+    for (int k = 0; k < nz; ++k) relax_plane(k);
   }
 }
 
@@ -326,7 +332,8 @@ void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
                      typename Policy::compute_t alpha,
                      typename Policy::compute_t inv_dx2,
                      typename Policy::compute_t inv_dy2,
-                     typename Policy::compute_t inv_dz2) {
+                     typename Policy::compute_t inv_dz2,
+                     const common::ExecSpace& exec) {
   using C = typename Policy::compute_t;
   using S = typename Policy::storage_t;
   const int nx = sigma.nx(), ny = sigma.ny(), nz = sigma.nz();
@@ -335,11 +342,15 @@ void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
 
   for (int color = 0; color < 2; ++color) {
     for (int kphase = 0; kphase < 2; ++kphase) {
-#pragma omp parallel
-      {
+      // Each member owns a contiguous chunk of this phase's k-parity planes
+      // (k = kphase + 2*kk); writes of one phase never share a plane.
+      const long nk = (static_cast<long>(nz) - kphase + 1) / 2;
+      exec.run_team([&](const common::ExecSpace::Team& t) {
         std::vector<C> tmp(static_cast<std::size_t>(nx));
-#pragma omp for
-        for (int k = kphase; k < nz; k += 2) {
+        long cb, ce;
+        t.chunk(nk, cb, ce);
+        for (long kk = cb; kk < ce; ++kk) {
+          const int k = kphase + 2 * static_cast<int>(kk);
           for (int j = 0; j < ny; ++j) {
             const S* pir = &inv_rho(0, j, k);
             const S* psr = &src(0, j, k);
@@ -351,7 +362,7 @@ void sweep_red_black(common::Field3<typename Policy::storage_t>& sigma,
             }
           }
         }
-      }
+      });
     }
   }
 }
@@ -381,21 +392,24 @@ void sweep_red_black_batched(
     const common::Field3<typename Policy::storage_t>& src,
     const common::Field3<typename Policy::storage_t>& inv_rho,
     typename Policy::compute_t alpha, typename Policy::compute_t inv_dx2,
-    typename Policy::compute_t inv_dy2, typename Policy::compute_t inv_dz2) {
+    typename Policy::compute_t inv_dy2, typename Policy::compute_t inv_dz2,
+    const common::ExecSpace& exec) {
   using C = typename Policy::compute_t;
   const int nx = sigma.nx(), ny = sigma.ny(), nz = sigma.nz();
   const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
 
   for (int color = 0; color < 2; ++color) {
     for (int kphase = 0; kphase < 2; ++kphase) {
-#pragma omp parallel
-      {
+      const long nk = (static_cast<long>(nz) - kphase + 1) / 2;
+      exec.run_team([&](const common::ExecSpace::Team& t) {
         PlaneRowCache<Policy> cache(ny, row_len);
         std::vector<C> aux(5 * row_len);
         std::vector<C> tmp(static_cast<std::size_t>(nx));
         std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
-#pragma omp for
-        for (int k = kphase; k < nz; k += 2) {
+        long cb, ce;
+        t.chunk(nk, cb, ce);
+        for (long kk = cb; kk < ce; ++kk) {
+          const int k = kphase + 2 * static_cast<int>(kk);
           cache.reset(k);
           for (int j = 0; j < ny; ++j) {
             const auto rows = gather_rows<Policy>(cache, sigma, src, inv_rho,
@@ -412,7 +426,7 @@ void sweep_red_black_batched(
             }
           }
         }
-      }
+      });
     }
   }
 }
@@ -429,18 +443,20 @@ void sweep_jacobi_batched(
     const common::Field3<typename Policy::storage_t>& src,
     const common::Field3<typename Policy::storage_t>& inv_rho,
     typename Policy::compute_t alpha, typename Policy::compute_t inv_dx2,
-    typename Policy::compute_t inv_dy2, typename Policy::compute_t inv_dz2) {
+    typename Policy::compute_t inv_dy2, typename Policy::compute_t inv_dz2,
+    const common::ExecSpace& exec) {
   using C = typename Policy::compute_t;
   const int nx = out.nx(), ny = out.ny(), nz = out.nz();
   const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
 
-#pragma omp parallel
-  {
+  exec.run_team([&](const common::ExecSpace::Team& t) {
     PlaneRowCache<Policy> cache(ny, row_len);
     std::vector<C> aux(5 * row_len);
     std::vector<C> vals(static_cast<std::size_t>(nx));
-#pragma omp for
-    for (int k = 0; k < nz; ++k) {
+    long cb, ce;
+    t.chunk(nz, cb, ce);
+    for (long kk = cb; kk < ce; ++kk) {
+      const int k = static_cast<int>(kk);
       cache.reset(k);
       for (int j = 0; j < ny; ++j) {
         const auto rows = gather_rows<Policy>(cache, in, src, inv_rho, j, k,
@@ -451,7 +467,7 @@ void sweep_jacobi_batched(
                                    static_cast<std::size_t>(nx));
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -515,7 +531,7 @@ void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
                         typename Policy::compute_t dx,
                         typename Policy::compute_t dy,
                         typename Policy::compute_t dz, int color, int k0,
-                        int k1, bool batch) {
+                        int k1, bool batch, const common::ExecSpace& exec) {
   using C = typename Policy::compute_t;
   using S = typename Policy::storage_t;
   const int nx = sigma.nx(), ny = sigma.ny();
@@ -536,21 +552,24 @@ void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
       // center-plane row (its j∓1 neighbors were phase-0 centers, its
       // centers were phase-0 neighbors).  Valid across the phase boundary
       // by the parity argument at PlaneRowCache: the lanes phase 0 wrote
-      // are never consumed by any tap feeding a stored value.  The omp-for
-      // barrier between the phases keeps the race-freedom structure of the
-      // split parallel regions it replaces.
+      // are never consumed by any tap feeding a stored value.  The team
+      // barrier between the phases keeps the race-freedom structure the
+      // implicit omp-for barrier used to provide.
       const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
       for (int k = k0; k < k1; ++k) {
-#pragma omp parallel
-        {
+        exec.run_team([&](const common::ExecSpace::Team& t) {
           PlaneRowCache<Policy> cache(ny, row_len);
           cache.reset(k);
           std::vector<C> aux(5 * row_len);
           std::vector<C> tmp(static_cast<std::size_t>(nx));
           std::vector<C> vals((static_cast<std::size_t>(nx) + 1) / 2);
           for (int jphase = 0; jphase < 2; ++jphase) {
-#pragma omp for
-            for (int j = jphase; j < ny; j += 2) {
+            if (jphase == 1) t.barrier();
+            const long nj = (static_cast<long>(ny) - jphase + 1) / 2;
+            long cb, ce;
+            t.chunk(nj, cb, ce);
+            for (long jj = cb; jj < ce; ++jj) {
+              const int j = jphase + 2 * static_cast<int>(jj);
               const auto rows = gather_rows<Policy>(cache, sigma, src,
                                                     inv_rho, j, k, row_len,
                                                     aux.data());
@@ -565,7 +584,7 @@ void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
               }
             }
           }
-        }
+        });
       }
       return;
     }
@@ -575,11 +594,13 @@ void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
   const std::ptrdiff_t sz = inv_rho.stride(2);
   for (int k = k0; k < k1; ++k) {
     for (int jphase = 0; jphase < 2; ++jphase) {
-#pragma omp parallel
-      {
+      const long nj = (static_cast<long>(ny) - jphase + 1) / 2;
+      exec.run_team([&](const common::ExecSpace::Team& t) {
         std::vector<C> tmp(static_cast<std::size_t>(nx));
-#pragma omp for
-        for (int j = jphase; j < ny; j += 2) {
+        long cb, ce;
+        t.chunk(nj, cb, ce);
+        for (long jj = cb; jj < ce; ++jj) {
+          const int j = jphase + 2 * static_cast<int>(jj);
           const S* pir = &inv_rho(0, j, k);
           const S* psr = &src(0, j, k);
           S* ps = &sigma(0, j, k);
@@ -589,7 +610,7 @@ void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
             ps[i] = static_cast<S>(tmp[i]);
           }
         }
-      }
+      });
     }
   }
 }
@@ -603,7 +624,7 @@ void sigma_jacobi_planes(common::Field3<typename Policy::storage_t>& out,
                          typename Policy::compute_t dx,
                          typename Policy::compute_t dy,
                          typename Policy::compute_t dz, int k0, int k1,
-                         bool batch) {
+                         bool batch, const common::ExecSpace& exec) {
   using C = typename Policy::compute_t;
   using S = typename Policy::storage_t;
   const int nx = out.nx(), ny = out.ny();
@@ -611,50 +632,53 @@ void sigma_jacobi_planes(common::Field3<typename Policy::storage_t>& out,
   const C inv_dy2 = C(1) / (dy * dy);
   const C inv_dz2 = C(1) / (dz * dz);
 
+  // Both paths partition the flattened (k, j) row index space — the
+  // collapse(2) replacement; writes are disjoint rows of `out`.
+  const long total = static_cast<long>(k1 - k0) * ny;
+
   if constexpr (common::converts_storage<Policy>) {
     if (batch) {
       const std::size_t row_len = static_cast<std::size_t>(nx) + 2;
-#pragma omp parallel
-      {
+      exec.run_team([&](const common::ExecSpace::Team& t) {
         PlaneRowCache<Policy> cache(ny, row_len);
         int cached_k = INT_MIN;
         std::vector<C> aux(5 * row_len);
         std::vector<C> vals(static_cast<std::size_t>(nx));
-#pragma omp for collapse(2)
-        for (int k = k0; k < k1; ++k) {
-          for (int j = 0; j < ny; ++j) {
-            if (k != cached_k) {
-              cache.reset(k);
-              cached_k = k;
-            }
-            const auto rows = gather_rows<Policy>(cache, in, src, inv_rho, j,
-                                                  k, row_len, aux.data());
-            relax_row_gathered<C>(rows, nx, alpha, inv_dx2, inv_dy2, inv_dz2,
-                                  vals.data());
-            common::store_line<Policy>(vals.data(), out.row(j, k),
-                                       static_cast<std::size_t>(nx));
+        long cb, ce;
+        t.chunk(total, cb, ce);
+        for (long idx = cb; idx < ce; ++idx) {
+          const int k = k0 + static_cast<int>(idx / ny);
+          const int j = static_cast<int>(idx % ny);
+          if (k != cached_k) {
+            cache.reset(k);
+            cached_k = k;
           }
+          const auto rows = gather_rows<Policy>(cache, in, src, inv_rho, j,
+                                                k, row_len, aux.data());
+          relax_row_gathered<C>(rows, nx, alpha, inv_dx2, inv_dy2, inv_dz2,
+                                vals.data());
+          common::store_line<Policy>(vals.data(), out.row(j, k),
+                                     static_cast<std::size_t>(nx));
         }
-      }
+      });
       return;
     }
   }
 
   const std::ptrdiff_t sy = inv_rho.stride(1);
   const std::ptrdiff_t sz = inv_rho.stride(2);
-#pragma omp parallel for collapse(2)
-  for (int k = k0; k < k1; ++k) {
-    for (int j = 0; j < ny; ++j) {
-      const S* pir = &inv_rho(0, j, k);
-      const S* psr = &src(0, j, k);
-      const S* ps = &in(0, j, k);
-      S* po = &out(0, j, k);
-      for (int i = 0; i < nx; ++i) {
-        po[i] = static_cast<S>(relax_cell<C>(pir, psr, ps, i, sy, sz, alpha,
-                                             inv_dx2, inv_dy2, inv_dz2));
-      }
+  exec.for_each(total, [&](long idx) {
+    const int k = k0 + static_cast<int>(idx / ny);
+    const int j = static_cast<int>(idx % ny);
+    const S* pir = &inv_rho(0, j, k);
+    const S* psr = &src(0, j, k);
+    const S* ps = &in(0, j, k);
+    S* po = &out(0, j, k);
+    for (int i = 0; i < nx; ++i) {
+      po[i] = static_cast<S>(relax_cell<C>(pir, psr, ps, i, sy, sz, alpha,
+                                           inv_dx2, inv_dy2, inv_dz2));
     }
-  }
+  });
 }
 
 template <class S>
@@ -707,7 +731,7 @@ void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       typename Policy::compute_t dx,
                       typename Policy::compute_t dy,
                       typename Policy::compute_t dz, SweepKind kind,
-                      bool batch) {
+                      bool batch, const common::ExecSpace& exec) {
   using C = typename Policy::compute_t;
   const C inv_dx2 = C(1) / (dx * dx);
   const C inv_dy2 = C(1) / (dy * dy);
@@ -721,28 +745,28 @@ void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
       if constexpr (kConverts) {
         if (batch) {
           sweep_red_black_batched<Policy>(sigma, src, inv_rho, alpha, inv_dx2,
-                                          inv_dy2, inv_dz2);
+                                          inv_dy2, inv_dz2, exec);
           break;
         }
       }
       sweep_red_black<Policy>(sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
-                              inv_dz2);
+                              inv_dz2, exec);
       break;
     case SweepKind::kGaussSeidelLex:
       sweep<Policy>(sigma, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
-                    inv_dz2, /*jacobi=*/false);
+                    inv_dz2, /*jacobi=*/false, exec);
       break;
     case SweepKind::kJacobi:
       if constexpr (kConverts) {
         if (batch) {
           sweep_jacobi_batched<Policy>(scratch, sigma, src, inv_rho, alpha,
-                                       inv_dx2, inv_dy2, inv_dz2);
+                                       inv_dx2, inv_dy2, inv_dz2, exec);
           std::swap(sigma, scratch);
           break;
         }
       }
       sweep<Policy>(scratch, sigma, src, inv_rho, alpha, inv_dx2, inv_dy2,
-                    inv_dz2, /*jacobi=*/true);
+                    inv_dz2, /*jacobi=*/true, exec);
       std::swap(sigma, scratch);
       break;
   }
@@ -771,12 +795,13 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, SweepKind kind, SigmaBcSpec bc, bool batch) {
+                 int sweeps, SweepKind kind, SigmaBcSpec bc, bool batch,
+                 const common::ExecSpace& exec) {
   for (int s = 0; s < sweeps; ++s) {
     // Sweeps consume a single ghost layer.
     fill_sigma_ghosts(sigma, bc, 1);
     sigma_sweep_once<Policy>(sigma, scratch, src, inv_rho, alpha, dx, dy, dz,
-                             kind, batch);
+                             kind, batch, exec);
   }
   // Reconstruction downstream needs the full ghost depth.
   fill_sigma_ghosts(sigma, bc);
@@ -857,7 +882,7 @@ using common::Fp64;
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       P::compute_t, P::compute_t, P::compute_t, P::compute_t, SweepKind,       \
-      bool);                                                                   \
+      bool, const common::ExecSpace&);                                         \
   template void sigma_solve<P>(                                                \
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
@@ -867,7 +892,7 @@ using common::Fp64;
       common::Field3<P::storage_t>&, common::Field3<P::storage_t>&,            \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, SweepKind,  \
-      SigmaBcSpec, bool);                                                      \
+      SigmaBcSpec, bool, const common::ExecSpace&);                            \
   template double sigma_residual<P>(                                           \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
       const common::Field3<P::storage_t>&, P::compute_t, P::compute_t,         \
@@ -875,11 +900,13 @@ using common::Fp64;
   template void sigma_relax_planes<P>(                                         \
       common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,      \
       const common::Field3<P::storage_t>&, P::compute_t, P::compute_t,         \
-      P::compute_t, P::compute_t, int, int, int, bool);                        \
+      P::compute_t, P::compute_t, int, int, int, bool,                         \
+      const common::ExecSpace&);                                               \
   template void sigma_jacobi_planes<P>(                                        \
       common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,      \
       const common::Field3<P::storage_t>&, const common::Field3<P::storage_t>&,\
-      P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, int, bool);
+      P::compute_t, P::compute_t, P::compute_t, P::compute_t, int, int, bool,  \
+      const common::ExecSpace&);
 
 IGR_INSTANTIATE_SIGMA(Fp64)
 IGR_INSTANTIATE_SIGMA(Fp32)

@@ -16,6 +16,7 @@
 
 #include <array>
 
+#include "common/exec.hpp"
 #include "common/field3.hpp"
 #include "common/precision.hpp"
 
@@ -118,7 +119,8 @@ void sigma_relax_planes(common::Field3<typename Policy::storage_t>& sigma,
                         typename Policy::compute_t dx,
                         typename Policy::compute_t dy,
                         typename Policy::compute_t dz, int color, int k0,
-                        int k1, bool batch = true);
+                        int k1, bool batch = true,
+                        const common::ExecSpace& exec = {});
 
 /// One Jacobi pass restricted to planes k ∈ [k0, k1): reads `in` (planes
 /// k0-1..k1 and the rim ghosts of [k0,k1)), writes `out`.  The caller owns
@@ -133,7 +135,8 @@ void sigma_jacobi_planes(common::Field3<typename Policy::storage_t>& out,
                          typename Policy::compute_t dx,
                          typename Policy::compute_t dy,
                          typename Policy::compute_t dz, int k0, int k1,
-                         bool batch = true);
+                         bool batch = true,
+                         const common::ExecSpace& exec = {});
 
 /// Relaxation sweeps for eq. (9).
 ///
@@ -154,7 +157,8 @@ void sigma_solve(common::Field3<typename Policy::storage_t>& sigma,
                  typename Policy::compute_t dx,
                  typename Policy::compute_t dy,
                  typename Policy::compute_t dz,
-                 int sweeps, SweepKind kind, SigmaBcSpec bc, bool batch = true);
+                 int sweeps, SweepKind kind, SigmaBcSpec bc, bool batch = true,
+                 const common::ExecSpace& exec = {});
 
 /// Back-compat flavor selector: `gauss_seidel` picks the parallel red–black
 /// ordering (the production Gauss–Seidel), false picks Jacobi.
@@ -199,7 +203,7 @@ void sigma_sweep_once(common::Field3<typename Policy::storage_t>& sigma,
                       typename Policy::compute_t dx,
                       typename Policy::compute_t dy,
                       typename Policy::compute_t dz, SweepKind kind,
-                      bool batch = true);
+                      bool batch = true, const common::ExecSpace& exec = {});
 
 /// Back-compat flavor selector: `gauss_seidel` picks red–black, else Jacobi.
 template <class Policy>

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <mutex>
 #include <type_traits>
 #include <vector>
 
 #include "common/bfloat16.hpp"
+#include "common/exec.hpp"
 #include "common/half.hpp"
 
 namespace igr::fv {
@@ -18,8 +20,6 @@ void accumulate_cfl_rates(const common::StateField3<T>& q,
                           const common::Field3<T>* sigma, int k0, int k1,
                           CflRates& r) {
   const int nx = q.nx(), ny = q.ny();
-  double max_rate = r.max_rate;
-  double min_rho = r.min_rho;
 
   // For binary16 storage, pull each row through the batched conversion
   // lanes once instead of 6 scalar conversions per cell.  The rate math
@@ -28,12 +28,24 @@ void accumulate_cfl_rates(const common::StateField3<T>& q,
   const bool batch_rows =
       std::is_same_v<T, common::half> && cfg.batch_half_conversion;
   const std::size_t nxs = static_cast<std::size_t>(nx);
-  std::vector<float> row_buf;
-  if (batch_rows) row_buf.resize((common::kNumVars + 1) * nxs);
 
-#pragma omp parallel for reduction(max : max_rate) reduction(min : min_rho) \
-    firstprivate(row_buf)
-  for (int k = k0; k < k1; ++k) {
+  // Each team member folds its plane chunk into local extrema and merges
+  // them under a mutex: max/min are exact and order-independent, so the
+  // merged result is bitwise the serial fold (and bitwise what the old
+  // `omp reduction(max/min)` produced) for every team width.
+  const common::ExecSpace exec = cfg.exec();
+  std::mutex merge_mutex;
+  double merged_max_rate = r.max_rate;
+  double merged_min_rho = r.min_rho;
+  exec.run_team([&](const common::ExecSpace::Team& t) {
+    std::vector<float> row_buf;
+    if (batch_rows) row_buf.resize((common::kNumVars + 1) * nxs);
+    double max_rate = r.max_rate;
+    double min_rho = r.min_rho;
+    long cb, ce;
+    t.chunk(k1 - k0, cb, ce);
+    for (long kk = cb; kk < ce; ++kk) {
+    const int k = k0 + static_cast<int>(kk);
     for (int j = 0; j < ny; ++j) {
       if constexpr (std::is_same_v<T, common::half>) {
         if (batch_rows) {
@@ -83,10 +95,14 @@ void accumulate_cfl_rates(const common::StateField3<T>& q,
         min_rho = std::min(min_rho, w.rho);
       }
     }
-  }
+    }
+    std::lock_guard<std::mutex> g(merge_mutex);
+    merged_max_rate = std::max(merged_max_rate, max_rate);
+    merged_min_rho = std::min(merged_min_rho, min_rho);
+  });
 
-  r.max_rate = max_rate;
-  r.min_rho = min_rho;
+  r.max_rate = merged_max_rate;
+  r.min_rho = merged_min_rho;
 }
 
 double cfl_dt_from_rates(const CflRates& r, const mesh::Grid& grid,

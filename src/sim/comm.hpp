@@ -152,21 +152,29 @@ class Comm {
     return wire_[static_cast<std::size_t>(channel)];
   }
 
-  // --- Collective (lockstep) exchanges ----------------------------------
+  // --- Collective (lockstep) exchanges — TEST-ONLY shims ----------------
+  //
+  // Legacy entry points kept for tests/test_comm.cpp, which uses them to
+  // pin the slab layout and multi-hop sourcing semantics without the
+  // post/compute/complete choreography.  Every production caller (the
+  // distributed driver, the overlap paths) folds onto the posted-epoch
+  // API (post_axis/complete_axis); new code must do the same — these shims
+  // cannot overlap compute with the exchange and serialize every rank
+  // through the calling thread.
 
-  /// Exchange ghost layers of one scalar field per rank.  Axes are swept in
-  /// x,y,z order with widening tangential extents, matching the single-
-  /// domain ghost-fill ordering so corner ghosts coincide.
+  /// TEST-ONLY.  Exchange ghost layers of one scalar field per rank.  Axes
+  /// are swept in x,y,z order with widening tangential extents, matching
+  /// the single-domain ghost-fill ordering so corner ghosts coincide.
   template <class T>
   void exchange(std::vector<common::Field3<T>*> fields) const;
 
-  /// Exchange all components of one state field per rank.
+  /// TEST-ONLY.  Exchange all components of one state field per rank.
   template <class T>
   void exchange_state(std::vector<common::StateField3<T>*> states) const;
 
-  /// Single-axis exchange (x=0, y=1, z=2) — the building block distributed
-  /// drivers interleave with per-axis physical-boundary fills.  Posts every
-  /// rank, then completes every rank, through the general channel.
+  /// TEST-ONLY.  Single-axis exchange (x=0, y=1, z=2): posts every rank,
+  /// then completes every rank, through the general channel — the lockstep
+  /// composition of the posted-epoch building blocks.
   template <class T>
   void exchange_axis(std::vector<common::Field3<T>*>& fields, int axis) const;
 

@@ -48,11 +48,13 @@ struct DistOptions {
   /// the lockstep reference schedule the concurrent one is validated
   /// against bitwise.
   bool parallel = true;
-  /// OpenMP threads each rank's kernels may use (0 = divide the hardware
+  /// Execution-space width of each rank's kernels (0 = divide the hardware
   /// evenly across ranks).  Scaling benches pin this to 1 so speedup
-  /// measures rank parallelism alone.  Applied by each worker thread, so
-  /// it has no effect in inline (parallel = false) mode — there the
-  /// kernels run under the calling thread's ambient OpenMP settings,
+  /// measures rank parallelism alone.  A positive value is lowered into
+  /// each rank solver's SolverConfig::exec_threads; 0 leaves the solvers
+  /// on ambient width, which each worker thread pins to hw/ranks (OpenMP
+  /// builds only).  It has no effect in inline (parallel = false) mode —
+  /// there the kernels run under the calling thread's ambient settings,
   /// which this driver deliberately never mutates.
   int threads_per_rank = 0;
   /// Overlap interior flux sweeps with the in-flight final Sigma exchange
@@ -98,9 +100,16 @@ class DistributedIgr {
     comm_.set_wait_timeout(opts_.comm_timeout_s);
     comm_.set_wire(Comm::kChanState, opts_.halo_wire);
     comm_.set_wire(Comm::kChanSigma, opts_.halo_wire);
+    // threads_per_rank becomes each rank solver's exec-space width.  0
+    // (divide evenly) stays ambient: the worker threads pin the OpenMP
+    // width to hw/ranks, and non-OpenMP builds fall back to serial, which
+    // keeps rank parallelism as the only concurrency in that case.
+    common::SolverConfig rank_cfg = cfg;
+    if (opts_.parallel && opts_.threads_per_rank > 0)
+      rank_cfg.exec_threads = opts_.threads_per_rank;
     for (int r = 0; r < comm_.ranks(); ++r) {
       ranks_.emplace_back(std::make_unique<core::IgrSolver3D<Policy>>(
-          comm_.local_grid(r), cfg, bc, recon));
+          comm_.local_grid(r), rank_cfg, bc, recon));
     }
     team_ = std::make_unique<RankTeam>(comm_.ranks(), opts_.parallel,
                                        opts_.threads_per_rank);
