@@ -13,11 +13,17 @@
 ///                 [--warmup W] [--steps S] [--mode strong|weak|both]
 ///                 [--threads-per-rank T] [--label NAME] [--out PATH]
 ///                 [--precision fp64|fp32|fp16x32|bf16x32] [--wire full|half]
+///                 [--transport inproc|tcp]
 ///
 /// --wire half narrows the state and Sigma halo payloads to binary16 on the
 /// wire (Comm::WirePrecision::kHalf); the halo_mb_per_step column measures
 /// the reduction directly (2x for fp32, 4x for fp64; 16-bit storage already
 /// moves 2-byte halos, so half wire is a bitwise no-op there).
+///
+/// --transport tcp runs each rank as its own Comm endpoint exchanging over
+/// loopback sockets (one endpoint thread per rank in this process — the
+/// same wire path igr_launch drives with real processes), measuring the
+/// framing/socket overhead against the shared-memory baseline.
 ///
 /// Strong: fixed N x N x 1.5N global jet, growing rank counts.
 /// Weak:   fixed M^3 cells per rank, domain resolution grows with ranks.
@@ -32,6 +38,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#endif
 
 #include "app/jet_config.hpp"
 #include "common/cli.hpp"
@@ -64,36 +74,77 @@ common::SolverConfig scaling_cfg() {
   return cfg;
 }
 
+/// Rendezvous scratch for the tcp transport's endpoint threads.
+std::string fresh_rendezvous_dir() {
+  static int counter = 0;
+  const std::string dir =
+      "bench_scaling_rdv_" + std::to_string(++counter);
+  std::remove(dir.c_str());
+#if defined(__unix__) || defined(__APPLE__)
+  ::mkdir(dir.c_str(), 0777);
+#endif
+  return dir;
+}
+
 /// Time `steps` CFL steps of the decomposed jet; returns seconds per step.
 template <class Policy>
 Point run_case_t(const char* mode, const mesh::Grid& grid,
                  std::array<int, 3> layout, int warmup, int steps,
-                 int threads_per_rank, sim::Comm::WirePrecision wire) {
+                 int threads_per_rank, sim::Comm::WirePrecision wire,
+                 sim::TransportSpec::Kind transport) {
   const auto jet = app::single_engine();
-  sim::DistOptions opts;
-  opts.threads_per_rank = threads_per_rank;
-  opts.halo_wire = wire;
-  sim::DistributedIgr<Policy> d(grid, layout[0], layout[1], layout[2],
-                                scaling_cfg(), jet.make_bc(),
-                                fv::ReconScheme::kFifth, opts);
-  d.init(jet.initial_condition(0.005));
-  for (int s = 0; s < warmup; ++s) d.step();
-  d.comm().reset_traffic();
-  common::WallTimer t;
-  t.start();
-  for (int s = 0; s < steps; ++s) d.step();
-  t.stop();
-
+  const int R = layout[0] * layout[1] * layout[2];
   Point p;
   p.mode = mode;
-  p.ranks = layout[0] * layout[1] * layout[2];
+  p.ranks = R;
   p.layout = layout;
   p.grid = {grid.nx(), grid.ny(), grid.nz()};
-  p.time_per_step_s = t.seconds() / steps;
-  p.grind_ns =
-      t.seconds() * 1.0e9 / (static_cast<double>(grid.cells()) * steps);
-  p.halo_mb_per_step =
-      1.0e-6 * static_cast<double>(d.comm().bytes_exchanged()) / steps;
+
+  /// Drive one endpoint: the whole team in-process (rank < 0), or exactly
+  /// `rank` over the tcp wire.  Rank 0 (or the in-process endpoint) fills
+  /// the timing columns; halo traffic is summed over all endpoints.
+  const auto drive = [&](int rank, const std::string& dir) {
+    sim::DistOptions opts;
+    opts.threads_per_rank = threads_per_rank;
+    opts.halo_wire = wire;
+    if (rank >= 0) {
+      opts.transport.kind = sim::TransportSpec::Kind::kTcp;
+      opts.transport.world = R;
+      opts.transport.rank = rank;
+      opts.transport.dir = dir;
+    }
+    sim::DistributedIgr<Policy> d(grid, layout[0], layout[1], layout[2],
+                                  scaling_cfg(), jet.make_bc(),
+                                  fv::ReconScheme::kFifth, opts);
+    d.init(jet.initial_condition(0.005));
+    for (int s = 0; s < warmup; ++s) d.step();
+    d.comm().reset_traffic();
+    d.comm().barrier();  // endpoints start the timed window together
+    common::WallTimer t;
+    t.start();
+    for (int s = 0; s < steps; ++s) d.step();
+    t.stop();
+    const double bytes = d.comm().allreduce_sum_global(
+        static_cast<double>(d.comm().bytes_exchanged()));
+    if (rank <= 0) {
+      p.time_per_step_s = t.seconds() / steps;
+      p.grind_ns =
+          t.seconds() * 1.0e9 / (static_cast<double>(grid.cells()) * steps);
+      p.halo_mb_per_step = 1.0e-6 * bytes / steps;
+    }
+  };
+
+  if (transport == sim::TransportSpec::Kind::kTcp) {
+    const std::string dir = fresh_rendezvous_dir();
+    std::vector<std::thread> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r)
+      endpoints.emplace_back([&, r] { drive(r, dir); });
+    for (auto& e : endpoints) e.join();
+  } else {
+    drive(-1, "");
+  }
+
   std::printf("  %-6s %2d ranks (%dx%dx%d)  %3dx%3dx%3d  %9.4f ms/step  "
               "%8.1f ns/cell/step  %8.2f MB halo/step\n",
               mode, p.ranks, layout[0], layout[1], layout[2], p.grid[0],
@@ -106,24 +157,25 @@ Point run_case_t(const char* mode, const mesh::Grid& grid,
 Point run_case(const char* mode, const mesh::Grid& grid,
                std::array<int, 3> layout, int warmup, int steps,
                int threads_per_rank, const std::string& precision,
-               sim::Comm::WirePrecision wire) {
+               sim::Comm::WirePrecision wire,
+               sim::TransportSpec::Kind transport) {
   if (precision == "fp32")
     return run_case_t<common::Fp32>(mode, grid, layout, warmup, steps,
-                                    threads_per_rank, wire);
+                                    threads_per_rank, wire, transport);
   if (precision == "fp16x32")
     return run_case_t<common::Fp16x32>(mode, grid, layout, warmup, steps,
-                                       threads_per_rank, wire);
+                                       threads_per_rank, wire, transport);
   if (precision == "bf16x32")
     return run_case_t<common::Bf16x32>(mode, grid, layout, warmup, steps,
-                                       threads_per_rank, wire);
+                                       threads_per_rank, wire, transport);
   return run_case_t<common::Fp64>(mode, grid, layout, warmup, steps,
-                                  threads_per_rank, wire);
+                                  threads_per_rank, wire, transport);
 }
 
 void write_json(const std::string& path, const std::string& label, int warmup,
                 int steps, int threads_per_rank,
                 const std::string& precision, const std::string& wire,
-                const std::vector<Point>& pts) {
+                const std::string& transport, const std::vector<Point>& pts) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench_scaling: cannot open %s\n", path.c_str());
@@ -136,6 +188,7 @@ void write_json(const std::string& path, const std::string& label, int warmup,
   std::fprintf(f, "  \"sigma_sweeps\": \"jacobi\",\n");
   std::fprintf(f, "  \"precision\": \"%s\",\n", precision.c_str());
   std::fprintf(f, "  \"halo_wire\": \"%s\",\n", wire.c_str());
+  std::fprintf(f, "  \"transport\": \"%s\",\n", transport.c_str());
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"threads_per_rank\": %d,\n", threads_per_rank);
@@ -171,6 +224,7 @@ int main(int argc, char** argv) {
   std::string mode = "both";
   std::string precision = "fp64";
   std::string wire = "full";
+  std::string transport = "inproc";
   bool smoke = false;
   ccli::Args args("bench_scaling", argc, argv);
   while (args.next()) {
@@ -198,6 +252,9 @@ int main(int argc, char** argv) {
     } else if (args.is("--wire")) {
       constexpr const char* kWires[] = {"full", "half"};
       wire = kWires[args.choice_value({"full", "half"})];
+    } else if (args.is("--transport")) {
+      constexpr const char* kTp[] = {"inproc", "tcp"};
+      transport = kTp[args.choice_value({"inproc", "tcp"})];
     } else if (args.is("--label")) {
       label = args.value();
     } else if (args.is("--out")) {
@@ -216,6 +273,7 @@ int main(int argc, char** argv) {
   }
   const auto wire_mode = (wire == "half") ? sim::Comm::WirePrecision::kHalf
                                           : sim::Comm::WirePrecision::kFull;
+  const auto transport_kind = sim::TransportSpec::parse_kind(transport);
   if (n < 8 || weak_n < 4 || steps < 1 || warmup < 0 || threads_per_rank < 0) {
     std::fprintf(stderr, "bench_scaling: need --n >= 8, --weak-n >= 4, "
                          "--steps >= 1, --warmup >= 0\n");
@@ -223,9 +281,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("igrflow bench_scaling: n=%d weak-n=%d warmup=%d steps=%d "
-              "threads/rank=%d precision=%s wire=%s hw_concurrency=%u\n",
+              "threads/rank=%d precision=%s wire=%s transport=%s "
+              "hw_concurrency=%u\n",
               n, weak_n, warmup, steps, threads_per_rank, precision.c_str(),
-              wire.c_str(), std::thread::hardware_concurrency());
+              wire.c_str(), transport.c_str(),
+              std::thread::hardware_concurrency());
   std::vector<Point> pts;
 
   if (mode != "weak") {
@@ -238,7 +298,7 @@ int main(int argc, char** argv) {
       const int R = rank_counts[i];
       auto p = run_case("strong", grid, mesh::Decomp::balanced_layout(R),
                         warmup, steps, threads_per_rank, precision,
-                        wire_mode);
+                        wire_mode, transport_kind);
       if (i == 0) {
         t_base = p.time_per_step_s;
         r_base = R;
@@ -262,7 +322,7 @@ int main(int argc, char** argv) {
                             weak_n * lay[2], {0.0, 1.0}, {0.0, 1.0},
                             {0.0, 1.0});
       auto p = run_case("weak", grid, lay, warmup, steps, threads_per_rank,
-                        precision, wire_mode);
+                        precision, wire_mode, transport_kind);
       if (i == 0) t_base = p.time_per_step_s;
       p.speedup = t_base / p.time_per_step_s;
       p.efficiency = p.speedup;  // fixed work per rank: ideal is flat time
@@ -274,6 +334,6 @@ int main(int argc, char** argv) {
   }
 
   write_json(out, label, warmup, steps, threads_per_rank, precision, wire,
-             pts);
+             transport, pts);
   return 0;
 }

@@ -1,0 +1,277 @@
+/// \file igr_launch.cpp
+/// Process launcher for multi-process (tcp-transport) runs: spawn one OS
+/// process per rank, hand the team a shared rendezvous directory, and
+/// supervise.
+///
+///   $ ./igr_launch --world 2 -- ./run_case --case sod-x --ranks 2,1,1 \
+///         --steps 20 --json out.json
+///
+/// Each rank is the command after `--` plus the transport flags
+/// (`--transport tcp --tp-rank R --tp-world N --tp-dir DIR`) appended by the
+/// launcher.  Supervision implements the recovery contract of the
+/// fault-tolerance layer:
+///
+///   - exit 0 from every rank        -> exit 0.
+///   - exit 75 (EX_TEMPFAIL) or a    -> the loss is *retryable*: SIGKILL the
+///     signal death from any rank       survivors, reap everyone, and respawn
+///                                      the full team with `--resume` into a
+///                                      FRESH rendezvous directory (stale
+///                                      port files of a dead team must never
+///                                      be dialed), at most --max-respawns
+///                                      times.  `--inject ...` is stripped
+///                                      from respawned commands so a planned
+///                                      fault does not re-fire.
+///   - any other nonzero exit        -> fatal: kill the team and propagate
+///                                      that exact exit code (a bad flag or
+///                                      unknown case must fail CI, not loop).
+///
+/// The respawned team re-forms on the surviving layout's checkpoint state:
+/// `--resume` makes the guarded runner restore the newest CRC-valid manifest
+/// entry, so the campaign continues bitwise from the last durable save.
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: igr_launch --world N [--dir DIR] [--max-respawns K]\n"
+               "                  -- COMMAND [ARGS...]\n"
+               "  Spawns N processes of COMMAND with tcp-transport flags\n"
+               "  appended; respawns the team (with --resume, --inject\n"
+               "  stripped) on a retryable loss (exit 75 or signal death).\n");
+  std::exit(code);
+}
+
+struct Child {
+  pid_t pid = -1;
+  int rank = -1;
+};
+
+/// Outcome of one team attempt.
+struct Attempt {
+  bool ok = false;         ///< Every rank exited 0.
+  bool retryable = false;  ///< Some rank exited 75 or died on a signal.
+  int fatal_code = 0;      ///< First non-retryable nonzero exit (0: none).
+  std::string why;         ///< Human-readable first failure.
+};
+
+void kill_team(std::vector<Child>& team) {
+  for (auto& c : team)
+    if (c.pid > 0) ::kill(c.pid, SIGKILL);
+  for (auto& c : team) {
+    if (c.pid <= 0) continue;
+    int status = 0;
+    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    c.pid = -1;
+  }
+}
+
+pid_t spawn(const std::vector<std::string>& argv_s) {
+  std::vector<char*> argv;
+  argv.reserve(argv_s.size() + 1);
+  for (const auto& a : argv_s) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execvp(argv[0], argv.data());
+    std::fprintf(stderr, "igr_launch: exec %s failed: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Run one full-team attempt; blocks until every rank is reaped.  The first
+/// failed rank decides the verdict and the rest of the team is killed — a
+/// survivor blocked in a halo wait on the dead peer would otherwise hold
+/// the attempt open until its own timeout.
+Attempt run_attempt(const std::vector<std::string>& base_cmd, int world,
+                    const std::string& dir) {
+  std::vector<Child> team;
+  team.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    std::vector<std::string> cmd = base_cmd;
+    cmd.insert(cmd.end(),
+               {"--transport", "tcp", "--tp-rank", std::to_string(r),
+                "--tp-world", std::to_string(world), "--tp-dir", dir});
+    const pid_t pid = spawn(cmd);
+    if (pid < 0) {
+      Attempt a;
+      a.fatal_code = 1;
+      a.why = "fork failed: " + std::string(std::strerror(errno));
+      kill_team(team);
+      return a;
+    }
+    team.push_back({pid, r});
+  }
+
+  Attempt a;
+  int live = world;
+  while (live > 0) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      a.fatal_code = 1;
+      a.why = "waitpid failed: " + std::string(std::strerror(errno));
+      break;
+    }
+    int rank = -1;
+    for (auto& c : team) {
+      if (c.pid == pid) {
+        c.pid = -1;
+        rank = c.rank;
+        break;
+      }
+    }
+    if (rank < 0) continue;  // not ours (shouldn't happen)
+    --live;
+
+    if (WIFSIGNALED(status)) {
+      a.retryable = true;
+      a.why = "rank " + std::to_string(rank) + " killed by signal " +
+              std::to_string(WTERMSIG(status));
+      break;
+    }
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+    if (code == 0) continue;
+    if (code == 75) {  // EX_TEMPFAIL: the rank asked for a respawn
+      a.retryable = true;
+      a.why = "rank " + std::to_string(rank) + " exited 75 (retryable)";
+    } else {
+      a.fatal_code = code;
+      a.why = "rank " + std::to_string(rank) + " exited " +
+              std::to_string(code);
+    }
+    break;
+  }
+  kill_team(team);
+  a.ok = !a.retryable && a.fatal_code == 0 && live == 0;
+  return a;
+}
+
+/// Drop `--inject <spec>` from a respawned command: the planned fault
+/// already fired (that is why we are respawning) and must not re-fire.
+std::vector<std::string> strip_inject(const std::vector<std::string>& cmd) {
+  std::vector<std::string> out;
+  out.reserve(cmd.size());
+  for (std::size_t i = 0; i < cmd.size(); ++i) {
+    if (cmd[i] == "--inject") {
+      ++i;  // skip the spec too
+      continue;
+    }
+    out.push_back(cmd[i]);
+  }
+  return out;
+}
+
+bool has_flag(const std::vector<std::string>& cmd, const char* flag) {
+  for (const auto& a : cmd)
+    if (a == flag) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace ccli = igr::common::cli;
+  int world = 0;
+  int max_respawns = 2;
+  std::string base_dir;
+  std::vector<std::string> cmd;
+
+  ccli::Args args("igr_launch", argc, argv);
+  while (args.next()) {
+    if (args.is("--world")) {
+      world = args.int_value(1, 4096);
+    } else if (args.is("--dir")) {
+      base_dir = args.value();
+    } else if (args.is("--max-respawns")) {
+      max_respawns = args.int_value(0, 1000);
+    } else if (args.is("--")) {
+      while (args.next()) cmd.emplace_back(args.flag());
+      break;
+    } else {
+      usage(args.is("--help") ? 0 : 2);
+    }
+  }
+  if (world < 1 || cmd.empty()) usage(2);
+
+  if (base_dir.empty()) {
+    char tmpl[] = "/tmp/igr_launch.XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    if (!d) {
+      std::fprintf(stderr, "igr_launch: mkdtemp failed: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    base_dir = d;
+  } else {
+    ::mkdir(base_dir.c_str(), 0777);  // best-effort; may already exist
+  }
+
+  for (int attempt = 0; attempt <= max_respawns; ++attempt) {
+    // A fresh rendezvous directory per attempt: a killed team's stale port
+    // files must never be dialed by its replacement.
+    const std::string dir = base_dir + "/a" + std::to_string(attempt);
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "igr_launch: mkdir %s failed: %s\n", dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+
+    std::vector<std::string> attempt_cmd = cmd;
+    if (attempt > 0) {
+      attempt_cmd = strip_inject(attempt_cmd);
+      if (!has_flag(attempt_cmd, "--resume"))
+        attempt_cmd.emplace_back("--resume");
+    }
+
+    std::fprintf(stderr, "igr_launch: attempt %d/%d, %d rank(s), dir %s\n",
+                 attempt + 1, max_respawns + 1, world, dir.c_str());
+    const Attempt a = run_attempt(attempt_cmd, world, dir);
+    if (a.ok) return 0;
+    if (a.fatal_code != 0) {
+      std::fprintf(stderr, "igr_launch: fatal: %s\n", a.why.c_str());
+      return a.fatal_code;
+    }
+    std::fprintf(stderr, "igr_launch: %s\n", a.why.c_str());
+    if (attempt == max_respawns) {
+      std::fprintf(stderr,
+                   "igr_launch: respawn budget (%d) exhausted, giving up\n",
+                   max_respawns);
+      return 1;
+    }
+    std::fprintf(stderr, "igr_launch: respawning with --resume\n");
+  }
+  return 1;
+}
+
+#else  // !unix
+
+#include <cstdio>
+
+int main() {
+  std::fprintf(stderr,
+               "igr_launch: multi-process transport requires a POSIX "
+               "platform\n");
+  return 1;
+}
+
+#endif

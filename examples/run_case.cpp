@@ -39,7 +39,22 @@ struct CliOptions {
   std::string json;
   std::string save_ckpt;
   std::string restart_ckpt;
+
+  /// One rank of `transport.world` OS processes (tcp transport)?
+  [[nodiscard]] bool multi_process() const {
+    return run.transport.kind == sim::TransportSpec::Kind::kTcp;
+  }
+  /// The process that owns printing, JSON, and VTK output.
+  [[nodiscard]] bool is_io_root() const {
+    return !multi_process() || run.transport.rank == 0;
+  }
 };
+
+/// Exit code a multi-process rank returns on any run failure: EX_TEMPFAIL,
+/// the launcher's cue that respawning the team (with --resume) may recover
+/// the campaign.  Usage/configuration errors keep exiting 2 — those are
+/// fatal and the launcher propagates them.
+constexpr int kExitRetryable = 75;
 
 [[noreturn]] void usage(int code) {
   std::fprintf(
@@ -56,7 +71,11 @@ struct CliOptions {
       "                [--keep K] [--max-retries R] [--cfl-backoff X]\n"
       "                [--cfl-scale X] [--health-every N]\n"
       "                [--strict-pressure] [--inject SPEC]\n"
-      "  SPEC: post=N,complete=N,phase=N@RANK,io=N,seed=S\n");
+      "  SPEC: post=N,complete=N,phase=N@RANK,io=N,kill=N@RANK,seed=S\n"
+      "  multi-process (one rank per OS process; see igr_launch):\n"
+      "                [--transport inproc|tcp] [--tp-rank R] [--tp-world W]\n"
+      "                [--tp-dir DIR] [--wire full|half]\n"
+      "                [--comm-timeout SECONDS]\n");
   std::exit(code);
 }
 
@@ -83,8 +102,9 @@ void print_result(const cases::CaseSpec& spec, const char* precision,
   if (r.l1_error >= 0.0)
     std::printf("  error vs analytic: L1 %.3e  Linf %.3e\n", r.l1_error,
                 r.linf_error);
-  std::printf("  state fnv1a 0x%016llx\n",
-              static_cast<unsigned long long>(r.state_fnv));
+  std::printf("  state fnv1a 0x%016llx  dt fnv1a 0x%016llx\n",
+              static_cast<unsigned long long>(r.state_fnv),
+              static_cast<unsigned long long>(r.dt_fnv));
   if (r.diag.nonpositive_pressure_cells > 0)
     std::printf("  (%zu start-up transient cells with non-positive p)\n",
                 r.diag.nonpositive_pressure_cells);
@@ -92,7 +112,7 @@ void print_result(const cases::CaseSpec& spec, const char* precision,
 
 void json_result(std::FILE* f, const cases::CaseSpec& spec,
                  const char* precision, const cases::RunResult& r,
-                 bool last) {
+                 const sim::FaultPlan& faults, bool last) {
   std::fprintf(f,
                "    {\"case\": \"%s\", \"precision\": \"%s\", "
                "\"cells\": %zu, \"steps\": %d, \"time\": %.9g,\n"
@@ -115,8 +135,13 @@ void json_result(std::FILE* f, const cases::CaseSpec& spec,
   if (r.l1_error >= 0.0)
     std::fprintf(f, ",\n     \"l1_error\": %.6e, \"linf_error\": %.6e",
                  r.l1_error, r.linf_error);
-  std::fprintf(f, ",\n     \"state_fnv\": \"0x%016llx\"",
-               static_cast<unsigned long long>(r.state_fnv));
+  std::fprintf(f, ",\n     \"state_fnv\": \"0x%016llx\", \"dt_fnv\": \"0x%016llx\"",
+               static_cast<unsigned long long>(r.state_fnv),
+               static_cast<unsigned long long>(r.dt_fnv));
+  if (faults.armed())
+    std::fprintf(f, ",\n     \"fault_plan\": \"%s\", \"fault_seed\": %llu",
+                 faults.describe().c_str(),
+                 static_cast<unsigned long long>(faults.seed));
   std::fprintf(f, "}%s\n", last ? "" : ",");
 }
 
@@ -135,18 +160,20 @@ cases::RunResult run_one(const cases::CaseSpec& spec, const CliOptions& cli) {
       // Fault-tolerance envelope: periodic crash-safe checkpoints with a
       // manifest, resume-from-latest-valid, health-guarded rollback/retry.
       auto rep = cases::run_case_guarded<Policy>(spec, opts, cli.guard);
-      std::printf(
-          "guard: %s  retries %d  checkpoints %d written, %d rejected, "
-          "%d failed writes%s  cfl-scale %.4g\n",
-          rep.completed ? "completed" : "FAILED", rep.retries,
-          rep.checkpoints_written, rep.checkpoints_rejected,
-          rep.checkpoint_failures,
-          rep.resumed_step >= 0
-              ? ("  (resumed at step " + std::to_string(rep.resumed_step) +
-                 ")")
-                    .c_str()
-              : "",
-          rep.final_cfl_scale);
+      if (cli.is_io_root()) {
+        std::printf(
+            "guard: %s  retries %d  checkpoints %d written, %d rejected, "
+            "%d failed writes%s  cfl-scale %.4g  inject %s\n",
+            rep.completed ? "completed" : "FAILED", rep.retries,
+            rep.checkpoints_written, rep.checkpoints_rejected,
+            rep.checkpoint_failures,
+            rep.resumed_step >= 0
+                ? ("  (resumed at step " + std::to_string(rep.resumed_step) +
+                   ")")
+                      .c_str()
+                : "",
+            rep.final_cfl_scale, rep.fault_plan.c_str());
+      }
       if (!rep.completed)
         throw std::runtime_error("guarded run failed: " + rep.failure);
       return rep.result;
@@ -156,11 +183,12 @@ cases::RunResult run_one(const cases::CaseSpec& spec, const CliOptions& cli) {
     auto r = run.run();
     if (!cli.save_ckpt.empty()) {
       run.save_checkpoint(cli.save_ckpt);
-      std::printf("checkpoint -> %s\n", cli.save_ckpt.c_str());
+      if (cli.is_io_root())
+        std::printf("checkpoint -> %s\n", cli.save_ckpt.c_str());
     }
     if (!cli.vtk.empty()) {
       run.sim().write_vtk(cli.vtk);
-      std::printf("vtk -> %s\n", cli.vtk.c_str());
+      if (cli.is_io_root()) std::printf("vtk -> %s\n", cli.vtk.c_str());
     }
     return r;
   };
@@ -262,13 +290,45 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "run_case: %s\n", e.what());
         return 2;
       }
-      std::printf("fault plan: %s\n", cli.run.faults.describe().c_str());
       cli.guarded = true;
+    } else if (args.is("--transport")) {
+      try {
+        cli.run.transport.kind = sim::TransportSpec::parse_kind(args.value());
+      } catch (const std::exception& e) {
+        args.die(e.what());
+      }
+    } else if (args.is("--tp-rank")) {
+      cli.run.transport.rank = args.int_value(0);
+    } else if (args.is("--tp-world")) {
+      cli.run.transport.world = args.int_value(1);
+    } else if (args.is("--tp-dir")) {
+      cli.run.transport.dir = args.value();
+    } else if (args.is("--wire")) {
+      cli.run.halo_wire = args.choice_value({"full", "half"}) == 0
+                              ? sim::Comm::WirePrecision::kFull
+                              : sim::Comm::WirePrecision::kHalf;
+    } else if (args.is("--comm-timeout")) {
+      cli.run.comm_timeout_s = args.double_value();
     } else {
       usage(args.is("--help") ? 0 : 2);
     }
   }
   if (cli.case_name.empty()) usage(2);
+  if (cli.multi_process()) {
+    if (cli.case_name == "all") {
+      std::fprintf(stderr,
+                   "run_case: --transport tcp needs a single --case\n");
+      return 2;
+    }
+    if (cli.run.transport.dir.empty()) {
+      std::fprintf(stderr,
+                   "run_case: --transport tcp needs --tp-dir (the rendezvous "
+                   "directory igr_launch provides)\n");
+      return 2;
+    }
+  }
+  if (cli.run.faults.armed() && cli.is_io_root())
+    std::printf("fault plan: %s\n", cli.run.faults.describe().c_str());
 
   std::vector<const cases::CaseSpec*> selected;
   if (cli.case_name == "all") {
@@ -300,12 +360,16 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "run_case: %s: %s\n", spec->name.c_str(),
                    e.what());
-      return 1;
+      // A multi-process rank's failure is the launcher's problem: exit
+      // EX_TEMPFAIL so it reaps the team and respawns with --resume.
+      return cli.multi_process() ? kExitRetryable : 1;
     }
-    print_result(*spec, cases::precision_name(cli.precision), results.back());
+    if (cli.is_io_root())
+      print_result(*spec, cases::precision_name(cli.precision),
+                   results.back());
   }
 
-  if (!cli.json.empty()) {
+  if (!cli.json.empty() && cli.is_io_root()) {
     std::FILE* f = std::fopen(cli.json.c_str(), "w");
     if (!f) {
       std::fprintf(stderr, "run_case: cannot open %s\n", cli.json.c_str());
@@ -314,7 +378,7 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"cases\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i)
       json_result(f, *selected[i], cases::precision_name(cli.precision),
-                  results[i], i + 1 == results.size());
+                  results[i], cli.run.faults, i + 1 == results.size());
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", cli.json.c_str());

@@ -94,9 +94,28 @@ std::size_t Simulation<Policy>::memory_bytes() const {
 }
 
 template <class Policy>
+bool Simulation<Policy>::multi_process() const {
+  return dist_ && dist_->multi_process();
+}
+
+template <class Policy>
+bool Simulation<Policy>::is_io_root() const {
+  return !multi_process() || dist_->is_root();
+}
+
+template <class Policy>
+int Simulation<Policy>::local_rank() const {
+  return multi_process() ? dist_->comm().transport().local_rank() : -1;
+}
+
+template <class Policy>
 const common::StateField3<typename Policy::storage_t>&
 Simulation<Policy>::state() const {
   if (dist_) {
+    if (multi_process() && !dist_->is_root())
+      throw std::logic_error(
+          "Simulation::state(): global state lives on the IO root only "
+          "under a multi-process transport (gate on is_io_root())");
     if (gathered_dirty_) {
       gathered_ = dist_->gather();
       gathered_dirty_ = false;
@@ -194,6 +213,36 @@ FlowDiagnostics Simulation<Policy>::diagnostics() const {
 
 template <class Policy>
 SolverHealth Simulation<Policy>::health() const {
+  if (multi_process()) {
+    // Scan the local block and merge globally: the rank interiors partition
+    // the global interior, so summed counters and reduced minima equal the
+    // single-gather scan bit for bit.  This is a collective (every process
+    // must reach it in the same schedule) but moves no field data.
+    SolverHealth h;
+    h.min_density = std::numeric_limits<double>::infinity();
+    h.min_pressure = std::numeric_limits<double>::infinity();
+    for (const int r : dist_->local_ranks()) {
+      const SolverHealth lh = scan_health(dist_->rank(r).state(), eos_);
+      h.cells += lh.cells;
+      h.nonfinite_cells += lh.nonfinite_cells;
+      h.negative_density_cells += lh.negative_density_cells;
+      h.nonpositive_pressure_cells += lh.nonpositive_pressure_cells;
+      h.min_density = std::min(h.min_density, lh.min_density);
+      h.min_pressure = std::min(h.min_pressure, lh.min_pressure);
+    }
+    const auto& comm = dist_->comm();
+    const auto sum_sz = [&comm](std::size_t v) {
+      return static_cast<std::size_t>(
+          comm.allreduce_sum_global(static_cast<double>(v)));
+    };
+    h.cells = sum_sz(h.cells);
+    h.nonfinite_cells = sum_sz(h.nonfinite_cells);
+    h.negative_density_cells = sum_sz(h.negative_density_cells);
+    h.nonpositive_pressure_cells = sum_sz(h.nonpositive_pressure_cells);
+    h.min_density = comm.allreduce_min_global(h.min_density);
+    h.min_pressure = comm.allreduce_min_global(h.min_pressure);
+    return h;
+  }
   return scan_health(state(), eos_);
 }
 
@@ -217,6 +266,32 @@ void check_sigma_sibling(const std::string& path) {
 
 template <class Policy>
 void Simulation<Policy>::save_checkpoint(const std::string& path) const {
+  if (multi_process()) {
+    // Collective: gathers run on every process; only the root touches the
+    // filesystem.  The final sum doubles as (a) a barrier — no process
+    // resumes stepping until the files are durably renamed — and (b) a
+    // failure broadcast, so a root-side IO error throws *everywhere* and
+    // the collectives of the next schedule entry stay matched.
+    const auto q = dist_->gather();
+    const auto sig = dist_->gather_sigma();
+    double failed = 0.0;
+    std::string err;
+    if (dist_->is_root()) {
+      try {
+        io::write_checkpoint(path, q, dist_->time());
+        io::write_checkpoint_field(path + ".sigma", sig, dist_->time());
+      } catch (const std::exception& e) {
+        failed = 1.0;
+        err = e.what();
+      }
+    }
+    if (dist_->comm().allreduce_sum_global(failed) != 0.0)
+      throw std::runtime_error(
+          err.empty() ? "Simulation::save_checkpoint: write failed on the "
+                        "IO root"
+                      : err);
+    return;
+  }
   if (dist_) {
     // Gather to the global interior so the file carries no trace of the
     // rank layout — the restart side scatters over whatever layout it has.
@@ -262,6 +337,12 @@ void Simulation<Policy>::load_checkpoint(const std::string& path) {
 
 template <class Policy>
 void Simulation<Policy>::write_vtk(const std::string& path) const {
+  if (multi_process() && !dist_->is_root()) {
+    // Participate in the root's gathers, write nothing.
+    (void)dist_->gather();
+    (void)dist_->gather_sigma();
+    return;
+  }
   io::VtkWriter writer(params_.grid);
   writer.open(path);
   writer.add_state(state(), eos_);

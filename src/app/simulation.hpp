@@ -83,6 +83,16 @@ class Simulation {
   [[nodiscard]] const mesh::Grid& grid() const { return params_.grid; }
   [[nodiscard]] SchemeKind scheme() const { return params_.scheme; }
   [[nodiscard]] bool distributed() const { return dist_ != nullptr; }
+  /// True when the decomposed driver runs one rank per OS process (tcp
+  /// transport).  Global reads (state/diagnostics/vtk) are then root-only;
+  /// health/save/load become collectives every process must call in the
+  /// same schedule.
+  [[nodiscard]] bool multi_process() const;
+  /// The process that owns global output.  Always true in-process; rank 0
+  /// under a multi-process transport.
+  [[nodiscard]] bool is_io_root() const;
+  /// This process's global rank under a multi-process transport, -1 otherwise.
+  [[nodiscard]] int local_rank() const;
   /// The decomposed driver (throws unless distributed()).
   [[nodiscard]] sim::DistributedIgr<Policy>& dist();
 

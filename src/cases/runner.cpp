@@ -90,6 +90,8 @@ typename app::Simulation<Policy>::Params RunOptions::to_params(
   params.dist.threads_per_rank = threads;
   params.dist.fault = fault;
   params.dist.comm_timeout_s = comm_timeout_s;
+  params.dist.halo_wire = halo_wire;
+  params.dist.transport = transport;
   return params;
 }
 
@@ -100,7 +102,11 @@ void CaseRun<Policy>::build_sim() {
       opts_.to_params<Policy>(*spec_, injector_.get()));
   sim_->init(spec_->initial());
   steps_ = 0;
-  totals_initial_ = totals_of(sim_->state(), sim_->grid());
+  if (sim_->is_io_root()) {
+    totals_initial_ = totals_of(sim_->state(), sim_->grid());
+  } else {
+    (void)sim_->dist().gather();  // participate in the root's gather
+  }
 }
 
 template <class Policy>
@@ -114,8 +120,15 @@ CaseRun<Policy>::~CaseRun() = default;
 
 template <class Policy>
 double CaseRun<Policy>::step() {
+  // The rank-kill injector fires *before* the step so the victim dies with
+  // its halos unposted — the worst case its peers must detect.  Honored
+  // only under a multi-process transport: in-process, SIGKILL would take
+  // every rank (and the test harness) down with it.
+  if (injector_ && sim_->multi_process())
+    injector_->on_step(sim_->local_rank());
   const double dt = sim_->step();
   ++steps_;
+  dt_hash_.update(&dt, sizeof(dt));
   return dt;
 }
 
@@ -132,6 +145,25 @@ RunResult CaseRun<Policy>::run() {
 template <class Policy>
 RunResult CaseRun<Policy>::result() const {
   RunResult r;
+  if (sim_->multi_process() && !sim_->is_io_root()) {
+    // The root's diagnostics start with a gather; every process must feed
+    // it.  Everything global in the result is root-only — this side
+    // carries the collectively-known scalars and the dt fingerprint.
+    (void)sim_->dist().gather();
+    r.time = sim_->time();
+    r.steps = steps_;
+    r.grind_ns = sim_->grind_ns();
+    r.cells = sim_->grid().cells();
+    r.memory_bytes = sim_->memory_bytes();
+    r.dt_fnv = dt_hash_.value();
+    return r;
+  }
+  if (sim_->multi_process()) {
+    // Exactly one gather per result() call on every process, regardless of
+    // the root's cache state — dist() invalidates it so the diagnostics
+    // below re-gather in lockstep with the peers' calls above.
+    (void)sim_->dist();
+  }
   r.diag = sim_->diagnostics();
   r.totals_initial = totals_initial_;
   r.totals_final = totals_of(sim_->state(), sim_->grid());
@@ -141,6 +173,7 @@ RunResult CaseRun<Policy>::result() const {
   r.cells = sim_->grid().cells();
   r.memory_bytes = sim_->memory_bytes();
   r.state_fnv = common::state_fnv1a(sim_->state());
+  r.dt_fnv = dt_hash_.value();
   if (spec_->exact) {
     const auto& q = sim_->state();
     const auto& g = sim_->grid();
@@ -203,8 +236,12 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
   GuardReport rep;
   double cfl_scale = opts.cfl_scale;
   rep.final_cfl_scale = cfl_scale;
+  rep.fault_plan = opts.faults.describe();
+  rep.fault_seed = opts.faults.seed;
 
   CaseRun<Policy> run(spec, opts);
+  const bool mp = run.sim().multi_process();
+  const bool io_root = run.sim().is_io_root();
   sim::FaultInjector* inj = run.injector();
   IoHookGuard hook_guard;
   if (inj && inj->plan().io_write_at > 0) {
@@ -253,6 +290,17 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
   // and cannot be reused), back off the CFL, and restore the last valid
   // checkpoint — or restart from the initial conditions if there is none.
   const auto rollback = [&](const std::string& why) -> bool {
+    if (mp) {
+      // A multi-process fabric cannot be re-formed in place: the peers'
+      // transports are poisoned too (abort broadcast) and this process
+      // cannot restart theirs.  Fail fast with the root cause latched;
+      // igr_launch reaps the team, respawns it with --resume, and the
+      // fresh team restores the newest valid checkpoint.
+      rep.failure = why + " — multi-process run: exiting for the launcher "
+                    "to respawn the team (resumes from the newest valid "
+                    "checkpoint)";
+      return false;
+    }
     if (rep.retries >= guard.max_retries) {
       rep.failure = why + " — retry budget (" +
                     std::to_string(guard.max_retries) + ") exhausted";
@@ -302,15 +350,17 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
     if (ckpt_due) {
       const std::string path = base + ".ckpt" + std::to_string(step);
       try {
-        run.save_checkpoint(path);
+        run.save_checkpoint(path);  // collective under mp; throws everywhere
         manifest.push_back({step, run.sim().time(), path});
         while (static_cast<int>(manifest.size()) > std::max(1, guard.keep)) {
-          std::remove(manifest.front().path.c_str());
-          if (has_sigma)
-            std::remove((manifest.front().path + ".sigma").c_str());
+          if (io_root) {
+            std::remove(manifest.front().path.c_str());
+            if (has_sigma)
+              std::remove((manifest.front().path + ".sigma").c_str());
+          }
           manifest.erase(manifest.begin());
         }
-        io::write_manifest(manifest_path, manifest);
+        if (io_root) io::write_manifest(manifest_path, manifest);
         ++rep.checkpoints_written;
       } catch (const std::exception&) {
         // A save that dies mid-write leaves a torn `.tmp` and never touches

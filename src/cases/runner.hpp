@@ -16,6 +16,7 @@
 #include "app/simulation.hpp"
 #include "cases/case.hpp"
 #include "common/exec.hpp"
+#include "common/hash.hpp"
 #include "sim/fault.hpp"
 
 namespace igr::cases {
@@ -66,6 +67,15 @@ struct RunOptions {
   /// Halo-wait bound handed to the distributed driver (seconds; <= 0
   /// disables).
   double comm_timeout_s = 60.0;
+  /// Wire encoding of the halo channels (kHalf narrows FP64 halos to
+  /// binary16 on the wire; bitwise no-op for 16-bit storage).
+  sim::Comm::WirePrecision halo_wire = sim::Comm::WirePrecision::kFull;
+  /// Transport behind the decomposed driver's Comm.  Default: in-process
+  /// (every rank a worker thread here).  kTcp: this process owns exactly
+  /// `transport.rank` of `transport.world` and exchanges halos with peer
+  /// processes over loopback sockets — global reads become root-only and
+  /// rollback is the launcher's job (respawn), not the runner's.
+  sim::TransportSpec transport{};
   /// Execution-space backend of the in-rank kernels (see common/exec.hpp):
   /// kOpenMP teams the per-plane/per-row kernel layer over OpenMP (or a
   /// std::thread pool when built without it); kSerial is the bitwise
@@ -101,6 +111,12 @@ struct RunResult {
   /// common::state_fnv1a) — the golden *field* checksum: any bit of any
   /// interior value changing changes this.
   std::uint64_t state_fnv = 0;
+  /// FNV-1a over the bit patterns of every per-step dt this CaseRun took,
+  /// in step order.  Identical on every process of a multi-process run (dt
+  /// is an allreduce), so comparing it across transports proves the *whole
+  /// dt trajectory* matched — a sharper bitwise check than the final state
+  /// alone.
+  std::uint64_t dt_fnv = 0;
 };
 
 /// A stateful case execution: step/run/inspect, checkpoint and restart.
@@ -130,6 +146,8 @@ class CaseRun {
   /// here and kept across rebuild() so one-shot faults do not re-fire
   /// during a retry.
   [[nodiscard]] sim::FaultInjector* injector() { return injector_.get(); }
+  /// Running FNV-1a over the per-step dt bits (see RunResult::dt_fnv).
+  [[nodiscard]] std::uint64_t dt_fnv() const { return dt_hash_.value(); }
 
   /// Tear down and reconstruct the simulation from the initial conditions
   /// (same options except `cfl_scale`, which the caller may have backed
@@ -152,6 +170,7 @@ class CaseRun {
   std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<app::Simulation<Policy>> sim_;
   common::Cons<double> totals_initial_{};
+  common::Fnv1a64 dt_hash_{};
   int steps_ = 0;
 };
 
@@ -201,6 +220,10 @@ struct GuardReport {
   int checkpoint_failures = 0;   ///< Saves that died mid-write (torn temp;
                                  ///< the previous checkpoint survives).
   double final_cfl_scale = 1.0;  ///< After any backoff.
+  /// The armed FaultPlan this run executed under ("disarmed" when none) —
+  /// recorded so a failure report names the fault that provoked it.
+  std::string fault_plan;
+  std::uint64_t fault_seed = 0;  ///< Plan provenance (0: explicit keys).
 };
 
 /// Run `spec` under the fault-tolerance envelope: periodic crash-safe

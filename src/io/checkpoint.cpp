@@ -11,9 +11,12 @@
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define IGR_HAVE_FSYNC 1
 #endif
+
+#include <atomic>
 
 #include "common/bfloat16.hpp"
 #include "common/hash.hpp"
@@ -51,6 +54,31 @@ const char* precision_of(std::uint32_t tag) {
 constexpr std::int32_t kMaxComponents = 16;
 
 WriteFaultHook g_write_fault;
+
+std::atomic<long> g_dir_fsyncs{0};
+
+/// Persist the *rename* itself: fsync the directory holding `path`.  The
+/// file's own fsync (before the rename) makes the bytes durable, but the
+/// directory entry lives in the directory's data — without this a power cut
+/// after commit() can resurface the old file, or none at all.
+void fsync_parent_dir(const std::string& path) {
+#ifdef IGR_HAVE_FSYNC
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  check(fd >= 0, "cannot open directory " + dir + " to fsync it: " +
+                     std::strerror(errno));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  check(rc == 0, "fsync of directory " + dir + " failed: " +
+                     std::strerror(errno));
+  g_dir_fsyncs.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)path;
+#endif
+}
 
 /// Write-to-temp + fsync + atomic-rename.  A destructor without commit()
 /// (error unwind / injected crash) closes the temp handle but deliberately
@@ -93,6 +121,7 @@ class AtomicWriter {
     check(std::rename(tmp_.c_str(), final_.c_str()) == 0,
           "atomic rename " + tmp_ + " -> " + final_ + " failed: " +
               std::strerror(errno));
+    fsync_parent_dir(final_);
   }
 
  private:
@@ -266,6 +295,8 @@ double read_impl(const std::string& path, int nx, int ny, int nz,
 void set_checkpoint_write_fault(WriteFaultHook hook) {
   g_write_fault = std::move(hook);
 }
+
+long dir_fsyncs() { return g_dir_fsyncs.load(std::memory_order_relaxed); }
 
 template <class T>
 void write_checkpoint(const std::string& path,

@@ -126,4 +126,13 @@ using WriteFaultHook =
     std::function<void(const std::string& path, std::size_t bytes_written)>;
 void set_checkpoint_write_fault(WriteFaultHook hook);
 
+// --- Durability diagnostics ----------------------------------------------
+
+/// Process-wide count of parent-directory fsyncs performed by committed
+/// atomic writes (checkpoints, field files, manifests).  fsync of the file
+/// alone does not persist the *rename* — after a power cut the directory
+/// entry may still point at the old file or at nothing — so every commit
+/// also fsyncs the parent directory, and tests assert this counter moved.
+[[nodiscard]] long dir_fsyncs();
+
 }  // namespace igr::io

@@ -1,23 +1,54 @@
 #include "sim/comm.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
 #include "sim/fault.hpp"
 
 namespace igr::sim {
 
-Comm::Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic)
-    : global_(global), decomp_(global_, rx, ry, rz, periodic) {
+Comm::Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic,
+           TransportSpec spec)
+    : global_(global),
+      decomp_(global_, rx, ry, rz, periodic),
+      spec_(spec) {
   const std::size_t slots =
       static_cast<std::size_t>(kNumChannels) * 3 *
       static_cast<std::size_t>(decomp_.ranks());
-  epochs_ = std::make_unique<std::atomic<std::uint64_t>[]>(slots);
-  for (std::size_t s = 0; s < slots; ++s) epochs_[s].store(0);
-  buffers_.resize(slots);
+  if (spec_.kind == TransportSpec::Kind::kTcp) {
+    if (spec_.world != decomp_.ranks())
+      throw TransportError(
+          "Comm: tcp transport world of " + std::to_string(spec_.world) +
+          " does not match the " + std::to_string(decomp_.ranks()) +
+          "-rank decomposition");
+    mp_ng_ = spec_.ghost_depth;
+    if (mp_ng_ < 1 || mp_ng_ > kMaxGhostDepth)
+      throw TransportError("Comm: tcp ghost_depth out of range");
+    // Invert the ghost-plane source resolution into per-axis reader sets:
+    // the fixed set of peers every publish along an axis is pushed to.
+    // Both sides of the relation come from source_ranks(), so a published
+    // slot reaches exactly the ranks whose complete_axis will await it —
+    // which keeps the per-slot sequence numbers in lockstep with the
+    // senders' post counts.
+    std::array<std::vector<int>, 3> readers;
+    for (int axis = 0; axis < 3; ++axis) {
+      for (int r = 0; r < decomp_.ranks(); ++r) {
+        if (r == spec_.rank) continue;  // self-reads use the local buffer
+        int srcs[2 * kMaxGhostDepth];
+        const int n = source_ranks(r, axis, mp_ng_, srcs);
+        for (int s = 0; s < n; ++s) {
+          if (srcs[s] == spec_.rank) {
+            readers[static_cast<std::size_t>(axis)].push_back(r);
+            break;
+          }
+        }
+      }
+    }
+    transport_ = make_tcp_transport(spec_, slots, readers);
+  } else {
+    transport_ = std::make_unique<InProcTransport>(slots);
+  }
   scratch_.resize(slots);
 }
 
@@ -57,54 +88,46 @@ void Comm::validate_driver_decomp(int ng) const {
   }
 }
 
-bool Comm::wait_epoch(std::size_t s, std::uint64_t target) const {
-  // Yield-spin rather than std::atomic::wait: an abort must wake waiters but
-  // does not change the epoch value, and a notify that lands between a
-  // waiter's abort check and its blocking wait would be lost.  Exchange
-  // waits are short (rank imbalance within one phase), so yielding is cheap
-  // and keeps oversubscribed single-core runs from burning the timeslice.
-  //
-  // A configured wait timeout bounds the spin: a peer that died without its
-  // unwind reaching abort_exchanges (or an external kill) would otherwise
-  // hang every waiter forever.  The clock is consulted only every 1024
-  // yields so the healthy path stays a pair of atomic loads.
-  auto& e = epochs_[s];
-  const double bound = wait_timeout_s_;
-  std::chrono::steady_clock::time_point deadline{};
-  bool deadline_set = false;
-  int spins = 0;
-  while (e.load(std::memory_order_acquire) < target) {
-    if (abort_.load(std::memory_order_relaxed)) return false;
-    if (bound > 0.0 && ++spins >= 1024) {
-      spins = 0;
-      const auto now = std::chrono::steady_clock::now();
-      if (!deadline_set) {
-        deadline = now + std::chrono::duration_cast<
-                             std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double>(bound));
-        deadline_set = true;
-      } else if (now >= deadline) {
-        abort_exchanges("halo wait exceeded " + std::to_string(bound) +
-                        "s (peer rank never posted — dead or wedged)");
-        return false;
+void Comm::check_mp_call(int rank, int ng, const char* what) const {
+  if (!transport_->multi_process()) return;
+  if (rank != transport_->local_rank())
+    throw std::logic_error(
+        std::string("Comm::") + what + ": rank " + std::to_string(rank) +
+        " is not local to this process (multi-process transports drive "
+        "exactly one rank per process)");
+  if (ng != mp_ng_)
+    throw std::invalid_argument(
+        std::string("Comm::") + what + ": ghost depth " +
+        std::to_string(ng) + " does not match the transport's reader sets "
+        "(derived for depth " + std::to_string(mp_ng_) + ")");
+}
+
+int Comm::source_ranks(int rank, int axis, int ng,
+                       int out[2 * kMaxGhostDepth]) const {
+  const int N = (axis == 0)   ? global_.nx()
+                : (axis == 1) ? global_.ny()
+                              : global_.nz();
+  const auto blk = decomp_.block(rank);
+  const auto coords = decomp_.coords_of(rank);
+  int nsrc = 0;
+  for (int side = 0; side < 2; ++side) {
+    for (int g = 0; g < ng; ++g) {
+      const int dp = (side == 0) ? -ng + g : blk.n[axis] + g;
+      int G = blk.lo[axis] + dp;
+      if (G < 0 || G >= N) {
+        if (!decomp_.periodic()) continue;  // physical ghost: BC fill owns it
+        G = ((G % N) + N) % N;
       }
+      const int oc = decomp_.owner_coord(axis, G);
+      int scoord[3] = {coords[0], coords[1], coords[2]};
+      scoord[axis] = oc;
+      const int sr = decomp_.rank_of(scoord[0], scoord[1], scoord[2]);
+      bool seen = false;
+      for (int s = 0; s < nsrc; ++s) seen = seen || (out[s] == sr);
+      if (!seen) out[nsrc++] = sr;
     }
-    std::this_thread::yield();
   }
-  return true;
-}
-
-void Comm::abort_exchanges(const std::string& reason) const {
-  if (!reason.empty()) {
-    std::lock_guard<std::mutex> lock(reason_mu_);
-    if (abort_reason_.empty()) abort_reason_ = reason;  // first reason wins
-  }
-  abort_.store(true, std::memory_order_relaxed);
-}
-
-std::string Comm::abort_reason() const {
-  std::lock_guard<std::mutex> lock(reason_mu_);
-  return abort_reason_;
+  return nsrc;
 }
 
 void Comm::fault_on_post() const {

@@ -49,6 +49,7 @@
 #include "common/half.hpp"
 #include "mesh/decomp.hpp"
 #include "mesh/grid.hpp"
+#include "sim/transport.hpp"
 
 namespace igr::sim {
 
@@ -74,12 +75,38 @@ class Comm {
   /// kFull there.  The byte meter counts *wire* bytes.
   enum class WirePrecision { kFull, kHalf };
 
-  /// Decompose `global` over an rx*ry*rz rank layout.
-  Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic);
+  /// Decompose `global` over an rx*ry*rz rank layout.  `spec` selects the
+  /// transport that moves the halo bytes: the default in-process backend
+  /// (every rank in this process, shared-memory epochs) or TCP (this
+  /// process owns exactly `spec.rank`, peers are separate processes).
+  Comm(const mesh::Grid& global, int rx, int ry, int rz, bool periodic,
+       TransportSpec spec = {});
 
   [[nodiscard]] int ranks() const { return decomp_.ranks(); }
   [[nodiscard]] const mesh::Decomp& decomp() const { return decomp_; }
   [[nodiscard]] const mesh::Grid& global_grid() const { return global_; }
+
+  /// The byte-moving backend behind the posted-epoch seam.
+  [[nodiscard]] Transport& transport() const { return *transport_; }
+  /// True when peers live in other OS processes (then only
+  /// `transport().local_rank()` may post/complete here).
+  [[nodiscard]] bool multi_process() const {
+    return transport_->multi_process();
+  }
+  /// Is this process the team's IO root (rank 0, or the sole in-process
+  /// team)?
+  [[nodiscard]] bool is_root() const { return transport_->is_root(); }
+
+  /// Scalar collectives over the transport.  In-process they are
+  /// identities (the caller's own reduction over its ranks is global);
+  /// over TCP they run as an exact star reduction through rank 0.
+  [[nodiscard]] double allreduce_min_global(double local) const {
+    return transport_->allreduce_min(local);
+  }
+  [[nodiscard]] double allreduce_sum_global(double local) const {
+    return transport_->allreduce_sum(local);
+  }
+  void barrier() const { transport_->barrier(); }
 
   /// Local physical grid of `rank` (extents match its block).
   [[nodiscard]] mesh::Grid local_grid(int rank) const;
@@ -116,13 +143,15 @@ class Comm {
   /// cannot post, so its peers' epoch waits check this flag and give up
   /// instead of spinning forever).  The first non-empty `reason` is latched
   /// and surfaces in later poisoned-communicator errors.
-  void abort_exchanges(const std::string& reason = {}) const;
-  [[nodiscard]] bool aborted() const {
-    return abort_.load(std::memory_order_relaxed);
+  void abort_exchanges(const std::string& reason = {}) const {
+    transport_->abort_exchanges(reason);
   }
+  [[nodiscard]] bool aborted() const { return transport_->aborted(); }
   /// Why the communicator was poisoned (empty if not aborted or no reason
   /// was recorded).
-  [[nodiscard]] std::string abort_reason() const;
+  [[nodiscard]] std::string abort_reason() const {
+    return transport_->abort_reason();
+  }
 
   // --- Fault tolerance hooks --------------------------------------------
 
@@ -135,8 +164,12 @@ class Comm {
   /// reaching abort) trips the timeout, which aborts the exchange with a
   /// reason instead of deadlocking.  <= 0 disables (the default driver
   /// installs its own bound — see DistOptions::comm_timeout_s).
-  void set_wait_timeout(double seconds) const { wait_timeout_s_ = seconds; }
-  [[nodiscard]] double wait_timeout() const { return wait_timeout_s_; }
+  void set_wait_timeout(double seconds) const {
+    transport_->set_wait_timeout(seconds);
+  }
+  [[nodiscard]] double wait_timeout() const {
+    return transport_->wait_timeout();
+  }
 
   /// Select the wire encoding of `channel` (all channels default to kFull).
   /// Poster and completer read the same setting, so flip it only at setup —
@@ -221,27 +254,33 @@ class Comm {
            static_cast<std::size_t>(rank);
   }
 
-  /// Block until epoch `slot` reaches `target`; false on abort or timeout.
-  bool wait_epoch(std::size_t s, std::uint64_t target) const;
-
   /// Non-template fault taps (keep the FaultInjector type out of the
   /// template bodies; defined in comm.cpp).
   void fault_on_post() const;
   void fault_on_complete() const;
 
+  /// Multi-process guard for the posted-epoch entry points: this process
+  /// may only drive its own rank, and only at the ghost depth the
+  /// transport's reader sets were derived for (any other depth would
+  /// desynchronize the per-slot sequence numbers).
+  void check_mp_call(int rank, int ng, const char* what) const;
+
+  /// Unique source ranks of `rank`'s ghost planes along `axis` at depth
+  /// `ng` — the resolution loop of complete_axis without the per-plane
+  /// bookkeeping (complete_axis mirrors it; keep the two in sync).  The
+  /// inverse of this relation is the transport's per-axis reader set.
+  int source_ranks(int rank, int axis, int ng,
+                   int out[2 * kMaxGhostDepth]) const;
+
   mesh::Grid global_;
   mesh::Decomp decomp_;
+  TransportSpec spec_;
+  int mp_ng_ = 0;  ///< Enforced ghost depth in multi-process mode.
+  mutable std::unique_ptr<Transport> transport_;
   mutable std::atomic<std::size_t> bytes_{0};
-  mutable std::atomic<bool> abort_{false};
   mutable FaultInjector* fault_ = nullptr;
-  mutable double wait_timeout_s_ = 0.0;
-  mutable std::mutex reason_mu_;
-  mutable std::string abort_reason_;
-  /// Published-epoch counter and pack buffer per (channel, axis, rank).
-  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> epochs_;
-  mutable std::vector<std::vector<unsigned char>> buffers_;
   /// Per-slot float staging for narrowing packs (only the posting rank's
-  /// thread touches its slot, like buffers_).
+  /// thread touches its slot, like the transport's send buffers).
   mutable std::vector<std::vector<float>> scratch_;
   mutable std::array<WirePrecision, kNumChannels> wire_{};
 };
@@ -274,6 +313,7 @@ void Comm::post_axis(int channel, int rank,
   fault_on_post();
   const common::Field3<T>& f0 = *fields[0];
   const int ng = f0.ng();
+  check_mp_call(rank, ng, "post_axis");
   const int nd[3] = {f0.nx(), f0.ny(), f0.nz()};
   const int n = nd[axis];
   int ta, tb;
@@ -290,7 +330,7 @@ void Comm::post_axis(int channel, int rank,
       wire_[static_cast<std::size_t>(channel)] == WirePrecision::kHalf;
   const std::size_t elems =
       static_cast<std::size_t>(nfields) * nplanes * plane_area;
-  auto& buf = buffers_[slot(channel, axis, rank)];
+  auto& buf = transport_->send_buffer(slot(channel, axis, rank));
   buf.resize(elems * (narrow ? sizeof(common::half) : sizeof(T)));
 
   // Published plane list: the ng-deep slab on each side, or the whole
@@ -330,10 +370,9 @@ void Comm::post_axis(int channel, int rank,
     pack_planes(reinterpret_cast<T*>(buf.data()));
   }
 
-  // Publish: everything packed above happens-before any reader that
-  // acquires the incremented epoch.  (Waiters yield-spin — see
-  // wait_epoch — so no notify is needed.)
-  epochs_[slot(channel, axis, rank)].fetch_add(1, std::memory_order_release);
+  // Publish: everything packed above happens-before any acquire that
+  // observes the advanced epoch (the transport's ordering contract).
+  transport_->publish(slot(channel, axis, rank));
 }
 
 template <class T>
@@ -343,6 +382,7 @@ bool Comm::complete_axis(int channel, int rank,
   fault_on_complete();
   common::Field3<T>& f0 = *fields[0];
   const int ng = f0.ng();
+  check_mp_call(rank, ng, "complete_axis");
   const int nd[3] = {f0.nx(), f0.ny(), f0.nz()};
   const int N = (axis == 0)   ? global_.nx()
                 : (axis == 1) ? global_.ny()
@@ -358,6 +398,8 @@ bool Comm::complete_axis(int channel, int rank,
                                  static_cast<std::size_t>(hi_b - lo_b);
 
   // Resolve every ghost plane to (source rank, source local plane).
+  // (source_ranks() mirrors this resolution to derive the transport's
+  // reader sets — keep the two loops in sync.)
   struct PlaneSrc {
     int dst_plane;  // ghost-plane coordinate in this block
     int src_rank;
@@ -395,11 +437,16 @@ bool Comm::complete_axis(int channel, int rank,
 
   // Wait for every source to publish this rank's current epoch (each rank
   // posts exactly once per scheduled exchange, so its own counter is the
-  // schedule position).
+  // schedule position).  The acquired pointers stay valid through the
+  // unpack loop below — until the next acquire of the same slot at a
+  // higher target (the transport's lifetime contract).
   const std::uint64_t target =
-      epochs_[slot(channel, axis, rank)].load(std::memory_order_relaxed);
+      transport_->posted_epoch(slot(channel, axis, rank));
+  const unsigned char* src_data[2 * kMaxGhostDepth] = {};
   for (int s = 0; s < nsrc; ++s) {
-    if (!wait_epoch(slot(channel, axis, src_ranks[s]), target)) return false;
+    src_data[s] = transport_->acquire(slot(channel, axis, src_ranks[s]),
+                                      target, src_ranks[s]);
+    if (src_data[s] == nullptr) return false;
   }
 
   const bool narrow =
@@ -434,8 +481,9 @@ bool Comm::complete_axis(int channel, int rank,
       throw std::logic_error("Comm: ghost plane maps to an unpublished "
                              "interior plane (decomposition bug)");
     const int snplanes = published_planes(sn, ng);
-    const unsigned char* in =
-        buffers_[slot(channel, axis, ps.src_rank)].data();
+    int si = 0;
+    while (src_ranks[si] != ps.src_rank) ++si;
+    const unsigned char* in = src_data[si];
     for (int c = 0; c < nfields; ++c) {
       common::Field3<T>& f = *fields[c];
       const std::size_t span =
@@ -465,6 +513,10 @@ void Comm::exchange_axis(std::vector<common::Field3<T>*>& fields,
   // value; the collective wrappers have no caller to hand that to, so a
   // poisoned communicator must fail loudly rather than return with stale
   // ghosts.
+  if (transport_->multi_process())
+    throw std::logic_error(
+        "Comm: the collective exchange shims drive every rank from one "
+        "thread and are in-process only");
   if (aborted()) {
     std::string msg =
         "Comm: exchange on an aborted communicator (a previous failure "

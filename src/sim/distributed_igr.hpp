@@ -78,7 +78,19 @@ struct DistOptions {
   /// that dies without unwinding would otherwise deadlock its neighbors).
   /// <= 0 disables the bound.
   double comm_timeout_s = 60.0;
+  /// Transport behind the Comm seam.  The default in-process backend runs
+  /// every rank in this process (one worker thread each); kTcp makes this
+  /// process own exactly `transport.rank`, exchanging with peer processes
+  /// over loopback sockets — then gather/scatter become collectives and
+  /// only the IO root assembles global fields.
+  TransportSpec transport{};
 };
+
+/// Blob tags of the gather-to-root collectives (Transport::send_blob
+/// matching is (sender, tag, call order); every process runs the same
+/// gather schedule, so the order is deterministic).
+inline constexpr int kBlobTagState = 1;
+inline constexpr int kBlobTagSigma = 2;
 
 template <class Policy>
 class DistributedIgr {
@@ -90,7 +102,7 @@ class DistributedIgr {
                  const common::SolverConfig& cfg, const fv::BcSpec& bc,
                  fv::ReconScheme recon = fv::ReconScheme::kFifth,
                  DistOptions opts = {})
-      : comm_(global, rx, ry, rz, is_periodic(bc)),
+      : comm_(global, rx, ry, rz, is_periodic(bc), opts.transport),
         cfg_(cfg),
         bc_(bc),
         sigma_bc_(core::sigma_bc_from(bc)),
@@ -100,6 +112,13 @@ class DistributedIgr {
     comm_.set_wait_timeout(opts_.comm_timeout_s);
     comm_.set_wire(Comm::kChanState, opts_.halo_wire);
     comm_.set_wire(Comm::kChanSigma, opts_.halo_wire);
+    // The ranks this process drives: all of them in-process, exactly one
+    // per process over a multi-process transport.
+    if (comm_.multi_process()) {
+      local_ranks_ = {comm_.transport().local_rank()};
+    } else {
+      for (int r = 0; r < comm_.ranks(); ++r) local_ranks_.push_back(r);
+    }
     // threads_per_rank becomes each rank solver's exec-space width.  0
     // (divide evenly) stays ambient: the worker threads pin the OpenMP
     // width to hw/ranks, and non-OpenMP builds fall back to serial, which
@@ -107,13 +126,14 @@ class DistributedIgr {
     common::SolverConfig rank_cfg = cfg;
     if (opts_.parallel && opts_.threads_per_rank > 0)
       rank_cfg.exec_threads = opts_.threads_per_rank;
-    for (int r = 0; r < comm_.ranks(); ++r) {
+    for (const int r : local_ranks_) {
       ranks_.emplace_back(std::make_unique<core::IgrSolver3D<Policy>>(
           comm_.local_grid(r), rank_cfg, bc, recon));
     }
-    team_ = std::make_unique<RankTeam>(comm_.ranks(), opts_.parallel,
-                                       opts_.threads_per_rank);
-    dts_.resize(static_cast<std::size_t>(comm_.ranks()));
+    team_ = std::make_unique<RankTeam>(
+        static_cast<int>(local_ranks_.size()), opts_.parallel,
+        opts_.threads_per_rank, comm_.ranks());
+    dts_.resize(local_ranks_.size());
     grind_.set_cells_per_step(comm_.global_grid().cells());
   }
 
@@ -124,22 +144,25 @@ class DistributedIgr {
   /// One step at the globally reduced CFL dt; returns dt.
   double step() {
     run_phase([this](int r) {
-      auto& s = *ranks_[static_cast<std::size_t>(r)];
+      auto& s = solver(r);
       // Warm-start Sigma feeds the wave-speed bound, exactly as the
       // single-domain step() does; the cell-wise max/min reductions inside
       // compute_dt decompose exactly, so the allreduced dt is bitwise the
       // single-domain dt under Jacobi sweeps.
-      dts_[static_cast<std::size_t>(r)] =
+      dts_[local_index(r)] =
           fv::compute_dt(s.state(), s.grid(), s.eos(), s.config(), &s.sigma());
     });
-    const double dt = Comm::allreduce_min(dts_);
+    // Local min over this process's ranks, then the cross-process min.
+    // min is associative and exact, so the composition is bitwise the
+    // single-domain reduction (in-process the global step is an identity).
+    const double dt = comm_.allreduce_min_global(Comm::allreduce_min(dts_));
     step_fixed(dt);
     return dt;
   }
 
   void step_fixed(double dt) {
     grind_.begin_step();
-    run_phase([this](int r) { ranks_[static_cast<std::size_t>(r)]->begin_step(); });
+    run_phase([this](int r) { solver(r).begin_step(); });
     const bool sigma_active = cfg_.sigma_sweeps > 0 && cfg_.alpha_factor > 0.0;
     for (const auto& st : fv::kRk3Stages) {
       if (sigma_active) {
@@ -147,7 +170,7 @@ class DistributedIgr {
         for (int sw = 0; sw < cfg_.sigma_sweeps; ++sw) {
           refresh_sigma_ghosts();
           run_phase([this](int r) {
-            auto& s = *ranks_[static_cast<std::size_t>(r)];
+            auto& s = solver(r);
             s.sigma_sweep(s.stage_field());
           });
         }
@@ -155,29 +178,34 @@ class DistributedIgr {
       } else {
         refresh_state_ghosts();
         run_phase([this](int r) {
-          auto& s = *ranks_[static_cast<std::size_t>(r)];
+          auto& s = solver(r);
           s.compute_fluxes(s.stage_field(), s.rhs_field());
         });
       }
-      run_phase([this, &st, dt](int r) {
-        ranks_[static_cast<std::size_t>(r)]->rk_update(st, dt);
-      });
+      run_phase([this, &st, dt](int r) { solver(r).rk_update(st, dt); });
     }
-    run_phase([this, dt](int r) {
-      ranks_[static_cast<std::size_t>(r)]->finish_step(dt);
-    });
+    run_phase([this, dt](int r) { solver(r).finish_step(dt); });
     time_ += dt;
     grind_.end_step();
   }
 
   /// Assemble the global conservative state (for comparison against a
-  /// single-domain run and for output).
+  /// single-domain run and for output).  In-process this walks every rank
+  /// directly; over a multi-process transport it is a *collective*
+  /// gather-to-root — every process must call it in the same schedule
+  /// position, non-root processes ship their block to rank 0 and return a
+  /// 1-cell placeholder (callers gate global reads on is_root()).
   [[nodiscard]] common::StateField3<S> gather() const {
+    if (comm_.multi_process() && !comm_.is_root()) {
+      send_block_to_root(ranks_[0]->state(), common::kNumVars,
+                         kBlobTagState);
+      return common::StateField3<S>(1, 1, 1, 0);
+    }
     const auto& g = comm_.global_grid();
     common::StateField3<S> out(g.nx(), g.ny(), g.nz(), kNg);
-    for (int r = 0; r < comm_.ranks(); ++r) {
+    for (const int r : local_ranks_) {
       const auto b = comm_.decomp().block(r);
-      const auto& q = ranks_[static_cast<std::size_t>(r)]->state();
+      const auto& q = solver_const(r).state();
       for (int c = 0; c < common::kNumVars; ++c) {
         for (int k = 0; k < b.n[2]; ++k)
           for (int j = 0; j < b.n[1]; ++j)
@@ -185,20 +213,37 @@ class DistributedIgr {
               out[c](b.lo[0] + i, b.lo[1] + j, b.lo[2] + k) = q[c](i, j, k);
       }
     }
+    if (comm_.multi_process()) {
+      for (int r = 0; r < comm_.ranks(); ++r) {
+        if (r == local_ranks_[0]) continue;
+        receive_block(out, r, common::kNumVars, kBlobTagState);
+      }
+    }
     return out;
   }
 
-  /// Assemble the global Sigma field (output/diagnostics).
+  /// Assemble the global Sigma field (output/diagnostics).  Collective
+  /// over multi-process transports, like gather().
   [[nodiscard]] common::Field3<S> gather_sigma() const {
+    if (comm_.multi_process() && !comm_.is_root()) {
+      send_field_to_root(ranks_[0]->sigma(), kBlobTagSigma);
+      return common::Field3<S>(1, 1, 1, 0);
+    }
     const auto& g = comm_.global_grid();
     common::Field3<S> out(g.nx(), g.ny(), g.nz(), kNg);
-    for (int r = 0; r < comm_.ranks(); ++r) {
+    for (const int r : local_ranks_) {
       const auto b = comm_.decomp().block(r);
-      const auto& sig = ranks_[static_cast<std::size_t>(r)]->sigma();
+      const auto& sig = solver_const(r).sigma();
       for (int k = 0; k < b.n[2]; ++k)
         for (int j = 0; j < b.n[1]; ++j)
           for (int i = 0; i < b.n[0]; ++i)
             out(b.lo[0] + i, b.lo[1] + j, b.lo[2] + k) = sig(i, j, k);
+    }
+    if (comm_.multi_process()) {
+      for (int r = 0; r < comm_.ranks(); ++r) {
+        if (r == local_ranks_[0]) continue;
+        receive_field(out, r, kBlobTagSigma);
+      }
     }
     return out;
   }
@@ -210,9 +255,9 @@ class DistributedIgr {
   /// the pre-scatter state).
   void scatter(const common::StateField3<S>& global) {
     check_global_shape(global.nx(), global.ny(), global.nz(), "scatter");
-    for (int r = 0; r < comm_.ranks(); ++r) {
+    for (const int r : local_ranks_) {
       const auto b = comm_.decomp().block(r);
-      auto& s = *ranks_[static_cast<std::size_t>(r)];
+      auto& s = solver(r);
       auto& q = s.state();
       for (int c = 0; c < common::kNumVars; ++c) {
         for (int k = 0; k < b.n[2]; ++k)
@@ -229,9 +274,9 @@ class DistributedIgr {
   void scatter_sigma(const common::Field3<S>& global) {
     check_global_shape(global.nx(), global.ny(), global.nz(),
                        "scatter_sigma");
-    for (int r = 0; r < comm_.ranks(); ++r) {
+    for (const int r : local_ranks_) {
       const auto b = comm_.decomp().block(r);
-      auto& s = *ranks_[static_cast<std::size_t>(r)];
+      auto& s = solver(r);
       auto& sig = s.sigma_field();
       for (int k = 0; k < b.n[2]; ++k)
         for (int j = 0; j < b.n[1]; ++j)
@@ -251,11 +296,17 @@ class DistributedIgr {
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] const DistOptions& options() const { return opts_; }
   [[nodiscard]] common::GrindTimer& grind_timer() { return grind_; }
-  [[nodiscard]] core::IgrSolver3D<Policy>& rank(int r) {
-    return *ranks_[static_cast<std::size_t>(r)];
+  /// Solver of global rank `r` — must be local to this process.
+  [[nodiscard]] core::IgrSolver3D<Policy>& rank(int r) { return solver(r); }
+  /// Global rank ids this process drives (all of them in-process).
+  [[nodiscard]] const std::vector<int>& local_ranks() const {
+    return local_ranks_;
   }
-  /// Persistent field storage summed over ranks (the §5.4 footprint metric
-  /// for the decomposed run).
+  [[nodiscard]] bool multi_process() const { return comm_.multi_process(); }
+  [[nodiscard]] bool is_root() const { return comm_.is_root(); }
+  /// Persistent field storage summed over this process's ranks (the §5.4
+  /// footprint metric; in multi-process mode each process reports only its
+  /// own share).
   [[nodiscard]] std::size_t memory_bytes() const {
     std::size_t b = 0;
     for (const auto& s : ranks_) b += s->memory_bytes();
@@ -263,6 +314,89 @@ class DistributedIgr {
   }
 
  private:
+  [[nodiscard]] std::size_t local_index(int global_rank) const {
+    for (std::size_t i = 0; i < local_ranks_.size(); ++i) {
+      if (local_ranks_[i] == global_rank) return i;
+    }
+    throw std::logic_error("DistributedIgr: rank " +
+                           std::to_string(global_rank) +
+                           " is not local to this process");
+  }
+  [[nodiscard]] core::IgrSolver3D<Policy>& solver(int global_rank) {
+    return *ranks_[local_index(global_rank)];
+  }
+  [[nodiscard]] const core::IgrSolver3D<Policy>& solver_const(
+      int global_rank) const {
+    return *ranks_[local_index(global_rank)];
+  }
+
+  // --- gather/scatter block packing (multi-process collectives) ---------
+
+  static S* pack_block(const common::Field3<S>& f, const int* n, S* p) {
+    for (int k = 0; k < n[2]; ++k)
+      for (int j = 0; j < n[1]; ++j)
+        for (int i = 0; i < n[0]; ++i) *p++ = f(i, j, k);
+    return p;
+  }
+
+  void send_field_to_root(const common::Field3<S>& f, int tag) const {
+    const auto b = comm_.decomp().block(local_ranks_[0]);
+    const std::size_t cells = static_cast<std::size_t>(b.n[0]) *
+                              static_cast<std::size_t>(b.n[1]) *
+                              static_cast<std::size_t>(b.n[2]);
+    std::vector<unsigned char> blob(cells * sizeof(S));
+    pack_block(f, b.n.data(), reinterpret_cast<S*>(blob.data()));
+    comm_.transport().send_blob(0, tag, blob.data(), blob.size());
+  }
+
+  void send_block_to_root(const common::StateField3<S>& q, int ncomp,
+                          int tag) const {
+    const auto b = comm_.decomp().block(local_ranks_[0]);
+    const std::size_t cells = static_cast<std::size_t>(b.n[0]) *
+                              static_cast<std::size_t>(b.n[1]) *
+                              static_cast<std::size_t>(b.n[2]);
+    std::vector<unsigned char> blob(static_cast<std::size_t>(ncomp) * cells *
+                                    sizeof(S));
+    S* p = reinterpret_cast<S*>(blob.data());
+    for (int c = 0; c < ncomp; ++c) p = pack_block(q[c], b.n.data(), p);
+    comm_.transport().send_blob(0, tag, blob.data(), blob.size());
+  }
+
+  void receive_field(common::Field3<S>& out, int r, int tag) const {
+    const auto b = comm_.decomp().block(r);
+    const std::size_t cells = static_cast<std::size_t>(b.n[0]) *
+                              static_cast<std::size_t>(b.n[1]) *
+                              static_cast<std::size_t>(b.n[2]);
+    const auto blob = comm_.transport().recv_blob(r, tag);
+    if (blob.size() != cells * sizeof(S))
+      throw TransportError("DistributedIgr: gather blob from rank " +
+                           std::to_string(r) + " has the wrong size");
+    const S* p = reinterpret_cast<const S*>(blob.data());
+    for (int k = 0; k < b.n[2]; ++k)
+      for (int j = 0; j < b.n[1]; ++j)
+        for (int i = 0; i < b.n[0]; ++i)
+          out(b.lo[0] + i, b.lo[1] + j, b.lo[2] + k) = *p++;
+  }
+
+  void receive_block(common::StateField3<S>& out, int r, int ncomp,
+                     int tag) const {
+    const auto b = comm_.decomp().block(r);
+    const std::size_t cells = static_cast<std::size_t>(b.n[0]) *
+                              static_cast<std::size_t>(b.n[1]) *
+                              static_cast<std::size_t>(b.n[2]);
+    const auto blob = comm_.transport().recv_blob(r, tag);
+    if (blob.size() != static_cast<std::size_t>(ncomp) * cells * sizeof(S))
+      throw TransportError("DistributedIgr: gather blob from rank " +
+                           std::to_string(r) + " has the wrong size");
+    const S* p = reinterpret_cast<const S*>(blob.data());
+    for (int c = 0; c < ncomp; ++c) {
+      for (int k = 0; k < b.n[2]; ++k)
+        for (int j = 0; j < b.n[1]; ++j)
+          for (int i = 0; i < b.n[0]; ++i)
+            out[c](b.lo[0] + i, b.lo[1] + j, b.lo[2] + k) = *p++;
+    }
+  }
+
   void check_global_shape(int nx, int ny, int nz, const char* what) const {
     const auto& g = comm_.global_grid();
     if (nx != g.nx() || ny != g.ny() || nz != g.nz())
@@ -277,7 +411,8 @@ class DistributedIgr {
     return true;
   }
 
-  /// Run one SPMD phase over all ranks.  A rank that throws aborts the
+  /// Run one SPMD phase over this process's ranks (the phase callback
+  /// receives *global* rank ids).  A rank that throws aborts the
   /// communicator first so no peer waits forever on its unposted halos.
   /// The abort latches: once any phase failed, exchanges (and hence ghost
   /// contents) are undefined, so every later phase refuses loudly instead
@@ -292,7 +427,8 @@ class DistributedIgr {
       if (!why.empty()) msg += " (" + why + ")";
       throw std::runtime_error(msg);
     }
-    team_->run([this, &fn](int r) {
+    team_->run([this, &fn](int li) {
+      const int r = local_ranks_[static_cast<std::size_t>(li)];
       try {
         if (opts_.fault) opts_.fault->on_phase(r);
         fn(r);
@@ -308,14 +444,14 @@ class DistributedIgr {
 
   [[nodiscard]] std::array<common::Field3<S>*, common::kNumVars> state_comps(
       int r) {
-    auto& q = ranks_[static_cast<std::size_t>(r)]->stage_field();
+    auto& q = solver(r).stage_field();
     std::array<common::Field3<S>*, common::kNumVars> c{};
     for (int v = 0; v < common::kNumVars; ++v) c[static_cast<std::size_t>(v)] = &q[v];
     return c;
   }
 
   void fill_state_bc_axis(int r, int axis) {
-    auto& s = *ranks_[static_cast<std::size_t>(r)];
+    auto& s = solver(r);
     fv::apply_bc_axis(s.stage_field(), bc_, s.grid(), s.eos(), axis,
                       physical_sides(r, axis));
   }
@@ -327,9 +463,8 @@ class DistributedIgr {
       // periodic faces and clamps elsewhere, matching the single-domain
       // solver's sigma_bc_from(bc_) exactly (decomposition cannot change
       // the ghost kind a face sees).
-      core::fill_sigma_ghosts_axis(
-          ranks_[static_cast<std::size_t>(r)]->sigma_field(), sigma_bc_,
-          axis, sides);
+      core::fill_sigma_ghosts_axis(solver(r).sigma_field(), sigma_bc_, axis,
+                                   sides);
     }
   }
 
@@ -350,13 +485,13 @@ class DistributedIgr {
       });
     } else {
       for (int axis = 0; axis < 3; ++axis) {
-        for (int r = 0; r < comm_.ranks(); ++r) fill_state_bc_axis(r, axis);
-        for (int r = 0; r < comm_.ranks(); ++r) {
+        for (const int r : local_ranks_) fill_state_bc_axis(r, axis);
+        for (const int r : local_ranks_) {
           auto comps = state_comps(r);
           comm_.post_axis(Comm::kChanState, r, comps.data(),
                           common::kNumVars, axis);
         }
-        for (int r = 0; r < comm_.ranks(); ++r) {
+        for (const int r : local_ranks_) {
           auto comps = state_comps(r);
           comm_.complete_axis(Comm::kChanState, r, comps.data(),
                               common::kNumVars, axis);
@@ -374,7 +509,7 @@ class DistributedIgr {
   void refresh_state_and_build_source() {
     if (team_->parallel() && opts_.overlap_state) {
       run_phase([this](int r) {
-        auto& s = *ranks_[static_cast<std::size_t>(r)];
+        auto& s = solver(r);
         auto comps = state_comps(r);
         for (int axis = 0; axis < 2; ++axis) {
           fill_state_bc_axis(r, axis);
@@ -396,7 +531,7 @@ class DistributedIgr {
     } else {
       refresh_state_ghosts();
       run_phase([this](int r) {
-        auto& s = *ranks_[static_cast<std::size_t>(r)];
+        auto& s = solver(r);
         s.build_sigma_source(s.stage_field());
       });
     }
@@ -412,15 +547,13 @@ class DistributedIgr {
 
   void refresh_sigma_ghosts_lockstep() {
     for (int axis = 0; axis < 3; ++axis) {
-      for (int r = 0; r < comm_.ranks(); ++r) fill_sigma_bc_axis(r, axis);
-      for (int r = 0; r < comm_.ranks(); ++r) {
-        common::Field3<S>* sig =
-            &ranks_[static_cast<std::size_t>(r)]->sigma_field();
+      for (const int r : local_ranks_) fill_sigma_bc_axis(r, axis);
+      for (const int r : local_ranks_) {
+        common::Field3<S>* sig = &solver(r).sigma_field();
         comm_.post_axis(Comm::kChanSigma, r, &sig, 1, axis);
       }
-      for (int r = 0; r < comm_.ranks(); ++r) {
-        common::Field3<S>* sig =
-            &ranks_[static_cast<std::size_t>(r)]->sigma_field();
+      for (const int r : local_ranks_) {
+        common::Field3<S>* sig = &solver(r).sigma_field();
         comm_.complete_axis(Comm::kChanSigma, r, &sig, 1, axis);
       }
     }
@@ -429,8 +562,7 @@ class DistributedIgr {
   /// Sigma bc-fill + post + complete for axes [0, axes); returns false on
   /// an aborted exchange.
   bool sigma_ghost_phase(int r, int axes) {
-    common::Field3<S>* sig =
-        &ranks_[static_cast<std::size_t>(r)]->sigma_field();
+    common::Field3<S>* sig = &solver(r).sigma_field();
     for (int axis = 0; axis < axes; ++axis) {
       fill_sigma_bc_axis(r, axis);
       comm_.post_axis(Comm::kChanSigma, r, &sig, 1, axis);
@@ -447,7 +579,7 @@ class DistributedIgr {
   void final_sigma_and_fluxes() {
     if (team_->parallel()) {
       run_phase([this](int r) {
-        auto& s = *ranks_[static_cast<std::size_t>(r)];
+        auto& s = solver(r);
         if (!sigma_ghost_phase(r, /*axes=*/2)) return;
         common::Field3<S>* sig = &s.sigma_field();
         fill_sigma_bc_axis(r, 2);
@@ -466,8 +598,8 @@ class DistributedIgr {
       });
     } else {
       refresh_sigma_ghosts_lockstep();
-      for (int r = 0; r < comm_.ranks(); ++r) {
-        auto& s = *ranks_[static_cast<std::size_t>(r)];
+      for (const int r : local_ranks_) {
+        auto& s = solver(r);
         s.compute_fluxes(s.stage_field(), s.rhs_field());
       }
     }
@@ -488,6 +620,9 @@ class DistributedIgr {
   core::SigmaBcSpec sigma_bc_;
   DistOptions opts_;
   double time_ = 0.0;
+  /// Global rank ids owned by this process; ranks_[i] solves
+  /// local_ranks_[i]'s block.
+  std::vector<int> local_ranks_;
   std::vector<std::unique_ptr<core::IgrSolver3D<Policy>>> ranks_;
   std::unique_ptr<RankTeam> team_;
   std::vector<double> dts_;

@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include <csignal>
 #include <sstream>
 #include <vector>
 
@@ -38,6 +39,7 @@ std::string FaultPlan::describe() const {
   if (comm_complete_at > 0) { sep(); os << "comm-complete@" << comm_complete_at; }
   if (phase_at > 0) { sep(); os << "phase@" << phase_at << " rank " << phase_rank; }
   if (io_write_at > 0) { sep(); os << "io-write@" << io_write_at; }
+  if (kill_step > 0) { sep(); os << "kill@" << kill_step << " rank " << kill_rank; }
   if (!any) return "disarmed";
   if (seed != 0) os << " (seed " << seed << ")";
   return os.str();
@@ -98,10 +100,20 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         p.phase_rank =
             static_cast<int>(parse_long(v.substr(at_pos + 1), "phase rank"));
       }
+    } else if (k == "kill") {
+      const auto at_pos = v.find('@');
+      if (at_pos == std::string::npos) {
+        p.kill_step = parse_long(v, k);
+        p.kill_rank = 0;
+      } else {
+        p.kill_step = parse_long(v.substr(0, at_pos), k);
+        p.kill_rank =
+            static_cast<int>(parse_long(v.substr(at_pos + 1), "kill rank"));
+      }
     } else {
       throw std::invalid_argument(
           "FaultPlan: unknown key '" + k +
-          "' (expected post/complete/phase/io/seed)");
+          "' (expected post/complete/phase/io/kill/seed)");
     }
   }
   return p;
@@ -131,6 +143,17 @@ void FaultInjector::on_phase(int rank) {
   if (n == plan_.phase_at)
     fire("rank " + std::to_string(rank) + " died in phase callback #" +
          std::to_string(n));
+}
+
+void FaultInjector::on_step(int rank) {
+  if (plan_.kill_step <= 0 || rank != plan_.kill_rank) return;
+  const long n = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n == plan_.kill_step) {
+    // Real process death, not an exception: nothing unwinds, sockets close
+    // mid-conversation, and the peers' liveness tracking has to notice.
+    fired_.store(true, std::memory_order_relaxed);
+    std::raise(SIGKILL);
+  }
 }
 
 void FaultInjector::on_io_write() {

@@ -42,11 +42,15 @@ struct FaultPlan {
   int phase_rank = 0;         ///< Rank whose worker dies (phase_at > 0).
   long io_write_at = 0;       ///< Kill the checkpoint writer at its Nth
                               ///< payload chunk (torn temp file).
+  long kill_step = 0;         ///< SIGKILL this process before step N —
+                              ///< real process death, only honored when the
+                              ///< transport is multi-process.
+  int kill_rank = 0;          ///< Rank whose process dies (kill_step > 0).
   std::uint64_t seed = 0;     ///< Provenance when derived from a seed.
 
   [[nodiscard]] bool armed() const {
     return comm_post_at > 0 || comm_complete_at > 0 || phase_at > 0 ||
-           io_write_at > 0;
+           io_write_at > 0 || kill_step > 0;
   }
 
   /// Human-readable summary ("comm-post@3", "phase@2 rank 1", "disarmed").
@@ -58,9 +62,10 @@ struct FaultPlan {
   [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed);
 
   /// Parse a comma-separated spec: `post=N`, `complete=N`, `phase=N@R`
-  /// (rank R's Nth phase callback), `io=N`, `seed=S` (expands via
-  /// from_seed; later explicit keys override it).  Throws
-  /// std::invalid_argument on malformed input.
+  /// (rank R's Nth phase callback), `io=N`, `kill=N@R` (SIGKILL rank R's
+  /// process before its Nth step), `seed=S` (expands via from_seed; later
+  /// explicit keys override it).  Throws std::invalid_argument on
+  /// malformed input.
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
 };
 
@@ -78,6 +83,12 @@ class FaultInjector {
   void on_comm_complete();
   void on_phase(int rank);
   void on_io_write();
+  /// Step-boundary hook for `kill=N@R`: when `rank` matches the plan's
+  /// kill_rank and this is its Nth stepped call, raise(SIGKILL) — the
+  /// process dies for real, mid-socket, exactly like a node loss.  Callers
+  /// must invoke this only under a multi-process transport; an in-process
+  /// team would take every rank (and the test harness) down with it.
+  void on_step(int rank);
 
   /// Did any trigger fire yet?  (Tests assert the planned fault actually
   /// happened rather than the run passing vacuously.)
@@ -89,6 +100,7 @@ class FaultInjector {
   [[nodiscard]] long comm_completes() const { return completes_.load(); }
   [[nodiscard]] long phases() const { return phases_.load(); }
   [[nodiscard]] long io_writes() const { return io_writes_.load(); }
+  [[nodiscard]] long steps() const { return steps_.load(); }
 
  private:
   void fire(const std::string& what);
@@ -98,6 +110,7 @@ class FaultInjector {
   std::atomic<long> completes_{0};
   std::atomic<long> phases_{0};  ///< Counts only plan_.phase_rank's calls.
   std::atomic<long> io_writes_{0};
+  std::atomic<long> steps_{0};  ///< Counts only plan_.kill_rank's calls.
   std::atomic<bool> fired_{false};
 };
 

@@ -9,14 +9,17 @@
 
 namespace igr::sim {
 
-RankTeam::RankTeam(int ranks, bool parallel, int threads_per_rank)
+RankTeam::RankTeam(int ranks, bool parallel, int threads_per_rank,
+                   int hardware_share_ranks)
     : ranks_(ranks) {
   if (ranks < 1) throw std::invalid_argument("RankTeam: ranks must be >= 1");
   if (threads_per_rank < 0)
     throw std::invalid_argument("RankTeam: threads_per_rank must be >= 0");
+  if (hardware_share_ranks < ranks) hardware_share_ranks = ranks;
   if (threads_per_rank == 0) {
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    threads_per_rank_ = std::max(1, static_cast<int>(hw) / ranks);
+    threads_per_rank_ =
+        std::max(1, static_cast<int>(hw) / hardware_share_ranks);
   } else {
     threads_per_rank_ = threads_per_rank;
   }

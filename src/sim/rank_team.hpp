@@ -30,8 +30,12 @@ class RankTeam {
  public:
   /// Spawn `ranks` workers (parallel) or configure inline execution.
   /// `threads_per_rank` caps each worker's OpenMP team; 0 divides the
-  /// hardware evenly (at least 1).
-  explicit RankTeam(int ranks, bool parallel = true, int threads_per_rank = 0);
+  /// hardware evenly (at least 1).  `hardware_share_ranks` is the number
+  /// of ranks sharing this machine for that division — a multi-process
+  /// team runs one local rank but must still split the cores across the
+  /// whole team (0: same as `ranks`, the in-process case).
+  explicit RankTeam(int ranks, bool parallel = true, int threads_per_rank = 0,
+                    int hardware_share_ranks = 0);
   ~RankTeam();
 
   RankTeam(const RankTeam&) = delete;

@@ -1,0 +1,53 @@
+#include "sim/transport.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace igr::sim {
+
+InProcTransport::InProcTransport(std::size_t nslots) : Transport(nslots) {
+  epochs_ = std::make_unique<std::atomic<std::uint64_t>[]>(nslots);
+  for (std::size_t s = 0; s < nslots; ++s) epochs_[s].store(0);
+  buffers_.resize(nslots);
+}
+
+const unsigned char* InProcTransport::acquire(std::size_t slot,
+                                              std::uint64_t target,
+                                              int /*src_rank*/) {
+  // Yield-spin rather than std::atomic::wait: an abort must wake waiters but
+  // does not change the epoch value, and a notify that lands between a
+  // waiter's abort check and its blocking wait would be lost.  Exchange
+  // waits are short (rank imbalance within one phase), so yielding is cheap
+  // and keeps oversubscribed single-core runs from burning the timeslice.
+  //
+  // A configured wait timeout bounds the spin: a peer that died without its
+  // unwind reaching abort_exchanges (or an external kill) would otherwise
+  // hang every waiter forever.  The clock is consulted only every 1024
+  // yields so the healthy path stays a pair of atomic loads.
+  auto& e = epochs_[slot];
+  const double bound = wait_timeout_s_.load(std::memory_order_relaxed);
+  std::chrono::steady_clock::time_point deadline{};
+  bool deadline_set = false;
+  int spins = 0;
+  while (e.load(std::memory_order_acquire) < target) {
+    if (abort_.load(std::memory_order_relaxed)) return nullptr;
+    if (bound > 0.0 && ++spins >= 1024) {
+      spins = 0;
+      const auto now = std::chrono::steady_clock::now();
+      if (!deadline_set) {
+        deadline = now + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(bound));
+        deadline_set = true;
+      } else if (now >= deadline) {
+        abort_exchanges("halo wait exceeded " + std::to_string(bound) +
+                        "s (peer rank never posted — dead or wedged)");
+        return nullptr;
+      }
+    }
+    std::this_thread::yield();
+  }
+  return buffers_[slot].data();
+}
+
+}  // namespace igr::sim

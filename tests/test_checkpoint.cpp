@@ -315,6 +315,39 @@ TEST(CheckpointV2, TornWriteNeverTouchesTheFinalPath) {
   fs::remove(path.string() + ".tmp");
 }
 
+TEST(CheckpointV2, CommittedWritesFsyncTheParentDirectory) {
+  // fsync of the checkpoint file alone does not persist the *rename*: after
+  // a power cut the directory entry may still point at the old file.  Every
+  // committed atomic write must therefore also fsync the parent directory —
+  // asserted via the process-wide counter, one bump per commit.
+  const auto path = fs::temp_directory_path() / "igr_ckpt_dirsync.bin";
+  const auto q = make_state<double>(6);
+
+  const long before = igr::io::dir_fsyncs();
+  igr::io::write_checkpoint(path.string(), q, 1.0);
+  EXPECT_EQ(igr::io::dir_fsyncs(), before + 1);
+
+  // Manifests commit through the same atomic-write path.
+  igr::io::write_manifest(path.string() + ".manifest",
+                          {{5, 0.5, path.string()}});
+  EXPECT_EQ(igr::io::dir_fsyncs(), before + 2);
+
+  // A torn write never reaches the rename, so the directory is untouched
+  // and the counter must not move.
+  igr::io::set_checkpoint_write_fault(
+      [](const std::string&, std::size_t bytes) {
+        if (bytes > 500) throw std::runtime_error("simulated writer death");
+      });
+  EXPECT_THROW(igr::io::write_checkpoint(path.string(), q, 2.0),
+               std::runtime_error);
+  igr::io::set_checkpoint_write_fault({});
+  EXPECT_EQ(igr::io::dir_fsyncs(), before + 2);
+
+  fs::remove(path);
+  fs::remove(path.string() + ".manifest");
+  fs::remove(path.string() + ".tmp");
+}
+
 TEST(CheckpointV2, ManifestRoundTripAndMissingFile) {
   const auto path = fs::temp_directory_path() / "igr_ckpt.manifest";
   EXPECT_TRUE(igr::io::read_manifest(path.string()).empty());

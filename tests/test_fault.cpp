@@ -135,6 +135,83 @@ TEST(CommFault, InjectedPostFaultPoisonsTheDriverWithItsReason) {
   }
 }
 
+TEST(CommFault, HalfWireWaitTimeoutAbortsInsteadOfDeadlocking) {
+  // Same dead-peer shape as above, but with the channel narrowed to
+  // binary16 on the wire: the encode/decode path must sit inside the same
+  // bounded-wait/abort envelope as the full-width path.
+  const auto g = mesh::Grid::cube(8);
+  sim::Comm comm(g, 2, 1, 1, /*periodic=*/true);
+  comm.set_wait_timeout(0.2);
+  comm.set_wire(sim::Comm::kChanGeneral, sim::Comm::WirePrecision::kHalf);
+
+  const auto lg = comm.local_grid(0);
+  common::Field3<double> f(lg.nx(), lg.ny(), lg.nz(), 2);
+  const common::Field3<double>* cf = &f;
+  comm.post_axis(sim::Comm::kChanGeneral, 0, &cf, 1, 0);
+
+  common::Field3<double>* mf = &f;
+  EXPECT_FALSE(comm.complete_axis(sim::Comm::kChanGeneral, 0, &mf, 1, 0));
+  EXPECT_TRUE(comm.aborted());
+  EXPECT_NE(comm.abort_reason().find("halo wait exceeded"), std::string::npos)
+      << comm.abort_reason();
+}
+
+// --- Fault injection x wire precision -------------------------------------
+
+/// Guarded recovery with binary16 halo narrowing active: inject `fault_spec`
+/// mid-run and require the rollback/retry to land on exactly the bits of an
+/// unfaulted run at the same wire width.
+template <class Policy>
+void expect_half_wire_recovery(const char* fault_spec, const char* tag) {
+  const auto* spec = cases::find("taylor-green");
+  ASSERT_NE(spec, nullptr);
+  const auto dir = scratch_dir(tag);
+
+  cases::RunOptions opts;
+  opts.n = 12;
+  opts.steps = 8;
+  opts.ranks = {2, 1, 1};
+  opts.jacobi_sweeps = true;
+  opts.halo_wire = sim::Comm::WirePrecision::kHalf;
+  opts.comm_timeout_s = 30.0;
+
+  const auto clean = cases::run_case<Policy>(*spec, opts);
+
+  opts.faults = sim::FaultPlan::parse(fault_spec);
+  cases::GuardOptions guard;
+  guard.checkpoint_every = 2;
+  guard.dir = dir.string();
+  guard.max_retries = 2;
+  // A comm fault is transient, not an instability: retry at the SAME CFL so
+  // the checkpoint-resumed continuation can be compared bitwise.  (The
+  // default 0.5 backoff targets unhealthy states, where replaying the same
+  // trajectory would just blow up again.)
+  guard.cfl_backoff = 1.0;
+
+  const auto rep = cases::run_case_guarded<Policy>(*spec, opts, guard);
+  EXPECT_TRUE(rep.completed) << rep.failure;
+  EXPECT_GE(rep.retries, 1);  // the injected fault really fired
+  EXPECT_EQ(rep.result.state_fnv, clean.state_fnv)
+      << "half-wire recovery diverged from the unfaulted run";
+  // The guard report names the plan it ran under (forensics contract).
+  EXPECT_EQ(rep.fault_plan, opts.faults.describe());
+  fs::remove_all(dir);
+}
+
+TEST(GuardedRunHalfWire, Fp64PostFaultRecoversBitwise) {
+  expect_half_wire_recovery<common::Fp64>("post=300", "hw_post64");
+}
+
+TEST(GuardedRunHalfWire, Fp64CompleteFaultRecoversBitwise) {
+  expect_half_wire_recovery<common::Fp64>("complete=200", "hw_complete64");
+}
+
+TEST(GuardedRunHalfWire, Bf16x32CompleteFaultRecoversBitwise) {
+  // 16-bit storage: kHalf is the identity on the wire, and the recovery
+  // contract must hold there too.
+  expect_half_wire_recovery<common::Bf16x32>("complete=200", "hw_bf16");
+}
+
 // --- Health scan ----------------------------------------------------------
 
 common::StateField3<double> uniform_state(int n, double rho, double e) {
