@@ -63,6 +63,10 @@ struct Point {
   double speedup = 1.0;     ///< strong: t_base/t at equal total work
   double efficiency = 1.0;  ///< strong: speedup/ideal; weak: t_base/t
   double halo_mb_per_step = 0.0;
+  /// Halo WAIT (the acquire spin in Comm::complete_axis, excluding
+  /// pack/unpack) — mean per rank per step, summed over the team.
+  double halo_wait_ms_per_step = 0.0;
+  double halo_wait_epochs_per_step = 0.0;  ///< completed epochs, per rank
 };
 
 common::SolverConfig scaling_cfg() {
@@ -126,11 +130,17 @@ Point run_case_t(const char* mode, const mesh::Grid& grid,
     t.stop();
     const double bytes = d.comm().allreduce_sum_global(
         static_cast<double>(d.comm().bytes_exchanged()));
+    const double wait_ns = d.comm().allreduce_sum_global(
+        static_cast<double>(d.comm().halo_wait_ns_total()));
+    const double wait_epochs = d.comm().allreduce_sum_global(
+        static_cast<double>(d.comm().halo_wait_epochs_total()));
     if (rank <= 0) {
       p.time_per_step_s = t.seconds() / steps;
       p.grind_ns =
           t.seconds() * 1.0e9 / (static_cast<double>(grid.cells()) * steps);
       p.halo_mb_per_step = 1.0e-6 * bytes / steps;
+      p.halo_wait_ms_per_step = 1.0e-6 * wait_ns / (steps * R);
+      p.halo_wait_epochs_per_step = wait_epochs / (static_cast<double>(steps) * R);
     }
   };
 
@@ -146,10 +156,10 @@ Point run_case_t(const char* mode, const mesh::Grid& grid,
   }
 
   std::printf("  %-6s %2d ranks (%dx%dx%d)  %3dx%3dx%3d  %9.4f ms/step  "
-              "%8.1f ns/cell/step  %8.2f MB halo/step\n",
+              "%8.1f ns/cell/step  %8.2f MB halo/step  %7.3f ms wait/step\n",
               mode, p.ranks, layout[0], layout[1], layout[2], p.grid[0],
               p.grid[1], p.grid[2], 1e3 * p.time_per_step_s, p.grind_ns,
-              p.halo_mb_per_step);
+              p.halo_mb_per_step, p.halo_wait_ms_per_step);
   std::fflush(stdout);
   return p;
 }
@@ -202,11 +212,14 @@ void write_json(const std::string& path, const std::string& label, int warmup,
                  "\"layout\": [%d, %d, %d], \"grid\": [%d, %d, %d], "
                  "\"time_per_step_s\": %.6e, "
                  "\"grind_ns_per_cell_step\": %.2f, \"speedup\": %.3f, "
-                 "\"efficiency\": %.3f, \"halo_mb_per_step\": %.3f}%s\n",
+                 "\"efficiency\": %.3f, \"halo_mb_per_step\": %.3f, "
+                 "\"halo_wait_ms_per_step\": %.4f, "
+                 "\"halo_wait_epochs_per_step\": %.2f}%s\n",
                  p.mode.c_str(), p.ranks, p.layout[0], p.layout[1],
                  p.layout[2], p.grid[0], p.grid[1], p.grid[2],
                  p.time_per_step_s, p.grind_ns, p.speedup, p.efficiency,
-                 p.halo_mb_per_step, (i + 1 < pts.size()) ? "," : "");
+                 p.halo_mb_per_step, p.halo_wait_ms_per_step,
+                 p.halo_wait_epochs_per_step, (i + 1 < pts.size()) ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

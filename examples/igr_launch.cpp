@@ -37,6 +37,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,16 +45,21 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/telemetry.hpp"
 
 namespace {
 
 [[noreturn]] void usage(int code) {
   std::fprintf(stderr,
                "usage: igr_launch --world N [--dir DIR] [--max-respawns K]\n"
-               "                  -- COMMAND [ARGS...]\n"
+               "                  [--report FILE] -- COMMAND [ARGS...]\n"
                "  Spawns N processes of COMMAND with tcp-transport flags\n"
                "  appended; respawns the team (with --resume, --inject\n"
-               "  stripped) on a retryable loss (exit 75 or signal death).\n");
+               "  stripped) on a retryable loss (exit 75 or signal death).\n"
+               "  --report writes a machine-readable JSON exit report\n"
+               "  (attempts, per-attempt loss reason, respawns, final exit);\n"
+               "  if COMMAND carries --trace FILE, supervisor lifecycle\n"
+               "  events (spawn, loss, respawn) are appended to that trace.\n");
   std::exit(code);
 }
 
@@ -187,6 +193,115 @@ bool has_flag(const std::vector<std::string>& cmd, const char* flag) {
   return false;
 }
 
+/// Value of `--trace FILE` in the child command, if any — the launcher
+/// appends its lifecycle events to the team's merged trace.
+std::string trace_path_of(const std::vector<std::string>& cmd) {
+  for (std::size_t i = 0; i + 1 < cmd.size(); ++i)
+    if (cmd[i] == "--trace") return cmd[i + 1];
+  return {};
+}
+
+/// One team attempt, with the supervisor-side wall clock around it.
+struct AttemptLog {
+  Attempt a;
+  double t0_us = 0.0;  ///< system_clock µs at spawn (Chrome `ts` unit).
+  double t1_us = 0.0;  ///< system_clock µs at verdict.
+};
+
+double wall_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The machine-readable exit report (`--report FILE`), written on every
+/// exit path including usage of the respawn budget.
+void write_report(const std::string& path, int world, int max_respawns,
+                  const std::vector<AttemptLog>& attempts, int final_exit) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "igr_launch: cannot open report %s\n", path.c_str());
+    return;
+  }
+  namespace tel = igr::common::telemetry;
+  std::fprintf(f,
+               "{\n  \"world\": %d, \"max_respawns\": %d, \"respawns\": %d,\n"
+               "  \"final_exit\": %d,\n  \"attempts\": [\n",
+               world, max_respawns,
+               static_cast<int>(attempts.empty() ? 0 : attempts.size() - 1),
+               final_exit);
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const Attempt& a = attempts[i].a;
+    std::fprintf(f,
+                 "    {\"attempt\": %zu, \"ok\": %s, \"retryable\": %s, "
+                 "\"fatal_code\": %d, \"why\": \"%s\"}%s\n",
+                 i, a.ok ? "true" : "false", a.retryable ? "true" : "false",
+                 a.fatal_code, tel::json_escape(a.why).c_str(),
+                 i + 1 == attempts.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+/// Append supervisor lifecycle events to the team's Chrome trace: one "X"
+/// span per attempt plus "i" instants for each loss/respawn, on a pid row
+/// one past the last rank.  The trace is a bare JSON array, so appending is
+/// a rewrite of the trailing `]`; when the file is missing or empty (e.g.
+/// every attempt died before the export), a fresh array is created so the
+/// supervisor's view of the failed campaign still loads.
+void append_trace_events(const std::string& path, int world,
+                         const std::vector<AttemptLog>& attempts) {
+  namespace tel = igr::common::telemetry;
+  std::string events;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+                "\"tid\": 0, \"args\": {\"name\": \"igr_launch\"}}",
+                world);
+  events += buf;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const AttemptLog& al = attempts[i];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\": \"attempt %zu\", \"ph\": \"X\", \"pid\": %d, "
+                  "\"tid\": 0, \"ts\": %.3f, \"dur\": %.3f}",
+                  i, world, al.t0_us, al.t1_us - al.t0_us);
+    events += buf;
+    const char* verdict = al.a.ok ? "team ok"
+                          : al.a.retryable
+                              ? (i + 1 < attempts.size() ? "respawn" : "loss")
+                              : "fatal";
+    events += ",\n{\"name\": \"" + std::string(verdict) +
+              "\", \"ph\": \"i\", \"s\": \"p\", \"pid\": " +
+              std::to_string(world) + ", \"tid\": 0, \"ts\": " +
+              std::to_string(al.t1_us) + ", \"args\": {\"why\": \"" +
+              tel::json_escape(al.a.why) + "\"}}";
+  }
+
+  // Read whatever the team managed to export.
+  std::string body;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+      body.append(chunk, n);
+    std::fclose(f);
+  }
+  const auto last = body.find_last_of(']');
+  if (last == std::string::npos) {
+    body = "[\n" + events + "]\n";  // no export happened: fresh array
+  } else {
+    const bool empty_array = body.find_first_of('{') == std::string::npos;
+    body = body.substr(0, last) + (empty_array ? "" : ",\n") + events + "]\n";
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "igr_launch: cannot rewrite trace %s\n",
+                 path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +309,7 @@ int main(int argc, char** argv) {
   int world = 0;
   int max_respawns = 2;
   std::string base_dir;
+  std::string report_path;
   std::vector<std::string> cmd;
 
   ccli::Args args("igr_launch", argc, argv);
@@ -204,6 +320,8 @@ int main(int argc, char** argv) {
       base_dir = args.value();
     } else if (args.is("--max-respawns")) {
       max_respawns = args.int_value(0, 1000);
+    } else if (args.is("--report")) {
+      report_path = args.value();
     } else if (args.is("--")) {
       while (args.next()) cmd.emplace_back(args.flag());
       break;
@@ -226,6 +344,16 @@ int main(int argc, char** argv) {
     ::mkdir(base_dir.c_str(), 0777);  // best-effort; may already exist
   }
 
+  const std::string trace_path = trace_path_of(cmd);
+  std::vector<AttemptLog> attempts;
+  const auto finish = [&](int code) {
+    if (!report_path.empty())
+      write_report(report_path, world, max_respawns, attempts, code);
+    if (!trace_path.empty())
+      append_trace_events(trace_path, world, attempts);
+    return code;
+  };
+
   for (int attempt = 0; attempt <= max_respawns; ++attempt) {
     // A fresh rendezvous directory per attempt: a killed team's stale port
     // files must never be dialed by its replacement.
@@ -233,7 +361,7 @@ int main(int argc, char** argv) {
     if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
       std::fprintf(stderr, "igr_launch: mkdir %s failed: %s\n", dir.c_str(),
                    std::strerror(errno));
-      return 1;
+      return finish(1);
     }
 
     std::vector<std::string> attempt_cmd = cmd;
@@ -245,22 +373,27 @@ int main(int argc, char** argv) {
 
     std::fprintf(stderr, "igr_launch: attempt %d/%d, %d rank(s), dir %s\n",
                  attempt + 1, max_respawns + 1, world, dir.c_str());
-    const Attempt a = run_attempt(attempt_cmd, world, dir);
-    if (a.ok) return 0;
+    AttemptLog al;
+    al.t0_us = wall_us();
+    al.a = run_attempt(attempt_cmd, world, dir);
+    al.t1_us = wall_us();
+    attempts.push_back(al);
+    const Attempt& a = attempts.back().a;
+    if (a.ok) return finish(0);
     if (a.fatal_code != 0) {
       std::fprintf(stderr, "igr_launch: fatal: %s\n", a.why.c_str());
-      return a.fatal_code;
+      return finish(a.fatal_code);
     }
     std::fprintf(stderr, "igr_launch: %s\n", a.why.c_str());
     if (attempt == max_respawns) {
       std::fprintf(stderr,
                    "igr_launch: respawn budget (%d) exhausted, giving up\n",
                    max_respawns);
-      return 1;
+      return finish(1);
     }
     std::fprintf(stderr, "igr_launch: respawning with --resume\n");
   }
-  return 1;
+  return finish(1);
 }
 
 #else  // !unix

@@ -66,6 +66,9 @@ constexpr int kExitRetryable = 75;
       "                [--exec serial|openmp] [--threads T]\n"
       "                [--phased] [--vtk out.vtk] [--json out.json]\n"
       "                [--save ckpt.bin] [--restart ckpt.bin]\n"
+      "  observability (see README 'Observability'):\n"
+      "                [--phase-timing] [--telemetry out.jsonl]\n"
+      "                [--trace out.json]\n"
       "  fault tolerance (single --case; see README 'Fault tolerance'):\n"
       "                [--checkpoint-every N] [--ckpt-dir DIR] [--resume]\n"
       "                [--keep K] [--max-retries R] [--cfl-backoff X]\n"
@@ -112,7 +115,8 @@ void print_result(const cases::CaseSpec& spec, const char* precision,
 
 void json_result(std::FILE* f, const cases::CaseSpec& spec,
                  const char* precision, const cases::RunResult& r,
-                 const sim::FaultPlan& faults, bool last) {
+                 const cases::RunOptions& ropts, bool last) {
+  const sim::FaultPlan& faults = ropts.faults;
   std::fprintf(f,
                "    {\"case\": \"%s\", \"precision\": \"%s\", "
                "\"cells\": %zu, \"steps\": %d, \"time\": %.9g,\n"
@@ -138,6 +142,22 @@ void json_result(std::FILE* f, const cases::CaseSpec& spec,
   std::fprintf(f, ",\n     \"state_fnv\": \"0x%016llx\", \"dt_fnv\": \"0x%016llx\"",
                static_cast<unsigned long long>(r.state_fnv),
                static_cast<unsigned long long>(r.dt_fnv));
+  if (r.has_phases) {
+    // bench_grind's breakdown format, so the two reports diff directly.
+    std::fprintf(f, ",\n     \"phase_ns_per_cell_step\": {");
+    for (int p = 0; p < common::PhaseProfile::kNumPhases; ++p) {
+      const auto ph = static_cast<common::PhaseProfile::Phase>(p);
+      std::fprintf(f, "%s\"%s\": %.2f", p == 0 ? "" : ", ",
+                   common::PhaseProfile::name(ph),
+                   r.phase_ns[static_cast<std::size_t>(p)]);
+    }
+    std::fputc('}', f);
+  }
+  if (!ropts.telemetry.empty())
+    std::fprintf(f, ",\n     \"telemetry\": \"%s\"",
+                 ropts.telemetry.c_str());
+  if (!ropts.trace.empty())
+    std::fprintf(f, ",\n     \"trace\": \"%s\"", ropts.trace.c_str());
   if (faults.armed())
     std::fprintf(f, ",\n     \"fault_plan\": \"%s\", \"fault_seed\": %llu",
                  faults.describe().c_str(),
@@ -249,6 +269,12 @@ int main(int argc, char** argv) {
       cli.run.jacobi_sweeps = true;
     } else if (args.is("--phased")) {
       cli.run.fused_rhs = false;
+    } else if (args.is("--phase-timing")) {
+      cli.run.phase_timing = true;
+    } else if (args.is("--telemetry")) {
+      cli.run.telemetry = args.value();
+    } else if (args.is("--trace")) {
+      cli.run.trace = args.value();
     } else if (args.is("--vtk")) {
       cli.vtk = args.value();
     } else if (args.is("--json")) {
@@ -335,10 +361,12 @@ int main(int argc, char** argv) {
     // One output file / one checkpoint cannot serve 14 differently shaped
     // cases — these flows are single-case only.
     if (!cli.vtk.empty() || !cli.save_ckpt.empty() ||
-        !cli.restart_ckpt.empty() || cli.guarded) {
+        !cli.restart_ckpt.empty() || cli.guarded ||
+        !cli.run.telemetry.empty() || !cli.run.trace.empty()) {
       std::fprintf(stderr,
-                   "run_case: --vtk/--save/--restart and the fault-tolerance "
-                   "flags need a single --case, not 'all'\n");
+                   "run_case: --vtk/--save/--restart/--telemetry/--trace and "
+                   "the fault-tolerance flags need a single --case, not "
+                   "'all'\n");
       return 2;
     }
     for (const auto& c : cases::all_cases()) selected.push_back(&c);
@@ -364,9 +392,14 @@ int main(int argc, char** argv) {
       // EX_TEMPFAIL so it reaps the team and respawns with --resume.
       return cli.multi_process() ? kExitRetryable : 1;
     }
-    if (cli.is_io_root())
+    if (cli.is_io_root()) {
       print_result(*spec, cases::precision_name(cli.precision),
                    results.back());
+      if (!cli.run.telemetry.empty())
+        std::printf("telemetry -> %s\n", cli.run.telemetry.c_str());
+      if (!cli.run.trace.empty())
+        std::printf("trace -> %s\n", cli.run.trace.c_str());
+    }
   }
 
   if (!cli.json.empty() && cli.is_io_root()) {
@@ -378,7 +411,7 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"cases\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i)
       json_result(f, *selected[i], cases::precision_name(cli.precision),
-                  results[i], cli.run.faults, i + 1 == results.size());
+                  results[i], cli.run, i + 1 == results.size());
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", cli.json.c_str());

@@ -88,6 +88,32 @@ common::PhaseProfile* Simulation<Policy>::phase_profile() {
 }
 
 template <class Policy>
+const common::PhaseProfile* Simulation<Policy>::local_phase_profile() const {
+  if (igr_) return &igr_->phase_profile();
+  if (dist_ && !dist_->local_ranks().empty())
+    return &dist_->rank(dist_->local_ranks().front()).phase_profile();
+  return nullptr;
+}
+
+template <class Policy>
+std::size_t Simulation<Policy>::local_phase_cells() const {
+  if (igr_) return params_.grid.cells();
+  if (dist_ && !dist_->local_ranks().empty())
+    return dist_->rank(dist_->local_ranks().front()).grid().cells();
+  return 0;
+}
+
+template <class Policy>
+std::uint64_t Simulation<Policy>::sigma_sweeps_done() const {
+  if (igr_) return igr_->sigma_sweeps_done();
+  std::uint64_t total = 0;
+  if (dist_)
+    for (const int r : dist_->local_ranks())
+      total += dist_->rank(r).sigma_sweeps_done();
+  return total;
+}
+
+template <class Policy>
 std::size_t Simulation<Policy>::memory_bytes() const {
   if (dist_) return dist_->memory_bytes();
   return igr_ ? igr_->memory_bytes() : weno_->memory_bytes();

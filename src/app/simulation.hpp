@@ -71,6 +71,17 @@ class Simulation {
   /// for the baseline scheme and decomposed runs.  Populated only when
   /// cfg.phase_timing is on (the bench harness enables it).
   [[nodiscard]] common::PhaseProfile* phase_profile();
+  /// Phase profile of a solver this process steps: the single-domain
+  /// solver, or the first local rank's solver of a decomposed run (one rank
+  /// per process under tcp, so there it is *the* local solver).  Null for
+  /// the baseline scheme; populated only when cfg.phase_timing is on.
+  [[nodiscard]] const common::PhaseProfile* local_phase_profile() const;
+  /// Interior cells of the solver local_phase_profile() describes (the
+  /// normalizer for its ns-per-cell-per-step breakdown).
+  [[nodiscard]] std::size_t local_phase_cells() const;
+  /// Total Sigma relaxation sweeps executed by this process's solvers
+  /// (always maintained; see core::IgrSolver3D::sigma_sweeps_done).
+  [[nodiscard]] std::uint64_t sigma_sweeps_done() const;
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] FlowDiagnostics diagnostics() const;
   /// Cheap NaN/Inf/negative-density/pressure scan of the (gathered) state —

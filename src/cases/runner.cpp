@@ -1,6 +1,7 @@
 #include "cases/runner.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -8,9 +9,12 @@
 
 #include "common/half.hpp"
 #include "common/hash.hpp"
+#include "common/telemetry.hpp"
 #include "io/checkpoint.hpp"
 
 namespace igr::cases {
+
+namespace telemetry = common::telemetry;
 
 const char* precision_name(Precision p) {
   switch (p) {
@@ -68,7 +72,21 @@ CaseRun<Policy>::CaseRun(const CaseSpec& spec, const RunOptions& opts)
   }
   if (opts_.faults.armed())
     injector_ = std::make_unique<sim::FaultInjector>(opts_.faults);
+  // Arm telemetry *before* the first build so construction-time IO (e.g. a
+  // resume's checkpoint read) is already observed.  The gate is flipped
+  // here, at setup — never on a hot path.
+  if (!opts_.telemetry.empty() || !opts_.trace.empty())
+    telemetry::set_enabled(true);
   build_sim();
+  if (telemetry::enabled()) {
+    telemetry::set_rank(std::max(0, sim_->local_rank()));
+    if (!opts_.telemetry.empty() && sim_->is_io_root()) {
+      jsonl_.reset(std::fopen(opts_.telemetry.c_str(), "w"));
+      if (!jsonl_)
+        throw std::runtime_error("CaseRun: cannot open telemetry stream " +
+                                 opts_.telemetry);
+    }
+  }
 }
 
 template <class Policy>
@@ -102,6 +120,14 @@ void CaseRun<Policy>::build_sim() {
       opts_.to_params<Policy>(*spec_, injector_.get()));
   sim_->init(spec_->initial());
   steps_ = 0;
+  // Fresh solvers and a fresh comm start their meters at zero; re-base the
+  // per-step delta snapshots so a rebuilt (rolled-back) run's first step
+  // does not see a negative delta.
+  prev_phase_s_.fill(0.0);
+  prev_sweeps_ = 0;
+  prev_wait_ns_.fill(0);
+  prev_wait_epochs_.fill(0);
+  prev_bytes_ = 0;
   if (sim_->is_io_root()) {
     totals_initial_ = totals_of(sim_->state(), sim_->grid());
   } else {
@@ -126,10 +152,152 @@ double CaseRun<Policy>::step() {
   // every rank (and the test harness) down with it.
   if (injector_ && sim_->multi_process())
     injector_->on_step(sim_->local_rank());
+  const std::int64_t t0 = telemetry::enabled() ? telemetry::now_ns() : -1;
   const double dt = sim_->step();
   ++steps_;
   dt_hash_.update(&dt, sizeof(dt));
+  // Telemetry runs strictly *after* the FP work and the dt-hash update, and
+  // only reads state — the step's bits are already sealed either way.
+  if (t0 >= 0) record_step_telemetry(t0, dt);
   return dt;
+}
+
+template <class Policy>
+void CaseRun<Policy>::record_step_telemetry(std::int64_t t0, double dt) {
+  const std::int64_t t1 = telemetry::now_ns();
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "\"step\": %d, \"dt\": %.17g", steps_, dt);
+  telemetry::record_span("step", t0, t1 - t0, buf);
+  telemetry::gauge("run.dt").set(dt);
+  telemetry::histogram("run.step_ns")
+      .record(static_cast<std::uint64_t>(t1 - t0));
+
+  // Per-phase deltas from the solver's PhaseScope accumulators.  The
+  // profile records durations, not start times, so the trace lays the phase
+  // child spans sequentially inside the step span — phase order within the
+  // step is schedule order, not measured offsets.
+  constexpr int kNp = common::PhaseProfile::kNumPhases;
+  std::array<double, kNp> dphase{};
+  const common::PhaseProfile* prof = sim_->local_phase_profile();
+  const bool phases = prof != nullptr && prof->enabled();
+  if (phases) {
+    std::int64_t cursor = t0;
+    for (int p = 0; p < kNp; ++p) {
+      const auto ph = static_cast<common::PhaseProfile::Phase>(p);
+      const double s = prof->seconds(ph);
+      dphase[static_cast<std::size_t>(p)] =
+          s - prev_phase_s_[static_cast<std::size_t>(p)];
+      prev_phase_s_[static_cast<std::size_t>(p)] = s;
+      const auto ns = static_cast<std::int64_t>(
+          dphase[static_cast<std::size_t>(p)] * 1e9);
+      if (ns > 0) {
+        telemetry::record_span(common::PhaseProfile::name(ph), cursor, ns);
+        cursor += ns;
+      }
+    }
+  }
+
+  const std::uint64_t sweeps = sim_->sigma_sweeps_done();
+  const std::uint64_t dsweeps = sweeps - prev_sweeps_;
+  prev_sweeps_ = sweeps;
+  telemetry::counter("sigma.sweeps").add(dsweeps);
+
+  std::array<std::uint64_t, 3> dwait{};
+  std::array<std::uint64_t, 3> depochs{};
+  std::uint64_t dbytes = 0;
+  if (sim_->distributed()) {
+    const sim::Comm& comm = sim_->dist().comm();
+    for (int a = 0; a < 3; ++a) {
+      const auto sa = static_cast<std::size_t>(a);
+      const std::uint64_t w = comm.halo_wait_ns(a);
+      const std::uint64_t e = comm.halo_wait_epochs(a);
+      dwait[sa] = w - prev_wait_ns_[sa];
+      depochs[sa] = e - prev_wait_epochs_[sa];
+      prev_wait_ns_[sa] = w;
+      prev_wait_epochs_[sa] = e;
+    }
+    const auto bytes = static_cast<std::uint64_t>(comm.bytes_exchanged());
+    dbytes = bytes - prev_bytes_;
+    prev_bytes_ = bytes;
+    telemetry::counter("halo.wait_ns").add(dwait[0] + dwait[1] + dwait[2]);
+    telemetry::counter("halo.bytes").add(dbytes);
+  }
+
+  if (!jsonl_) return;
+  std::FILE* f = jsonl_.get();
+  std::fprintf(f,
+               "{\"step\": %d, \"t\": %.17g, \"dt\": %.17g, "
+               "\"wall_ns\": %" PRId64,
+               steps_, sim_->time(), dt, t1 - t0);
+  if (phases) {
+    std::fputs(", \"phase_ns\": {", f);
+    for (int p = 0; p < kNp; ++p) {
+      const auto ph = static_cast<common::PhaseProfile::Phase>(p);
+      std::fprintf(f, "%s\"%s\": %.0f", p == 0 ? "" : ", ",
+                   common::PhaseProfile::name(ph),
+                   dphase[static_cast<std::size_t>(p)] * 1e9);
+    }
+    std::fputc('}', f);
+  }
+  std::fprintf(f, ", \"sigma_sweeps\": %" PRIu64, dsweeps);
+  if (sim_->distributed()) {
+    std::fprintf(f,
+                 ", \"halo_wait_ns\": [%" PRIu64 ", %" PRIu64 ", %" PRIu64
+                 "], \"halo_wait_epochs\": [%" PRIu64 ", %" PRIu64
+                 ", %" PRIu64 "], \"wire_bytes\": %" PRIu64,
+                 dwait[0], dwait[1], dwait[2], depochs[0], depochs[1],
+                 depochs[2], dbytes);
+  }
+  std::fputs("}\n", f);
+  // Line-buffered on purpose: a killed or rolled-back run leaves a
+  // parseable stream up to its last completed step.
+  std::fflush(f);
+}
+
+template <class Policy>
+void CaseRun<Policy>::emit_event(const std::string& name,
+                                 const std::string& extra) {
+  if (!jsonl_) return;
+  std::FILE* f = jsonl_.get();
+  std::fprintf(f, "{\"event\": \"%s\"", telemetry::json_escape(name).c_str());
+  if (!extra.empty()) std::fprintf(f, ", %s", extra.c_str());
+  std::fputs("}\n", f);
+  std::fflush(f);
+}
+
+namespace {
+/// Blob tag of the per-rank trace-fragment gather (DistributedIgr owns tags
+/// 1 and 2 for state/Sigma).
+constexpr int kBlobTagTrace = 3;
+}  // namespace
+
+template <class Policy>
+void CaseRun<Policy>::export_trace() {
+  if (opts_.trace.empty()) return;
+  const std::string mine =
+      telemetry::chrome_events(std::max(0, sim_->local_rank()));
+  if (sim_->multi_process()) {
+    auto& transport = sim_->dist().comm().transport();
+    if (!sim_->is_io_root()) {
+      transport.send_blob(0, kBlobTagTrace,
+                          reinterpret_cast<const unsigned char*>(mine.data()),
+                          mine.size());
+      return;
+    }
+    std::vector<std::string> frags;
+    frags.push_back(mine);
+    const int R = sim_->dist().comm().ranks();
+    for (int r = 1; r < R; ++r) {
+      const auto blob = transport.recv_blob(r, kBlobTagTrace);
+      frags.emplace_back(reinterpret_cast<const char*>(blob.data()),
+                         blob.size());
+    }
+    if (!telemetry::write_trace(opts_.trace, frags))
+      throw std::runtime_error("CaseRun: cannot write trace " + opts_.trace);
+    return;
+  }
+  if (!telemetry::write_trace(opts_.trace, {mine}))
+    throw std::runtime_error("CaseRun: cannot write trace " + opts_.trace);
 }
 
 template <class Policy>
@@ -139,12 +307,28 @@ RunResult CaseRun<Policy>::run() {
   } else {
     while (sim_->time() < t_end_ - 1e-14) step();
   }
-  return result();
+  const RunResult r = result();
+  export_trace();  // collective; after result()'s gather on every process
+  return r;
 }
 
 template <class Policy>
 RunResult CaseRun<Policy>::result() const {
   RunResult r;
+  // Per-phase breakdown of a solver this process stepped, normalized the
+  // way bench_grind reports it (ns per local cell per step).
+  const common::PhaseProfile* prof = sim_->local_phase_profile();
+  const std::size_t pcells = sim_->local_phase_cells();
+  if (prof != nullptr && prof->enabled() && steps_ > 0 && pcells > 0) {
+    r.has_phases = true;
+    const double denom =
+        static_cast<double>(pcells) * static_cast<double>(steps_);
+    for (int p = 0; p < common::PhaseProfile::kNumPhases; ++p) {
+      const auto ph = static_cast<common::PhaseProfile::Phase>(p);
+      r.phase_ns[static_cast<std::size_t>(p)] =
+          prof->seconds(ph) * 1e9 / denom;
+    }
+  }
   if (sim_->multi_process() && !sim_->is_io_root()) {
     // The root's diagnostics start with a gather; every process must feed
     // it.  Everything global in the result is root-only — this side
@@ -283,13 +467,23 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
 
   if (guard.resume) {
     manifest = io::read_manifest(manifest_path);
-    if (try_restore()) rep.resumed_step = step;
+    if (try_restore()) {
+      rep.resumed_step = step;
+      telemetry::record_instant("resume",
+                                "\"step\": " + std::to_string(step));
+      run.emit_event("resume", "\"step\": " + std::to_string(step));
+    }
   }
 
   // Rollback: rebuild the simulation (a faulted comm is poisoned by design
   // and cannot be reused), back off the CFL, and restore the last valid
   // checkpoint — or restart from the initial conditions if there is none.
   const auto rollback = [&](const std::string& why) -> bool {
+    telemetry::record_instant(
+        "rollback", "\"why\": \"" + telemetry::json_escape(why) + "\"");
+    run.emit_event("rollback", "\"step\": " + std::to_string(step) +
+                                   ", \"why\": \"" +
+                                   telemetry::json_escape(why) + "\"");
     if (mp) {
       // A multi-process fabric cannot be re-formed in place: the peers'
       // transports are poisoned too (abort broadcast) and this process
@@ -341,11 +535,17 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
     if (health_due) {
       const auto h = run.sim().health();
       if (!h.healthy(guard.strict_pressure)) {
+        run.emit_event("health",
+                       "\"step\": " + std::to_string(step) + ", \"ok\": false"
+                       ", \"detail\": \"" +
+                           telemetry::json_escape(h.describe()) + "\"");
         if (!rollback("unhealthy state at step " + std::to_string(step) +
                       ": " + h.describe()))
           return rep;
         continue;  // never checkpoint a state the scan just condemned
       }
+      run.emit_event("health",
+                     "\"step\": " + std::to_string(step) + ", \"ok\": true");
     }
     if (ckpt_due) {
       const std::string path = base + ".ckpt" + std::to_string(step);
@@ -362,17 +562,26 @@ GuardReport run_case_guarded(const CaseSpec& spec, const RunOptions& opts,
         }
         if (io_root) io::write_manifest(manifest_path, manifest);
         ++rep.checkpoints_written;
-      } catch (const std::exception&) {
+        telemetry::record_instant("checkpoint",
+                                  "\"step\": " + std::to_string(step));
+        run.emit_event("checkpoint", "\"step\": " + std::to_string(step) +
+                                         ", \"path\": \"" +
+                                         telemetry::json_escape(path) + "\"");
+      } catch (const std::exception& e) {
         // A save that dies mid-write leaves a torn `.tmp` and never touches
         // the final path or the manifest — the run itself is unharmed, so
         // count it and keep stepping (the next cadence retries).
         ++rep.checkpoint_failures;
+        run.emit_event("checkpoint_failed",
+                       "\"step\": " + std::to_string(step) + ", \"why\": \"" +
+                           telemetry::json_escape(e.what()) + "\"");
       }
     }
   }
 
   rep.completed = true;
   rep.result = run.result();
+  run.export_trace();  // collective; after result()'s gather
   // The absolute campaign step is what the report should carry, not the
   // rebuilt CaseRun's local count.
   rep.result.steps = static_cast<int>(step);

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -17,6 +18,7 @@
 #include "cases/case.hpp"
 #include "common/exec.hpp"
 #include "common/hash.hpp"
+#include "common/timer.hpp"
 #include "sim/fault.hpp"
 
 namespace igr::cases {
@@ -85,6 +87,12 @@ struct RunOptions {
   /// SolverConfig::exec_threads and DistOptions::threads_per_rank, so one
   /// knob sets the kernel team width wherever the kernels run.
   int threads = 0;
+  /// Observability sinks (empty: off).  Requesting either one arms
+  /// common::telemetry for the process; telemetry is provably inert — state
+  /// and dt fingerprints are bitwise-identical on or off (test-enforced).
+  std::string telemetry;  ///< Per-step JSONL event stream (IO root writes).
+  std::string trace;      ///< Chrome trace_event file, one pid row per rank
+                          ///< (TCP ranks gather fragments to the IO root).
 
   /// One-way lowering of this request (plus the case's registered
   /// defaults) into the app::Simulation parameter block — the only place
@@ -117,6 +125,11 @@ struct RunResult {
   /// dt trajectory* matched — a sharper bitwise check than the final state
   /// alone.
   std::uint64_t dt_fnv = 0;
+  /// Per-phase wall time in ns per local cell per step (bench_grind's
+  /// breakdown metric), indexed by common::PhaseProfile::Phase.  Populated
+  /// when opts.phase_timing was on and the scheme keeps a profile.
+  bool has_phases = false;
+  std::array<double, common::PhaseProfile::kNumPhases> phase_ns{};
 };
 
 /// A stateful case execution: step/run/inspect, checkpoint and restart.
@@ -149,6 +162,17 @@ class CaseRun {
   /// Running FNV-1a over the per-step dt bits (see RunResult::dt_fnv).
   [[nodiscard]] std::uint64_t dt_fnv() const { return dt_hash_.value(); }
 
+  /// Append one event line (`{"event": "<name>", ...extra}`) to the JSONL
+  /// stream; no-op when the stream is not open on this process.  `extra` is
+  /// the literal body of additional JSON fields (no braces), pre-escaped.
+  void emit_event(const std::string& name, const std::string& extra = {});
+  /// Collective Chrome-trace export to opts.trace (no-op when unset): every
+  /// process serializes its recorded spans; the IO root merges the per-rank
+  /// fragments (gathered over Transport::send_blob for TCP teams) and
+  /// writes the file.  run() and the guarded runner call this once at
+  /// completion.
+  void export_trace();
+
   /// Tear down and reconstruct the simulation from the initial conditions
   /// (same options except `cfl_scale`, which the caller may have backed
   /// off).  Required for rollback after a comm fault: an aborted
@@ -162,6 +186,13 @@ class CaseRun {
 
  private:
   void build_sim();
+  void record_step_telemetry(std::int64_t t0_ns, double dt);
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
 
   const CaseSpec* spec_;
   RunOptions opts_;
@@ -172,6 +203,16 @@ class CaseRun {
   common::Cons<double> totals_initial_{};
   common::Fnv1a64 dt_hash_{};
   int steps_ = 0;
+
+  /// JSONL stream (IO root only; survives rebuild() so a rolled-back run
+  /// keeps appending to one file) + previous-step meter snapshots the
+  /// per-step deltas are computed against.
+  std::unique_ptr<std::FILE, FileCloser> jsonl_;
+  std::array<double, common::PhaseProfile::kNumPhases> prev_phase_s_{};
+  std::uint64_t prev_sweeps_ = 0;
+  std::array<std::uint64_t, 3> prev_wait_ns_{};
+  std::array<std::uint64_t, 3> prev_wait_epochs_{};
+  std::uint64_t prev_bytes_ = 0;
 };
 
 /// Options for the case's golden run (golden_n cells, golden_steps steps) —

@@ -1215,6 +1215,7 @@ void IgrSolver3D<Policy>::apply_domain_bc(common::StateField3<S>& q) {
 
 template <class Policy>
 void IgrSolver3D<Policy>::sigma_sweep(common::StateField3<S>& /*q*/) {
+  ++sigma_sweeps_done_;
   sigma_sweep_once<Policy>(sigma_, sigma_scratch_, sigma_src_, inv_rho_,
                            static_cast<C>(alpha_), static_cast<C>(grid_.dx()),
                            static_cast<C>(grid_.dy()),
@@ -1457,6 +1458,10 @@ void IgrSolver3D<Policy>::fused_sigma_pipeline(common::StateField3<S>& q) {
   const int nz = grid_.nz();
   const int ng = q.ng();
   const int sweeps = cfg_.sigma_sweeps;
+  // The pipeline performs `sweeps` logical relaxation passes without going
+  // through sigma_sweep(); credit them up front so the meter agrees with
+  // the phased schedule.
+  sigma_sweeps_done_ += static_cast<std::uint64_t>(sweeps);
   const bool rb = cfg_.sigma_gauss_seidel;
   const int depth = rb ? 2 * sweeps - 1 : sweeps - 1;
   const int chunk = std::max(flux_block(), 4);

@@ -25,6 +25,7 @@
 /// phased reference path kept behind `fused_rhs = false`.
 
 #include <array>
+#include <cstdint>
 #include <functional>
 
 #include "common/config.hpp"
@@ -117,6 +118,12 @@ class IgrSolver3D {
   [[nodiscard]] common::PhaseProfile& phase_profile() { return profile_; }
   [[nodiscard]] const common::PhaseProfile& phase_profile() const {
     return profile_;
+  }
+  /// Total Sigma relaxation sweeps executed so far (always maintained — one
+  /// integer add per sweep; the fused pipeline credits its logical sweeps in
+  /// one batch).  Telemetry reads deltas of this per step.
+  [[nodiscard]] std::uint64_t sigma_sweeps_done() const {
+    return sigma_sweeps_done_;
   }
 
   /// The fused step caches the next step's CFL dt (its reduction is folded
@@ -312,6 +319,7 @@ class IgrSolver3D {
 
   common::GrindTimer grind_;
   common::PhaseProfile profile_;
+  std::uint64_t sigma_sweeps_done_ = 0;
 
   /// Next-step CFL cache: the fused final RK stage accumulates the CFL
   /// extrema over the freshly written state and warm Sigma — the same

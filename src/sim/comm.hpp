@@ -35,6 +35,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -220,9 +221,45 @@ class Comm {
   [[nodiscard]] std::size_t bytes_exchanged() const {
     return bytes_.load(std::memory_order_relaxed);
   }
-  void reset_traffic() const { bytes_.store(0, std::memory_order_relaxed); }
+
+  /// Halo **wait** meters: ns spent in complete_axis blocked on peers'
+  /// posted epochs (the `transport_->acquire` loop only — pack and unpack
+  /// are excluded), per axis, plus the number of completed epochs.  This is
+  /// the overlap-tuning signal: wait >> 0 with interior work available
+  /// means the post/complete split is not hiding the exchange.  Always on
+  /// (two steady_clock samples per complete_axis — noise next to one
+  /// plane unpack); surfaced in bench_scaling rows and the telemetry
+  /// JSONL stream.
+  [[nodiscard]] std::uint64_t halo_wait_ns(int axis) const {
+    return wait_ns_[check_axis(axis)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t halo_wait_epochs(int axis) const {
+    return wait_epochs_[check_axis(axis)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t halo_wait_ns_total() const {
+    return halo_wait_ns(0) + halo_wait_ns(1) + halo_wait_ns(2);
+  }
+  [[nodiscard]] std::uint64_t halo_wait_epochs_total() const {
+    return halo_wait_epochs(0) + halo_wait_epochs(1) + halo_wait_epochs(2);
+  }
+
+  void reset_traffic() const {
+    bytes_.store(0, std::memory_order_relaxed);
+    for (int a = 0; a < 3; ++a) {
+      wait_ns_[static_cast<std::size_t>(a)].store(0,
+                                                  std::memory_order_relaxed);
+      wait_epochs_[static_cast<std::size_t>(a)].store(
+          0, std::memory_order_relaxed);
+    }
+  }
 
  private:
+  [[nodiscard]] static std::size_t check_axis(int axis) {
+    if (axis < 0 || axis > 2)
+      throw std::invalid_argument("Comm: axis out of range");
+    return static_cast<std::size_t>(axis);
+  }
+
   /// Planes a block of thickness `n` publishes per axis: `ng` per side, or
   /// the whole interior when it is that thin (multi-hop sourcing).
   [[nodiscard]] static int published_planes(int n, int ng) {
@@ -278,6 +315,10 @@ class Comm {
   int mp_ng_ = 0;  ///< Enforced ghost depth in multi-process mode.
   mutable std::unique_ptr<Transport> transport_;
   mutable std::atomic<std::size_t> bytes_{0};
+  /// Per-axis wait metering (see halo_wait_ns); atomics because different
+  /// ranks complete concurrently from different threads, like bytes_.
+  mutable std::array<std::atomic<std::uint64_t>, 3> wait_ns_{};
+  mutable std::array<std::atomic<std::uint64_t>, 3> wait_epochs_{};
   mutable FaultInjector* fault_ = nullptr;
   /// Per-slot float staging for narrowing packs (only the posting rank's
   /// thread touches its slot, like the transport's send buffers).
@@ -443,11 +484,27 @@ bool Comm::complete_axis(int channel, int rank,
   const std::uint64_t target =
       transport_->posted_epoch(slot(channel, axis, rank));
   const unsigned char* src_data[2 * kMaxGhostDepth] = {};
+  // The wait meter brackets exactly the epoch-acquire loop: the time this
+  // rank is blocked on peers, separate from the pack above and the unpack
+  // below (which are local compute).
+  const auto wait_t0 = std::chrono::steady_clock::now();
+  bool acquired = true;
   for (int s = 0; s < nsrc; ++s) {
     src_data[s] = transport_->acquire(slot(channel, axis, src_ranks[s]),
                                       target, src_ranks[s]);
-    if (src_data[s] == nullptr) return false;
+    if (src_data[s] == nullptr) {
+      acquired = false;
+      break;
+    }
   }
+  const auto waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - wait_t0)
+                          .count();
+  const auto ax = static_cast<std::size_t>(axis);
+  wait_ns_[ax].fetch_add(static_cast<std::uint64_t>(waited),
+                         std::memory_order_relaxed);
+  wait_epochs_[ax].fetch_add(1, std::memory_order_relaxed);
+  if (!acquired) return false;
 
   const bool narrow =
       sizeof(T) > sizeof(common::half) &&

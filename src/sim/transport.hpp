@@ -86,6 +86,16 @@ struct TransportSpec {
   }
 };
 
+/// Always-on wire statistics a backend exposes for telemetry (zeros where a
+/// concept does not apply — the in-process backend moves no frames).
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< Headers + payloads, every frame kind.
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t heartbeats_sent = 0;
+};
+
 class Transport {
  public:
   explicit Transport(std::size_t nslots) : nslots_(nslots) {}
@@ -162,6 +172,11 @@ class Transport {
   /// Bound every wait; <= 0 disables (the driver installs its own bound).
   void set_wait_timeout(double seconds) { wait_timeout_s_ = seconds; }
   [[nodiscard]] double wait_timeout() const { return wait_timeout_s_; }
+
+  /// Snapshot of the backend's wire counters (relaxed reads; always
+  /// maintained — the TCP backend's counters ride sends/receives it makes
+  /// anyway, and the in-process backend has nothing to count).
+  [[nodiscard]] virtual TransportStats stats() const { return {}; }
 
  protected:
   /// Backend hook invoked after an abort latches (wake blocked waiters,

@@ -290,6 +290,16 @@ class TcpTransport final : public Transport {
     return ctl_wait(peer, kBlob, static_cast<std::uint16_t>(tag), "blob");
   }
 
+  [[nodiscard]] TransportStats stats() const override {
+    TransportStats s;
+    s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.frames_received = frames_recv_.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_recv_.load(std::memory_order_relaxed);
+    s.heartbeats_sent = heartbeats_sent_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  protected:
   void on_abort() override {
     cv_.notify_all();
@@ -499,7 +509,13 @@ class TcpTransport final : public Transport {
     // One mutex per peer: frames from different threads (worker, heartbeat,
     // collectives) must not interleave on the stream.
     std::lock_guard<std::mutex> lock(send_mu_[static_cast<std::size_t>(peer)]);
-    return send_all(fd, &h, sizeof h) && (len == 0 || send_all(fd, data, len));
+    const bool ok =
+        send_all(fd, &h, sizeof h) && (len == 0 || send_all(fd, data, len));
+    if (ok) {
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      bytes_sent_.fetch_add(sizeof h + len, std::memory_order_relaxed);
+    }
+    return ok;
   }
 
   void ctl_send(int peer, std::uint16_t tag, const unsigned char* data,
@@ -616,6 +632,9 @@ class TcpTransport final : public Transport {
         on_disconnect(peer);
         return;
       }
+      frames_recv_.fetch_add(1, std::memory_order_relaxed);
+      bytes_recv_.fetch_add(sizeof h + static_cast<std::size_t>(h.len),
+                            std::memory_order_relaxed);
       if (h.kind == kAbort) {
         abort_exchanges("rank " + std::to_string(peer) + " aborted: " +
                         std::string(payload.begin(), payload.end()));
@@ -684,7 +703,8 @@ class TcpTransport final : public Transport {
       if (hb_stop_) break;
       lk.unlock();
       for (int p = 0; p < world_; ++p) {
-        if (p != rank_) send_frame(p, kHeartbeat, 0, 0, 0, nullptr, 0);
+        if (p != rank_ && send_frame(p, kHeartbeat, 0, 0, 0, nullptr, 0))
+          heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
       }
       lk.lock();
     }
@@ -705,6 +725,14 @@ class TcpTransport final : public Transport {
   // Local send buffers + per-slot post counts (the posted-epoch view).
   std::vector<std::vector<unsigned char>> buffers_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+
+  // Wire statistics (see Transport::stats); counters ride the frame paths
+  // every message already funnels through.
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> frames_recv_{0};
+  std::atomic<std::uint64_t> bytes_recv_{0};
+  std::atomic<std::uint64_t> heartbeats_sent_{0};
 
   // Receive side (all under mu_).
   std::mutex mu_;

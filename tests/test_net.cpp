@@ -114,8 +114,10 @@ TEST(NetLaunch, SigkilledRankRecoversToTheGoldenFingerprint) {
   // the bits of the uninterrupted run.  (dt_fnv is not compared: the
   // respawned process hashes only its post-resume steps by design.)
   const auto kill_json = dir / "kill.json";
+  const auto report = dir / "report.json";
   const std::string launch =
-      bin("igr_launch") + " --world 2 --dir " + (dir / "rdv").string() +
+      bin("igr_launch") + " --world 2 --report " + report.string() +
+      " --dir " + (dir / "rdv").string() +
       " -- " + sod_cmd(bin("run_case"), 20) + " --checkpoint-every 4" +
       " --ckpt-dir " + (dir / "ckpt").string() +
       " --inject kill=10@1 --json " + kill_json.string();
@@ -126,6 +128,15 @@ TEST(NetLaunch, SigkilledRankRecoversToTheGoldenFingerprint) {
   // The supervisor's transcript shows one real loss and one respawn.
   const std::string text = slurp(log);
   EXPECT_NE(text.find("respawning with --resume"), std::string::npos) << text;
+
+  // The machine-readable exit report round-trips the recovery: one respawn,
+  // a first attempt lost to SIGKILL (signal 9), and a clean final exit.
+  const std::string rep = slurp(report);
+  EXPECT_NE(rep.find("\"respawns\": 1"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("\"final_exit\": 0"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("killed by signal 9"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("\"retryable\": true"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("\"ok\": true"), std::string::npos) << rep;
   fs::remove_all(dir);
 }
 
